@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates a table or figure from the paper, asserts the
+*shape* (who wins, by what rough factor, where crossovers fall), and
+reports the regenerated rows both to stdout and into the pytest-benchmark
+``extra_info`` so they land in machine-readable output.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def report(title: str, text: str) -> None:
+    """Print a regenerated table so it is visible even under capture."""
+    banner = f"\n=== {title} ===\n{text}\n"
+    sys.stderr.write(banner)
+    sys.stderr.flush()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The paper's §5 case study, end to end: harden video encryption at run time.
+
+Reproduces, in one run:
+
+* Table 1 — the safe configuration set;
+* Table 2 — the adaptive action library;
+* Figure 4 — the Safe Adaptation Graph and the 50 ms Minimum Adaptation Path;
+* §5.2 — the five-step realization against a live multicast video stream,
+  with zero corrupted frames;
+* the counterfactual: the same reconfiguration as a naive hot swap,
+  corrupting in-flight packets and failing the safety checker.
+
+Run:  python examples/video_hardening.py
+"""
+
+from repro.apps.video import VideoScenario
+from repro.apps.video.system import (
+    paper_source,
+    paper_target,
+    video_planner,
+)
+from repro.baselines import UnsafeSwap
+from repro.bench import format_table
+
+
+def show_tables() -> None:
+    planner = video_planner()
+    print("Table 1 — safe configuration set")
+    print(format_table(["bit vector", "configuration"], planner.space.to_table()))
+    print()
+    print("Table 2 — adaptive actions and corresponding cost")
+    print(
+        format_table(
+            ["action", "operation", "cost (ms)", "description"],
+            [
+                (a.action_id, a.operation_text(), int(a.cost), a.description)
+                for a in planner.actions
+            ],
+        )
+    )
+    print()
+    print(f"Figure 4 — SAG: {planner.sag.node_count} safe configurations, "
+          f"{planner.sag.edge_count} adaptation steps")
+    plan = planner.plan(paper_source(), paper_target())
+    print(plan.describe())
+    print()
+
+
+def run_safe() -> None:
+    print("§5.2 — safe realization against the live stream")
+    scenario = VideoScenario(seed=1)
+    outcome = scenario.run()
+    stats = scenario.stream_stats()
+    print(f"  adaptation: {outcome.status} in {outcome.duration:g} ms "
+          f"({outcome.steps_committed} steps)")
+    print(f"  frames sent: {stats['frames_sent']}, "
+          f"handheld ok/corrupt: {stats['handheld_ok']}/{stats['handheld_corrupt']}, "
+          f"laptop ok/corrupt: {stats['laptop_ok']}/{stats['laptop_corrupt']}")
+    print(f"  safety: {scenario.safety_report().summary()}")
+    print()
+
+
+def run_unsafe() -> None:
+    print("counterfactual — the same change as a naive hot swap")
+    scenario = VideoScenario(seed=1)
+    UnsafeSwap(scenario.cluster, paper_target(), at_time=50.0).schedule()
+    scenario.cluster.sim.run(until=150.0)
+    stats = scenario.stream_stats()
+    report = scenario.safety_report()
+    print(f"  handheld corrupt packets: {stats['handheld_corrupt']}, "
+          f"laptop corrupt packets: {stats['laptop_corrupt']}")
+    print(f"  safety: {report.summary()}")
+    for violation in report.violations[:4]:
+        print(f"    [{violation.kind} @ t={violation.time:g}] {violation.detail}")
+    if len(report.violations) > 4:
+        print(f"    ... and {len(report.violations) - 4} more")
+
+
+def main() -> None:
+    show_tables()
+    run_safe()
+    run_unsafe()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (PEP 517 editable builds require it; the legacy path does not).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro — Safe Dynamic Component-Based Software Adaptation.
+
+A complete reproduction of Zhang, Cheng, Yang & McKinley, *Enabling Safe
+Dynamic Component-Based Software Adaptation* (DSN 2004 / Architecting
+Dependable Systems III, 2005): the dependency-driven safe-adaptation
+method (safe configurations, Safe Adaptation Graph, Minimum Adaptation
+Path), the manager/agent realization protocol with timeout-driven failure
+handling and rollback, an executable two-clause safety checker, and the
+full video-multicast case study on a deterministic discrete-event
+simulator plus a threaded live runtime.
+
+Quickstart::
+
+    from repro import (ComponentUniverse, InvariantSet, ActionLibrary,
+                       AdaptiveAction, AdaptationPlanner)
+
+    universe = ComponentUniverse.from_names(["A", "B1", "B2"])
+    invariants = InvariantSet.of("A -> B1 | B2", "one_of(B1, B2)", "A")
+    actions = ActionLibrary([AdaptiveAction.replace("swap", "B1", "B2", cost=5)])
+    planner = AdaptationPlanner(universe, invariants, actions)
+    plan = planner.plan(universe.configuration("A", "B1"),
+                        universe.configuration("A", "B2"))
+    print(plan.describe())
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core import (
+    ActionKind,
+    ActionLibrary,
+    AdaptationPlan,
+    AdaptationPlanner,
+    AdaptiveAction,
+    Component,
+    ComponentUniverse,
+    Configuration,
+    DependencyInvariant,
+    Invariant,
+    InvariantSet,
+    PlanStep,
+    SafeAdaptationGraph,
+    SafeConfigurationSpace,
+    StructuralInvariant,
+    collaborative_sets,
+)
+from repro.ccs import CCSSpec, SegmentTracker
+from repro.errors import (
+    AdaptationAbortedError,
+    NoSafePathError,
+    ReproError,
+    SafetyViolationError,
+    UnsafeConfigurationError,
+    UserInterventionRequired,
+)
+from repro.core.analysis import (
+    affected_components,
+    blast_radius,
+    impact_report,
+    invariants_at_risk,
+)
+from repro.expr import parse as parse_expr
+from repro.render import render_events, render_timeline
+from repro.safety import SafetyChecker, SafetyReport, check_safe
+from repro.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Component",
+    "ComponentUniverse",
+    "Configuration",
+    "Invariant",
+    "StructuralInvariant",
+    "DependencyInvariant",
+    "InvariantSet",
+    "ActionKind",
+    "AdaptiveAction",
+    "ActionLibrary",
+    "SafeConfigurationSpace",
+    "SafeAdaptationGraph",
+    "AdaptationPlanner",
+    "AdaptationPlan",
+    "PlanStep",
+    "collaborative_sets",
+    "CCSSpec",
+    "SegmentTracker",
+    "SafetyChecker",
+    "SafetyReport",
+    "check_safe",
+    "Trace",
+    "invariants_at_risk",
+    "affected_components",
+    "blast_radius",
+    "impact_report",
+    "render_events",
+    "render_timeline",
+    "parse_expr",
+    "ReproError",
+    "NoSafePathError",
+    "UnsafeConfigurationError",
+    "AdaptationAbortedError",
+    "UserInterventionRequired",
+    "SafetyViolationError",
+]

@@ -1,0 +1,1 @@
+"""Example applications built on the safe-adaptation library."""

@@ -1,0 +1,59 @@
+"""The paper's video multicasting case study (§5), end to end.
+
+A video server multicasts an encrypted stream to two clients — a handheld
+(short battery, limited compute) and a laptop.  The sender has DES-64 and
+DES-128 encoders (E1, E2); the handheld has decoders D1 (64), D2 (128/64
+compatible), D3 (128); the laptop has D4 (64) and D5 (128).  The
+adaptation objective is to harden security at run time: move from the
+64-bit configuration ``0100101`` to the 128-bit configuration ``1010010``
+without corrupting a single frame.
+
+* :mod:`repro.apps.video.system` — the universe, invariants (§5.1),
+  Table 2's action library, and component factories.
+* :mod:`repro.apps.video.server` / :mod:`repro.apps.video.client` —
+  simulator process apps implementing Figure 3's pipelines.
+* :mod:`repro.apps.video.scenario` — cluster assembly, the video CCS
+  spec, the drain-marker flush provider, and the paper walk-through.
+"""
+
+from repro.apps.video.system import (
+    DECODER_SCHEMES,
+    ENCODER_SCHEMES,
+    PAPER_SOURCE_BITS,
+    PAPER_TARGET_BITS,
+    make_decoder,
+    make_encoder,
+    video_actions,
+    video_invariants,
+    video_planner,
+    video_universe,
+)
+from repro.apps.video.scenario import (
+    VIDEO_CCS,
+    VideoScenario,
+    build_video_cluster,
+    cid_for,
+    video_flush_provider,
+)
+from repro.apps.video.server import VideoServerApp
+from repro.apps.video.client import VideoClientApp
+
+__all__ = [
+    "video_universe",
+    "video_invariants",
+    "video_actions",
+    "video_planner",
+    "PAPER_SOURCE_BITS",
+    "PAPER_TARGET_BITS",
+    "ENCODER_SCHEMES",
+    "DECODER_SCHEMES",
+    "make_encoder",
+    "make_decoder",
+    "VIDEO_CCS",
+    "cid_for",
+    "video_flush_provider",
+    "build_video_cluster",
+    "VideoScenario",
+    "VideoServerApp",
+    "VideoClientApp",
+]

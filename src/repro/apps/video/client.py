@@ -1,0 +1,202 @@
+"""Video client process app (Figure 3, right): handheld and laptop.
+
+Packets arrive at the client's data endpoint, traverse the receiving
+MetaSocket's decoder chain, and are reassembled into frames for the
+player.  Every delivered data packet is verified against its source
+checksum: a packet whose payload is still encrypted (its decoder was
+missing — the symptom of an unsafe adaptation) is recorded both as a
+``corrupt`` CCS action and as a :class:`~repro.trace.CorruptionRecord`.
+
+Adaptation hooks: a reset with ``await_flush`` holds the local safe state
+until the server's in-band FLUSH marker arrives (the global safe drain
+condition); otherwise the client is safe between packets immediately.
+While the process is blocked, arriving packets buffer in the MetaSocket
+and are decoded after the in-action — never dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.apps.video.system import DECODER_SCHEMES, make_decoder
+from repro.apps.video.transport import DataMessage, data_endpoint
+from repro.codecs.frames import FrameResult, Reassembler
+from repro.codecs.packets import Packet
+from repro.components.metasocket import RecvMetaSocket
+from repro.core.actions import AdaptiveAction
+from repro.protocol.messages import Envelope
+from repro.sim.cluster import ProcessApp
+from repro.trace import CommRecord, CorruptionRecord
+
+
+class VideoClientApp(ProcessApp):
+    """Simulated video client: recv MetaSocket → reassembler → player."""
+
+    def __init__(self, client_index: int, cid_stride: int = 8):
+        self.client_index = client_index
+        self.cid_stride = cid_stride
+        self.socket: Optional[RecvMetaSocket] = None
+        self.reassembler = Reassembler()
+        self.packets_received = 0
+        self.packets_ok = 0
+        self.packets_corrupt = 0
+        self.frames_played = 0
+        self.frames_corrupt = 0
+        self.markers_seen = 0
+        self._pending_reset: Optional[Tuple[str, bool]] = None  # (step_key, await_flush)
+        self._flush_seen: set = set()
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.socket = RecvMetaSocket(
+            f"{self.host.process_id}.recv", deliver=self._deliver, filters=()
+        )
+        self._rebuild_chain()
+        self.host.network.register(
+            data_endpoint(self.host.process_id), self._on_envelope
+        )
+
+    def _rebuild_chain(self) -> None:
+        """FEC reconstructor first (repairs ciphertext), then crypto decoders."""
+        from repro.apps.video.extended import FEC_DECODERS
+        from repro.codecs.fec import FecDecoderFilter
+
+        assert self.socket is not None
+        for name in self.socket.chain.filter_names():
+            self.socket.remove_filter(name)
+        for name in sorted(self.host.components):
+            if name in FEC_DECODERS:
+                self.socket.insert_filter(FecDecoderFilter(name))
+        for name in sorted(self.host.components):
+            if name in DECODER_SCHEMES:
+                self.socket.insert_filter(make_decoder(name))
+
+    def _cid(self, packet: Packet) -> int:
+        return packet.seq * self.cid_stride + self.client_index
+
+    # -- data plane ------------------------------------------------------------------
+    def _on_envelope(self, envelope: Envelope) -> None:
+        message = envelope.message
+        assert isinstance(message, DataMessage)
+        packet = message.packet
+        if packet.is_marker:
+            self._on_marker(packet)
+            return
+        if packet.is_data:
+            self.packets_received += 1
+            self.host.trace.append(
+                CommRecord(
+                    time=self.host.sim.now,
+                    cid=self._cid(packet),
+                    action="receive",
+                    component=self.socket.name if self.socket else "",
+                    process=self.host.process_id,
+                )
+            )
+        assert self.socket is not None
+        self.socket.receive(packet)
+
+    def _on_marker(self, packet: Packet) -> None:
+        self.markers_seen += 1
+        self._flush_seen.add(packet.marker_key)
+        if self._pending_reset is not None:
+            step_key, awaiting = self._pending_reset
+            if awaiting and packet.marker_key == step_key:
+                self._pending_reset = None
+                self.host.local_safe(step_key)
+
+    def _deliver(self, packet: Packet) -> None:
+        """Player-side delivery: verify, account, reassemble."""
+        if not packet.is_data:
+            return
+        now = self.host.sim.now
+        cid = self._cid(packet)
+        if packet.recovered:
+            # rebuilt by FEC: it never crossed the wire, so its 'receive'
+            # happens at reconstruction time
+            self.packets_received += 1
+            self.host.trace.append(
+                CommRecord(
+                    time=now,
+                    cid=cid,
+                    action="receive",
+                    component=self.socket.name if self.socket else "",
+                    process=self.host.process_id,
+                )
+            )
+        if packet.enc_scheme is not None or not packet.verify():
+            self.packets_corrupt += 1
+            self.host.trace.append(
+                CommRecord(
+                    time=now,
+                    cid=cid,
+                    action="corrupt",
+                    component=self.socket.name if self.socket else "",
+                    process=self.host.process_id,
+                )
+            )
+            self.host.trace.append(
+                CorruptionRecord(
+                    time=now,
+                    process=self.host.process_id,
+                    detail=(
+                        f"packet seq={packet.seq} undecodable "
+                        f"(enc_scheme={packet.enc_scheme!r})"
+                    ),
+                    cid=cid,
+                )
+            )
+            return
+        self.packets_ok += 1
+        self.host.trace.append(
+            CommRecord(
+                time=now,
+                cid=cid,
+                action="decode",
+                component=self.socket.name if self.socket else "",
+                process=self.host.process_id,
+            )
+        )
+        result = self.reassembler.add(packet)
+        if result is not None:
+            self._play(result)
+
+    def _play(self, result: FrameResult) -> None:
+        if result.ok:
+            self.frames_played += 1
+        else:  # pragma: no cover - corrupt chunks already counted per packet
+            self.frames_corrupt += 1
+
+    # -- adaptation hooks ---------------------------------------------------------------
+    def begin_reset(
+        self, step_key: str, action: AdaptiveAction, inject_flush: bool, await_flush: bool
+    ) -> None:
+        if await_flush and step_key not in self._flush_seen:
+            # Hold until the server's drain marker arrives in-band.
+            self._pending_reset = (step_key, True)
+            return
+        self._pending_reset = None
+        # Between packets (simulator events are atomic): locally safe now.
+        self.host.sim.call_soon(lambda: self.host.local_safe(step_key))
+
+    def abort_reset(self, step_key: str) -> None:
+        self._pending_reset = None
+
+    def apply_action(self, action: AdaptiveAction) -> None:
+        self._rebuild_chain()
+
+    def undo_action(self, action: AdaptiveAction) -> None:
+        self._rebuild_chain()
+
+    # -- blocking: buffer in the MetaSocket, flush on resume ------------------------------
+    def on_blocked(self) -> None:
+        if self.socket is not None:
+            self.socket.set_blocked(True)
+
+    def on_resumed(self) -> None:
+        if self.socket is not None:
+            self.socket.set_blocked(False)

@@ -1,0 +1,99 @@
+"""The video system extended with adaptable FEC (a paper-style extension).
+
+MetaSockets' filters include forward error correction (§2).  This module
+extends the §5 system with an FEC triple — ``FE`` (parity encoder on the
+server), ``FH``/``FL`` (reconstructors on the clients) — governed by its
+own dependency invariants:
+
+* ``FE → FH ∧ FL`` — parity is only useful if every client can
+  reconstruct;
+* ``FH ∨ FL → FE`` — reconstructors are pointless without the encoder.
+
+Together they make FEC all-or-nothing, so the extended safe space is the
+paper's eight configurations × {no-FEC, FEC} = 16, connected by insert/
+remove triples.  The decision-engine example (`examples/adaptive_fec.py`)
+closes the loop: a loss spike trips a monitor rule, the manager safely
+inserts the FEC triple mid-stream, and the delivered-frame rate recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.apps.video.system import (
+    COMPONENT_ORDER,
+    COMPONENT_PROCESSES,
+    PAPER_SOURCE_BITS,
+    PAPER_TARGET_BITS,
+    video_actions,
+    video_invariants,
+)
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.invariants import DependencyInvariant, InvariantSet
+from repro.core.model import ComponentUniverse, Configuration
+from repro.core.planner import AdaptationPlanner
+
+FEC_ENCODERS: Dict[str, str] = {"FE": "server"}
+FEC_DECODERS: Dict[str, str] = {"FH": "handheld", "FL": "laptop"}
+FEC_COMPONENTS: Tuple[str, ...] = ("FE", "FH", "FL")
+
+EXTENDED_ORDER: Tuple[str, ...] = COMPONENT_ORDER + FEC_COMPONENTS
+
+DEFAULT_FEC_K = 4
+
+
+def extended_universe() -> ComponentUniverse:
+    processes = dict(COMPONENT_PROCESSES)
+    processes.update(FEC_ENCODERS)
+    processes.update(FEC_DECODERS)
+    return ComponentUniverse.from_names(EXTENDED_ORDER, processes)
+
+
+def extended_invariants() -> InvariantSet:
+    return video_invariants().extended(
+        DependencyInvariant("FE -> FH & FL"),
+        DependencyInvariant("FH | FL -> FE"),
+    )
+
+
+def extended_actions() -> ActionLibrary:
+    actions = ActionLibrary(video_actions())
+    actions.add(
+        AdaptiveAction(
+            "AF+",
+            removes=frozenset(),
+            adds=frozenset(FEC_COMPONENTS),
+            cost=30.0,
+            description="insert the FEC triple (FE, FH, FL)",
+        )
+    )
+    actions.add(
+        AdaptiveAction(
+            "AF-",
+            removes=frozenset(FEC_COMPONENTS),
+            adds=frozenset(),
+            cost=30.0,
+            description="remove the FEC triple (FE, FH, FL)",
+        )
+    )
+    return actions
+
+
+def extended_planner() -> AdaptationPlanner:
+    return AdaptationPlanner(extended_universe(), extended_invariants(), extended_actions())
+
+
+def extended_source(with_fec: bool = False) -> Configuration:
+    universe = extended_universe()
+    members = set(universe.from_bits(PAPER_SOURCE_BITS + "000").members)
+    if with_fec:
+        members |= set(FEC_COMPONENTS)
+    return Configuration(members)
+
+
+def extended_target(with_fec: bool = False) -> Configuration:
+    universe = extended_universe()
+    members = set(universe.from_bits(PAPER_TARGET_BITS + "000").members)
+    if with_fec:
+        members |= set(FEC_COMPONENTS)
+    return Configuration(members)

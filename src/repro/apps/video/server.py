@@ -1,0 +1,186 @@
+"""The video server process app (Figure 3, left).
+
+A synthetic camera produces frames on a fixed interval; the video
+processor packetizes them; packets traverse the send MetaSocket's encoder
+chain and are multicast to the clients.  The adaptation hooks implement
+the §5.2 mechanics: on reset the server finishes the current frame, stops
+pumping, optionally injects the in-band FLUSH marker (the global safe
+condition for encoder/decoder composite actions), and reports its local
+safe state; in-actions rebuild the encoder chain from the host's current
+component set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.apps.video.system import ENCODER_SCHEMES, make_encoder
+from repro.apps.video.transport import DataMessage, data_endpoint
+from repro.codecs.frames import Packetizer, SyntheticCamera
+from repro.codecs.packets import Packet, marker_packet
+from repro.components.metasocket import SendMetaSocket
+from repro.core.actions import AdaptiveAction
+from repro.protocol.messages import Envelope
+from repro.sim.cluster import ProcessApp
+from repro.trace import CommRecord
+
+
+class VideoServerApp(ProcessApp):
+    """Simulated video server: camera → packetizer → send MetaSocket."""
+
+    def __init__(
+        self,
+        clients: Sequence[str] = ("handheld", "laptop"),
+        frame_interval: float = 2.0,
+        frame_size: int = 96,
+        chunk_size: int = 48,
+        camera_seed: int = 0,
+        cid_stride: int = 8,
+    ):
+        self.clients: Tuple[str, ...] = tuple(clients)
+        self.frame_interval = frame_interval
+        self.camera = SyntheticCamera(seed=camera_seed, frame_size=frame_size)
+        self.packetizer = Packetizer(chunk_size=chunk_size)
+        self.cid_stride = cid_stride
+        self.socket: Optional[SendMetaSocket] = None
+        self.frames_sent = 0
+        self.packets_sent = 0
+        self.markers_sent = 0
+        self._resetting = False
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.socket = SendMetaSocket(
+            "server.send", transport=self._transmit, filters=()
+        )
+        self._rebuild_chain()
+        self._schedule_pump()
+
+    def _rebuild_chain(self) -> None:
+        """Sync the filter chain with the host's live component set.
+
+        Crypto encoders first, then the FEC parity encoder (parity over
+        ciphertext keeps receive-side ordering simple: reconstruct, then
+        decrypt).
+        """
+        from repro.apps.video.extended import DEFAULT_FEC_K, FEC_ENCODERS
+        from repro.codecs.fec import FecEncoderFilter
+
+        assert self.socket is not None
+        for name in self.socket.chain.filter_names():
+            self.socket.remove_filter(name)
+        for name in sorted(self.host.components):
+            if name in ENCODER_SCHEMES:
+                self.socket.insert_filter(make_encoder(name))
+        for name in sorted(self.host.components):
+            if name in FEC_ENCODERS:
+                self.socket.insert_filter(FecEncoderFilter(name, k=DEFAULT_FEC_K))
+
+    # -- data plane ------------------------------------------------------------------
+    def _schedule_pump(self) -> None:
+        self.host.sim.schedule(self.frame_interval, self._pump)
+
+    def _pump(self) -> None:
+        if not self.host.blocked and not self._resetting:
+            self._send_frame()
+        self._schedule_pump()
+
+    def _send_frame(self) -> None:
+        assert self.socket is not None
+        frame = self.camera.capture()
+        for packet in self.packetizer.packetize(frame):
+            self.socket.send(packet)
+        self.frames_sent += 1
+
+    def _transmit(self, packet: Packet) -> None:
+        """Post-chain transport: multicast + CCS bookkeeping per client."""
+        now = self.host.sim.now
+        for index, client in enumerate(self.clients):
+            if packet.is_data:
+                cid = packet.seq * self.cid_stride + index
+                if packet.enc_scheme is not None:
+                    self.host.trace.append(
+                        CommRecord(
+                            time=now,
+                            cid=cid,
+                            action="encode",
+                            component=self._encoder_name(packet),
+                            process=self.host.process_id,
+                        )
+                    )
+                self.host.trace.append(
+                    CommRecord(
+                        time=now,
+                        cid=cid,
+                        action="send",
+                        component="server.send",
+                        process=self.host.process_id,
+                    )
+                )
+            self.host.network.send(
+                Envelope(
+                    source=self.host.process_id,
+                    destination=data_endpoint(client),
+                    message=DataMessage(step_key="", packet=packet),
+                )
+            )
+        if packet.is_data:
+            self.packets_sent += 1
+
+    @staticmethod
+    def _encoder_name(packet: Packet) -> str:
+        for name, scheme in ENCODER_SCHEMES.items():
+            if scheme == packet.enc_scheme:
+                return name
+        return ""
+
+    # -- adaptation hooks ---------------------------------------------------------------
+    def begin_reset(
+        self, step_key: str, action: AdaptiveAction, inject_flush: bool, await_flush: bool
+    ) -> None:
+        # Pre-action: stop accepting new frames (the current frame — one
+        # simulator event — is already complete, so we are between
+        # packets: the local safe state of §5.2).
+        self._resetting = True
+        if self.socket is not None:
+            self.socket.set_resetting(True)
+        if inject_flush and self.socket is not None:
+            marker = marker_packet(self.packetizer.allocate_seq(), step_key)
+            # Markers bypass the encoders but keep FIFO order with data.
+            self._transmit(marker)
+            self.markers_sent += 1
+        self.host.sim.call_soon(lambda: self.host.local_safe(step_key))
+
+    def abort_reset(self, step_key: str) -> None:
+        self._clear_resetting()
+
+    def inject_marker(self, step_key: str) -> None:
+        """Out-of-band drain marker: emitted in-band, streaming continues.
+
+        Used for decoder-side steps where this server's own components are
+        untouched — downstream agents wait for the marker (all earlier
+        packets drained) before swapping decoders, but the stream itself
+        never stops.
+        """
+        if self.socket is None:
+            return
+        self._transmit(marker_packet(self.packetizer.allocate_seq(), step_key))
+        self.markers_sent += 1
+
+    def apply_action(self, action: AdaptiveAction) -> None:
+        self._rebuild_chain()
+
+    def undo_action(self, action: AdaptiveAction) -> None:
+        self._rebuild_chain()
+
+    def on_resumed(self) -> None:
+        self._clear_resetting()
+
+    def _clear_resetting(self) -> None:
+        self._resetting = False
+        if self.socket is not None:
+            self.socket.set_resetting(False)

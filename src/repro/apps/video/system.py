@@ -1,0 +1,133 @@
+"""Static model of the video system: universe, invariants, Table 2 actions.
+
+Everything here is lifted directly from §5.1:
+
+* component order ``(D5, D4, D3, D2, D1, E2, E1)`` — the paper's bit-vector
+  encoding, with source ``0100101`` and target ``1010010``;
+* system invariants — resource constraint ``⊗(D1,D2,D3)`` (the handheld
+  can host only one decoder) and security constraint ``⊗(E1,E2)`` (data
+  must stay encoded during adaptation);
+* dependency invariants — ``E1 → (D1 ∨ D2) ∧ D4`` and
+  ``E2 → (D3 ∨ D2) ∧ D5``;
+* Table 2's seventeen adaptive actions with their packet-delay costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.codecs.crypto_filters import DecoderFilter, EncoderFilter
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.invariants import DependencyInvariant, InvariantSet, StructuralInvariant
+from repro.core.model import ComponentUniverse, Configuration
+from repro.core.planner import AdaptationPlanner
+from repro.expr import exactly_one
+
+PAPER_SOURCE_BITS = "0100101"  # (D4, D1, E1)
+PAPER_TARGET_BITS = "1010010"  # (D5, D3, E2)
+
+COMPONENT_ORDER: Tuple[str, ...] = ("D5", "D4", "D3", "D2", "D1", "E2", "E1")
+
+COMPONENT_PROCESSES: Dict[str, str] = {
+    "E1": "server",
+    "E2": "server",
+    "D1": "handheld",
+    "D2": "handheld",
+    "D3": "handheld",
+    "D4": "laptop",
+    "D5": "laptop",
+}
+
+ENCODER_SCHEMES: Dict[str, str] = {"E1": "des64", "E2": "des128"}
+
+DECODER_SCHEMES: Dict[str, FrozenSet[str]] = {
+    "D1": frozenset({"des64"}),
+    "D2": frozenset({"des64", "des128"}),  # the 128/64-compatible decoder
+    "D3": frozenset({"des128"}),
+    "D4": frozenset({"des64"}),
+    "D5": frozenset({"des128"}),
+}
+
+
+def video_universe() -> ComponentUniverse:
+    """The seven adaptable components in the paper's bit order."""
+    return ComponentUniverse.from_names(COMPONENT_ORDER, COMPONENT_PROCESSES)
+
+
+def video_invariants() -> InvariantSet:
+    """System + dependency invariants of §5.1."""
+    return InvariantSet(
+        [
+            StructuralInvariant(exactly_one("D1", "D2", "D3"), name="resource constraint"),
+            StructuralInvariant(exactly_one("E1", "E2"), name="security constraint"),
+            DependencyInvariant("E1 -> (D1 | D2) & D4"),
+            DependencyInvariant("E2 -> (D3 | D2) & D5"),
+        ]
+    )
+
+
+# (action id, removes, adds, cost-ms, description) — Table 2 verbatim.
+_TABLE2 = (
+    ("A1", ("E1",), ("E2",), 10, "replace E1 with E2"),
+    ("A2", ("D1",), ("D2",), 10, "replace D1 with D2"),
+    ("A3", ("D1",), ("D3",), 10, "replace D1 with D3"),
+    ("A4", ("D2",), ("D3",), 10, "replace D2 with D3"),
+    ("A5", ("D4",), ("D5",), 10, "replace D4 with D5"),
+    ("A6", ("D1", "E1"), ("D2", "E2"), 100, "A1 and A2"),
+    ("A7", ("D1", "E1"), ("D3", "E2"), 100, "A1 and A3"),
+    ("A8", ("D2", "E1"), ("D3", "E2"), 100, "A1 and A4"),
+    ("A9", ("D4", "E1"), ("D5", "E2"), 100, "A1 and A5"),
+    ("A10", ("D1", "D4"), ("D2", "D5"), 50, "A2 and A5"),
+    ("A11", ("D1", "D4"), ("D3", "D5"), 50, "A3 and A5"),
+    ("A12", ("D2", "D4"), ("D3", "D5"), 50, "A4 and A5"),
+    ("A13", ("D1", "D4", "E1"), ("D2", "D5", "E2"), 150, "A1 and A10"),
+    ("A14", ("D1", "D4", "E1"), ("D3", "D5", "E2"), 150, "A1 and A11"),
+    ("A15", ("D2", "D4", "E1"), ("D3", "D5", "E2"), 150, "A1 and A12"),
+    ("A16", ("D4",), (), 10, "remove D4"),
+    ("A17", (), ("D5",), 10, "insert D5"),
+)
+
+
+def video_actions() -> ActionLibrary:
+    """Table 2's adaptive actions with their packet-delay costs (ms)."""
+    return ActionLibrary(
+        AdaptiveAction(
+            action_id,
+            frozenset(removes),
+            frozenset(adds),
+            float(cost),
+            description,
+        )
+        for action_id, removes, adds, cost, description in _TABLE2
+    )
+
+
+def video_planner() -> AdaptationPlanner:
+    """Planner preloaded with the full §5.1 model."""
+    return AdaptationPlanner(video_universe(), video_invariants(), video_actions())
+
+
+def paper_source(universe: Optional[ComponentUniverse] = None) -> Configuration:
+    return (universe or video_universe()).from_bits(PAPER_SOURCE_BITS)
+
+
+def paper_target(universe: Optional[ComponentUniverse] = None) -> Configuration:
+    return (universe or video_universe()).from_bits(PAPER_TARGET_BITS)
+
+
+def make_encoder(name: str) -> EncoderFilter:
+    """Instantiate encoder component E1 or E2."""
+    try:
+        scheme = ENCODER_SCHEMES[name]
+    except KeyError:
+        raise KeyError(f"not an encoder component: {name!r}") from None
+    return EncoderFilter(name, scheme)
+
+
+def make_decoder(name: str, on_decode=None) -> DecoderFilter:
+    """Instantiate decoder component D1..D5."""
+    try:
+        schemes = DECODER_SCHEMES[name]
+    except KeyError:
+        raise KeyError(f"not a decoder component: {name!r}") from None
+    return DecoderFilter(name, schemes, on_decode=on_decode)

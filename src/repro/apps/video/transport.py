@@ -1,0 +1,29 @@
+"""Data-plane message wrapper for the video stream.
+
+The control plane (manager ↔ agents) and the data plane (video packets)
+share the simulated network but use distinct endpoints: a process ``p``
+receives control messages at ``p`` and stream traffic at ``p.data``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codecs.packets import Packet
+from repro.protocol.messages import Message
+
+
+def data_endpoint(process_id: str) -> str:
+    """Network address of a process's data-plane handler."""
+    return f"{process_id}.data"
+
+
+@dataclass(frozen=True)
+class DataMessage(Message):
+    """One video packet in flight (``step_key`` is unused: always '')."""
+
+    packet: Packet = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.packet is None:
+            raise ValueError("DataMessage needs a packet")

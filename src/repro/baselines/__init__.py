@@ -1,0 +1,39 @@
+"""Baseline adaptation strategies for comparison (paper §6 related work).
+
+Each baseline drives the *same* simulated video system as the safe
+protocol but with a weaker discipline, so the executable safety checker
+can show exactly which clause breaks:
+
+* :class:`UnsafeSwap` — immediate recomposition, no quiescence, no safe
+  path, no drain (the naive hot-swap the paper's introduction warns
+  about).  Fails the CCS clause (corrupted in-flight packets) and the
+  blocked-discipline check; the staggered variant also commits unsafe
+  intermediate configurations (dependency clause).
+* :class:`LocalQuiescenceSwap` — Kramer–Magee-style: every process swaps
+  its own slice when *locally* quiescent, uncoordinated.  Shows the
+  paper's critique of quiescence-only approaches: local safety without
+  the global safe condition still corrupts in-flight traffic and visits
+  unsafe global configurations.
+* :class:`TwoPhaseSwap` — the whole delta as a single coordinated step
+  (plain two-phase commit analogue, §4.4's comparison).  Safe, but blocks
+  the sender for the full drain — the cost Table 2 assigns to composite
+  actions, and the reason the MAP prefers sequences of cheap steps.
+* :class:`RestartSwap` — stop-the-world: block every process, swap,
+  resume.  Safe for dependencies but drops all in-flight packets and
+  interrupts the stream everywhere.
+"""
+
+from repro.baselines.common import BaselineResult, delta_action
+from repro.baselines.unsafe import UnsafeSwap
+from repro.baselines.quiescence import LocalQuiescenceSwap
+from repro.baselines.twophase import TwoPhaseSwap
+from repro.baselines.restart import RestartSwap
+
+__all__ = [
+    "BaselineResult",
+    "delta_action",
+    "UnsafeSwap",
+    "LocalQuiescenceSwap",
+    "TwoPhaseSwap",
+    "RestartSwap",
+]

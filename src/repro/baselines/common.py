@@ -1,0 +1,93 @@
+"""Shared plumbing for baseline adaptation strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.actions import AdaptiveAction
+from repro.core.model import Configuration
+from repro.sim.cluster import AdaptationCluster, ProcessHost
+from repro.trace import AdaptationApplied, BlockRecord, ConfigCommitted
+
+
+def delta_action(
+    source: Configuration, target: Configuration, action_id: str = "delta", cost: float = 0.0
+) -> AdaptiveAction:
+    """The single action representing the whole source→target delta."""
+    return AdaptiveAction(
+        action_id,
+        removes=source.members - target.members,
+        adds=target.members - source.members,
+        cost=cost,
+        description=f"direct swap {source.label()} -> {target.label()}",
+    )
+
+
+def apply_slice(host: ProcessHost, action: AdaptiveAction) -> None:
+    """Apply a host's local slice of *action* and record it in the trace.
+
+    This is the raw structural change with no protocol around it — the
+    building block every baseline shares.
+    """
+    local_removes = {
+        name for name in action.removes
+        if host.universe.process_of(name) == host.process_id
+    }
+    local_adds = {
+        name for name in action.adds
+        if host.universe.process_of(name) == host.process_id
+    }
+    if not local_removes and not local_adds:
+        return
+    host.components -= local_removes
+    host.components |= local_adds
+    host.app.apply_action(action)
+    host.trace.append(
+        AdaptationApplied(
+            time=host.sim.now,
+            process=host.process_id,
+            action_id=action.action_id,
+            removes=frozenset(local_removes),
+            adds=frozenset(local_adds),
+        )
+    )
+
+
+def record_block(host: ProcessHost, blocked: bool) -> None:
+    """Toggle a host's blocked flag with trace + app notifications."""
+    host.blocked = blocked
+    host.trace.append(
+        BlockRecord(time=host.sim.now, process=host.process_id, blocked=blocked)
+    )
+    if blocked:
+        host.app.on_blocked()
+    else:
+        host.app.on_resumed()
+
+
+def commit(cluster: AdaptationCluster, configuration: Configuration, step_id: str,
+           action_id: str = "") -> None:
+    cluster.trace.append(
+        ConfigCommitted(
+            time=cluster.sim.now,
+            configuration=configuration.members,
+            step_id=step_id,
+            action_id=action_id,
+        )
+    )
+
+
+@dataclass
+class BaselineResult:
+    """What a baseline run did, for benches and tests."""
+
+    strategy: str
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    swaps: int = 0
+    done: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at

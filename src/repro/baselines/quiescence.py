@@ -1,0 +1,85 @@
+"""Local-quiescence baseline (Kramer & Magee, paper §6).
+
+Each affected process independently waits for *local* quiescence (no
+in-progress local operation), briefly blocks itself, swaps its slice of
+the delta, and resumes — with no central coordination, no safe
+intermediate configurations, and no global drain condition.
+
+This is the paper's explicit critique target: "The concept of quiescent
+state is close to that of local safe state introduced in this paper.  The
+safe adaptation process in our paper also considers other critical
+factors such as global conditions and safe configurations."  The run
+shows what those factors buy: even though every in-action fires in a
+locally quiescent, blocked process (the discipline check passes), the
+system transits unsafe global configurations and corrupts in-flight
+packets whose decoders disappear early.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.common import (
+    BaselineResult,
+    apply_slice,
+    commit,
+    delta_action,
+    record_block,
+)
+from repro.core.model import Configuration
+from repro.sim.cluster import AdaptationCluster
+
+
+class LocalQuiescenceSwap:
+    """Uncoordinated per-process quiescent swaps."""
+
+    def __init__(
+        self,
+        cluster: AdaptationCluster,
+        target: Configuration,
+        at_time: float,
+        quiesce_delays: Sequence[float] = (0.0, 4.0, 8.0),
+    ):
+        self.cluster = cluster
+        self.target = target
+        self.at_time = at_time
+        # Per-process quiescence arrival times: processes rarely become
+        # quiescent simultaneously, which is exactly what creates the
+        # unsafe interleavings.
+        self.quiesce_delays = tuple(quiesce_delays)
+        self.result = BaselineResult(strategy="quiescence")
+
+    def schedule(self) -> BaselineResult:
+        source = self.cluster.live_configuration
+        action = delta_action(source, self.target, action_id="quiescence-swap")
+        involved = sorted(
+            p for p in self.cluster.hosts
+            if any(
+                self.cluster.universe.process_of(name) == p
+                for name in action.touched
+            )
+        )
+        self.result.started_at = self.at_time
+        for index, process in enumerate(involved):
+            host = self.cluster.hosts[process]
+            delay = self.at_time + self.quiesce_delays[index % len(self.quiesce_delays)]
+            is_last = index == len(involved) - 1
+
+            def swap(host=host, is_last=is_last) -> None:
+                # Locally quiescent (between packets): block, swap, resume.
+                record_block(host, True)
+                apply_slice(host, action)
+                record_block(host, False)
+                self.result.swaps += 1
+                commit(
+                    self.cluster,
+                    self.cluster.live_configuration,
+                    step_id=f"quiescence/{host.process_id}",
+                    action_id=action.action_id,
+                )
+                if is_last:
+                    self.result.finished_at = self.cluster.sim.now
+                    self.result.done = True
+
+            self.cluster.sim.schedule(delay, swap)
+        return self.result

@@ -1,0 +1,80 @@
+"""Stop-the-world restart baseline.
+
+The bluntest safe-ish strategy: block *every* process (participants or
+not), swap the entire delta, hold for a restart period, then resume.
+Dependency safety is trivial (one commit, straight to the target safe
+configuration) and no in-action fires unblocked — but the entire stream
+halts, and packets in flight when the world stopped are discarded, the
+way a real restart tears down connections.  The benchmarks use it to
+quantify what the safe-adaptation protocol's surgical blocking saves.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    BaselineResult,
+    apply_slice,
+    commit,
+    delta_action,
+    record_block,
+)
+from repro.core.model import Configuration
+from repro.sim.cluster import AdaptationCluster
+
+
+class RestartSwap:
+    """Block everything, swap everything, resume everything."""
+
+    def __init__(
+        self,
+        cluster: AdaptationCluster,
+        target: Configuration,
+        at_time: float,
+        restart_duration: float = 10.0,
+    ):
+        self.cluster = cluster
+        self.target = target
+        self.at_time = at_time
+        self.restart_duration = restart_duration
+        self.result = BaselineResult(strategy="restart")
+        self.packets_discarded = 0
+
+    def schedule(self) -> BaselineResult:
+        source = self.cluster.live_configuration
+        action = delta_action(source, self.target, action_id="restart-swap")
+        hosts = [self.cluster.hosts[p] for p in sorted(self.cluster.hosts)]
+        self.result.started_at = self.at_time
+
+        def stop_world() -> None:
+            for host in hosts:
+                record_block(host, True)
+                # Restarting tears down transport state: discard anything
+                # buffered rather than replaying it through the new chains.
+                app = host.app
+                socket = getattr(app, "socket", None)
+                if socket is not None and hasattr(socket, "_buffer"):
+                    self.packets_discarded += len(socket._buffer)
+                    socket._buffer.clear()
+                setattr(app, "_restart_dropping", True)
+            for host in hosts:
+                apply_slice(host, action)
+            self.result.swaps = len(hosts)
+            commit(self.cluster, self.target, step_id="restart", action_id=action.action_id)
+
+        def start_world() -> None:
+            for host in hosts:
+                app = host.app
+                socket = getattr(app, "socket", None)
+                # Anything that arrived during the blackout is part of the
+                # torn-down session: discard before resuming.
+                if socket is not None and hasattr(socket, "_buffer"):
+                    self.packets_discarded += len(socket._buffer)
+                    socket._buffer.clear()
+                setattr(app, "_restart_dropping", False)
+                record_block(host, False)
+            self.result.finished_at = self.cluster.sim.now
+            self.result.done = True
+
+        self.cluster.sim.schedule(self.at_time, stop_world)
+        self.cluster.sim.schedule(self.at_time + self.restart_duration, start_world)
+        return self.result

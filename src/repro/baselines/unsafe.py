@@ -1,0 +1,77 @@
+"""The naive baseline: immediate hot swap, no discipline at all.
+
+"Unsafe adaptation typically involves communication among components"
+(§3) — this strategy demonstrates it.  At the scheduled moment every
+process's component slice is recomposed instantly, mid-stream, without
+quiescing, blocking, draining, or visiting intermediate safe
+configurations.  Packets in flight that were encrypted under the old
+encoder arrive at chains that can no longer decode them and surface as
+corrupted frames.
+
+The ``stagger`` option spreads the per-process swaps over time (as
+uncoordinated operators would), which additionally commits *unsafe
+intermediate configurations* — e.g. the new 128-bit encoder active while
+a client still runs only the 64-bit decoder — tripping the dependency
+clause of the safety definition as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.common import BaselineResult, apply_slice, commit, delta_action
+from repro.core.model import Configuration
+from repro.sim.cluster import AdaptationCluster
+
+
+class UnsafeSwap:
+    """Schedule an immediate (or staggered) unsafe recomposition."""
+
+    def __init__(
+        self,
+        cluster: AdaptationCluster,
+        target: Configuration,
+        at_time: float,
+        stagger: float = 0.0,
+    ):
+        self.cluster = cluster
+        self.target = target
+        self.at_time = at_time
+        self.stagger = stagger
+        self.result = BaselineResult(strategy="unsafe")
+
+    def schedule(self) -> BaselineResult:
+        """Arm the swap on the cluster's simulator."""
+        source = self.cluster.live_configuration
+        action = delta_action(source, self.target, action_id="unsafe-swap")
+        hosts = [
+            self.cluster.hosts[p]
+            for p in sorted(self.cluster.hosts)
+            if action.touched & {
+                name for name in self.cluster.universe.names
+                if self.cluster.universe.process_of(name) == p
+            }
+        ]
+        delay = self.at_time
+        self.result.started_at = self.at_time
+        for index, host in enumerate(hosts):
+            is_last = index == len(hosts) - 1
+
+            def swap(host=host, is_last=is_last) -> None:
+                apply_slice(host, action)
+                self.result.swaps += 1
+                # Every partial state the system now runs in is visible:
+                # commit the live configuration after each local change.
+                commit(
+                    self.cluster,
+                    self.cluster.live_configuration,
+                    step_id=f"unsafe/{host.process_id}",
+                    action_id=action.action_id,
+                )
+                if is_last:
+                    self.result.finished_at = self.cluster.sim.now
+                    self.result.done = True
+
+            self.cluster.sim.schedule(delay, swap)
+            delay += self.stagger
+        return self.result

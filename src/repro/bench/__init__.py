@@ -1,0 +1,15 @@
+"""Benchmark support: workload generators and table rendering."""
+
+from repro.bench.workloads import (
+    RandomSystem,
+    random_system,
+    replicated_video_system,
+)
+from repro.bench.tables import format_table
+
+__all__ = [
+    "RandomSystem",
+    "random_system",
+    "replicated_video_system",
+    "format_table",
+]

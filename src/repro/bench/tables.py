@@ -1,0 +1,28 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+this keeps the formatting in one place so every bench looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule, GitHub-markdown-ish."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [render_row(list(headers))]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)

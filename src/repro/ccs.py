@@ -1,0 +1,143 @@
+"""Critical communication segments (paper §3, §3.2).
+
+"We use a set of finite sequence[s] of indivisible actions (named atomic
+actions) to model the set of critical communication segments CCS. [...]
+We say an adaptive system does not interrupt critical communication
+segments if [...] for all critical communication CID, we have
+``S_CID ∈ CCS``."
+
+:class:`CCSSpec` is that language: a finite set of *complete* atomic-action
+sequences.  A segment observed in a trace is judged:
+
+* **complete** if its sequence is exactly one of the allowed sequences;
+* **in progress** if it is a proper prefix of at least one allowed
+  sequence (permitted only at the very end of a trace — the system was
+  cut off mid-segment by observation, not by adaptation);
+* **interrupted/invalid** otherwise.
+
+The paper's video example uses one segment shape per packet:
+``encode → send → receive → decode``; its UDP example's global safe
+condition — "the receiver has received all the datagram packets that the
+sender has sent" — is precisely "no segment is stuck between *send* and
+*receive* when the in-action fires".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace import CommRecord, Trace
+
+
+@dataclass(frozen=True)
+class SegmentVerdict:
+    """Judgement of one observed segment."""
+
+    cid: int
+    sequence: Tuple[str, ...]
+    complete: bool
+    in_progress: bool
+
+    @property
+    def interrupted(self) -> bool:
+        return not self.complete and not self.in_progress
+
+
+class CCSSpec:
+    """A critical-communication-segment language over atomic actions."""
+
+    def __init__(self, allowed: Iterable[Sequence[str]], name: str = "ccs"):
+        self.name = name
+        self._allowed: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(seq) for seq in allowed
+        )
+        if not self._allowed:
+            raise ValueError("CCSSpec needs at least one allowed sequence")
+        for seq in self._allowed:
+            if not seq:
+                raise ValueError("allowed sequences must be non-empty")
+        self._prefixes: FrozenSet[Tuple[str, ...]] = frozenset(
+            seq[:i] for seq in self._allowed for i in range(len(seq) + 1)
+        )
+        self._complete: FrozenSet[Tuple[str, ...]] = frozenset(self._allowed)
+
+    @classmethod
+    def single(cls, *actions: str, name: str = "ccs") -> "CCSSpec":
+        """Language with exactly one allowed sequence."""
+        return cls([actions], name=name)
+
+    @property
+    def allowed(self) -> Tuple[Tuple[str, ...], ...]:
+        return self._allowed
+
+    def is_complete(self, sequence: Sequence[str]) -> bool:
+        """``sequence ∈ CCS`` — the paper's membership test."""
+        return tuple(sequence) in self._complete
+
+    def is_prefix(self, sequence: Sequence[str]) -> bool:
+        """True iff *sequence* can still be extended into a member."""
+        return tuple(sequence) in self._prefixes
+
+    def judge(self, cid: int, sequence: Sequence[str]) -> SegmentVerdict:
+        seq = tuple(sequence)
+        complete = self.is_complete(seq)
+        in_progress = (not complete) and self.is_prefix(seq)
+        return SegmentVerdict(
+            cid=cid, sequence=seq, complete=complete, in_progress=in_progress
+        )
+
+    def judge_trace(self, trace: Trace) -> List[SegmentVerdict]:
+        """Judge every CID appearing in *trace*."""
+        return [self.judge(cid, trace.comm_sequence(cid)) for cid in trace.cids()]
+
+    def open_cids(self, trace: Trace) -> Tuple[int, ...]:
+        """Segments started but not completed (drain check for global safety)."""
+        return tuple(
+            verdict.cid
+            for verdict in self.judge_trace(trace)
+            if not verdict.complete
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CCSSpec({self.name!r}, {len(self._allowed)} sequences)"
+
+
+class SegmentTracker:
+    """Incremental segment bookkeeping for live components.
+
+    Processes use this to answer "am I in a local safe state?" — i.e. no
+    critical communication segment involving my components is currently
+    open.  It mirrors :class:`CCSSpec` but works event-by-event instead of
+    over a finished trace.
+    """
+
+    def __init__(self, spec: CCSSpec):
+        self.spec = spec
+        self._open: Dict[int, List[str]] = {}
+        self._violations: List[Tuple[int, Tuple[str, ...]]] = []
+        self.completed = 0
+
+    def observe(self, cid: int, action: str) -> None:
+        """Record one atomic action; classifies the segment incrementally."""
+        sequence = self._open.setdefault(cid, [])
+        sequence.append(action)
+        if self.spec.is_complete(sequence):
+            del self._open[cid]
+            self.completed += 1
+        elif not self.spec.is_prefix(sequence):
+            self._violations.append((cid, tuple(sequence)))
+            del self._open[cid]
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    @property
+    def quiescent(self) -> bool:
+        """No open segments — the local safe state of paper §3.2."""
+        return not self._open
+
+    @property
+    def violations(self) -> Tuple[Tuple[int, Tuple[str, ...]], ...]:
+        return tuple(self._violations)

@@ -1,0 +1,239 @@
+"""Command-line interface: plan and simulate adaptations from manifests.
+
+Usage (``python -m repro <command> ...``):
+
+* ``check MANIFEST`` — validate a manifest; print the model summary.
+* ``safe-configs MANIFEST`` — enumerate the safe configuration set (Table 1).
+* ``plan MANIFEST --from SRC --to DST [--k N] [--method dijkstra|lazy|collaborative]``
+  — compute the Minimum Adaptation Path (Figure 4's result).
+* ``sag MANIFEST [--highlight-map --from SRC --to DST]`` — emit Graphviz
+  DOT of the Safe Adaptation Graph (Figure 4 itself).
+* ``simulate MANIFEST --from SRC --to DST [--seed N --loss P --quiesce MS]``
+  — run the realization phase on the discrete-event simulator and check
+  the execution against the paper's safety definition.
+* ``example-manifest`` — print the §5 video system as a manifest.
+
+``SRC``/``DST`` may be a configuration name from the manifest's
+``[configurations]`` section, a bit vector, or a comma-separated member
+list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import format_table
+from repro.errors import ReproError
+from repro.manifest import SystemManifest, load_path, video_manifest_text
+
+
+def _add_manifest(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("manifest", help="path to a system manifest file")
+
+
+def _add_endpoints(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--from", dest="source", required=True,
+                        help="source configuration (name, bits, or members)")
+    parser.add_argument("--to", dest="target", required=True,
+                        help="target configuration (name, bits, or members)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Safe dynamic component-based software adaptation "
+                    "(Zhang et al., DSN 2004)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="validate a manifest")
+    _add_manifest(check)
+
+    safe = commands.add_parser("safe-configs", help="enumerate safe configurations")
+    _add_manifest(safe)
+
+    plan = commands.add_parser("plan", help="compute the Minimum Adaptation Path")
+    _add_manifest(plan)
+    _add_endpoints(plan)
+    plan.add_argument("--k", type=int, default=1,
+                      help="also list the k best alternate plans")
+    plan.add_argument(
+        "--method", choices=("dijkstra", "lazy", "collaborative"),
+        default="dijkstra", help="planning algorithm (default: dijkstra)",
+    )
+
+    sag = commands.add_parser("sag", help="emit the SAG as Graphviz DOT")
+    _add_manifest(sag)
+    sag.add_argument("--highlight-map", action="store_true",
+                     help="highlight the MAP (requires --from/--to)")
+    sag.add_argument("--from", dest="source", help="source configuration")
+    sag.add_argument("--to", dest="target", help="target configuration")
+
+    simulate = commands.add_parser(
+        "simulate", help="run the adaptation on the discrete-event simulator"
+    )
+    _add_manifest(simulate)
+    _add_endpoints(simulate)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--loss", type=float, default=0.0,
+                          help="control-message loss probability")
+    simulate.add_argument("--quiesce", type=float, default=2.0,
+                          help="per-process quiesce delay (time units)")
+    simulate.add_argument("--timeline", action="store_true",
+                          help="print the per-process adaptation timeline")
+
+    commands.add_parser(
+        "example-manifest", help="print the paper's video system as a manifest"
+    )
+    return parser
+
+
+def cmd_check(args, out) -> int:
+    manifest = load_path(args.manifest)
+    print(f"components: {len(manifest.universe)} "
+          f"on {len(manifest.universe.processes())} process(es)", file=out)
+    print(f"invariants: {len(manifest.invariants)}", file=out)
+    print(f"actions: {len(manifest.actions)}", file=out)
+    planner = manifest.planner()
+    print(f"safe configurations: {planner.space.count()}", file=out)
+    for name, config in manifest.configurations.items():
+        verdict = "safe" if planner.space.is_safe(config) else "UNSAFE"
+        print(f"configuration {name} = {config.label()}: {verdict}", file=out)
+    return 0
+
+
+def cmd_safe_configs(args, out) -> int:
+    manifest = load_path(args.manifest)
+    planner = manifest.planner()
+    print(
+        format_table(
+            ["bit vector", "configuration"], planner.space.to_table()
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_plan(args, out) -> int:
+    manifest = load_path(args.manifest)
+    planner = manifest.planner()
+    source = manifest.resolve_configuration(args.source)
+    target = manifest.resolve_configuration(args.target)
+    if args.method == "lazy":
+        plan = planner.plan_lazy(source, target)
+    elif args.method == "collaborative":
+        plan = planner.plan_collaborative(source, target)
+    else:
+        plan = planner.plan(source, target)
+    print(plan.describe(), file=out)
+    if args.k > 1:
+        print(file=out)
+        print(f"{args.k} best plans:", file=out)
+        for index, alternate in enumerate(planner.plan_k(source, target, args.k), 1):
+            print(
+                f"  {index}. {' -> '.join(alternate.action_ids) or '(empty)'} "
+                f"[cost {alternate.total_cost:g}]",
+                file=out,
+            )
+    return 0
+
+
+def cmd_sag(args, out) -> int:
+    manifest = load_path(args.manifest)
+    planner = manifest.planner()
+    highlight = None
+    if args.highlight_map:
+        if not (args.source and args.target):
+            raise ReproError("--highlight-map requires --from and --to")
+        plan = planner.plan(
+            manifest.resolve_configuration(args.source),
+            manifest.resolve_configuration(args.target),
+        )
+        highlight = [
+            (step.source, step.action.action_id, step.target)
+            for step in plan.steps
+        ]
+    print(
+        planner.sag.to_dot(universe=manifest.universe, highlight_path=highlight),
+        file=out,
+    )
+    return 0
+
+
+def cmd_simulate(args, out) -> int:
+    from repro.safety import check_safe
+    from repro.sim import AdaptationCluster, BernoulliLoss, QuiescentApp
+
+    manifest = load_path(args.manifest)
+    source = manifest.resolve_configuration(args.source)
+    target = manifest.resolve_configuration(args.target)
+    cluster = AdaptationCluster(
+        manifest.universe,
+        manifest.invariants,
+        manifest.actions,
+        source,
+        seed=args.seed,
+        apps={
+            process: QuiescentApp(args.quiesce)
+            for process in manifest.universe.processes()
+        },
+        default_loss=BernoulliLoss(args.loss) if args.loss else None,
+    )
+    outcome = cluster.adapt_to(target)
+    print(f"outcome: {outcome.status} at {outcome.configuration.label()}", file=out)
+    print(f"duration: {outcome.duration:g} time units, "
+          f"steps committed: {outcome.steps_committed}, "
+          f"rolled back: {outcome.steps_rolled_back}", file=out)
+    report = check_safe(cluster.trace, manifest.invariants)
+    print(f"safety: {report.summary()}", file=out)
+    if args.timeline:
+        from repro.render import render_events, render_timeline
+
+        print(file=out)
+        print(render_timeline(cluster.trace), file=out)
+        print(file=out)
+        print(render_events(cluster.trace), file=out)
+    return 0 if (report.ok and outcome.succeeded) else 1
+
+
+def cmd_example_manifest(args, out) -> int:
+    print(video_manifest_text(), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "check": cmd_check,
+    "safe-configs": cmd_safe_configs,
+    "plan": cmd_plan,
+    "sag": cmd_sag,
+    "simulate": cmd_simulate,
+    "example-manifest": cmd_example_manifest,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away; exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Video codec substrate: frames, packets, and stream filters.
+
+Models the data plane of Figure 3: a web camera produces frames, a video
+processor packetizes them, packets traverse filter chains (encryption,
+FEC, compression) inside MetaSockets, and the client reassembles frames
+for the player.  Payloads are checksummed at the source so any unsafe
+adaptation that leaves a packet undecodable is *machine-detectable* as
+corruption.
+"""
+
+from repro.codecs.packets import Packet, marker_packet
+from repro.codecs.frames import (
+    Frame,
+    FrameResult,
+    Packetizer,
+    Reassembler,
+    SyntheticCamera,
+)
+from repro.codecs.crypto_filters import DecoderFilter, EncoderFilter
+from repro.codecs.fec import FecDecoderFilter, FecEncoderFilter
+from repro.codecs.compress import CompressFilter, DecompressFilter
+
+__all__ = [
+    "Packet",
+    "marker_packet",
+    "Frame",
+    "FrameResult",
+    "SyntheticCamera",
+    "Packetizer",
+    "Reassembler",
+    "EncoderFilter",
+    "DecoderFilter",
+    "FecEncoderFilter",
+    "FecDecoderFilter",
+    "CompressFilter",
+    "DecompressFilter",
+]

@@ -1,0 +1,69 @@
+"""Compression filters (zlib) for MetaSocket chains.
+
+Order matters relative to encryption: compression must run *before*
+encryption on the send side (ciphertext does not compress) and after
+decryption on the receive side; the filters refuse to compress
+already-encrypted payloads rather than silently wasting work.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List
+
+from repro.codecs.packets import Packet
+from repro.components.base import refraction
+from repro.components.filters import Filter
+
+
+class CompressFilter(Filter):
+    """Deflate data-packet payloads."""
+
+    def __init__(self, name: str, level: int = 6):
+        super().__init__(name)
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in 0..9")
+        self.level = level
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def process(self, packet: Packet) -> List[Packet]:
+        if not packet.is_data or packet.compressed or packet.enc_scheme is not None:
+            return [packet]
+        compressed = zlib.compress(packet.payload, self.level)
+        self.bytes_in += len(packet.payload)
+        self.bytes_out += len(compressed)
+        return [packet.with_payload(compressed, compressed=True)]
+
+    @refraction
+    def compression_status(self) -> Dict[str, object]:
+        ratio = (self.bytes_out / self.bytes_in) if self.bytes_in else 1.0
+        return {"name": self.name, "ratio": ratio, "bytes_in": self.bytes_in}
+
+
+class DecompressFilter(Filter):
+    """Inflate payloads compressed by :class:`CompressFilter`.
+
+    Bypasses packets that are not compressed or are still encrypted
+    (decryption must happen first), mirroring the decoder bypass rule.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.packets_inflated = 0
+        self.packets_bypassed = 0
+
+    def process(self, packet: Packet) -> List[Packet]:
+        if not packet.is_data or not packet.compressed or packet.enc_scheme is not None:
+            self.packets_bypassed += 1
+            return [packet]
+        self.packets_inflated += 1
+        return [packet.with_payload(zlib.decompress(packet.payload), compressed=False)]
+
+    @refraction
+    def decompression_status(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "inflated": self.packets_inflated,
+            "bypassed": self.packets_bypassed,
+        }

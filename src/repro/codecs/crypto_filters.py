@@ -1,0 +1,98 @@
+"""Encryption filters: the paper's E1/E2 encoders and D1–D5 decoders.
+
+An :class:`EncoderFilter` encrypts data-packet payloads under one scheme
+and tags the packet.  A :class:`DecoderFilter` knows one or more schemes
+(the paper's D2 is "DES 128/64-bit compatible", i.e. knows both) and
+implements the bypass rule: "when it receives a packet not encoded by the
+corresponding encoder, it simply forwards the packet to the next filter
+in the chain."  Marker and parity packets pass through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Mapping, Optional
+
+from repro.codecs.packets import Packet
+from repro.components.base import refraction
+from repro.components.filters import Filter
+from repro.crypto.schemes import cipher_for
+
+# Optional observer invoked when a decoder actually decodes a packet —
+# the video client uses it for CCS "decode" bookkeeping.
+DecodeObserver = Callable[[Packet], None]
+
+
+class EncoderFilter(Filter):
+    """Encrypts plaintext data payloads under a fixed scheme."""
+
+    def __init__(self, name: str, scheme_id: str):
+        super().__init__(name)
+        self.scheme_id = scheme_id
+        self._cipher = cipher_for(scheme_id)
+        self.packets_encoded = 0
+        self.packets_skipped = 0
+
+    def process(self, packet: Packet) -> List[Packet]:
+        if not packet.is_data or packet.enc_scheme is not None:
+            # Markers, parity, and already-encrypted payloads pass through.
+            self.packets_skipped += 1
+            return [packet]
+        self.packets_encoded += 1
+        ciphertext = self._cipher.encrypt(packet.payload, nonce=packet.seq)
+        return [
+            packet.with_payload(
+                ciphertext, enc_scheme=self.scheme_id, enc_nonce=packet.seq
+            )
+        ]
+
+    @refraction
+    def encoder_status(self) -> Mapping[str, object]:
+        return {
+            "name": self.name,
+            "scheme": self.scheme_id,
+            "encoded": self.packets_encoded,
+            "skipped": self.packets_skipped,
+        }
+
+
+class DecoderFilter(Filter):
+    """Decrypts payloads of known schemes; bypasses everything else."""
+
+    def __init__(
+        self,
+        name: str,
+        scheme_ids: Iterable[str],
+        on_decode: Optional[DecodeObserver] = None,
+    ):
+        super().__init__(name)
+        self.scheme_ids = frozenset(scheme_ids)
+        if not self.scheme_ids:
+            raise ValueError(f"decoder {name!r} needs at least one scheme")
+        self._ciphers = {sid: cipher_for(sid) for sid in self.scheme_ids}
+        self.on_decode = on_decode
+        self.packets_decoded = 0
+        self.packets_bypassed = 0
+
+    def process(self, packet: Packet) -> List[Packet]:
+        if packet.enc_scheme not in self.scheme_ids:
+            # The bypass rule — includes plaintext (enc_scheme None).
+            if packet.is_data:
+                self.packets_bypassed += 1
+            return [packet]
+        plaintext = self._ciphers[packet.enc_scheme].decrypt(
+            packet.payload, nonce=packet.enc_nonce
+        )
+        self.packets_decoded += 1
+        decoded = packet.with_payload(plaintext, enc_scheme=None)
+        if self.on_decode is not None:
+            self.on_decode(decoded)
+        return [decoded]
+
+    @refraction
+    def decoder_status(self) -> Mapping[str, object]:
+        return {
+            "name": self.name,
+            "schemes": tuple(sorted(self.scheme_ids)),
+            "decoded": self.packets_decoded,
+            "bypassed": self.packets_bypassed,
+        }

@@ -1,0 +1,160 @@
+"""Forward-error-correction filters (XOR parity).
+
+The paper lists FEC among the MetaSocket filters ("filters can perform
+encryption, decryption, forward error correction, compression, and so
+forth").  We implement the classic (k, k+1) XOR scheme: every *k* data
+packets the encoder emits one parity packet holding the XOR of their
+payloads plus a replica of each member's header fields; the decoder can
+then reconstruct any single missing member of a group *exactly* —
+payload, sequence number, reassembly coordinates, checksum, and
+encryption tags — masking one loss per group on a lossy channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.codecs.packets import Packet
+from repro.components.base import refraction
+from repro.components.filters import Filter
+
+
+def _xor_payloads(payloads: List[bytes]) -> bytes:
+    width = max(len(p) for p in payloads)
+    out = bytearray(width)
+    for payload in payloads:
+        for index, byte in enumerate(payload):
+            out[index] ^= byte
+    return bytes(out)
+
+
+# A member's header replica inside a parity packet:
+# (seq, frame_id, chunk_index, chunk_count, checksum, enc_scheme,
+#  enc_nonce, compressed, payload_length)
+MemberHeader = Tuple[int, int, int, int, int, Optional[str], int, bool, int]
+
+
+def _header_of(packet: Packet) -> MemberHeader:
+    return (
+        packet.seq,
+        packet.frame_id,
+        packet.chunk_index,
+        packet.chunk_count,
+        packet.checksum,
+        packet.enc_scheme,
+        packet.enc_nonce,
+        packet.compressed,
+        len(packet.payload),
+    )
+
+
+def _packet_from_header(header: MemberHeader, payload: bytes) -> Packet:
+    (seq, frame_id, chunk_index, chunk_count, checksum,
+     enc_scheme, enc_nonce, compressed, length) = header
+    return Packet(
+        seq=seq,
+        frame_id=frame_id,
+        chunk_index=chunk_index,
+        chunk_count=chunk_count,
+        payload=payload[:length],
+        checksum=checksum,
+        enc_scheme=enc_scheme,
+        enc_nonce=enc_nonce,
+        compressed=compressed,
+        recovered=True,
+    )
+
+
+class FecEncoderFilter(Filter):
+    """Emit one XOR parity packet per *k* data packets."""
+
+    def __init__(self, name: str, k: int = 4):
+        super().__init__(name)
+        if k < 2:
+            raise ValueError("FEC group size must be >= 2")
+        self.k = k
+        self._group: List[Packet] = []
+        self._group_id = 0
+        self.parity_emitted = 0
+
+    def process(self, packet: Packet) -> List[Packet]:
+        if not packet.is_data:
+            return [packet]
+        self._group.append(packet)
+        if len(self._group) < self.k:
+            return [packet]
+        members = tuple(p.seq for p in self._group)
+        headers = tuple(_header_of(p) for p in self._group)
+        parity = Packet(
+            seq=-1_000_000 - self._group_id,  # parity packets have their own id space
+            kind="parity",
+            payload=_xor_payloads([p.payload for p in self._group]),
+            group=self._group_id,
+            members=members,
+            member_headers=headers,
+        )
+        self._group = []
+        self._group_id += 1
+        self.parity_emitted += 1
+        return [packet, parity]
+
+    @refraction
+    def fec_status(self) -> Dict[str, object]:
+        return {"name": self.name, "k": self.k, "parity_emitted": self.parity_emitted}
+
+
+class FecDecoderFilter(Filter):
+    """Absorb parity packets; reconstruct a single missing group member.
+
+    Keeps a sliding cache of recently seen data packets.  When a parity
+    packet arrives with exactly one member missing, the member is rebuilt
+    byte-exactly from the XOR of the present payloads and the replicated
+    header, then emitted downstream as if it had arrived normally.
+    """
+
+    def __init__(self, name: str, cache_size: int = 256):
+        super().__init__(name)
+        self.cache_size = cache_size
+        self._seen: Dict[int, Packet] = {}
+        self._order: List[int] = []
+        self.recovered = 0
+        self.parity_consumed = 0
+
+    def _remember(self, packet: Packet) -> None:
+        if packet.seq in self._seen:
+            return
+        self._seen[packet.seq] = packet
+        self._order.append(packet.seq)
+        while len(self._order) > self.cache_size:
+            evicted = self._order.pop(0)
+            self._seen.pop(evicted, None)
+
+    def process(self, packet: Packet) -> List[Packet]:
+        if packet.is_data:
+            self._remember(packet)
+            return [packet]
+        if not packet.is_parity:
+            return [packet]
+        self.parity_consumed += 1
+        missing = [seq for seq in packet.members if seq not in self._seen]
+        if len(missing) != 1 or not packet.member_headers:
+            return []  # nothing to do (no loss, or unrecoverable multi-loss)
+        present = [self._seen[seq] for seq in packet.members if seq in self._seen]
+        payload = _xor_payloads([p.payload for p in present] + [packet.payload])
+        header = next(
+            h for h in packet.member_headers if h[0] == missing[0]
+        )
+        repaired = _packet_from_header(header, payload)
+        self.recovered += 1
+        self._remember(repaired)
+        return [repaired]
+
+    @refraction
+    def fec_status(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "cache": len(self._seen),
+            "recovered": self.recovered,
+            "parity_consumed": self.parity_consumed,
+        }

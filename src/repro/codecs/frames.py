@@ -1,0 +1,140 @@
+"""Frames, the synthetic camera, packetization, and reassembly.
+
+The paper's testbed captured live webcam video; we substitute a
+deterministic :class:`SyntheticCamera` whose frame payloads are a pure
+function of ``(seed, frame_id)`` — so corruption anywhere downstream is
+detectable by checksum, and simulation runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codecs.packets import Packet, data_packet
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One video frame: id + raw bytes + source checksum."""
+
+    frame_id: int
+    data: bytes
+    checksum: int
+
+    @classmethod
+    def create(cls, frame_id: int, data: bytes) -> "Frame":
+        return cls(frame_id=frame_id, data=data, checksum=zlib.crc32(data) & 0xFFFFFFFF)
+
+    def verify(self) -> bool:
+        return zlib.crc32(self.data) & 0xFFFFFFFF == self.checksum
+
+
+class SyntheticCamera:
+    """Deterministic frame source (the web camera of Figure 3)."""
+
+    def __init__(self, seed: int = 0, frame_size: int = 256):
+        if frame_size <= 0:
+            raise ValueError("frame_size must be positive")
+        self.seed = seed
+        self.frame_size = frame_size
+        self._next_frame = 0
+
+    def capture(self) -> Frame:
+        """Produce the next frame."""
+        frame_id = self._next_frame
+        self._next_frame += 1
+        return self.frame_at(frame_id)
+
+    def frame_at(self, frame_id: int) -> Frame:
+        """The deterministic frame with a given id (pure function)."""
+        rng = random.Random(f"{self.seed}:{frame_id}")
+        data = bytes(rng.getrandbits(8) for _ in range(self.frame_size))
+        return Frame.create(frame_id, data)
+
+    @property
+    def frames_captured(self) -> int:
+        return self._next_frame
+
+
+class Packetizer:
+    """Video processor, outbound half: frame → checksummed chunks."""
+
+    def __init__(self, chunk_size: int = 64):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+        self._next_seq = 0
+
+    def packetize(self, frame: Frame) -> List[Packet]:
+        """Split *frame* into data packets with fresh sequence numbers."""
+        data = frame.data
+        chunks = [
+            data[offset : offset + self.chunk_size]
+            for offset in range(0, len(data), self.chunk_size)
+        ] or [b""]
+        packets = []
+        for index, chunk in enumerate(chunks):
+            packets.append(
+                data_packet(
+                    seq=self.allocate_seq(),
+                    frame_id=frame.frame_id,
+                    chunk_index=index,
+                    chunk_count=len(chunks),
+                    payload=chunk,
+                )
+            )
+        return packets
+
+    def allocate_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+
+@dataclass
+class FrameResult:
+    """Outcome of reassembling one frame at a client."""
+
+    frame_id: int
+    ok: bool
+    corrupt_chunks: Tuple[int, ...] = ()
+    data: bytes = b""
+
+
+class Reassembler:
+    """Video processor, inbound half: chunks → frames with verification."""
+
+    def __init__(self):
+        self._pending: Dict[int, Dict[int, Packet]] = {}
+        self.frames_ok = 0
+        self.frames_corrupt = 0
+
+    def add(self, packet: Packet) -> Optional[FrameResult]:
+        """Accept one data packet; returns the frame once complete."""
+        if not packet.is_data:
+            return None
+        chunks = self._pending.setdefault(packet.frame_id, {})
+        chunks[packet.chunk_index] = packet
+        if len(chunks) < packet.chunk_count:
+            return None
+        del self._pending[packet.frame_id]
+        ordered = [chunks[i] for i in sorted(chunks)]
+        corrupt = tuple(p.chunk_index for p in ordered if not p.verify())
+        ok = not corrupt
+        if ok:
+            self.frames_ok += 1
+        else:
+            self.frames_corrupt += 1
+        return FrameResult(
+            frame_id=packet.frame_id,
+            ok=ok,
+            corrupt_chunks=corrupt,
+            data=b"".join(p.payload for p in ordered) if ok else b"",
+        )
+
+    @property
+    def pending_frames(self) -> int:
+        return len(self._pending)

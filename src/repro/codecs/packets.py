@@ -1,0 +1,109 @@
+"""Packet model for the video data plane.
+
+Packets are immutable: filters produce transformed copies via
+:func:`dataclasses.replace`, which keeps fan-out filters (FEC) and
+buffering (blocked MetaSockets) free of aliasing bugs.
+
+Besides ordinary data chunks there are two special kinds:
+
+* ``marker`` — the in-band FLUSH marker a sender injects when its agent
+  blocks; receivers use it to detect the global-safe drain condition
+  (paper §3.2: "the receiver has received all the datagram packets that
+  the sender has sent");
+* ``parity`` — FEC parity packets carrying the XOR of a member group.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One unit of the video stream.
+
+    Attributes:
+        seq: globally unique sequence number (the critical-communication
+            identifier base for CCS bookkeeping).
+        frame_id / chunk_index / chunk_count: reassembly coordinates.
+        payload: current bytes (possibly encrypted and/or compressed).
+        checksum: CRC-32 of the *plaintext, uncompressed* chunk — computed
+            once at the source, verified at the sink.
+        enc_scheme: identifier of the scheme the payload is currently
+            encrypted under, or ``None`` for plaintext.
+        enc_nonce: CBC nonce used at encryption time (the packet seq).
+        compressed: whether the payload is currently compressed.
+        kind: ``"data"``, ``"marker"``, or ``"parity"``.
+        marker_key: the adaptation step key a marker announces.
+        group / members: FEC group id and member sequence numbers.
+    """
+
+    seq: int
+    frame_id: int = 0
+    chunk_index: int = 0
+    chunk_count: int = 1
+    payload: bytes = b""
+    checksum: int = 0
+    enc_scheme: Optional[str] = None
+    enc_nonce: int = 0
+    compressed: bool = False
+    kind: str = "data"
+    marker_key: str = ""
+    group: int = -1
+    members: Tuple[int, ...] = ()
+    # parity packets replicate each member's header fields so a lost
+    # member can be reconstructed exactly (see repro.codecs.fec)
+    member_headers: Tuple[tuple, ...] = ()
+    # set on packets rebuilt by an FEC decoder (they were never received
+    # over the wire; CCS bookkeeping needs to know)
+    recovered: bool = False
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == "data"
+
+    @property
+    def is_marker(self) -> bool:
+        return self.kind == "marker"
+
+    @property
+    def is_parity(self) -> bool:
+        return self.kind == "parity"
+
+    def verify(self) -> bool:
+        """True iff the payload matches the source checksum (data packets).
+
+        Fails for payloads still encrypted/compressed — exactly the
+        observable symptom of an interrupted critical communication
+        segment.
+        """
+        if not self.is_data:
+            return True
+        if self.enc_scheme is not None or self.compressed:
+            return False
+        return zlib.crc32(self.payload) & 0xFFFFFFFF == self.checksum
+
+    def with_payload(self, payload: bytes, **changes) -> "Packet":
+        """Copy with a transformed payload (and any other field changes)."""
+        return replace(self, payload=payload, **changes)
+
+
+def data_packet(
+    seq: int, frame_id: int, chunk_index: int, chunk_count: int, payload: bytes
+) -> Packet:
+    """Build a source data packet with its plaintext checksum."""
+    return Packet(
+        seq=seq,
+        frame_id=frame_id,
+        chunk_index=chunk_index,
+        chunk_count=chunk_count,
+        payload=payload,
+        checksum=zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+
+
+def marker_packet(seq: int, marker_key: str) -> Packet:
+    """Build an in-band FLUSH marker for adaptation step *marker_key*."""
+    return Packet(seq=seq, kind="marker", marker_key=marker_key)

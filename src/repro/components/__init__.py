@@ -1,0 +1,28 @@
+"""Adaptive component runtime (paper §2 background, realized in Python).
+
+Adaptive Java gives every component three interfaces: *invocations*
+(normal operations), *refractions* (observe internal state), and
+*transmutations* (modify internal structure/behavior).  MetaSockets are
+built on that model: sockets whose internal filter pipeline can be
+recomposed at run time.
+
+This package is the Python substitute: :class:`AdaptiveComponent` exposes
+explicit refraction/transmutation registries, :class:`Filter` /
+:class:`FilterChain` implement the recomposable pipeline, and
+:class:`SendMetaSocket` / :class:`RecvMetaSocket` wrap chains around a
+transport, exactly the structure of Figure 3's video pipeline.
+"""
+
+from repro.components.base import AdaptiveComponent, absorb
+from repro.components.filters import Filter, FilterChain, PassthroughFilter
+from repro.components.metasocket import RecvMetaSocket, SendMetaSocket
+
+__all__ = [
+    "AdaptiveComponent",
+    "absorb",
+    "Filter",
+    "FilterChain",
+    "PassthroughFilter",
+    "SendMetaSocket",
+    "RecvMetaSocket",
+]

@@ -1,0 +1,118 @@
+"""Adaptive component base: invocations, refractions, transmutations.
+
+The Adaptive Java model (paper §2) splits a component's surface into
+three interfaces:
+
+* **invocations** — the ordinary imperative operations (plain methods);
+* **refractions** — read-only observation of internal behavior/state;
+* **transmutations** — controlled modification of internal structure.
+
+Here refractions and transmutations are explicit registries populated by
+the :func:`refraction` / :func:`transmutation` decorators (the analogue of
+compile-time *absorption* plus run-time *metafication*), so tooling — the
+adaptation agents — can discover and drive them by name without knowing
+the concrete class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.errors import ModelError
+
+
+def refraction(method: Callable) -> Callable:
+    """Mark a method as a refraction (observation interface)."""
+    method.__adaptive_role__ = "refraction"
+    return method
+
+
+def transmutation(method: Callable) -> Callable:
+    """Mark a method as a transmutation (intercession interface)."""
+    method.__adaptive_role__ = "transmutation"
+    return method
+
+
+def absorb(cls: type) -> type:
+    """Class decorator: collect refraction/transmutation registries.
+
+    The compile-time *absorption* step of Adaptive Java, done with Python
+    metaprogramming: scans the class for decorated methods and attaches
+    ``__refractions__`` / ``__transmutations__`` name→method maps.
+    """
+    refractions: Dict[str, Callable] = {}
+    transmutations: Dict[str, Callable] = {}
+    for klass in reversed(cls.__mro__):
+        for name, attr in vars(klass).items():
+            role = getattr(attr, "__adaptive_role__", None)
+            if role == "refraction":
+                refractions[name] = attr
+            elif role == "transmutation":
+                transmutations[name] = attr
+    cls.__refractions__ = refractions
+    cls.__transmutations__ = transmutations
+    return cls
+
+
+def _ensure_absorbed(cls: type) -> type:
+    """Auto-absorb subclasses that were not explicitly decorated.
+
+    Registries are stored per concrete class (not inherited blindly), so a
+    subclass adding new decorated methods is picked up on first use even
+    without the :func:`absorb` decorator.
+    """
+    if "__refractions__" not in cls.__dict__:
+        absorb(cls)
+    return cls
+
+
+@absorb
+class AdaptiveComponent:
+    """A named component with discoverable refraction/transmutation APIs."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ModelError("component name must be non-empty")
+        self.name = name
+
+    # -- metafication-time discovery -------------------------------------------
+    @classmethod
+    def refraction_names(cls) -> Tuple[str, ...]:
+        return tuple(sorted(_ensure_absorbed(cls).__refractions__))
+
+    @classmethod
+    def transmutation_names(cls) -> Tuple[str, ...]:
+        return tuple(sorted(_ensure_absorbed(cls).__transmutations__))
+
+    def refract(self, name: str, **kwargs: Any) -> Any:
+        """Invoke a refraction by name (agents observe through this)."""
+        cls = _ensure_absorbed(type(self))
+        try:
+            method = cls.__refractions__[name]
+        except KeyError:
+            raise ModelError(
+                f"{self.name}: unknown refraction {name!r}; "
+                f"available: {self.refraction_names()}"
+            ) from None
+        return method(self, **kwargs)
+
+    def transmute(self, name: str, **kwargs: Any) -> Any:
+        """Invoke a transmutation by name (agents recompose through this)."""
+        cls = _ensure_absorbed(type(self))
+        try:
+            method = cls.__transmutations__[name]
+        except KeyError:
+            raise ModelError(
+                f"{self.name}: unknown transmutation {name!r}; "
+                f"available: {self.transmutation_names()}"
+            ) from None
+        return method(self, **kwargs)
+
+    # -- default refraction every component offers ---------------------------------
+    @refraction
+    def status(self) -> Mapping[str, Any]:
+        """Basic introspection: component name and type."""
+        return {"name": self.name, "type": type(self).__name__}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,129 @@
+"""Recomposable filter pipeline (the inside of a MetaSocket, paper §2/§5).
+
+A :class:`Filter` transforms packets; a :class:`FilterChain` holds an
+ordered sequence of filters and supports runtime insertion, removal, and
+replacement — exactly the MetaSocket adaptations of the paper ("MetaSocket
+behavior can be adapted through the insertion and removal of filters").
+Filters may absorb packets (return zero) or fan out (return several, e.g.
+an FEC encoder emitting parity packets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.components.base import AdaptiveComponent, refraction, transmutation
+from repro.errors import ModelError
+
+
+class Filter(AdaptiveComponent):
+    """Packet transformer. Subclasses override :meth:`process`."""
+
+    def process(self, packet: Any) -> List[Any]:
+        """Transform one packet into zero or more packets."""
+        raise NotImplementedError
+
+    @refraction
+    def filter_info(self) -> Mapping[str, Any]:
+        return {"name": self.name, "type": type(self).__name__}
+
+
+class PassthroughFilter(Filter):
+    """Identity filter (useful as a placeholder and in tests)."""
+
+    def process(self, packet: Any) -> List[Any]:
+        return [packet]
+
+
+class FilterChain(AdaptiveComponent):
+    """Ordered, runtime-recomposable sequence of filters.
+
+    The chain itself is an adaptive component: its transmutations
+    (``insert_filter`` / ``remove_filter`` / ``replace_filter``) are what
+    the agents' in-actions ultimately call.
+    """
+
+    def __init__(self, name: str, filters: Iterable[Filter] = ()):
+        super().__init__(name)
+        self._filters: List[Filter] = list(filters)
+        self.packets_in = 0
+        self.packets_out = 0
+
+    # -- invocations --------------------------------------------------------------
+    def push(self, packet: Any) -> List[Any]:
+        """Run *packet* through every filter in order."""
+        self.packets_in += 1
+        current = [packet]
+        for filt in self._filters:
+            produced: List[Any] = []
+            for item in current:
+                produced.extend(filt.process(item))
+            current = produced
+            if not current:
+                break
+        self.packets_out += len(current)
+        return current
+
+    def push_many(self, packets: Iterable[Any]) -> List[Any]:
+        out: List[Any] = []
+        for packet in packets:
+            out.extend(self.push(packet))
+        return out
+
+    # -- structure queries -----------------------------------------------------------
+    @property
+    def filters(self) -> Tuple[Filter, ...]:
+        return tuple(self._filters)
+
+    def filter_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self._filters)
+
+    def index_of(self, name: str) -> int:
+        for index, filt in enumerate(self._filters):
+            if filt.name == name:
+                return index
+        raise ModelError(f"chain {self.name}: no filter named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(f.name == name for f in self._filters)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    # -- refractions ------------------------------------------------------------------
+    @refraction
+    def chain_status(self) -> Mapping[str, Any]:
+        return {
+            "name": self.name,
+            "filters": self.filter_names(),
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+        }
+
+    # -- transmutations ---------------------------------------------------------------
+    @transmutation
+    def insert_filter(self, filt: Filter, index: Optional[int] = None) -> None:
+        """Insert *filt* at *index* (append by default)."""
+        if filt.name in self:
+            raise ModelError(f"chain {self.name}: filter {filt.name!r} already present")
+        if index is None:
+            self._filters.append(filt)
+        else:
+            self._filters.insert(index, filt)
+
+    @transmutation
+    def remove_filter(self, name: str) -> Filter:
+        """Remove and return the filter named *name*."""
+        return self._filters.pop(self.index_of(name))
+
+    @transmutation
+    def replace_filter(self, name: str, replacement: Filter) -> Filter:
+        """Swap the filter named *name* for *replacement*, preserving position."""
+        index = self.index_of(name)
+        if replacement.name != name and replacement.name in self:
+            raise ModelError(
+                f"chain {self.name}: filter {replacement.name!r} already present"
+            )
+        old = self._filters[index]
+        self._filters[index] = replacement
+        return old

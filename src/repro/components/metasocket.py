@@ -1,0 +1,131 @@
+"""MetaSockets: sockets with runtime-recomposable filter pipelines (§2, §5).
+
+A :class:`SendMetaSocket` pushes outgoing packets through its (encoder)
+filter chain and hands the survivors to a transport callable; a
+:class:`RecvMetaSocket` pushes incoming packets through its (decoder)
+chain and delivers the result to the application callable.  Both expose
+the chain's transmutations so adaptation in-actions can recompose them,
+and a ``resetting`` flag mirroring the paper's §5.2 mechanics ("the agent
+sets a 'resetting' flag in the MetaSocket; when the decoder finishes
+decoding a packet, it checks the flag...").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Mapping, Optional
+
+from repro.components.base import AdaptiveComponent, refraction, transmutation
+from repro.components.filters import Filter, FilterChain
+
+Transport = Callable[[Any], None]
+Deliver = Callable[[Any], None]
+
+
+class _MetaSocketBase(AdaptiveComponent):
+    """Shared plumbing for send/recv MetaSockets."""
+
+    def __init__(self, name: str, filters: Iterable[Filter] = ()):
+        super().__init__(name)
+        self.chain = FilterChain(f"{name}.chain", filters)
+        self.resetting = False
+        self.blocked = False
+
+    # -- refractions ------------------------------------------------------------
+    @refraction
+    def socket_status(self) -> Mapping[str, Any]:
+        return {
+            "name": self.name,
+            "filters": self.chain.filter_names(),
+            "resetting": self.resetting,
+            "blocked": self.blocked,
+            "packets_in": self.chain.packets_in,
+            "packets_out": self.chain.packets_out,
+        }
+
+    # -- transmutations (delegate to the chain) ---------------------------------------
+    @transmutation
+    def insert_filter(self, filt: Filter, index: Optional[int] = None) -> None:
+        self.chain.insert_filter(filt, index)
+
+    @transmutation
+    def remove_filter(self, name: str) -> Filter:
+        return self.chain.remove_filter(name)
+
+    @transmutation
+    def replace_filter(self, name: str, replacement: Filter) -> Filter:
+        return self.chain.replace_filter(name, replacement)
+
+    # -- reset/block control used by adaptation agents ---------------------------------
+    @transmutation
+    def set_resetting(self, value: bool = True) -> None:
+        self.resetting = value
+
+    @transmutation
+    def set_blocked(self, value: bool = True) -> None:
+        self.blocked = value
+
+
+class SendMetaSocket(_MetaSocketBase):
+    """Outbound MetaSocket: app → encoder filters → transport."""
+
+    def __init__(
+        self, name: str, transport: Transport, filters: Iterable[Filter] = ()
+    ):
+        super().__init__(name, filters)
+        self.transport = transport
+        self.packets_sent = 0
+
+    def send(self, packet: Any) -> int:
+        """Push one packet through the chain and transmit the survivors.
+
+        Returns the number of packets actually handed to the transport
+        (0 while blocked, possibly >1 with fan-out filters like FEC).
+        """
+        if self.blocked:
+            return 0
+        out = self.chain.push(packet)
+        for item in out:
+            self.transport(item)
+        self.packets_sent += len(out)
+        return len(out)
+
+
+class RecvMetaSocket(_MetaSocketBase):
+    """Inbound MetaSocket: transport → decoder filters → app.
+
+    While blocked, arriving packets are buffered (the OS socket buffer in
+    the real system) and flushed through the chain on unblock — packets
+    are never silently dropped by an adaptation.
+    """
+
+    def __init__(
+        self, name: str, deliver: Deliver, filters: Iterable[Filter] = ()
+    ):
+        super().__init__(name, filters)
+        self.deliver = deliver
+        self.packets_delivered = 0
+        self._buffer: List[Any] = []
+
+    def receive(self, packet: Any) -> None:
+        """Accept one packet from the transport."""
+        if self.blocked:
+            self._buffer.append(packet)
+            return
+        self._process(packet)
+
+    def _process(self, packet: Any) -> None:
+        for item in self.chain.push(packet):
+            self.packets_delivered += 1
+            self.deliver(item)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    @transmutation
+    def set_blocked(self, value: bool = True) -> None:
+        self.blocked = value
+        if not value:
+            pending, self._buffer = self._buffer, []
+            for packet in pending:
+                self._process(packet)

@@ -1,0 +1,329 @@
+"""Adaptive actions: insert, remove, replace, and composites (paper §3.1).
+
+An adaptive action is "a function from one configuration to another":
+``adapt(config1) = config2``.  We represent it by its delta — the set of
+components it removes and the set it adds — plus a fixed cost (the paper's
+``A: T → VALUE``; §5.1 uses packet-delay milliseconds) and an identifier
+(``A1`` … ``A17`` in Table 2).
+
+The paper's ``R: T → PROGRAM`` mapping — each action's implementation code —
+lives in :class:`ActionBindings`: per (action, process) pre-action,
+in-action, and post-action callables, consumed by the realization phase.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import (
+    ActionError,
+    ActionNotApplicableError,
+    DuplicateActionError,
+)
+from repro.core.model import ComponentUniverse, Configuration
+
+
+class ActionKind(enum.Enum):
+    """Classification of an action by its delta shape."""
+
+    INSERT = "insert"
+    REMOVE = "remove"
+    REPLACE = "replace"
+    COMPOSITE = "composite"
+
+
+@dataclass(frozen=True)
+class AdaptiveAction:
+    """An adaptive action: a costed configuration delta.
+
+    Attributes:
+        action_id: unique identifier (``"A1"``, ``"A16"``...).
+        removes: components taken out of the configuration.
+        adds: components put into the configuration.
+        cost: fixed cost (paper §4.1: blocking time, adaptation duration,
+            packet delay, resource usage...).
+        description: free-text, e.g. ``"replace E1 with E2"``.
+    """
+
+    action_id: str
+    removes: FrozenSet[str]
+    adds: FrozenSet[str]
+    cost: float
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.action_id:
+            raise ActionError("action_id must be non-empty")
+        if not self.removes and not self.adds:
+            raise ActionError(f"{self.action_id}: empty delta (no-op action)")
+        if self.removes & self.adds:
+            both = sorted(self.removes & self.adds)
+            raise ActionError(f"{self.action_id}: components both removed and added: {both}")
+        if self.cost < 0:
+            raise ActionError(f"{self.action_id}: negative cost {self.cost}")
+        object.__setattr__(self, "removes", frozenset(self.removes))
+        object.__setattr__(self, "adds", frozenset(self.adds))
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def insert(cls, action_id: str, component: str, cost: float, description: str = "") -> "AdaptiveAction":
+        return cls(action_id, frozenset(), frozenset((component,)), cost,
+                   description or f"insert {component}")
+
+    @classmethod
+    def remove(cls, action_id: str, component: str, cost: float, description: str = "") -> "AdaptiveAction":
+        return cls(action_id, frozenset((component,)), frozenset(), cost,
+                   description or f"remove {component}")
+
+    @classmethod
+    def replace(cls, action_id: str, old: str, new: str, cost: float, description: str = "") -> "AdaptiveAction":
+        if old == new:
+            raise ActionError(f"{action_id}: replacing {old!r} with itself")
+        return cls(action_id, frozenset((old,)), frozenset((new,)), cost,
+                   description or f"replace {old} with {new}")
+
+    @classmethod
+    def compose(
+        cls,
+        action_id: str,
+        parts: Sequence["AdaptiveAction"],
+        cost: Optional[float] = None,
+        description: str = "",
+    ) -> "AdaptiveAction":
+        """Simultaneous combination of several actions (Table 2's A6–A15).
+
+        The parts must have pairwise disjoint deltas — a composite performs
+        them as one atomic in-action, so no part may add what another
+        removes.  Cost defaults to the sum of part costs, but Table 2 shows
+        composites are usually costed independently (coordinated blocking
+        makes pairs/triples far more expensive than the sum), so callers
+        normally pass an explicit cost.
+        """
+        if not parts:
+            raise ActionError(f"{action_id}: composite of zero actions")
+        removes: FrozenSet[str] = frozenset()
+        adds: FrozenSet[str] = frozenset()
+        for part in parts:
+            if part.removes & removes or part.adds & adds:
+                raise ActionError(
+                    f"{action_id}: overlapping deltas in composite parts"
+                )
+            removes |= part.removes
+            adds |= part.adds
+        if removes & adds:
+            raise ActionError(
+                f"{action_id}: composite delta removes and adds {sorted(removes & adds)}"
+            )
+        if cost is None:
+            cost = sum(part.cost for part in parts)
+        if not description:
+            description = " and ".join(part.action_id for part in parts)
+        return cls(action_id, removes, adds, cost, description)
+
+    # -- semantics ----------------------------------------------------------
+    @property
+    def kind(self) -> ActionKind:
+        if len(self.removes) + len(self.adds) > 2:
+            return ActionKind.COMPOSITE
+        if self.removes and self.adds:
+            return ActionKind.REPLACE
+        if self.adds:
+            return ActionKind.INSERT
+        return ActionKind.REMOVE
+
+    @property
+    def touched(self) -> FrozenSet[str]:
+        """All components this action manipulates."""
+        return self.removes | self.adds
+
+    def is_applicable(self, config: Configuration) -> bool:
+        """True iff the delta is well-defined on *config*."""
+        return self.removes <= config.members and not (self.adds & config.members)
+
+    def apply(self, config: Configuration) -> Configuration:
+        """The paper's ``adapt(config1) = config2``."""
+        if not self.is_applicable(config):
+            raise ActionNotApplicableError(
+                f"{self.action_id} not applicable to {config.label()}: "
+                f"removes={sorted(self.removes)} adds={sorted(self.adds)}"
+            )
+        return config.apply_delta(self.removes, self.adds)
+
+    def inverse(self, action_id: Optional[str] = None) -> "AdaptiveAction":
+        """The undo action (used by rollback): swap removes and adds."""
+        return AdaptiveAction(
+            action_id or f"undo({self.action_id})",
+            removes=self.adds,
+            adds=self.removes,
+            cost=self.cost,
+            description=f"rollback of {self.action_id}",
+        )
+
+    def participants(self, universe: ComponentUniverse) -> FrozenSet[str]:
+        """Processes that must take part in this action's realization."""
+        return universe.processes_of(self.touched)
+
+    def operation_text(self) -> str:
+        """Render the delta in Table 2's operation notation.
+
+        ``E1 → E2`` for replacements, ``−D4`` / ``+D5`` for remove/insert,
+        ``(D1, E1) → (D2, E2)`` for composites.
+        """
+        removes = ", ".join(sorted(self.removes))
+        adds = ", ".join(sorted(self.adds))
+        if self.removes and self.adds:
+            if len(self.removes) == 1 and len(self.adds) == 1:
+                return f"{removes} -> {adds}"
+            return f"({removes}) -> ({adds})"
+        if self.adds:
+            return f"+{adds}"
+        return f"-{removes}"
+
+
+class ActionLibrary:
+    """The set *T* of available adaptive actions, indexed by id."""
+
+    def __init__(self, actions: Iterable[AdaptiveAction] = ()):
+        self._actions: Dict[str, AdaptiveAction] = {}
+        for action in actions:
+            self.add(action)
+
+    def add(self, action: AdaptiveAction) -> None:
+        if action.action_id in self._actions:
+            raise DuplicateActionError(f"duplicate action id {action.action_id!r}")
+        self._actions[action.action_id] = action
+
+    def __iter__(self) -> Iterator[AdaptiveAction]:
+        """Iterate in action-id declaration order (deterministic)."""
+        return iter(self._actions.values())
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __contains__(self, action_id: str) -> bool:
+        return action_id in self._actions
+
+    def get(self, action_id: str) -> AdaptiveAction:
+        try:
+            return self._actions[action_id]
+        except KeyError:
+            raise ActionError(f"unknown action {action_id!r}") from None
+
+    def ids(self) -> Tuple[str, ...]:
+        return tuple(self._actions)
+
+    def applicable_to(self, config: Configuration) -> Tuple[AdaptiveAction, ...]:
+        """All actions whose delta is defined on *config*."""
+        return tuple(a for a in self._actions.values() if a.is_applicable(config))
+
+    def total_cost(self, action_ids: Iterable[str]) -> float:
+        return sum(self.get(a).cost for a in action_ids)
+
+    def restricted_to(self, components: FrozenSet[str]) -> "ActionLibrary":
+        """Sub-library touching only *components* (collaborative sets, §7)."""
+        return ActionLibrary(
+            a for a in self._actions.values() if a.touched <= components
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ActionLibrary({list(self._actions)!r})"
+
+
+def generate_composites(
+    base: ActionLibrary,
+    cost_fn: Callable[[Sequence[AdaptiveAction]], float],
+    max_parts: int = 2,
+    id_fn: Optional[Callable[[Sequence[AdaptiveAction]], str]] = None,
+) -> ActionLibrary:
+    """Extend a library with all valid simultaneous combinations.
+
+    Table 2's composites (A6–A15) are exactly the pairwise/triple
+    combinations of the base replacements with their own coordinated
+    costs.  This helper automates that construction for other systems:
+    every subset of up to *max_parts* base actions with pairwise disjoint
+    deltas becomes a composite, costed by *cost_fn* (the paper's model:
+    coordinated blocking makes composites far costlier than the sum).
+
+    Returns a new library containing the base actions plus the generated
+    composites; the base library is not modified.
+    """
+    from itertools import combinations
+
+    if max_parts < 2:
+        raise ActionError("max_parts must be at least 2")
+    id_fn = id_fn or (lambda parts: "+".join(p.action_id for p in parts))
+    out = ActionLibrary(base)
+    base_actions = list(base)
+    for size in range(2, max_parts + 1):
+        for parts in combinations(base_actions, size):
+            touched: FrozenSet[str] = frozenset()
+            overlap = False
+            for part in parts:
+                if part.touched & touched:
+                    overlap = True
+                    break
+                touched |= part.touched
+            if overlap:
+                continue
+            composite = AdaptiveAction.compose(
+                id_fn(parts), parts, cost=cost_fn(parts)
+            )
+            out.add(composite)
+    return out
+
+
+# -- runtime bindings (the paper's R: T -> PROGRAM) ----------------------------
+
+# A local adaptive action is divided into pre-action, in-action and
+# post-action (paper §3.1).  Each is an arbitrary callable taking the hosting
+# process's component runtime; the realization layer invokes them at the
+# protocol-mandated points.
+LocalCallable = Callable[..., None]
+
+
+@dataclass
+class LocalActionBinding:
+    """Implementation of one action on one process."""
+
+    pre_action: Optional[LocalCallable] = None
+    in_action: Optional[LocalCallable] = None
+    post_action: Optional[LocalCallable] = None
+
+
+class ActionBindings:
+    """Registry mapping (action id, process id) to implementation code."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[Tuple[str, str], LocalActionBinding] = {}
+
+    def bind(
+        self,
+        action_id: str,
+        process: str,
+        *,
+        pre_action: Optional[LocalCallable] = None,
+        in_action: Optional[LocalCallable] = None,
+        post_action: Optional[LocalCallable] = None,
+    ) -> None:
+        self._bindings[(action_id, process)] = LocalActionBinding(
+            pre_action=pre_action, in_action=in_action, post_action=post_action
+        )
+
+    def lookup(self, action_id: str, process: str) -> LocalActionBinding:
+        """Binding for (action, process); an empty binding if none registered."""
+        return self._bindings.get((action_id, process), LocalActionBinding())
+
+    def __len__(self) -> int:
+        return len(self._bindings)

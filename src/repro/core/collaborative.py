@@ -1,0 +1,96 @@
+"""Collaborative-set decomposition (paper §7).
+
+"To handle the complexity, we can divide the adaptive components of a
+system into multiple collaborative sets where component collaborations
+occur only within each set.  The component adaptation of each set can be
+handled independently, thereby reducing the complexity."
+
+Two components collaborate iff some invariant mentions both or some
+adaptive action touches both.  Collaborative sets are the connected
+components of that relation, computed with a union-find structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Tuple
+
+from repro.core.actions import ActionLibrary
+from repro.core.invariants import InvariantSet
+from repro.core.model import ComponentUniverse
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def groups(self) -> List[FrozenSet[Hashable]]:
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return [frozenset(members) for members in by_root.values()]
+
+
+def collaborative_sets(
+    universe: ComponentUniverse,
+    invariants: InvariantSet,
+    actions: ActionLibrary,
+) -> Tuple[FrozenSet[str], ...]:
+    """Partition the universe into collaborative sets.
+
+    Returns the sets sorted by their smallest member (deterministic).
+    Components mentioned by no invariant and no action form singleton sets.
+    """
+    uf = UnionFind(universe.names)
+    for invariant in invariants:
+        atoms = sorted(invariant.atoms() & universe.names)
+        for other in atoms[1:]:
+            uf.union(atoms[0], other)
+    for action in actions:
+        touched = sorted(action.touched & universe.names)
+        for other in touched[1:]:
+            uf.union(touched[0], other)
+    groups = uf.groups()
+    groups.sort(key=lambda group: min(group))
+    return tuple(groups)
+
+
+def project_invariants(
+    invariants: InvariantSet, component_set: FrozenSet[str]
+) -> InvariantSet:
+    """Invariants whose atoms fall entirely inside *component_set*.
+
+    With a valid collaborative decomposition every invariant lands in
+    exactly one set, so projecting onto all sets loses nothing.
+    """
+    return InvariantSet(
+        inv for inv in invariants if inv.atoms() <= component_set
+    )

@@ -1,0 +1,259 @@
+"""Detection & setup phase: Minimum Adaptation Path planning (paper §4.2).
+
+The :class:`AdaptationPlanner` performs the three setup steps on demand:
+
+1. construct the safe-configuration set,
+2. construct the Safe Adaptation Graph,
+3. run Dijkstra for the Minimum Adaptation Path (MAP) — plus the extras
+   the rest of the paper needs: k-best alternates (failure handling §4.4),
+   lazy A* partial exploration and collaborative-set decomposition
+   (scalability, §7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.collaborative import collaborative_sets, project_invariants
+from repro.core.invariants import InvariantSet
+from repro.core.model import ComponentUniverse, Configuration
+from repro.core.sag import SafeAdaptationGraph
+from repro.core.space import SafeConfigurationSpace
+from repro.errors import NoSafePathError
+from repro.graphs import k_shortest_paths, lazy_astar, shortest_path
+from repro.graphs.dijkstra import Path
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One adaptation step: an ordered configuration pair plus its action."""
+
+    index: int
+    action: AdaptiveAction
+    source: Configuration
+    target: Configuration
+
+    def participants(self, universe: ComponentUniverse) -> FrozenSet[str]:
+        """Processes whose agents take part in this step."""
+        return self.action.participants(universe)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanStep({self.index}: {self.action.action_id} "
+            f"{self.source.label()} -> {self.target.label()})"
+        )
+
+
+@dataclass(frozen=True)
+class AdaptationPlan:
+    """A safe adaptation path: safe configurations joined by adaptation steps."""
+
+    source: Configuration
+    target: Configuration
+    steps: Tuple[PlanStep, ...]
+    total_cost: float
+
+    @property
+    def action_ids(self) -> Tuple[str, ...]:
+        return tuple(step.action.action_id for step in self.steps)
+
+    @property
+    def configurations(self) -> Tuple[Configuration, ...]:
+        """All configurations visited, source first."""
+        if not self.steps:
+            return (self.source,)
+        return (self.steps[0].source,) + tuple(step.target for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        """Multi-line, human-readable rendering used by examples and benches."""
+        lines = [
+            f"plan {self.source.label()} -> {self.target.label()} "
+            f"(cost {self.total_cost:g}, {len(self.steps)} steps)"
+        ]
+        for step in self.steps:
+            lines.append(
+                f"  {step.index + 1}. {step.action.action_id}: "
+                f"{step.action.description or step.action.operation_text()} "
+                f"[cost {step.action.cost:g}]"
+            )
+        return "\n".join(lines)
+
+
+class AdaptationPlanner:
+    """Runs the detection & setup phase for a fixed ``(universe, I, T, A)``.
+
+    The safe space and SAG are computed lazily and cached; re-planning after
+    a failed step (different source, same graph) is therefore cheap, which
+    is what the §4.4 failure-handling cascade relies on.
+    """
+
+    def __init__(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+    ):
+        self.universe = universe
+        self.invariants = invariants
+        self.actions = actions
+        self.space = SafeConfigurationSpace(universe, invariants)
+        self._sag: Optional[SafeAdaptationGraph] = None
+
+    # -- setup steps -------------------------------------------------------------
+    @property
+    def sag(self) -> SafeAdaptationGraph:
+        """The Safe Adaptation Graph (built on first use, then cached)."""
+        if self._sag is None:
+            self._sag = SafeAdaptationGraph.build(self.space, self.actions)
+        return self._sag
+
+    def _validate_endpoints(self, source: Configuration, target: Configuration) -> None:
+        self.universe.validate_members(source.members)
+        self.universe.validate_members(target.members)
+        self.space.require_safe(source, role="source configuration")
+        self.space.require_safe(target, role="target configuration")
+
+    def _plan_from_path(self, path: Path) -> AdaptationPlan:
+        steps = []
+        for index, edge in enumerate(path.edges):
+            steps.append(
+                PlanStep(
+                    index=index,
+                    action=self.actions.get(edge.label),
+                    source=edge.source,
+                    target=edge.target,
+                )
+            )
+        return AdaptationPlan(
+            source=path.source,
+            target=path.target,
+            steps=tuple(steps),
+            total_cost=path.cost,
+        )
+
+    # -- planning entry points -----------------------------------------------------
+    def plan(self, source: Configuration, target: Configuration) -> AdaptationPlan:
+        """The Minimum Adaptation Path (Dijkstra over the full SAG).
+
+        Raises:
+            UnsafeConfigurationError: source or target violates invariants.
+            NoSafePathError: target unreachable through safe configurations.
+        """
+        self._validate_endpoints(source, target)
+        path = shortest_path(self.sag.graph, source, target)
+        if path is None:
+            raise NoSafePathError(
+                f"no safe adaptation path from {source.label()} to {target.label()}"
+            )
+        return self._plan_from_path(path)
+
+    def plan_k(
+        self, source: Configuration, target: Configuration, k: int
+    ) -> List[AdaptationPlan]:
+        """Up to *k* minimum-cost plans in non-decreasing cost order (Yen).
+
+        Plan 2 is the paper's "second minimum adaptation path" used when a
+        step fails and the manager re-routes.
+        """
+        self._validate_endpoints(source, target)
+        paths = k_shortest_paths(self.sag.graph, source, target, k)
+        return [self._plan_from_path(path) for path in paths]
+
+    def plan_lazy(
+        self,
+        source: Configuration,
+        target: Configuration,
+        max_expansions: Optional[int] = None,
+    ) -> AdaptationPlan:
+        """MAP by A* partial exploration — never materializes the SAG (§7).
+
+        Expands safe configurations on demand from the action library; the
+        admissible heuristic is ``ceil(|Δ| / max_flip) * min_cost`` where Δ
+        is the symmetric difference to the target, ``max_flip`` the largest
+        number of components any single action changes, and ``min_cost``
+        the cheapest action cost.
+        """
+        self._validate_endpoints(source, target)
+        actions = tuple(self.actions)
+        if not actions:
+            if source == target:
+                return AdaptationPlan(source, target, (), 0.0)
+            raise NoSafePathError("no adaptive actions available")
+        max_flip = max(len(a.touched) for a in actions)
+        min_cost = min(a.cost for a in actions)
+
+        def heuristic(config: Configuration) -> float:
+            delta = len(config.symmetric_difference(target))
+            if delta == 0:
+                return 0.0
+            return math.ceil(delta / max_flip) * min_cost
+
+        def successors(config: Configuration):
+            for action in actions:
+                if action.is_applicable(config):
+                    result = action.apply(config)
+                    if self.space.is_safe(result):
+                        yield action.action_id, action.cost, result
+
+        path = lazy_astar(source, target, successors, heuristic, max_expansions)
+        if path is None:
+            raise NoSafePathError(
+                f"no safe adaptation path from {source.label()} to {target.label()}"
+            )
+        return self._plan_from_path(path)
+
+    def plan_collaborative(
+        self, source: Configuration, target: Configuration
+    ) -> AdaptationPlan:
+        """Plan per collaborative set and concatenate (§7 decomposition).
+
+        Each collaborative set is planned in its own sub-universe with the
+        invariants and actions that fall inside it, using lazy A*; the
+        per-set plans are then replayed in order against the global
+        configuration.  Exact when the decomposition is valid (invariants
+        and actions never span sets — guaranteed by construction).
+        """
+        self._validate_endpoints(source, target)
+        groups = collaborative_sets(self.universe, self.invariants, self.actions)
+        current = source
+        steps: List[PlanStep] = []
+        total = 0.0
+        for group in groups:
+            group_source = Configuration(source.members & group)
+            group_target = Configuration(target.members & group)
+            if group_source == group_target:
+                continue
+            sub_universe = ComponentUniverse(
+                [self.universe.component(name)
+                 for name in self.universe.order if name in group]
+            )
+            sub_planner = AdaptationPlanner(
+                sub_universe,
+                project_invariants(self.invariants, group),
+                self.actions.restricted_to(group),
+            )
+            sub_plan = sub_planner.plan_lazy(group_source, group_target)
+            for step in sub_plan.steps:
+                next_config = step.action.apply(current)
+                steps.append(
+                    PlanStep(
+                        index=len(steps),
+                        action=step.action,
+                        source=current,
+                        target=next_config,
+                    )
+                )
+                current = next_config
+                total += step.action.cost
+        if current != target:
+            raise NoSafePathError(
+                "collaborative planning could not reach the target "
+                f"(stopped at {current.label()})"
+            )
+        return AdaptationPlan(source=source, target=target, steps=tuple(steps), total_cost=total)

@@ -1,0 +1,149 @@
+"""The Safe Adaptation Graph (paper §3.1, §4.2 step 2).
+
+"We can construct a safe adaptation graph (SAG), where vertices are all
+safe configurations and arcs are all possible adaptation steps connecting
+safe configurations."  An arc (config1, config2) exists iff both endpoints
+are safe and some adaptive action maps config1 to config2; the arc weight
+is that action's cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.model import Configuration
+from repro.core.space import SafeConfigurationSpace
+from repro.graphs import Digraph
+
+
+class SafeAdaptationGraph:
+    """SAG over safe configurations with adaptive-action labelled arcs."""
+
+    def __init__(self, graph: Digraph, actions: ActionLibrary):
+        self._graph = graph
+        self._actions = actions
+
+    @classmethod
+    def build(
+        cls,
+        space: SafeConfigurationSpace,
+        actions: ActionLibrary,
+        restrict_to: Optional[Iterable[Configuration]] = None,
+    ) -> "SafeAdaptationGraph":
+        """Materialize the SAG.
+
+        Args:
+            space: the safe-configuration space (provides vertices and the
+                safety test for action results).
+            actions: the available adaptive actions (provide the arcs).
+            restrict_to: optional vertex subset; defaults to the full safe
+                set ``space.enumerate()``.
+        """
+        if restrict_to is None:
+            vertices: Tuple[Configuration, ...] = space.enumerate()
+        else:
+            vertices = tuple(restrict_to)
+        vertex_set = set(vertices)
+        graph: Digraph = Digraph()
+        for config in vertices:
+            graph.add_node(config)
+        for config in vertices:
+            for action in actions:
+                if not action.is_applicable(config):
+                    continue
+                result = action.apply(config)
+                if result in vertex_set:
+                    graph.add_edge(config, result, action.action_id, action.cost)
+        return cls(graph, actions)
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def graph(self) -> Digraph:
+        return self._graph
+
+    @property
+    def actions(self) -> ActionLibrary:
+        return self._actions
+
+    @property
+    def node_count(self) -> int:
+        return self._graph.node_count
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.edge_count
+
+    def __contains__(self, config: Configuration) -> bool:
+        return config in self._graph
+
+    def steps_from(self, config: Configuration) -> Tuple[Tuple[AdaptiveAction, Configuration], ...]:
+        """Outgoing adaptation steps: (action, resulting configuration)."""
+        return tuple(
+            (self._actions.get(edge.label), edge.target)
+            for edge in self._graph.out_edges(config)
+        )
+
+    def has_step(self, source: Configuration, target: Configuration) -> bool:
+        return self._graph.has_edge(source, target)
+
+    def step_actions(self, source: Configuration, target: Configuration) -> Tuple[str, ...]:
+        """Ids of every action realizing the arc source→target (parallel arcs)."""
+        return self._graph.edge_labels(source, target)
+
+    def edge_list(self) -> List[Tuple[Configuration, str, Configuration]]:
+        """All arcs as (source, action id, target), deterministic order."""
+        return [
+            (edge.source, edge.label, edge.target) for edge in self._graph.edges()
+        ]
+
+    def to_dot(
+        self,
+        universe=None,
+        highlight_path: Optional[Iterable[Tuple[Configuration, str, Configuration]]] = None,
+        title: str = "Safe Adaptation Graph",
+    ) -> str:
+        """Render the SAG in Graphviz DOT — a regeneration of Figure 4.
+
+        Args:
+            universe: optional :class:`ComponentUniverse` for bit-vector
+                node labels (member-list labels otherwise).
+            highlight_path: arcs to emphasize (e.g. the MAP's
+                ``(source, action id, target)`` triples).
+            title: graph label.
+        """
+        def node_label(config: Configuration) -> str:
+            if universe is not None:
+                return f"{universe.to_bits(config)}\\n{config.label()}"
+            return config.label()
+
+        def node_id(config: Configuration) -> str:
+            if universe is not None:
+                return f"n{universe.to_bits(config)}"
+            return "n" + "_".join(sorted(config.members))
+
+        highlighted = set()
+        for src, action_id, dst in highlight_path or ():
+            highlighted.add((src, action_id, dst))
+        lines = [
+            "digraph SAG {",
+            f'  label="{title}";',
+            "  rankdir=LR;",
+            '  node [shape=box, style=rounded, fontname="Helvetica"];',
+        ]
+        for config in sorted(self._graph.nodes(), key=lambda c: sorted(c.members)):
+            lines.append(f'  {node_id(config)} [label="{node_label(config)}"];')
+        for edge in self._graph.edges():
+            action = self._actions.get(edge.label)
+            style = ""
+            if (edge.source, edge.label, edge.target) in highlighted:
+                style = ", color=red, penwidth=2.5, fontcolor=red"
+            lines.append(
+                f"  {node_id(edge.source)} -> {node_id(edge.target)} "
+                f'[label="{edge.label} ({action.cost:g})"{style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SafeAdaptationGraph(nodes={self.node_count}, edges={self.edge_count})"

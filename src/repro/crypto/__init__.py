@@ -1,0 +1,31 @@
+"""Simulated DES substrate (see DESIGN.md §4, substitutions).
+
+The paper's MetaSocket filters run DES 64-bit and DES 128-bit
+encoders/decoders.  Cryptographic strength is irrelevant to the safety
+protocol — what matters is that a packet encrypted under scheme X is
+*garbage* unless a matching decoder is composed into the receiving chain.
+We therefore implement a small but real 16-round Feistel block cipher
+(:mod:`repro.crypto.feistel`) and register two schemes
+(:mod:`repro.crypto.schemes`): ``des64`` (8-byte key) and ``des128``
+(16-byte key), mirroring the paper's E1/E2 encoders.
+"""
+
+from repro.crypto.feistel import FeistelCipher
+from repro.crypto.schemes import (
+    DES128,
+    DES64,
+    Scheme,
+    cipher_for,
+    get_scheme,
+    registered_schemes,
+)
+
+__all__ = [
+    "FeistelCipher",
+    "Scheme",
+    "DES64",
+    "DES128",
+    "get_scheme",
+    "cipher_for",
+    "registered_schemes",
+]

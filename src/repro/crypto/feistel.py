@@ -1,0 +1,111 @@
+"""A 16-round Feistel block cipher (DES stand-in; see DESIGN.md §4).
+
+Structure mirrors DES: 8-byte blocks, a balanced Feistel network, and a
+per-round subkey schedule; the round function is SHA-256-based instead of
+the DES S-boxes (this is a *simulation substrate*, not a security
+product — do not use it to protect real data).  Arbitrary-length messages
+use PKCS#7 padding and CBC chaining with a deterministic IV derived from
+the key and a caller-supplied nonce, so encryption is a pure function —
+which the deterministic simulator requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+BLOCK_SIZE = 8
+_HALF = BLOCK_SIZE // 2
+
+
+class FeistelCipher:
+    """Balanced Feistel network over 8-byte blocks.
+
+    Args:
+        key: any non-empty byte string; the schedule hashes it per round.
+        rounds: Feistel rounds (16 matches DES; must be >= 2).
+    """
+
+    def __init__(self, key: bytes, rounds: int = 16):
+        if not key:
+            raise ValueError("key must be non-empty")
+        if rounds < 2:
+            raise ValueError("need at least 2 rounds")
+        self.rounds = rounds
+        self._subkeys: List[bytes] = [
+            hashlib.sha256(key + round_index.to_bytes(4, "big")).digest()[:8]
+            for round_index in range(rounds)
+        ]
+        self._iv_seed = hashlib.sha256(b"iv" + key).digest()
+
+    # -- round function -----------------------------------------------------------
+    @staticmethod
+    def _round(half: bytes, subkey: bytes) -> bytes:
+        return hashlib.sha256(half + subkey).digest()[:_HALF]
+
+    @staticmethod
+    def _xor(a: bytes, b: bytes) -> bytes:
+        return bytes(x ^ y for x, y in zip(a, b))
+
+    # -- block operations ------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        left, right = block[:_HALF], block[_HALF:]
+        for subkey in self._subkeys:
+            left, right = right, self._xor(left, self._round(right, subkey))
+        return right + left  # final swap, as in DES
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        right, left = block[:_HALF], block[_HALF:]
+        for subkey in reversed(self._subkeys):
+            left, right = self._xor(right, self._round(left, subkey)), left
+        return left + right
+
+    # -- message operations (CBC + PKCS#7) ----------------------------------------------
+    def _iv(self, nonce: int) -> bytes:
+        return hashlib.sha256(
+            self._iv_seed + nonce.to_bytes(8, "big", signed=False)
+        ).digest()[:BLOCK_SIZE]
+
+    def encrypt(self, data: bytes, nonce: int = 0) -> bytes:
+        """Encrypt arbitrary-length *data* (CBC mode, deterministic IV)."""
+        padded = pad(data)
+        previous = self._iv(nonce)
+        out = bytearray()
+        for offset in range(0, len(padded), BLOCK_SIZE):
+            block = self._xor(padded[offset : offset + BLOCK_SIZE], previous)
+            previous = self.encrypt_block(block)
+            out.extend(previous)
+        return bytes(out)
+
+    def decrypt(self, data: bytes, nonce: int = 0) -> bytes:
+        """Invert :meth:`encrypt`.  Raises ValueError on malformed input."""
+        if len(data) % BLOCK_SIZE:
+            raise ValueError("ciphertext length must be a multiple of the block size")
+        if not data:
+            raise ValueError("empty ciphertext")
+        previous = self._iv(nonce)
+        out = bytearray()
+        for offset in range(0, len(data), BLOCK_SIZE):
+            block = data[offset : offset + BLOCK_SIZE]
+            out.extend(self._xor(self.decrypt_block(block), previous))
+            previous = block
+        return unpad(bytes(out))
+
+
+def pad(data: bytes) -> bytes:
+    """PKCS#7 padding to a multiple of the block size (always adds >= 1 byte)."""
+    fill = BLOCK_SIZE - (len(data) % BLOCK_SIZE)
+    return data + bytes([fill]) * fill
+
+def unpad(data: bytes) -> bytes:
+    """Strip PKCS#7 padding.  Raises ValueError when the padding is invalid."""
+    if not data or len(data) % BLOCK_SIZE:
+        raise ValueError("invalid padded length")
+    fill = data[-1]
+    if not 1 <= fill <= BLOCK_SIZE or data[-fill:] != bytes([fill]) * fill:
+        raise ValueError("invalid padding bytes")
+    return data[:-fill]

@@ -1,0 +1,66 @@
+"""Encryption scheme registry: ``des64`` and ``des128`` (paper §5).
+
+The video example has two schemes: DES 64-bit (encoder E1, decoders
+D1/D2/D4) and DES 128-bit (encoder E2, decoders D2/D3/D5).  A
+:class:`Scheme` pairs a scheme identifier with a key; packets carry the
+identifier so bypass-capable decoders can tell whether they match
+("when it receives a packet not encoded by the corresponding encoder, it
+simply forwards the packet").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.crypto.feistel import FeistelCipher
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """An encryption scheme: wire identifier + key material."""
+
+    scheme_id: str
+    key: bytes
+
+    def __post_init__(self):
+        if not self.scheme_id:
+            raise ValueError("scheme_id must be non-empty")
+        if not self.key:
+            raise ValueError("key must be non-empty")
+
+
+# The demo keys are fixed so simulation runs are reproducible; real
+# deployments would provision them out of band.
+DES64 = Scheme("des64", key=bytes(range(8)))
+DES128 = Scheme("des128", key=bytes(range(16)))
+
+_REGISTRY: Dict[str, Scheme] = {s.scheme_id: s for s in (DES64, DES128)}
+_CIPHERS: Dict[str, FeistelCipher] = {}
+
+
+def register_scheme(scheme: Scheme) -> None:
+    """Add a scheme to the registry (idempotent for identical entries)."""
+    existing = _REGISTRY.get(scheme.scheme_id)
+    if existing is not None and existing != scheme:
+        raise ValueError(f"scheme {scheme.scheme_id!r} already registered differently")
+    _REGISTRY[scheme.scheme_id] = scheme
+    _CIPHERS.pop(scheme.scheme_id, None)
+
+
+def get_scheme(scheme_id: str) -> Scheme:
+    try:
+        return _REGISTRY[scheme_id]
+    except KeyError:
+        raise KeyError(f"unknown encryption scheme {scheme_id!r}") from None
+
+
+def cipher_for(scheme_id: str) -> FeistelCipher:
+    """Cached cipher instance for a registered scheme."""
+    if scheme_id not in _CIPHERS:
+        _CIPHERS[scheme_id] = FeistelCipher(get_scheme(scheme_id).key)
+    return _CIPHERS[scheme_id]
+
+
+def registered_schemes() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,110 @@
+"""Exception hierarchy for the safe-adaptation library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications embedding the library can catch one base class.  Sub-hierarchies
+mirror the package layout: expression parsing, planning, protocol execution,
+and simulation each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ExpressionError(ReproError):
+    """Base class for dependency-expression errors."""
+
+
+class ParseError(ExpressionError):
+    """A dependency-expression string could not be parsed.
+
+    Attributes:
+        text: the offending source text.
+        position: character offset of the failure, or ``None``.
+    """
+
+    def __init__(self, message: str, text: str = "", position: "int | None" = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        base = super().__str__()
+        if self.position is None:
+            return base
+        return f"{base} (at position {self.position} in {self.text!r})"
+
+
+class UnknownComponentError(ReproError):
+    """A component name was referenced that is not in the universe."""
+
+
+class ModelError(ReproError):
+    """Inconsistent model construction (duplicate components, bad hosts...)."""
+
+
+class ConfigurationError(ReproError):
+    """An operation received an invalid configuration."""
+
+
+class ActionError(ReproError):
+    """Base class for adaptive-action errors."""
+
+
+class ActionNotApplicableError(ActionError):
+    """An adaptive action was applied to a configuration it does not fit."""
+
+
+class DuplicateActionError(ActionError):
+    """Two actions with the same identifier were registered."""
+
+
+class PlanningError(ReproError):
+    """Base class for detection-and-setup phase failures."""
+
+
+class NoSafePathError(PlanningError):
+    """No safe adaptation path exists between source and target."""
+
+
+class UnsafeConfigurationError(PlanningError):
+    """A requested source/target configuration violates the invariants."""
+
+
+class ProtocolError(ReproError):
+    """Base class for realization-phase errors."""
+
+
+class IllegalTransitionError(ProtocolError):
+    """A state machine received an event not allowed in its current state."""
+
+
+class AdaptationAbortedError(ProtocolError):
+    """The adaptation was aborted and rolled back to a safe configuration."""
+
+
+class UserInterventionRequired(ProtocolError):
+    """All automatic failure-handling options were exhausted (paper §4.4).
+
+    The manager retried the step, tried alternate paths to the target, and
+    tried returning to the source configuration; all failed.  The system is
+    parked at the last reached safe configuration and a human must decide.
+    """
+
+    def __init__(self, message: str, configuration=None):
+        super().__init__(message)
+        self.configuration = configuration
+
+
+class SafetyViolationError(ReproError):
+    """A trace failed the paper's safety definition (checker found evidence)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulator misuse (time travel, dead process...)."""
+
+
+class RuntimeHostError(ReproError):
+    """Threaded live-runtime failure (host died, queue closed...)."""

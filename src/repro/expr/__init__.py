@@ -1,0 +1,54 @@
+"""Dependency-expression language (paper §3.1).
+
+Dependency relationships are boolean predicates over component names.  The
+paper writes them with "·" (and), "∨" (or), "⊕" (xor), "→" (dependency /
+implication) and "⊗"/"N" (exclusively select one).  This package provides:
+
+* an immutable AST (:mod:`repro.expr.ast`) with evaluation over a
+  configuration (a set of component names assigned *true*);
+* a parser (:mod:`repro.expr.parser`) for an ASCII surface syntax::
+
+      E1 -> (D1 | D2) & D4
+      one_of(D1, D2, D3)
+      xor(E1, E2)           # equivalently  E1 ^ E2
+      !A | B
+
+Operator precedence, loosest to tightest: ``->`` (right associative),
+``|``, ``^``, ``&``, ``!``.
+"""
+
+from repro.expr.ast import (
+    And,
+    Atom,
+    Expr,
+    FALSE,
+    Implies,
+    Not,
+    OneOf,
+    Or,
+    TRUE,
+    Xor,
+    all_of,
+    any_of,
+    exactly_one,
+    to_text,
+)
+from repro.expr.parser import parse
+
+__all__ = [
+    "Expr",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "Implies",
+    "OneOf",
+    "TRUE",
+    "FALSE",
+    "all_of",
+    "any_of",
+    "exactly_one",
+    "to_text",
+    "parse",
+]

@@ -1,0 +1,352 @@
+"""Immutable AST for dependency-relationship predicates (paper §3.1).
+
+Expressions are evaluated against a *configuration*: a set of component
+names.  A component name evaluates to true iff it is in the configuration —
+exactly the paper's rule "associate true to all components in a
+configuration, and associate false to all components not in the
+configuration".
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Tuple
+
+
+class Expr:
+    """Base class for dependency-expression nodes.
+
+    Subclasses are immutable and hashable; equality is structural.  The
+    python operators ``&``, ``|``, ``^``, ``~`` and ``>>`` build compound
+    expressions, so invariants can be written either as parsed strings or
+    directly in code::
+
+        Atom("E1") >> ((Atom("D1") | Atom("D2")) & Atom("D4"))
+    """
+
+    __slots__ = ()
+
+    def __copy__(self) -> "Expr":
+        return self  # immutable: sharing is safe
+
+    def __deepcopy__(self, memo) -> "Expr":
+        return self  # immutable: sharing is safe
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        """Return the truth value of this expression under *config*."""
+        raise NotImplementedError
+
+    def atoms(self) -> FrozenSet[str]:
+        """Return the set of component names mentioned in this expression."""
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------
+    def __and__(self, other: "Expr") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expr") -> "Xor":
+        return Xor((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "Expr") -> "Implies":
+        return Implies(self, other)
+
+    # Subclasses with operands implement __eq__/__hash__/__repr__.
+
+
+class _Const(Expr):
+    """Boolean constant (singletons :data:`TRUE` and :data:`FALSE`)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        return self.value
+
+    def atoms(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = _Const(True)
+FALSE = _Const(False)
+
+
+class Atom(Expr):
+    """Reference to a single component; true iff the component is present."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"component name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        return self.name in config
+
+    def atoms(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Atom) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("atom", self.name))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r})"
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr):
+        _require_expr(operand)
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        return not self.operand.evaluate(config)
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.operand.atoms()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("not", self.operand))
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+
+class _Nary(Expr):
+    """Shared implementation for n-ary connectives."""
+
+    __slots__ = ("operands",)
+    _tag = ""
+
+    def __init__(self, operands: Iterable[Expr]):
+        ops: Tuple[Expr, ...] = tuple(operands)
+        if len(ops) < 2:
+            raise ValueError(f"{type(self).__name__} needs at least two operands")
+        for op in ops:
+            _require_expr(op)
+        object.__setattr__(self, "operands", ops)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Expr nodes are immutable")
+
+    def atoms(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            out |= op.atoms()
+        return out
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((self._tag, self.operands))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(op) for op in self.operands)
+        return f"{type(self).__name__}(({inner}))"
+
+
+class And(_Nary):
+    """N-ary conjunction — the paper's "·" operator."""
+
+    __slots__ = ()
+    _tag = "and"
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        return all(op.evaluate(config) for op in self.operands)
+
+
+class Or(_Nary):
+    """N-ary (inclusive) disjunction — the paper's "∨" operator."""
+
+    __slots__ = ()
+    _tag = "or"
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        return any(op.evaluate(config) for op in self.operands)
+
+
+class Xor(_Nary):
+    """N-ary exclusive or — the paper's "⊕" operator.
+
+    With more than two operands this is *parity* xor (true iff an odd
+    number of operands are true), matching the algebraic reading of chained
+    ⊕.  For "exactly one of these components", use :class:`OneOf`, which is
+    what the paper's resource/security constraints mean.
+    """
+
+    __slots__ = ()
+    _tag = "xor"
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        value = False
+        for op in self.operands:
+            value ^= op.evaluate(config)
+        return value
+
+
+class OneOf(_Nary):
+    """Exactly one operand true — the paper's "exclusively select one" (⊗).
+
+    Used for Table 1's resource constraint ``one_of(D1, D2, D3)`` and
+    security constraint ``one_of(E1, E2)``.
+    """
+
+    __slots__ = ()
+    _tag = "one_of"
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        count = 0
+        for op in self.operands:
+            if op.evaluate(config):
+                count += 1
+                if count > 1:
+                    return False
+        return count == 1
+
+
+class Implies(Expr):
+    """Dependency arrow ``A -> Cond`` (paper §3.1).
+
+    "The correct functionality of A requires Cond": materially,
+    ``(not A) or Cond``.  A dependency is trivially satisfied when the
+    depending side is absent from the configuration.
+    """
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Expr, consequent: Expr):
+        _require_expr(antecedent)
+        _require_expr(consequent)
+        object.__setattr__(self, "antecedent", antecedent)
+        object.__setattr__(self, "consequent", consequent)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Expr nodes are immutable")
+
+    def evaluate(self, config: AbstractSet[str]) -> bool:
+        return (not self.antecedent.evaluate(config)) or self.consequent.evaluate(config)
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.antecedent.atoms() | self.consequent.atoms()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Implies)
+            and self.antecedent == other.antecedent
+            and self.consequent == other.consequent
+        )
+
+    def __hash__(self) -> int:
+        return hash(("implies", self.antecedent, self.consequent))
+
+    def __repr__(self) -> str:
+        return f"Implies({self.antecedent!r}, {self.consequent!r})"
+
+
+def _require_expr(value) -> None:
+    if not isinstance(value, Expr):
+        raise TypeError(f"expected Expr, got {type(value).__name__}: {value!r}")
+
+
+# -- convenience constructors ----------------------------------------------
+
+def all_of(*names: str) -> Expr:
+    """Conjunction of component atoms; a structural invariant like ``A · B``."""
+    exprs = [Atom(n) for n in names]
+    if not exprs:
+        return TRUE
+    if len(exprs) == 1:
+        return exprs[0]
+    return And(exprs)
+
+
+def any_of(*names: str) -> Expr:
+    """Disjunction of component atoms."""
+    exprs = [Atom(n) for n in names]
+    if not exprs:
+        return FALSE
+    if len(exprs) == 1:
+        return exprs[0]
+    return Or(exprs)
+
+
+def exactly_one(*names: str) -> Expr:
+    """Exactly one of *names* present — the paper's ⊗ constraint."""
+    exprs = [Atom(n) for n in names]
+    if not exprs:
+        return FALSE
+    if len(exprs) == 1:
+        return exprs[0]
+    return OneOf(exprs)
+
+
+def to_text(expr: Expr) -> str:
+    """Render *expr* in the parser's surface syntax (parse/print round-trips).
+
+    The output re-parses to a structurally equal expression, which the
+    property tests rely on.
+    """
+    return _render(expr, 0)
+
+
+# precedence levels: -> is 1, | is 2, ^ is 3, & is 4, ! is 5, atoms 6
+def _render(expr: Expr, parent_level: int) -> str:
+    if isinstance(expr, _Const):
+        text, level = ("true" if expr.value else "false"), 6
+    elif isinstance(expr, Atom):
+        text, level = expr.name, 6
+    elif isinstance(expr, Not):
+        text, level = "!" + _render(expr.operand, 5), 5
+    elif isinstance(expr, And):
+        text, level = " & ".join(_render(op, 5) for op in expr.operands), 4
+    elif isinstance(expr, Xor):
+        text, level = " ^ ".join(_render(op, 4) for op in expr.operands), 3
+    elif isinstance(expr, Or):
+        text, level = " | ".join(_render(op, 3) for op in expr.operands), 2
+    elif isinstance(expr, OneOf):
+        inner = ", ".join(_render(op, 0) for op in expr.operands)
+        text, level = f"one_of({inner})", 6
+    elif isinstance(expr, Implies):
+        # right-associative: render antecedent at a tighter level
+        text = f"{_render(expr.antecedent, 2)} -> {_render(expr.consequent, 1)}"
+        level = 1
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown Expr node {type(expr).__name__}")
+    if level < parent_level:
+        return f"({text})"
+    return text

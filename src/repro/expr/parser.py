@@ -1,0 +1,214 @@
+"""Recursive-descent parser for the dependency-expression surface syntax.
+
+Grammar (loosest to tightest binding)::
+
+    expr     := or_expr ( "->" expr )?          # right associative
+    or_expr  := xor_expr ( "|" xor_expr )*
+    xor_expr := and_expr ( "^" and_expr )*
+    and_expr := unary ( "&" unary )*
+    unary    := "!" unary | primary
+    primary  := NAME | "true" | "false"
+              | "one_of" "(" expr ("," expr)* ")"
+              | "xor" "(" expr ("," expr)* ")"
+              | "(" expr ")"
+
+Word aliases: ``and``/``or``/``not``/``implies`` may be used instead of the
+symbolic operators.  Chains of the same n-ary operator are flattened into a
+single node, so ``A & B & C`` parses to ``And((A, B, C))``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.expr.ast import And, Atom, Expr, FALSE, Implies, Not, OneOf, Or, TRUE, Xor
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow>->|=>)"
+    r"|(?P<op>[&|^!(),])"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*))"
+)
+
+_WORD_OPS = {
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "not": "!",
+    "implies": "->",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_Token({self.kind}, {self.text!r}, {self.pos})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            stripped = text[pos:].lstrip()
+            if not stripped:
+                break
+            raise ParseError(
+                f"unexpected character {stripped[0]!r}", text=text, position=pos
+            )
+        if match.lastgroup == "arrow":
+            tokens.append(_Token("op", "->", match.start("arrow")))
+        elif match.lastgroup == "op":
+            tokens.append(_Token("op", match.group("op"), match.start("op")))
+        else:
+            name = match.group("name")
+            start = match.start("name")
+            lowered = name.lower()
+            if lowered in _WORD_OPS and lowered not in ("xor",):
+                tokens.append(_Token("op", _WORD_OPS[lowered], start))
+            elif lowered in ("true", "false"):
+                tokens.append(_Token("const", lowered, start))
+            elif lowered in ("one_of", "xor") and _peek_is_lparen(text, match.end()):
+                tokens.append(_Token("func", lowered, start))
+            elif lowered == "xor":
+                tokens.append(_Token("op", "^", start))
+            else:
+                tokens.append(_Token("name", name, start))
+        pos = match.end()
+    return tokens
+
+
+def _peek_is_lparen(text: str, pos: int) -> bool:
+    rest = text[pos:].lstrip()
+    return rest.startswith("(")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", text=self.text, position=len(self.text))
+        self.index += 1
+        return token
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text == op:
+            self.index += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        token = self._peek()
+        if token is None or token.kind != "op" or token.text != op:
+            pos = token.pos if token is not None else len(self.text)
+            found = token.text if token is not None else "end of input"
+            raise ParseError(f"expected {op!r}, found {found!r}", text=self.text, position=pos)
+        self.index += 1
+
+    # -- grammar ------------------------------------------------------------
+    def parse(self) -> Expr:
+        expr = self._expr()
+        token = self._peek()
+        if token is not None:
+            raise ParseError(
+                f"trailing input {token.text!r}", text=self.text, position=token.pos
+            )
+        return expr
+
+    def _expr(self) -> Expr:
+        left = self._or_expr()
+        if self._accept_op("->"):
+            right = self._expr()  # right associative
+            return Implies(left, right)
+        return left
+
+    def _or_expr(self) -> Expr:
+        items = [self._xor_expr()]
+        while self._accept_op("|"):
+            items.append(self._xor_expr())
+        if len(items) == 1:
+            return items[0]
+        return Or(items)
+
+    def _xor_expr(self) -> Expr:
+        items = [self._and_expr()]
+        while self._accept_op("^"):
+            items.append(self._and_expr())
+        if len(items) == 1:
+            return items[0]
+        return Xor(items)
+
+    def _and_expr(self) -> Expr:
+        items = [self._unary()]
+        while self._accept_op("&"):
+            items.append(self._unary())
+        if len(items) == 1:
+            return items[0]
+        return And(items)
+
+    def _unary(self) -> Expr:
+        if self._accept_op("!"):
+            return Not(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._next()
+        if token.kind == "const":
+            return TRUE if token.text == "true" else FALSE
+        if token.kind == "func":
+            args = self._arg_list()
+            if len(args) == 1:
+                return args[0]
+            if token.text == "one_of":
+                return OneOf(args)
+            return Xor(args)
+        if token.kind == "name":
+            return Atom(token.text)
+        if token.kind == "op" and token.text == "(":
+            inner = self._expr()
+            self._expect_op(")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text!r}", text=self.text, position=token.pos
+        )
+
+    def _arg_list(self) -> List[Expr]:
+        self._expect_op("(")
+        args = [self._expr()]
+        while self._accept_op(","):
+            args.append(self._expr())
+        self._expect_op(")")
+        return args
+
+
+def parse(text: str) -> Expr:
+    """Parse a dependency-expression string into an :class:`Expr`.
+
+    Raises:
+        ParseError: on malformed input, with the failure position.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"expected str, got {type(text).__name__}")
+    if not text.strip():
+        raise ParseError("empty expression", text=text, position=0)
+    return _Parser(text).parse()

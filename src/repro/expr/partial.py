@@ -1,0 +1,109 @@
+"""Three-valued (Kleene) evaluation of dependency expressions.
+
+Used by the backtracking safe-configuration enumerator: while components
+are being decided one at a time, an invariant may already be determined
+(definitely true / definitely false) or still open.  ``evaluate_partial``
+returns ``True``/``False`` when the expression's value no longer depends
+on the undecided components, and ``None`` otherwise.
+
+Kleene semantics: ``and`` is False if any operand is False, True if all
+are True, else unknown; ``or`` dually; ``not`` flips; ``implies`` is
+``or(not a, b)``; ``xor``/``one_of`` are unknown unless enough operands
+are decided to fix the count/parity.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from repro.expr.ast import (
+    And,
+    Atom,
+    Expr,
+    Implies,
+    Not,
+    OneOf,
+    Or,
+    Xor,
+    _Const,
+)
+
+
+def evaluate_partial(
+    expr: Expr, present: AbstractSet[str], absent: AbstractSet[str]
+) -> Optional[bool]:
+    """Evaluate *expr* where only some atoms are decided.
+
+    Args:
+        expr: the expression.
+        present: components decided to be in the configuration.
+        absent: components decided to be out of the configuration.
+
+    Returns:
+        The truth value if determined by the decided atoms, else ``None``.
+    """
+    if isinstance(expr, _Const):
+        return expr.value
+    if isinstance(expr, Atom):
+        if expr.name in present:
+            return True
+        if expr.name in absent:
+            return False
+        return None
+    if isinstance(expr, Not):
+        inner = evaluate_partial(expr.operand, present, absent)
+        return None if inner is None else (not inner)
+    if isinstance(expr, And):
+        unknown = False
+        for operand in expr.operands:
+            value = evaluate_partial(operand, present, absent)
+            if value is False:
+                return False
+            if value is None:
+                unknown = True
+        return None if unknown else True
+    if isinstance(expr, Or):
+        unknown = False
+        for operand in expr.operands:
+            value = evaluate_partial(operand, present, absent)
+            if value is True:
+                return True
+            if value is None:
+                unknown = True
+        return None if unknown else False
+    if isinstance(expr, Xor):
+        parity = False
+        for operand in expr.operands:
+            value = evaluate_partial(operand, present, absent)
+            if value is None:
+                return None
+            parity ^= value
+        return parity
+    if isinstance(expr, OneOf):
+        true_count = 0
+        unknown_count = 0
+        for operand in expr.operands:
+            value = evaluate_partial(operand, present, absent)
+            if value is True:
+                true_count += 1
+                if true_count > 1:
+                    return False  # determined regardless of the unknowns
+            elif value is None:
+                unknown_count += 1
+        if true_count == 1 and unknown_count == 0:
+            return True
+        if true_count == 0 and unknown_count == 0:
+            return False
+        if true_count == 1 and unknown_count > 0:
+            return None  # an unknown could become a second True
+        # true_count == 0 with unknowns: could end up 0 or 1
+        return None
+    if isinstance(expr, Implies):
+        antecedent = evaluate_partial(expr.antecedent, present, absent)
+        consequent = evaluate_partial(expr.consequent, present, absent)
+        if antecedent is False or consequent is True:
+            return True
+        if antecedent is True and consequent is False:
+            return False
+        return None
+    raise TypeError(f"unknown Expr node {type(expr).__name__}")  # pragma: no cover

@@ -1,0 +1,120 @@
+"""A small directed multigraph with labelled, weighted edges.
+
+Kept deliberately minimal: the planner needs adjacency iteration, edge
+labels (adaptive-action identifiers), and non-negative weights (costs).
+Parallel edges between the same node pair are allowed — two different
+adaptive actions may connect the same pair of configurations — which is why
+this is a multigraph keyed by labels rather than an adjacency matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Set, Tuple, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+L = TypeVar("L", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class Edge(Generic[N, L]):
+    """A directed, labelled, weighted edge."""
+
+    source: N
+    target: N
+    label: L
+    weight: float
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise ValueError(f"edge weight must be non-negative, got {self.weight}")
+
+
+class Digraph(Generic[N, L]):
+    """Directed multigraph with hashable nodes and labelled weighted edges."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[N, List[Edge[N, L]]] = {}
+        self._nodes: Set[N] = set()
+        self._edge_count = 0
+
+    # -- construction --------------------------------------------------------
+    def add_node(self, node: N) -> None:
+        """Add *node* (idempotent)."""
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._adjacency.setdefault(node, [])
+
+    def add_edge(self, source: N, target: N, label: L, weight: float) -> Edge[N, L]:
+        """Add a directed edge; both endpoints are added implicitly."""
+        edge = Edge(source, target, label, weight)
+        self.add_node(source)
+        self.add_node(target)
+        self._adjacency[source].append(edge)
+        self._edge_count += 1
+        return edge
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def __contains__(self, node: N) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> Iterator[N]:
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[Edge[N, L]]:
+        for out_edges in self._adjacency.values():
+            yield from out_edges
+
+    def out_edges(self, node: N) -> Tuple[Edge[N, L], ...]:
+        """Outgoing edges of *node* (empty tuple if the node is unknown)."""
+        return tuple(self._adjacency.get(node, ()))
+
+    def successors(self, node: N) -> Iterator[N]:
+        seen: Set[N] = set()
+        for edge in self._adjacency.get(node, ()):
+            if edge.target not in seen:
+                seen.add(edge.target)
+                yield edge.target
+
+    def has_edge(self, source: N, target: N) -> bool:
+        return any(e.target == target for e in self._adjacency.get(source, ()))
+
+    def edge_labels(self, source: N, target: N) -> Tuple[L, ...]:
+        """Labels of all parallel edges from *source* to *target*."""
+        return tuple(
+            e.label for e in self._adjacency.get(source, ()) if e.target == target
+        )
+
+    def subgraph_without(
+        self,
+        removed_edges: Iterable[Tuple[N, L]] = (),
+        removed_nodes: Iterable[N] = (),
+    ) -> "Digraph[N, L]":
+        """Copy of the graph minus the given ``(source, label)`` edges and nodes.
+
+        Used by Yen's algorithm to generate spur candidates.
+        """
+        removed_edge_set = set(removed_edges)
+        removed_node_set = set(removed_nodes)
+        out: Digraph[N, L] = Digraph()
+        for node in self._nodes:
+            if node not in removed_node_set:
+                out.add_node(node)
+        for edge in self.edges():
+            if edge.source in removed_node_set or edge.target in removed_node_set:
+                continue
+            if (edge.source, edge.label) in removed_edge_set:
+                continue
+            out.add_edge(edge.source, edge.target, edge.label, edge.weight)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Digraph(nodes={self.node_count}, edges={self.edge_count})"

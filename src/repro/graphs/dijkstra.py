@@ -1,0 +1,130 @@
+"""Dijkstra's shortest-path algorithm (paper §4.2, step 3).
+
+The adaptation manager "appl[ies] Dijkstra's shortest path algorithm on the
+SAG to find a feasible solution with minimum weight".  Ties between
+equal-cost paths are broken deterministically by (cost, hop count,
+insertion order), so a given SAG always yields the same Minimum Adaptation
+Path run-to-run — important for reproducible planning.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, Iterable, Optional, Tuple, TypeVar
+
+from repro.graphs.digraph import Digraph, Edge
+
+N = TypeVar("N", bound=Hashable)
+L = TypeVar("L", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class Path(Generic[N, L]):
+    """A directed path: nodes visited, the edges taken, and the total cost."""
+
+    nodes: Tuple[N, ...]
+    edges: Tuple[Edge[N, L], ...]
+    cost: float
+
+    def __post_init__(self):
+        if len(self.nodes) != len(self.edges) + 1:
+            raise ValueError("a path over k edges must have k+1 nodes")
+
+    @property
+    def labels(self) -> Tuple[L, ...]:
+        """Edge labels along the path (for the planner: action ids)."""
+        return tuple(edge.label for edge in self.edges)
+
+    @property
+    def source(self) -> N:
+        return self.nodes[0]
+
+    @property
+    def target(self) -> N:
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def dijkstra(
+    graph: Digraph[N, L],
+    source: N,
+    target: Optional[N] = None,
+) -> Tuple[Dict[N, float], Dict[N, Edge[N, L]]]:
+    """Single-source shortest distances and predecessor edges.
+
+    Returns ``(dist, pred)`` where ``dist[n]`` is the minimal cost from
+    *source* to ``n`` and ``pred[n]`` is the final edge of one such minimal
+    path.  If *target* is given, the search stops once it is settled.
+    """
+    if source not in graph:
+        raise KeyError(f"source node not in graph: {source!r}")
+    dist: Dict[N, float] = {source: 0.0}
+    hops: Dict[N, int] = {source: 0}
+    pred: Dict[N, Edge[N, L]] = {}
+    settled: set = set()
+    counter = 0
+    # heap entries: (cost, hop_count, tie, node)
+    heap: list = [(0.0, 0, counter, source)]
+    while heap:
+        cost, nhops, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if target is not None and node == target:
+            break
+        for edge in graph.out_edges(node):
+            if edge.target in settled:
+                continue
+            candidate = cost + edge.weight
+            candidate_hops = nhops + 1
+            best = dist.get(edge.target)
+            if (
+                best is None
+                or candidate < best
+                or (candidate == best and candidate_hops < hops[edge.target])
+            ):
+                dist[edge.target] = candidate
+                hops[edge.target] = candidate_hops
+                pred[edge.target] = edge
+                counter += 1
+                heapq.heappush(heap, (candidate, candidate_hops, counter, edge.target))
+    return dist, pred
+
+
+def _reconstruct(source: N, target: N, pred: Dict[N, Edge[N, L]], cost: float) -> Path[N, L]:
+    edges = []
+    node = target
+    while node != source:
+        edge = pred[node]
+        edges.append(edge)
+        node = edge.source
+    edges.reverse()
+    nodes = (source,) + tuple(edge.target for edge in edges)
+    return Path(nodes=nodes, edges=tuple(edges), cost=cost)
+
+
+def shortest_path(
+    graph: Digraph[N, L],
+    source: N,
+    target: N,
+) -> Optional[Path[N, L]]:
+    """Minimum-cost path from *source* to *target*, or ``None`` if unreachable."""
+    if source not in graph:
+        raise KeyError(f"source node not in graph: {source!r}")
+    if target not in graph:
+        raise KeyError(f"target node not in graph: {target!r}")
+    if source == target:
+        return Path(nodes=(source,), edges=(), cost=0.0)
+    dist, pred = dijkstra(graph, source, target)
+    if target not in dist or target not in pred:
+        return None
+    return _reconstruct(source, target, pred, dist[target])
+
+
+def reachable_from(graph: Digraph[N, L], source: N) -> Dict[N, float]:
+    """All nodes reachable from *source* with their minimal costs."""
+    dist, _ = dijkstra(graph, source)
+    return dist

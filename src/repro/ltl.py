@@ -1,0 +1,262 @@
+"""Past-time LTL runtime monitoring — the paper's §7 future work, built.
+
+    "One promising approach is to use a temporal logic formula to specify
+    the set of critical communication segments of a component.  The
+    run-time component states can be monitored and the formula can then be
+    dynamically evaluated.  If all the obligations of the formula are
+    fulfilled in a state, then the state can be automatically identified
+    as a safe state."
+
+We implement exactly that: a small past-time LTL (ptLTL) over event
+propositions, evaluated *incrementally* in O(formula) per event (the
+standard recursive-update construction), plus a
+:class:`SafeStateMonitor` that watches a process's event stream and
+reports when the formula holds — the automatically derived local safe
+state.
+
+Operators:
+
+* ``Prop(name)`` — true in a step iff the step's event set contains name;
+* boolean ``PNot`` / ``PAnd`` / ``POr`` / ``PImplies``;
+* ``Previously(f)`` — f held in the previous step (⊙, "yesterday");
+* ``Once(f)`` — f held in some step so far (⧫);
+* ``Historically(f)`` — f held in every step so far (⊡);
+* ``Since(f, g)`` — g held at some past step and f has held ever since
+  (f S g).
+
+The canonical safe-state formula for the video decoder —
+"every packet that started decoding has finished" — is provided by
+:func:`no_open_segments`, expressed as
+``Historically(start → ¬start Since' done)`` via counting; in practice a
+counter proposition is simpler and exact, so :class:`SafeStateMonitor`
+also supports *balanced* propositions (start/done pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+
+class PFormula:
+    """Base class for past-time LTL formulas (immutable)."""
+
+    __slots__ = ()
+
+    def subformulas(self) -> Tuple["PFormula", ...]:
+        """Post-order listing (children before parents), with duplicates."""
+        out: List[PFormula] = []
+        self._collect(out)
+        return tuple(out)
+
+    def _collect(self, out: List["PFormula"]) -> None:
+        raise NotImplementedError
+
+    def _step(self, events: AbstractSet[str], now: Dict[int, bool],
+              prev: Dict[int, bool]) -> bool:
+        raise NotImplementedError
+
+
+class Prop(PFormula):
+    """Atomic proposition: the current step carries this event name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *a):  # pragma: no cover
+        raise AttributeError("immutable")
+
+    def _collect(self, out):
+        out.append(self)
+
+    def _step(self, events, now, prev):
+        return self.name in events
+
+    def __repr__(self):
+        return f"Prop({self.name!r})"
+
+
+class _Unary(PFormula):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: PFormula):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, *a):  # pragma: no cover
+        raise AttributeError("immutable")
+
+    def _collect(self, out):
+        self.operand._collect(out)
+        out.append(self)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.operand!r})"
+
+
+class _Binary(PFormula):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PFormula, right: PFormula):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *a):  # pragma: no cover
+        raise AttributeError("immutable")
+
+    def _collect(self, out):
+        self.left._collect(out)
+        self.right._collect(out)
+        out.append(self)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+
+class PNot(_Unary):
+    def _step(self, events, now, prev):
+        return not now[id(self.operand)]
+
+
+class PAnd(_Binary):
+    def _step(self, events, now, prev):
+        return now[id(self.left)] and now[id(self.right)]
+
+
+class POr(_Binary):
+    def _step(self, events, now, prev):
+        return now[id(self.left)] or now[id(self.right)]
+
+
+class PImplies(_Binary):
+    def _step(self, events, now, prev):
+        return (not now[id(self.left)]) or now[id(self.right)]
+
+
+class Previously(_Unary):
+    """⊙f — f held at the previous step (false at the first step)."""
+
+    def _step(self, events, now, prev):
+        return prev.get(id(self.operand), False)
+
+
+class Once(_Unary):
+    """⧫f — f held at some step up to and including now."""
+
+    def _step(self, events, now, prev):
+        return now[id(self.operand)] or prev.get(id(self), False)
+
+
+class Historically(_Unary):
+    """⊡f — f held at every step up to and including now."""
+
+    def _step(self, events, now, prev):
+        return now[id(self.operand)] and prev.get(id(self), True)
+
+
+class Since(_Binary):
+    """f S g — g held at some past-or-present step, and f has held since
+    (strictly after that step, through now)."""
+
+    def _step(self, events, now, prev):
+        return now[id(self.right)] or (
+            now[id(self.left)] and prev.get(id(self), False)
+        )
+
+
+class PTLTLMonitor:
+    """Incremental evaluator: O(|formula|) per step, O(|formula|) state."""
+
+    def __init__(self, formula: PFormula):
+        self.formula = formula
+        self._order = formula.subformulas()
+        self._prev: Dict[int, bool] = {}
+        self.steps = 0
+        self.value: Optional[bool] = None
+
+    def step(self, events: Iterable[str]) -> bool:
+        """Feed one step's event set; returns the formula's current value."""
+        event_set = frozenset(events)
+        now: Dict[int, bool] = {}
+        for sub in self._order:
+            now[id(sub)] = sub._step(event_set, now, self._prev)
+        self._prev = now
+        self.steps += 1
+        self.value = now[id(self.formula)]
+        return self.value
+
+    def run(self, trace: Iterable[Iterable[str]]) -> List[bool]:
+        """Evaluate over a whole trace; returns the per-step values."""
+        return [self.step(events) for events in trace]
+
+
+@dataclass(frozen=True)
+class BalancedPair:
+    """A start/done event pair whose balance defines an open obligation."""
+
+    start: str
+    done: str
+
+
+class SafeStateMonitor:
+    """Automatic local-safe-state detection (§7 future work).
+
+    Combines a ptLTL formula (arbitrary temporal obligations) with
+    *balanced pairs* (counting obligations like "every begin-decode has a
+    matching end-decode", which pure ptLTL cannot count).  The process is
+    in a safe state when the formula holds **and** every pair is balanced
+    — exactly "all the obligations of the formula are fulfilled in a
+    state".
+    """
+
+    def __init__(
+        self,
+        formula: Optional[PFormula] = None,
+        pairs: Iterable[BalancedPair] = (),
+    ):
+        self.monitor = PTLTLMonitor(formula) if formula is not None else None
+        self.pairs = tuple(pairs)
+        self._open: Dict[BalancedPair, int] = {pair: 0 for pair in self.pairs}
+        self._callbacks: List[Callable[[], None]] = []
+
+    def on_safe(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever an observation lands in a
+        safe state (used by agents waiting to reset)."""
+        self._callbacks.append(callback)
+
+    def observe(self, *events: str) -> bool:
+        """Feed one step's events; returns whether the state is safe."""
+        event_set = frozenset(events)
+        for pair in self.pairs:
+            if pair.start in event_set:
+                self._open[pair] += 1
+            if pair.done in event_set:
+                if self._open[pair] == 0:
+                    raise ValueError(
+                        f"unmatched {pair.done!r} (no open {pair.start!r})"
+                    )
+                self._open[pair] -= 1
+        formula_ok = True
+        if self.monitor is not None:
+            formula_ok = self.monitor.step(event_set)
+        if self.safe and self._callbacks:
+            for callback in self._callbacks:
+                callback()
+        return self.safe
+
+    @property
+    def open_obligations(self) -> int:
+        return sum(self._open.values())
+
+    @property
+    def safe(self) -> bool:
+        formula_ok = self.monitor.value if self.monitor is not None else True
+        if formula_ok is None:  # no step observed yet: vacuously safe
+            formula_ok = True
+        return bool(formula_ok) and self.open_obligations == 0
+
+
+def no_open_segments(start: str = "start", done: str = "done") -> SafeStateMonitor:
+    """The canonical decoder safe-state monitor: no segment mid-flight."""
+    return SafeStateMonitor(pairs=[BalancedPair(start, done)])

@@ -1,0 +1,255 @@
+"""Declarative system manifests: the analysis-phase artifact as a file.
+
+The paper's analysis phase (§4.1) has developers prepare
+``P = (S, I, T, R, A)``.  A manifest captures the declarative parts —
+components with their host processes, dependency invariants, adaptive
+actions with costs, and named configurations — in a plain-text format, so
+a system can be planned and simulated without writing Python:
+
+.. code-block:: text
+
+    # video.manifest
+    [components]
+    D5 @ laptop   : DES 128-bit decoder
+    D4 @ laptop   : DES 64-bit decoder
+    E1 @ server   : DES 64-bit encoder
+
+    [invariants]
+    resource : one_of(D1, D2, D3)
+    : E1 -> (D1 | D2) & D4          # unnamed invariant
+
+    [actions]
+    A1  : E1 -> E2 @ 10             # replace, cost 10
+    A16 : -D4 @ 10                  # remove
+    A17 : +D5 @ 10                  # insert
+    A14 : (D1, D4, E1) -> (D3, D5, E2) @ 150
+
+    [configurations]
+    source = 0100101                # bit vector over [components] order
+    target = D3, D5, E2             # or an explicit member list
+
+``loads``/``dumps`` round-trip; the CLI (``python -m repro``) consumes
+manifests directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.invariants import Invariant, InvariantSet
+from repro.core.model import Component, ComponentUniverse, Configuration
+from repro.core.planner import AdaptationPlanner
+from repro.errors import ParseError
+from repro.expr.ast import to_text
+
+_SECTIONS = ("components", "invariants", "actions", "configurations")
+
+_COMPONENT_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][\w.\-]*)\s*(?:@\s*(?P<process>[\w.\-]+))?"
+    r"\s*(?::\s*(?P<description>.*))?$"
+)
+_ACTION_RE = re.compile(
+    r"^(?P<id>[\w.\-]+)\s*:\s*(?P<operation>.+?)\s*@\s*(?P<cost>[0-9.]+)"
+    r"\s*(?:;\s*(?P<description>.*))?$"
+)
+_REPLACE_RE = re.compile(
+    r"^(?:\((?P<removes_group>[^)]*)\)|(?P<removes_one>[\w.\-]+))\s*->\s*"
+    r"(?:\((?P<adds_group>[^)]*)\)|(?P<adds_one>[\w.\-]+))$"
+)
+
+
+@dataclass
+class SystemManifest:
+    """A parsed manifest: the declarative analysis-phase model."""
+
+    universe: ComponentUniverse
+    invariants: InvariantSet
+    actions: ActionLibrary
+    configurations: Dict[str, Configuration] = field(default_factory=dict)
+
+    def planner(self) -> AdaptationPlanner:
+        return AdaptationPlanner(self.universe, self.invariants, self.actions)
+
+    def resolve_configuration(self, spec: str) -> Configuration:
+        """Resolve a named configuration, bit vector, or member list."""
+        if spec in self.configurations:
+            return self.configurations[spec]
+        stripped = spec.strip()
+        if re.fullmatch(r"[01]+", stripped):
+            return self.universe.from_bits(stripped)
+        members = [part.strip() for part in stripped.split(",") if part.strip()]
+        self.universe.validate_members(members)
+        return Configuration(members)
+
+
+def _strip_comment(line: str) -> str:
+    # '#' starts a comment unless inside nothing fancy (manifests have no
+    # string literals, so a bare find is correct).
+    index = line.find("#")
+    return line if index < 0 else line[:index]
+
+
+def _parse_operation(text: str, line_no: int) -> Tuple[frozenset, frozenset]:
+    text = text.strip()
+    if text.startswith("+"):
+        names = [part.strip() for part in text[1:].split(",")]
+        return frozenset(), frozenset(filter(None, names))
+    if text.startswith("-"):
+        names = [part.strip() for part in text[1:].split(",")]
+        return frozenset(filter(None, names)), frozenset()
+    match = _REPLACE_RE.match(text)
+    if match is None:
+        raise ParseError(
+            f"line {line_no}: cannot parse action operation {text!r}"
+        )
+    removes_raw = match.group("removes_group") or match.group("removes_one")
+    adds_raw = match.group("adds_group") or match.group("adds_one")
+    removes = frozenset(p.strip() for p in removes_raw.split(",") if p.strip())
+    adds = frozenset(p.strip() for p in adds_raw.split(",") if p.strip())
+    return removes, adds
+
+
+def loads(text: str) -> SystemManifest:
+    """Parse a manifest string.  Raises :class:`ParseError` on bad input."""
+    components: List[Component] = []
+    invariant_entries: List[Tuple[str, str]] = []
+    action_entries: List[Tuple[str, str, float, str, int]] = []
+    config_entries: List[Tuple[str, str]] = []
+    section: Optional[str] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip().lower()
+            if section not in _SECTIONS:
+                raise ParseError(f"line {line_no}: unknown section [{section}]")
+            continue
+        if section is None:
+            raise ParseError(f"line {line_no}: content before any [section]")
+        if section == "components":
+            match = _COMPONENT_RE.match(line)
+            if match is None:
+                raise ParseError(f"line {line_no}: bad component {line!r}")
+            components.append(
+                Component(
+                    match.group("name"),
+                    process=match.group("process") or "local",
+                    description=(match.group("description") or "").strip(),
+                )
+            )
+        elif section == "invariants":
+            if ":" in line:
+                name, _, expr_text = line.partition(":")
+                invariant_entries.append((name.strip(), expr_text.strip()))
+            else:
+                invariant_entries.append(("", line))
+        elif section == "actions":
+            match = _ACTION_RE.match(line)
+            if match is None:
+                raise ParseError(f"line {line_no}: bad action {line!r}")
+            action_entries.append(
+                (
+                    match.group("id"),
+                    match.group("operation"),
+                    float(match.group("cost")),
+                    (match.group("description") or "").strip(),
+                    line_no,
+                )
+            )
+        elif section == "configurations":
+            name, eq, value = line.partition("=")
+            if not eq:
+                raise ParseError(
+                    f"line {line_no}: configurations need 'name = value'"
+                )
+            config_entries.append((name.strip(), value.strip()))
+
+    if not components:
+        raise ParseError("manifest has no [components]")
+    universe = ComponentUniverse(components)
+
+    invariants = InvariantSet(
+        [Invariant(expr_text, name=name) for name, expr_text in invariant_entries]
+    )
+    for invariant in invariants:
+        unknown = invariant.atoms() - universe.names
+        if unknown:
+            raise ParseError(
+                f"invariant {invariant.name!r} mentions unknown components "
+                f"{sorted(unknown)}"
+            )
+
+    actions = ActionLibrary()
+    for action_id, operation, cost, description, line_no in action_entries:
+        removes, adds = _parse_operation(operation, line_no)
+        unknown = (removes | adds) - universe.names
+        if unknown:
+            raise ParseError(
+                f"line {line_no}: action {action_id} uses unknown components "
+                f"{sorted(unknown)}"
+            )
+        actions.add(AdaptiveAction(action_id, removes, adds, cost, description))
+
+    manifest = SystemManifest(universe, invariants, actions)
+    for name, value in config_entries:
+        manifest.configurations[name] = manifest.resolve_configuration(value)
+    return manifest
+
+
+def load_path(path) -> SystemManifest:
+    """Parse a manifest file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dumps(manifest: SystemManifest) -> str:
+    """Render a manifest back to text (``loads``/``dumps`` round-trips)."""
+    lines: List[str] = ["[components]"]
+    for component in manifest.universe:
+        entry = f"{component.name} @ {component.process}"
+        if component.description:
+            entry += f" : {component.description}"
+        lines.append(entry)
+    lines.append("")
+    lines.append("[invariants]")
+    for invariant in manifest.invariants:
+        rendered = to_text(invariant.expr)
+        name = invariant.name if invariant.name != rendered else ""
+        lines.append(f"{name} : {rendered}".strip())
+    lines.append("")
+    lines.append("[actions]")
+    for action in manifest.actions:
+        entry = f"{action.action_id} : {action.operation_text()} @ {action.cost:g}"
+        if action.description:
+            entry += f" ; {action.description}"
+        lines.append(entry)
+    if manifest.configurations:
+        lines.append("")
+        lines.append("[configurations]")
+        for name, config in manifest.configurations.items():
+            lines.append(f"{name} = {manifest.universe.to_bits(config)}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def video_manifest_text() -> str:
+    """The §5 video system as a manifest (used by docs, tests, and CLI)."""
+    from repro.apps.video.system import (
+        PAPER_SOURCE_BITS,
+        PAPER_TARGET_BITS,
+        video_actions,
+        video_invariants,
+        video_universe,
+    )
+
+    manifest = SystemManifest(
+        video_universe(), video_invariants(), video_actions()
+    )
+    manifest.configurations["source"] = manifest.universe.from_bits(PAPER_SOURCE_BITS)
+    manifest.configurations["target"] = manifest.universe.from_bits(PAPER_TARGET_BITS)
+    return dumps(manifest)

@@ -1,0 +1,30 @@
+"""Program monitoring and decision-making (RAPIDware tasks 2–3, §1).
+
+The paper's process-management contribution assumes something upstream
+"detects a condition warranting adaptation" and chooses a target
+configuration.  This package provides that minimal upstream: sensors
+(battery, loss rate, threat level), threshold rules with hysteresis and
+cooldowns, and a decision engine that issues adaptation requests to the
+manager when the system is idle.
+"""
+
+from repro.monitor.sensors import (
+    BatterySensor,
+    EwmaSensor,
+    GaugeSensor,
+    Sensor,
+    WindowRateSensor,
+)
+from repro.monitor.rules import AdaptationRule, Threshold
+from repro.monitor.engine import DecisionEngine
+
+__all__ = [
+    "Sensor",
+    "GaugeSensor",
+    "EwmaSensor",
+    "BatterySensor",
+    "WindowRateSensor",
+    "Threshold",
+    "AdaptationRule",
+    "DecisionEngine",
+]

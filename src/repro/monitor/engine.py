@@ -1,0 +1,92 @@
+"""The decision engine: periodic rule evaluation → adaptation requests.
+
+Bridges monitoring (sensors + rules) to process management (the
+adaptation manager).  On each evaluation it fires at most one rule — the
+highest-priority tripped one — and only when the manager is idle and the
+target differs from the current committed configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.model import Configuration
+from repro.errors import NoSafePathError, UnsafeConfigurationError
+from repro.monitor.rules import AdaptationRule
+from repro.protocol.manager import ManagerState
+from repro.sim.cluster import AdaptationCluster
+
+
+@dataclass
+class Decision:
+    """One fired rule, for audit logs and tests."""
+
+    time: float
+    rule: str
+    target: Configuration
+    accepted: bool
+    detail: str = ""
+
+
+class DecisionEngine:
+    """Evaluates rules and issues adaptation requests."""
+
+    def __init__(self, rules: Sequence[AdaptationRule]):
+        self.rules: List[AdaptationRule] = list(rules)
+        self.decisions: List[Decision] = []
+
+    def evaluate(
+        self,
+        now: float,
+        current: Configuration,
+        request: Callable[[Configuration], None],
+        busy: bool = False,
+    ) -> Optional[Decision]:
+        """One evaluation round.
+
+        Args:
+            now: current time (simulated or wall).
+            current: the committed configuration.
+            request: callback that starts the adaptation (manager entry).
+            busy: True while an adaptation is already in flight — tripped
+                rules are recorded but not fired.
+        """
+        tripped = [rule for rule in self.rules if rule.evaluate(now)]
+        if not tripped:
+            return None
+        tripped.sort(key=lambda rule: (-rule.priority, rule.name))
+        rule = tripped[0]
+        if busy:
+            decision = Decision(now, rule.name, rule.target, False, "manager busy")
+        elif rule.target == current:
+            decision = Decision(now, rule.name, rule.target, False, "already at target")
+        else:
+            try:
+                request(rule.target)
+            except (NoSafePathError, UnsafeConfigurationError) as exc:
+                decision = Decision(now, rule.name, rule.target, False, str(exc))
+            else:
+                rule.mark_fired(now)
+                decision = Decision(now, rule.name, rule.target, True)
+        self.decisions.append(decision)
+        return decision
+
+    # -- simulator integration -------------------------------------------------------
+    def attach_to(self, cluster: AdaptationCluster, period: float = 10.0) -> None:
+        """Schedule periodic evaluation on a simulated cluster."""
+
+        def tick() -> None:
+            manager = cluster.manager
+            busy = manager.machine.state != ManagerState.RUNNING or (
+                manager.outcome is None and manager.machine.plan is not None
+            )
+            self.evaluate(
+                cluster.sim.now,
+                manager.committed,
+                manager.request_adaptation,
+                busy=busy,
+            )
+            cluster.sim.schedule(period, tick)
+
+        cluster.sim.schedule(period, tick)

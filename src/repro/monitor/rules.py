@@ -1,0 +1,99 @@
+"""Decision rules: when a sensor reading warrants an adaptation.
+
+A :class:`Threshold` is a hysteresis comparator (trip above/below one
+level, re-arm past another, so oscillating readings do not thrash the
+adaptation manager).  An :class:`AdaptationRule` binds a threshold on one
+sensor to a target configuration, with a priority and a cooldown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.model import Configuration
+from repro.monitor.sensors import Sensor
+
+
+@dataclass
+class Threshold:
+    """Hysteresis comparator.
+
+    ``direction="above"`` trips when the reading exceeds ``trip`` and
+    re-arms once it falls below ``rearm`` (which defaults to ``trip``);
+    ``direction="below"`` is the mirror image.
+    """
+
+    trip: float
+    direction: str = "above"
+    rearm: Optional[float] = None
+    _armed: bool = field(default=True, repr=False)
+
+    def __post_init__(self):
+        if self.direction not in ("above", "below"):
+            raise ValueError(f"direction must be 'above' or 'below', got {self.direction!r}")
+        if self.rearm is None:
+            self.rearm = self.trip
+
+    def check(self, value: float) -> bool:
+        """Evaluate one reading; returns True on a (newly armed) trip."""
+        if self.direction == "above":
+            tripped = value > self.trip
+            rearmed = value <= (self.rearm if self.rearm is not None else self.trip)
+        else:
+            tripped = value < self.trip
+            rearmed = value >= (self.rearm if self.rearm is not None else self.trip)
+        if self._armed and tripped:
+            self._armed = False
+            return True
+        if not self._armed and rearmed:
+            self._armed = True
+        return False
+
+    def observe(self, value: float) -> None:
+        """Passive reading: may re-arm, never trips (used during cooldown)."""
+        if self.direction == "above":
+            rearmed = value <= (self.rearm if self.rearm is not None else self.trip)
+        else:
+            rearmed = value >= (self.rearm if self.rearm is not None else self.trip)
+        if not self._armed and rearmed:
+            self._armed = True
+
+
+@dataclass
+class AdaptationRule:
+    """Sensor threshold → target configuration.
+
+    Attributes:
+        name: rule identifier for logs and tests.
+        sensor: the sensor to sample.
+        threshold: trip condition with hysteresis.
+        target: configuration to request when tripped.
+        priority: higher wins when several rules trip in one evaluation.
+        cooldown: minimum time between firings of this rule.
+    """
+
+    name: str
+    sensor: Sensor
+    threshold: Threshold
+    target: Configuration
+    priority: int = 0
+    cooldown: float = 0.0
+    last_fired: Optional[float] = field(default=None, repr=False)
+    fired_count: int = field(default=0, repr=False)
+
+    def ready(self, now: float) -> bool:
+        return self.last_fired is None or (now - self.last_fired) >= self.cooldown
+
+    def evaluate(self, now: float) -> bool:
+        """Sample the sensor; True iff this rule wants to fire now."""
+        if not self.ready(now):
+            # Cooling down: keep hysteresis re-arming, but never consume a
+            # trip the rule cannot act on.
+            self.threshold.observe(self.sensor.sample())
+            return False
+        return self.threshold.check(self.sensor.sample())
+
+    def mark_fired(self, now: float) -> None:
+        self.last_fired = now
+        self.fired_count += 1

@@ -1,0 +1,98 @@
+"""Sensors: named sources of scalar readings.
+
+Instrumentation points feed sensors; the decision engine samples them on
+its evaluation period.  All sensors are simulation-friendly (no wall
+clock — time is passed in explicitly where it matters).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class Sensor:
+    """A named scalar reading."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("sensor name must be non-empty")
+        self.name = name
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+
+class GaugeSensor(Sensor):
+    """Directly set value (e.g. an operator-controlled threat level)."""
+
+    def __init__(self, name: str, value: float = 0.0):
+        super().__init__(name)
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def sample(self) -> float:
+        return self.value
+
+
+class EwmaSensor(Sensor):
+    """Exponentially weighted moving average over observed values."""
+
+    def __init__(self, name: str, alpha: float = 0.3, initial: float = 0.0):
+        super().__init__(name)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value = initial
+
+    def observe(self, value: float) -> None:
+        self._value = self.alpha * value + (1.0 - self.alpha) * self._value
+
+    def sample(self) -> float:
+        return self._value
+
+
+class WindowRateSensor(Sensor):
+    """Fraction of "bad" events over a sliding window (e.g. packet loss)."""
+
+    def __init__(self, name: str, window: int = 100):
+        super().__init__(name)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._events: Deque[bool] = deque(maxlen=window)
+
+    def observe(self, bad: bool) -> None:
+        self._events.append(bool(bad))
+
+    def sample(self) -> float:
+        if not self._events:
+            return 0.0
+        return sum(self._events) / len(self._events)
+
+
+class BatterySensor(Sensor):
+    """Battery level draining linearly with (simulated) time.
+
+    The handheld client of §5 is battery-constrained; examples use this
+    to trigger a move to cheaper decoders as charge drops.
+    """
+
+    def __init__(
+        self, name: str, capacity: float = 100.0, drain_per_unit: float = 0.1
+    ):
+        super().__init__(name)
+        self.capacity = capacity
+        self.drain_per_unit = drain_per_unit
+        self._level = capacity
+        self._last_time: Optional[float] = None
+
+    def advance_to(self, now: float) -> None:
+        if self._last_time is not None:
+            elapsed = max(0.0, now - self._last_time)
+            self._level = max(0.0, self._level - elapsed * self.drain_per_unit)
+        self._last_time = now
+
+    def sample(self) -> float:
+        return self._level

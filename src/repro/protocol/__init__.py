@@ -1,0 +1,81 @@
+"""Realization-phase protocol (paper §4.3–§4.4, Figures 1–2).
+
+The adaptation manager and per-process agents are implemented *sans-io*:
+pure state machines that consume events (messages, timeouts, host
+callbacks) and emit :mod:`effects <repro.protocol.effects>` (send a
+message, set a timer, block the process, execute an in-action...).  The
+same machines are driven by the discrete-event simulator
+(:mod:`repro.sim.cluster`) for deterministic, fault-injected testing, and
+by the threaded live runtime (:mod:`repro.runtime`) for real hot swaps.
+"""
+
+from repro.protocol.messages import (
+    AdaptDone,
+    Envelope,
+    Message,
+    ResetCmd,
+    ResetDone,
+    ResumeCmd,
+    ResumeDone,
+    RollbackCmd,
+    RollbackDone,
+    StatusQuery,
+    StatusReport,
+)
+from repro.protocol.effects import (
+    AdaptationAborted,
+    AdaptationComplete,
+    AwaitUser,
+    BlockProcess,
+    CancelTimer,
+    Effect,
+    ExecuteInAction,
+    ExecutePostAction,
+    RequestReplan,
+    ResumeProcess,
+    Send,
+    SetTimer,
+    StartReset,
+    StepCommitted,
+    StepRolledBack,
+    UndoInAction,
+)
+from repro.protocol.agent import AgentMachine, AgentState
+from repro.protocol.manager import ManagerMachine, ManagerState
+from repro.protocol.failures import FailurePolicy, ReplanKind
+
+__all__ = [
+    "Message",
+    "Envelope",
+    "ResetCmd",
+    "ResetDone",
+    "AdaptDone",
+    "ResumeCmd",
+    "ResumeDone",
+    "RollbackCmd",
+    "RollbackDone",
+    "StatusQuery",
+    "StatusReport",
+    "Effect",
+    "Send",
+    "SetTimer",
+    "CancelTimer",
+    "StartReset",
+    "BlockProcess",
+    "ExecuteInAction",
+    "ExecutePostAction",
+    "UndoInAction",
+    "ResumeProcess",
+    "StepCommitted",
+    "StepRolledBack",
+    "RequestReplan",
+    "AdaptationComplete",
+    "AdaptationAborted",
+    "AwaitUser",
+    "AgentMachine",
+    "AgentState",
+    "ManagerMachine",
+    "ManagerState",
+    "FailurePolicy",
+    "ReplanKind",
+]

@@ -1,0 +1,260 @@
+"""Agent state machine — Figure 1 of the paper, sans-io.
+
+One agent is attached to every process that hosts adaptable components.
+It receives commands from the adaptation manager, drives the local
+process through::
+
+    running → resetting → safe(blocked) → adapted(blocked) → resuming → running
+
+and reports ``reset done`` / ``adapt done`` / ``resume done``.  The dashed
+failure-handling transitions (receive ``rollback``) restore the prior
+state from any non-running phase.
+
+The machine is pure: every input returns a list of
+:mod:`~repro.protocol.effects`.  Host integration contract:
+
+* ``StartReset`` → host begins pre-action + drain, later calls
+  :meth:`AgentMachine.on_local_safe`;
+* ``ExecuteInAction`` → host recomposes, calls
+  :meth:`AgentMachine.on_in_action_applied`;
+* ``UndoInAction`` → host reverses, calls :meth:`AgentMachine.on_undone`;
+* ``ResumeProcess`` → host unblocks, calls :meth:`AgentMachine.on_resumed`.
+
+Duplicate commands (manager retransmissions) are answered idempotently by
+re-sending the agent's latest status message for that step attempt; a
+rollback for an already locally-completed step (possible for a solo agent
+that auto-resumed while its ``adapt done`` was lost) re-blocks, undoes the
+applied action, and acknowledges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.actions import AdaptiveAction
+from repro.errors import IllegalTransitionError
+from repro.protocol.effects import (
+    AbortReset,
+    BlockProcess,
+    Effect,
+    ExecuteInAction,
+    ExecutePostAction,
+    ResumeProcess,
+    Send,
+    StartReset,
+    UndoInAction,
+)
+from repro.protocol.messages import (
+    AdaptDone,
+    Message,
+    ResetCmd,
+    ResetDone,
+    ResumeCmd,
+    ResumeDone,
+    RollbackCmd,
+    RollbackDone,
+    StatusQuery,
+    StatusReport,
+)
+
+
+class AgentState(enum.Enum):
+    """Figure 1's states (RESUMING is transient while the host unblocks)."""
+
+    RUNNING = "running"
+    RESETTING = "resetting"
+    SAFE = "safe"
+    ADAPTED = "adapted"
+    RESUMING = "resuming"
+    ROLLING_BACK = "rolling_back"
+
+
+@dataclass(frozen=True)
+class _CompletedStep:
+    """Outcome of a locally finished step, kept for idempotent replays."""
+
+    final_message: Message
+    applied_action: Optional[AdaptiveAction]  # None if the step was rolled back
+
+
+class AgentMachine:
+    """Sans-io agent for one process."""
+
+    def __init__(self, process_id: str, manager_id: str = "manager"):
+        self.process_id = process_id
+        self.manager_id = manager_id
+        self.state = AgentState.RUNNING
+        self.step_key: Optional[str] = None
+        self.action: Optional[AdaptiveAction] = None
+        self.solo = False
+        self.in_action_applied = False
+        self._completed: Dict[str, _CompletedStep] = {}
+
+    # ------------------------------------------------------------------ helpers
+    def _send(self, message: Message) -> Send:
+        return Send(self.manager_id, message)
+
+    def _finish(self, final_message: Message) -> List[Effect]:
+        """Record the step outcome for idempotent replays and go RUNNING."""
+        assert self.step_key is not None
+        applied = self.action if self.in_action_applied else None
+        self._completed[self.step_key] = _CompletedStep(final_message, applied)
+        self.state = AgentState.RUNNING
+        self.step_key = None
+        self.action = None
+        self.solo = False
+        self.in_action_applied = False
+        return [self._send(final_message)]
+
+    # ------------------------------------------------------------------ messages
+    def on_message(self, message: Message) -> List[Effect]:
+        """Dispatch a message from the manager."""
+        if isinstance(message, ResetCmd):
+            return self._on_reset(message)
+        if isinstance(message, ResumeCmd):
+            return self._on_resume_cmd(message)
+        if isinstance(message, RollbackCmd):
+            return self._on_rollback_cmd(message)
+        if isinstance(message, StatusQuery):
+            return [
+                self._send(
+                    StatusReport(
+                        step_key=message.step_key,
+                        process=self.process_id,
+                        state=self.state.value,
+                    )
+                )
+            ]
+        raise IllegalTransitionError(
+            f"agent {self.process_id}: unexpected message {type(message).__name__}"
+        )
+
+    def _on_reset(self, message: ResetCmd) -> List[Effect]:
+        if message.step_key in self._completed:
+            # Whole step already finished locally; replay the final answer.
+            return [self._send(self._completed[message.step_key].final_message)]
+        if message.step_key == self.step_key:
+            # Retransmission of the current attempt: re-send progress.
+            if self.state == AgentState.SAFE:
+                return [self._send(ResetDone(self.step_key, self.process_id))]
+            if self.state == AgentState.ADAPTED:
+                return [self._send(AdaptDone(self.step_key, self.process_id))]
+            return []  # still resetting / resuming; nothing new to report
+        if self.state != AgentState.RUNNING:
+            # A new attempt while mid-step should not happen (the manager
+            # always rolls back first); refuse loudly instead of corrupting.
+            raise IllegalTransitionError(
+                f"agent {self.process_id}: reset {message.step_key!r} received "
+                f"in state {self.state.value} (current step {self.step_key!r})"
+            )
+        self.state = AgentState.RESETTING
+        self.step_key = message.step_key
+        self.action = message.action
+        self.solo = message.participants == frozenset((self.process_id,))
+        self.in_action_applied = False
+        return [
+            StartReset(
+                step_key=message.step_key,
+                action=message.action,
+                inject_flush=message.inject_flush,
+                await_flush=message.await_flush,
+            )
+        ]
+
+    def _on_resume_cmd(self, message: ResumeCmd) -> List[Effect]:
+        if message.step_key in self._completed:
+            return [self._send(self._completed[message.step_key].final_message)]
+        if message.step_key != self.step_key:
+            return []  # stale resume for an attempt we never started
+        if self.state == AgentState.ADAPTED:
+            self.state = AgentState.RESUMING
+            return [ResumeProcess(step_key=message.step_key)]
+        return []  # duplicate while already resuming
+
+    def _on_rollback_cmd(self, message: RollbackCmd) -> List[Effect]:
+        done = self._completed.get(message.step_key)
+        if done is not None:
+            if isinstance(done.final_message, RollbackDone) or done.applied_action is None:
+                # Already rolled back (or nothing was ever applied): replay.
+                return [self._send(RollbackDone(message.step_key, self.process_id))]
+            # Step committed locally (solo auto-resume) but the manager is
+            # aborting: re-block, undo the applied action, acknowledge.
+            del self._completed[message.step_key]
+            self.step_key = message.step_key
+            self.action = done.applied_action
+            self.state = AgentState.ROLLING_BACK
+            self.in_action_applied = True
+            return [
+                BlockProcess(step_key=message.step_key),
+                UndoInAction(step_key=message.step_key, action=self.action),
+            ]
+        if message.step_key != self.step_key:
+            # Rollback for an attempt this agent never saw (its reset was
+            # lost in the network).  Nothing to undo: acknowledge, and
+            # record the attempt as rolled back so a *delayed* reset for it
+            # arriving later (non-FIFO channels) replays the answer instead
+            # of being mistaken for a fresh step.
+            done = RollbackDone(message.step_key, self.process_id)
+            self._completed[message.step_key] = _CompletedStep(done, None)
+            return [self._send(done)]
+        if self.state == AgentState.RESETTING:
+            self.state = AgentState.ROLLING_BACK
+            effects: List[Effect] = [AbortReset(step_key=message.step_key)]
+            effects.extend(self._finish(RollbackDone(message.step_key, self.process_id)))
+            return effects
+        if self.state in (AgentState.SAFE, AgentState.ADAPTED):
+            self.state = AgentState.ROLLING_BACK
+            if not self.in_action_applied:
+                # Blocked but structure unchanged: just resume the old config.
+                return [ResumeProcess(step_key=message.step_key)]
+            assert self.action is not None
+            return [UndoInAction(step_key=message.step_key, action=self.action)]
+        return []  # duplicate rollback while ROLLING_BACK/RESUMING
+
+    # ------------------------------------------------------------------ host callbacks
+    def on_local_safe(self, step_key: str) -> List[Effect]:
+        """Host reached the local safe state (+ global condition, §3.2)."""
+        if step_key != self.step_key or self.state != AgentState.RESETTING:
+            return []  # stale notification (e.g. after a rollback)
+        self.state = AgentState.SAFE
+        assert self.action is not None
+        return [
+            BlockProcess(step_key=step_key),
+            self._send(ResetDone(step_key, self.process_id)),
+            ExecuteInAction(step_key=step_key, action=self.action),
+        ]
+
+    def on_in_action_applied(self, step_key: str) -> List[Effect]:
+        """Host finished the structural change of the in-action."""
+        if step_key != self.step_key or self.state != AgentState.SAFE:
+            return []
+        self.in_action_applied = True
+        self.state = AgentState.ADAPTED
+        effects: List[Effect] = [self._send(AdaptDone(step_key, self.process_id))]
+        if self.solo:
+            # Fig. 1: the sole participant skips the blocked wait and
+            # proceeds directly to resuming.
+            self.state = AgentState.RESUMING
+            effects.append(ResumeProcess(step_key=step_key))
+        return effects
+
+    def on_resumed(self, step_key: str) -> List[Effect]:
+        """Host confirmed full operation is restored."""
+        if step_key != self.step_key:
+            return []
+        if self.state == AgentState.RESUMING:
+            assert self.action is not None
+            post = ExecutePostAction(step_key=step_key, action=self.action)
+            return self._finish(ResumeDone(step_key, self.process_id)) + [post]
+        if self.state == AgentState.ROLLING_BACK and not self.in_action_applied:
+            return self._finish(RollbackDone(step_key, self.process_id))
+        return []
+
+    def on_undone(self, step_key: str) -> List[Effect]:
+        """Host confirmed the inverse in-action was applied (rollback)."""
+        if step_key != self.step_key or self.state != AgentState.ROLLING_BACK:
+            return []
+        self.in_action_applied = False
+        return [ResumeProcess(step_key=step_key)]

@@ -1,0 +1,173 @@
+"""Effects emitted by the sans-io protocol machines.
+
+A machine never performs IO: each ``handle_*`` call returns a list of
+effects which the *driver* (simulated cluster or threaded runtime) carries
+out — sending messages, arming timers, blocking/resuming the local
+process, executing the bound in-action code, or surfacing terminal
+outcomes to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.actions import AdaptiveAction
+from repro.core.model import Configuration
+from repro.core.planner import PlanStep
+from repro.protocol.failures import ReplanKind
+from repro.protocol.messages import Message
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Base class for protocol effects."""
+
+
+# -- IO effects (both machines) -------------------------------------------------
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Transmit *message* to *destination* over the coordination channel."""
+
+    destination: str
+    message: Message
+
+
+@dataclass(frozen=True)
+class SetTimer(Effect):
+    """Arm (or re-arm) the named timer to fire after *delay* time units."""
+
+    name: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class CancelTimer(Effect):
+    """Disarm the named timer (no-op if not armed)."""
+
+    name: str
+
+
+# -- agent/host effects (Fig. 1's do-activities) ----------------------------------
+
+@dataclass(frozen=True)
+class StartReset(Effect):
+    """Begin the local pre-action and initiate the reset (RESETTING state).
+
+    The host disables functionality related to the adapted components,
+    optionally injects the drain marker, and watches for the local safe
+    state; it reports back via ``AgentMachine.on_local_safe``.
+    """
+
+    step_key: str
+    action: AdaptiveAction
+    inject_flush: bool
+    await_flush: bool
+
+
+@dataclass(frozen=True)
+class AbortReset(Effect):
+    """Cancel an in-progress reset (rollback before the safe state)."""
+
+    step_key: str
+
+
+@dataclass(frozen=True)
+class BlockProcess(Effect):
+    """Hold the process in its safe state (paper: 'blocking the process')."""
+
+    step_key: str
+
+
+@dataclass(frozen=True)
+class ResumeProcess(Effect):
+    """Resume full operation; host confirms via ``on_resumed``."""
+
+    step_key: str
+
+
+@dataclass(frozen=True)
+class ExecuteInAction(Effect):
+    """Run the local slice of the step's in-action (structure change).
+
+    The host mutates its local component set / filter chains and confirms
+    via ``AgentMachine.on_in_action_applied``.
+    """
+
+    step_key: str
+    action: AdaptiveAction
+
+
+@dataclass(frozen=True)
+class UndoInAction(Effect):
+    """Rollback: apply the inverse of the (already applied) in-action."""
+
+    step_key: str
+    action: AdaptiveAction
+
+
+@dataclass(frozen=True)
+class ExecutePostAction(Effect):
+    """Run the local post-action (e.g. destroy replaced components)."""
+
+    step_key: str
+    action: AdaptiveAction
+
+
+# -- manager outcome / orchestration effects (Fig. 2) -------------------------------
+
+@dataclass(frozen=True)
+class StepCommitted(Effect):
+    """One adaptation step finished; the system configuration advanced."""
+
+    step: PlanStep
+    step_key: str
+
+
+@dataclass(frozen=True)
+class StepRolledBack(Effect):
+    """A failed step was rolled back; system back at the step's source."""
+
+    step: PlanStep
+    step_key: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class RequestReplan(Effect):
+    """Ask the driver for a new plan (failure-handling cascade, §4.4).
+
+    ``kind`` distinguishes "next-best path to the target" from "return to
+    the source configuration".  ``failed_edges`` lists (configuration,
+    action id) pairs that have already failed so the planner can avoid
+    them.
+    """
+
+    kind: ReplanKind
+    current: Configuration
+    failed_edges: Tuple[Tuple[Configuration, str], ...]
+
+
+@dataclass(frozen=True)
+class AdaptationComplete(Effect):
+    """Terminal: target configuration reached; system fully operational."""
+
+    configuration: Configuration
+    total_steps: int
+
+
+@dataclass(frozen=True)
+class AdaptationAborted(Effect):
+    """Terminal: adaptation abandoned; system at a safe configuration."""
+
+    configuration: Configuration
+    reason: str
+
+
+@dataclass(frozen=True)
+class AwaitUser(Effect):
+    """Terminal: all automatic options exhausted (paper §4.4 option 4)."""
+
+    configuration: Configuration
+    reason: str

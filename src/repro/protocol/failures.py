@@ -1,0 +1,80 @@
+"""Failure-handling policy (paper §4.4).
+
+Two failure types are detected by manager-side timeouts:
+
+* **loss-of-message** — coordination messages dropped by the network;
+  transient loss is absorbed by retransmission, long-term loss trips the
+  phase timeout;
+* **fail-to-reset** — a process stuck in a long critical communication
+  segment never reaches its safe state.
+
+The recovery rule: failures *before* the first ``resume`` of a step abort
+the step (rollback, no side effects leaked); failures *after* run the step
+to completion (keep retransmitting resumes).  On a rolled-back step the
+manager escalates through the paper's four options: (1) retry the same
+step once, (2) try the next minimum adaptation path, (3) attempt to return
+to the source configuration, (4) park and await user intervention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ReplanKind(enum.Enum):
+    """What the manager is asking the planner for after failures."""
+
+    ALTERNATE_TO_TARGET = "alternate_to_target"
+    RETURN_TO_SOURCE = "return_to_source"
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """Timeout and retry parameters for the realization phase.
+
+    Attributes:
+        reset_timeout: max time from sending ``reset`` until all
+            ``adapt done`` messages arrive (covers fail-to-reset; the paper
+            detects both failures "by a time-out mechanism on the manager").
+        resume_timeout: max time to collect ``resume done`` before
+            re-sending resumes (run-to-completion never aborts, it retries).
+        rollback_timeout: max time to collect ``rollback done``.
+        retransmit_interval: re-send cadence for unanswered commands.
+        max_retransmits: per-phase retransmission budget before the phase
+            is declared failed (pre-resume) — after a resume was sent the
+            budget is ``max_post_resume_retransmits``, a large safety valve
+            so a fully partitioned network cannot hang the manager forever.
+        step_retries: how many times the same step is retried after a
+            rollback before escalating to an alternate path (the paper
+            "first retries the same step once more").
+        max_alternate_plans: how many alternate paths to request before
+            falling back to returning to the source configuration.
+    """
+
+    reset_timeout: float = 200.0
+    resume_timeout: float = 100.0
+    rollback_timeout: float = 100.0
+    retransmit_interval: float = 25.0
+    max_retransmits: int = 4
+    max_post_resume_retransmits: int = 64
+    step_retries: int = 1
+    max_alternate_plans: int = 4
+
+    def __post_init__(self):
+        for name in (
+            "reset_timeout",
+            "resume_timeout",
+            "rollback_timeout",
+            "retransmit_interval",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in (
+            "max_retransmits",
+            "max_post_resume_retransmits",
+            "step_retries",
+            "max_alternate_plans",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")

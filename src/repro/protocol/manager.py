@@ -1,0 +1,526 @@
+"""Adaptation-manager state machine — Figure 2 of the paper, sans-io.
+
+The manager walks the Minimum Adaptation Path one step at a time::
+
+    running → preparing → adapting → adapted → resuming → resumed → ...
+
+sending ``reset`` to every participating agent, collecting ``adapt done``,
+sending ``resume``, collecting ``resume done``, then moving to the next
+step until the target configuration is reached.
+
+Failure handling (§4.4) is timeout-driven:
+
+* **before** the first ``resume`` of a step — abort: send ``rollback`` to
+  all participants, collect ``rollback done``, then escalate through the
+  paper's cascade: retry the step once → ask for the next minimum
+  adaptation path → attempt to return to the source configuration → park
+  and await user intervention;
+* **after** a ``resume`` went out — run to completion: keep retransmitting
+  until every agent resumed (bounded by a large safety valve).
+
+Planning lives outside the machine: when an alternate path is needed the
+manager emits :class:`~repro.protocol.effects.RequestReplan` and the
+driver answers via :meth:`ManagerMachine.on_new_plan` /
+:meth:`ManagerMachine.on_no_plan`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.actions import AdaptiveAction
+from repro.core.model import ComponentUniverse, Configuration
+from repro.core.planner import AdaptationPlan, PlanStep
+from repro.errors import IllegalTransitionError
+from repro.protocol.effects import (
+    AdaptationAborted,
+    AdaptationComplete,
+    AwaitUser,
+    CancelTimer,
+    Effect,
+    RequestReplan,
+    Send,
+    SetTimer,
+    StepCommitted,
+    StepRolledBack,
+)
+from repro.protocol.failures import FailurePolicy, ReplanKind
+from repro.protocol.messages import (
+    AdaptDone,
+    FlushRequest,
+    Message,
+    ResetCmd,
+    ResetDone,
+    ResumeCmd,
+    ResumeDone,
+    RollbackCmd,
+    RollbackDone,
+    StatusReport,
+    step_key,
+)
+
+# Decides the drain-marker roles for an action: given the action and its
+# participant set, returns (injectors, awaiters) — processes that must push
+# a FLUSH marker into their outgoing stream when blocking, and processes
+# whose local safe state additionally requires having seen that marker
+# (the global safe condition of §3.2).
+FlushProvider = Callable[
+    [AdaptiveAction, FrozenSet[str]], Tuple[FrozenSet[str], FrozenSet[str]]
+]
+
+
+def no_flush(
+    action: AdaptiveAction, participants: FrozenSet[str]
+) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """Default flush provider: local quiescence only, no drain marker."""
+    return frozenset(), frozenset()
+
+
+class ManagerState(enum.Enum):
+    """Figure 2's states plus the failure-handling ones."""
+
+    RUNNING = "running"
+    PREPARING = "preparing"
+    ADAPTING = "adapting"
+    ADAPTED = "adapted"
+    RESUMING = "resuming"
+    RESUMED = "resumed"
+    ROLLING_BACK = "rolling_back"
+    AWAIT_USER = "await_user"
+
+TIMER_PHASE = "phase"
+TIMER_RETRANSMIT = "retransmit"
+
+
+class ManagerMachine:
+    """Sans-io adaptation manager for one adaptation request at a time."""
+
+    def __init__(
+        self,
+        universe: ComponentUniverse,
+        policy: Optional[FailurePolicy] = None,
+        flush_provider: FlushProvider = no_flush,
+        manager_id: str = "manager",
+    ):
+        self.universe = universe
+        self.policy = policy or FailurePolicy()
+        self.flush_provider = flush_provider
+        self.manager_id = manager_id
+
+        self.state = ManagerState.RUNNING
+        self.plan: Optional[AdaptationPlan] = None
+        self.plan_id = ""
+        self._plan_counter = 0
+        self.step_index = 0
+        self.attempt = 0
+        self.committed: Optional[Configuration] = None
+        self.original_source: Optional[Configuration] = None
+        self.target: Optional[Configuration] = None
+        self.returning = False  # True once we gave up and head back to source
+
+        self._participants: Tuple[str, ...] = ()
+        self._pending_reset: Set[str] = set()
+        self._pending_adapt: Set[str] = set()
+        self._pending_resume: Set[str] = set()
+        self._pending_rollback: Set[str] = set()
+        self._resume_sent = False
+        self._retransmits = 0
+        self._alternates_used = 0
+        self._failed_edges: List[Tuple[Configuration, str]] = []
+        self._armed_timers: Set[str] = set()
+        self._current_key = ""
+        self._inject: FrozenSet[str] = frozenset()
+        self._await: FrozenSet[str] = frozenset()
+        self.steps_committed = 0
+        self.steps_rolled_back = 0
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def current_step(self) -> PlanStep:
+        assert self.plan is not None
+        return self.plan.steps[self.step_index]
+
+    def _arm(self, name: str, delay: float) -> SetTimer:
+        self._armed_timers.add(name)
+        return SetTimer(name, delay)
+
+    def _cancel_all_timers(self) -> List[Effect]:
+        effects: List[Effect] = [CancelTimer(name) for name in sorted(self._armed_timers)]
+        self._armed_timers.clear()
+        return effects
+
+    def _reset_cmd(self, process: str) -> Send:
+        step = self.current_step
+        return Send(
+            process,
+            ResetCmd(
+                step_key=self._current_key,
+                action=step.action,
+                participants=frozenset(self._participants),
+                await_flush=process in self._await,
+                inject_flush=process in self._inject,
+            ),
+        )
+
+    # ------------------------------------------------------------------ entry point
+    def start(self, plan: AdaptationPlan) -> List[Effect]:
+        """Begin executing *plan* (the system must be at ``plan.source``)."""
+        if self.state != ManagerState.RUNNING:
+            raise IllegalTransitionError(
+                f"manager busy (state {self.state.value}); cannot start a new plan"
+            )
+        self._plan_counter += 1
+        self.plan = plan
+        self.plan_id = f"plan{self._plan_counter}"
+        self.step_index = 0
+        self.attempt = 0
+        self.committed = plan.source
+        self.original_source = plan.source
+        self.target = plan.target
+        self.returning = False
+        self._alternates_used = 0
+        self._failed_edges = []
+        self.steps_committed = 0
+        self.steps_rolled_back = 0
+        if not plan.steps:
+            return [AdaptationComplete(configuration=plan.target, total_steps=0)]
+        return self._begin_step()
+
+    def _begin_step(self) -> List[Effect]:
+        assert self.plan is not None
+        step = self.current_step
+        self._current_key = step_key(self.plan_id, self.step_index, self.attempt)
+        participants = sorted(step.participants(self.universe))
+        self._participants = tuple(participants)
+        self._inject, self._await = self.flush_provider(
+            step.action, frozenset(participants)
+        )
+        self._pending_reset = set(participants)
+        self._pending_adapt = set(participants)
+        self._pending_resume = set(participants)
+        self._pending_rollback = set()
+        self._resume_sent = False
+        self._retransmits = 0
+        self.state = ManagerState.ADAPTING
+        effects: List[Effect] = self._cancel_all_timers()
+        # Non-participant flush injectors (an upstream whose own components
+        # are untouched) are asked out-of-band to push a drain marker.
+        effects.extend(
+            Send(p, FlushRequest(step_key=self._current_key))
+            for p in sorted(self._inject - set(participants))
+        )
+        effects.extend(self._reset_cmd(p) for p in participants)
+        effects.append(self._arm(TIMER_PHASE, self.policy.reset_timeout))
+        effects.append(self._arm(TIMER_RETRANSMIT, self.policy.retransmit_interval))
+        return effects
+
+    # ------------------------------------------------------------------ messages
+    def on_message(self, message: Message) -> List[Effect]:
+        """Dispatch a message from an agent."""
+        if isinstance(message, StatusReport):
+            return []
+        if message.step_key != self._current_key:
+            return []  # stale answer from an earlier attempt
+        if isinstance(message, ResetDone):
+            self._pending_reset.discard(message.process)
+            return []
+        if isinstance(message, AdaptDone):
+            return self._on_adapt_done(message)
+        if isinstance(message, ResumeDone):
+            return self._on_resume_done(message)
+        if isinstance(message, RollbackDone):
+            return self._on_rollback_done(message)
+        raise IllegalTransitionError(
+            f"manager: unexpected message {type(message).__name__}"
+        )
+
+    def _on_adapt_done(self, message: AdaptDone) -> List[Effect]:
+        if self.state != ManagerState.ADAPTING:
+            return []
+        self._pending_reset.discard(message.process)
+        self._pending_adapt.discard(message.process)
+        if self._pending_adapt:
+            return []
+        # All in-actions done: Fig. 2's adapted state, then send resumes.
+        self.state = ManagerState.ADAPTED
+        self._resume_sent = True
+        self._retransmits = 0
+        self.state = ManagerState.RESUMING
+        effects: List[Effect] = self._cancel_all_timers()
+        effects.extend(
+            Send(p, ResumeCmd(step_key=self._current_key)) for p in self._participants
+        )
+        effects.append(self._arm(TIMER_PHASE, self.policy.resume_timeout))
+        effects.append(self._arm(TIMER_RETRANSMIT, self.policy.retransmit_interval))
+        return effects
+
+    def _on_resume_done(self, message: ResumeDone) -> List[Effect]:
+        if self.state != ManagerState.RESUMING:
+            return []
+        self._pending_resume.discard(message.process)
+        if self._pending_resume:
+            return []
+        return self._commit_step()
+
+    def _commit_step(self) -> List[Effect]:
+        assert self.plan is not None
+        step = self.current_step
+        self.state = ManagerState.RESUMED
+        self.committed = step.target
+        self.steps_committed += 1
+        effects: List[Effect] = self._cancel_all_timers()
+        effects.append(StepCommitted(step=step, step_key=self._current_key))
+        self.step_index += 1
+        self.attempt = 0
+        if self.step_index < len(self.plan.steps):
+            # "more adaptation steps remaining ... prepare for the next step"
+            self.state = ManagerState.PREPARING
+            effects.extend(self._begin_step())
+            return effects
+        self.state = ManagerState.RUNNING
+        if self.returning:
+            effects.append(
+                AdaptationAborted(
+                    configuration=self.committed,
+                    reason="all paths to the target failed; returned to source",
+                )
+            )
+        else:
+            effects.append(
+                AdaptationComplete(
+                    configuration=self.committed,
+                    total_steps=self.steps_committed,
+                )
+            )
+        return effects
+
+    def _on_rollback_done(self, message: RollbackDone) -> List[Effect]:
+        if self.state != ManagerState.ROLLING_BACK:
+            return []
+        self._pending_rollback.discard(message.process)
+        if self._pending_rollback:
+            return []
+        return self._after_rollback()
+
+    # ------------------------------------------------------------------ timeouts
+    def on_timeout(self, name: str) -> List[Effect]:
+        """A timer armed by this machine fired."""
+        if name not in self._armed_timers:
+            return []  # stale timer the driver failed to cancel
+        self._armed_timers.discard(name)
+        if self.state == ManagerState.ADAPTING:
+            return self._timeout_adapting(name)
+        if self.state == ManagerState.RESUMING:
+            return self._timeout_resuming(name)
+        if self.state == ManagerState.ROLLING_BACK:
+            return self._timeout_rolling_back(name)
+        return []
+
+    def _timeout_adapting(self, name: str) -> List[Effect]:
+        if name == TIMER_PHASE:
+            # Reset/adapt phase expired before all adapt-dones: loss-of-message
+            # or fail-to-reset.  No resume went out yet, so abort the step.
+            return self._initiate_rollback("phase timeout before resume")
+        # retransmit timer: re-send resets to whoever has not adapted yet
+        self._retransmits += 1
+        if self._retransmits > self.policy.max_retransmits:
+            return self._initiate_rollback("retransmission budget exhausted")
+        effects: List[Effect] = [
+            Send(p, FlushRequest(step_key=self._current_key))
+            for p in sorted(self._inject - set(self._participants))
+        ]
+        effects.extend(self._reset_cmd(p) for p in sorted(self._pending_adapt))
+        effects.append(self._arm(TIMER_RETRANSMIT, self.policy.retransmit_interval))
+        return effects
+
+    def _timeout_resuming(self, name: str) -> List[Effect]:
+        # A resume was sent: run to completion — keep retransmitting, bounded
+        # only by the large post-resume safety valve.
+        self._retransmits += 1
+        if self._retransmits > self.policy.max_post_resume_retransmits:
+            self.state = ManagerState.AWAIT_USER
+            effects = self._cancel_all_timers()
+            effects.append(
+                AwaitUser(
+                    configuration=self.committed,
+                    reason="agents unreachable while completing a resumed step",
+                )
+            )
+            return effects
+        effects = [
+            Send(p, ResumeCmd(step_key=self._current_key))
+            for p in sorted(self._pending_resume)
+        ]
+        timer = TIMER_PHASE if name == TIMER_PHASE else TIMER_RETRANSMIT
+        delay = (
+            self.policy.resume_timeout
+            if name == TIMER_PHASE
+            else self.policy.retransmit_interval
+        )
+        effects.append(self._arm(timer, delay))
+        return effects
+
+    def _timeout_rolling_back(self, name: str) -> List[Effect]:
+        self._retransmits += 1
+        if self._retransmits > self.policy.max_post_resume_retransmits:
+            self.state = ManagerState.AWAIT_USER
+            effects = self._cancel_all_timers()
+            effects.append(
+                AwaitUser(
+                    configuration=self.committed,
+                    reason="agents unreachable during rollback",
+                )
+            )
+            return effects
+        effects = [
+            Send(p, RollbackCmd(step_key=self._current_key))
+            for p in sorted(self._pending_rollback)
+        ]
+        timer = TIMER_PHASE if name == TIMER_PHASE else TIMER_RETRANSMIT
+        delay = (
+            self.policy.rollback_timeout
+            if name == TIMER_PHASE
+            else self.policy.retransmit_interval
+        )
+        effects.append(self._arm(timer, delay))
+        return effects
+
+    # ------------------------------------------------------------------ rollback & cascade
+    def _initiate_rollback(self, reason: str) -> List[Effect]:
+        self.state = ManagerState.ROLLING_BACK
+        self._rollback_reason = reason
+        self._pending_rollback = set(self._participants)
+        self._retransmits = 0
+        effects: List[Effect] = self._cancel_all_timers()
+        effects.extend(
+            Send(p, RollbackCmd(step_key=self._current_key))
+            for p in self._participants
+        )
+        effects.append(self._arm(TIMER_PHASE, self.policy.rollback_timeout))
+        effects.append(self._arm(TIMER_RETRANSMIT, self.policy.retransmit_interval))
+        return effects
+
+    def _after_rollback(self) -> List[Effect]:
+        assert self.plan is not None
+        step = self.current_step
+        self.steps_rolled_back += 1
+        effects: List[Effect] = self._cancel_all_timers()
+        effects.append(
+            StepRolledBack(
+                step=step,
+                step_key=self._current_key,
+                reason=getattr(self, "_rollback_reason", "failure"),
+            )
+        )
+        self.attempt += 1
+        if self.attempt <= self.policy.step_retries:
+            # Option 1: "first retries the same step once more".
+            self.state = ManagerState.PREPARING
+            effects.extend(self._begin_step())
+            return effects
+        # Option 2/3: ask the driver for another path.
+        self._failed_edges.append((step.source, step.action.action_id))
+        effects.extend(self._request_replan())
+        return effects
+
+    def _request_replan(self) -> List[Effect]:
+        assert self.committed is not None
+        self.state = ManagerState.PREPARING
+        if not self.returning and self._alternates_used < self.policy.max_alternate_plans:
+            self._alternates_used += 1
+            return [
+                RequestReplan(
+                    kind=ReplanKind.ALTERNATE_TO_TARGET,
+                    current=self.committed,
+                    failed_edges=tuple(self._failed_edges),
+                )
+            ]
+        if not self.returning:
+            self.returning = True
+        elif self.committed == self.original_source:
+            # Already back at the source: nothing further to do automatically.
+            self.state = ManagerState.RUNNING
+            return [
+                AdaptationAborted(
+                    configuration=self.committed,
+                    reason="all paths to the target failed; system at source",
+                )
+            ]
+        return [
+            RequestReplan(
+                kind=ReplanKind.RETURN_TO_SOURCE,
+                current=self.committed,
+                failed_edges=tuple(self._failed_edges),
+            )
+        ]
+
+    # ------------------------------------------------------------------ replan answers
+    def on_new_plan(self, plan: AdaptationPlan) -> List[Effect]:
+        """Driver supplies the next plan requested via ``RequestReplan``."""
+        if self.state != ManagerState.PREPARING:
+            raise IllegalTransitionError(
+                f"manager: on_new_plan in state {self.state.value}"
+            )
+        if plan.source != self.committed:
+            raise IllegalTransitionError(
+                f"replacement plan starts at {plan.source.label()} but the "
+                f"system is at committed configuration "
+                f"{self.committed.label() if self.committed else '?'}"
+            )
+        self.plan = plan
+        # Fresh plan id: step keys must never collide with an earlier
+        # plan's steps, or agents would replay stale completed-step answers
+        # (and roll back the wrong action) on key reuse.
+        self._plan_counter += 1
+        self.plan_id = f"plan{self._plan_counter}"
+        self.step_index = 0
+        self.attempt = 0
+        if not plan.steps:
+            self.state = ManagerState.RUNNING
+            if self.returning:
+                return [
+                    AdaptationAborted(
+                        configuration=self.committed,
+                        reason="all paths to the target failed; returned to source",
+                    )
+                ]
+            return [
+                AdaptationComplete(
+                    configuration=self.committed, total_steps=self.steps_committed
+                )
+            ]
+        return self._begin_step()
+
+    def on_no_plan(self) -> List[Effect]:
+        """Driver found no plan for the last ``RequestReplan``."""
+        if self.state != ManagerState.PREPARING:
+            raise IllegalTransitionError(
+                f"manager: on_no_plan in state {self.state.value}"
+            )
+        if not self.returning:
+            # Exhausted alternates (or none exist): try returning to source.
+            self.returning = True
+            if self.committed == self.original_source:
+                self.state = ManagerState.RUNNING
+                return [
+                    AdaptationAborted(
+                        configuration=self.committed,
+                        reason="no alternate path to target; system at source",
+                    )
+                ]
+            return [
+                RequestReplan(
+                    kind=ReplanKind.RETURN_TO_SOURCE,
+                    current=self.committed,
+                    failed_edges=tuple(self._failed_edges),
+                )
+            ]
+        # Option 4: even the way home is gone — await user intervention.
+        self.state = ManagerState.AWAIT_USER
+        return [
+            AwaitUser(
+                configuration=self.committed,
+                reason="no safe path to target nor back to source",
+            )
+        ]

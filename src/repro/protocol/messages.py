@@ -1,0 +1,128 @@
+"""Wire messages between the adaptation manager and agents (Figs. 1–2).
+
+Message names follow the paper's Courier-font vocabulary: ``reset``,
+``reset done``, ``adapt done``, ``resume``, ``resume done``, ``rollback``.
+Every step-scoped message carries a ``step_key`` of the form
+``"<plan_id>/<step_index>#<attempt>"`` so retransmissions and retries are
+unambiguous — agents treat a new attempt as a fresh step and answer
+duplicates of the current attempt idempotently by re-sending their last
+status message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.actions import AdaptiveAction
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for protocol messages."""
+
+    step_key: str
+
+
+@dataclass(frozen=True)
+class ResetCmd(Message):
+    """Manager → agent: begin the reset for one adaptation step.
+
+    Attributes:
+        action: the adaptive action of this step (agents only execute the
+            local slice touching their own components).
+        participants: all processes taking part — lets an agent know
+            whether it is the sole participant (solo agents may resume
+            directly after their in-action, Fig. 1).
+        await_flush: this agent's local safe state additionally requires
+            the in-band drain marker (global safe condition, §3.2).
+        inject_flush: this agent must inject the drain marker into its
+            outgoing stream when it blocks.
+    """
+
+    action: AdaptiveAction
+    participants: FrozenSet[str]
+    await_flush: bool = False
+    inject_flush: bool = False
+
+
+@dataclass(frozen=True)
+class ResetDone(Message):
+    """Agent → manager: local safe state reached, process held (blocked)."""
+
+    process: str
+
+
+@dataclass(frozen=True)
+class AdaptDone(Message):
+    """Agent → manager: local in-action completed."""
+
+    process: str
+
+
+@dataclass(frozen=True)
+class ResumeCmd(Message):
+    """Manager → agent: all in-actions done; resume full operation."""
+
+
+@dataclass(frozen=True)
+class ResumeDone(Message):
+    """Agent → manager: full operation resumed."""
+
+    process: str
+
+
+@dataclass(frozen=True)
+class RollbackCmd(Message):
+    """Manager → agent: abort this step and restore the prior state."""
+
+
+@dataclass(frozen=True)
+class RollbackDone(Message):
+    """Agent → manager: rollback finished, process running on old config."""
+
+    process: str
+
+
+@dataclass(frozen=True)
+class FlushRequest(Message):
+    """Manager → non-participant upstream process: inject a drain marker.
+
+    Used when an adaptation step reduces decode capability downstream but
+    does not change the upstream process itself: the upstream injects an
+    in-band FLUSH marker (without blocking) so the downstream agent can
+    detect when every packet sent before the step has arrived — the
+    global safe condition of §3.2 — before executing its in-action.
+    """
+
+
+@dataclass(frozen=True)
+class StatusQuery(Message):
+    """Manager → agent: liveness / progress probe (used by diagnostics)."""
+
+
+@dataclass(frozen=True)
+class StatusReport(Message):
+    """Agent → manager: current state name and bookkeeping counters."""
+
+    process: str
+    state: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A routed message: source, destination, payload.
+
+    Transport layers (simulated or threaded) move envelopes; the machines
+    themselves never see addressing beyond this.
+    """
+
+    source: str
+    destination: str
+    message: Message
+
+
+def step_key(plan_id: str, step_index: int, attempt: int) -> str:
+    """Canonical step-key format shared by manager and tests."""
+    return f"{plan_id}/{step_index}#{attempt}"

@@ -1,0 +1,130 @@
+"""ASCII rendering of execution traces: per-process adaptation timelines.
+
+Turns a :class:`~repro.trace.Trace` into a human-readable lane diagram —
+one lane per process, showing blocked intervals, in-actions, rollbacks,
+and corruption, with configuration commits as global markers.  Used by
+the CLI (``repro simulate --timeline``) and handy in test failures.
+
+Example output::
+
+    t=50.0   [commit plan1/0#0: A2 -> {D2,D4,E1}]
+    handheld ├──█ A2 ██──────────────────
+    laptop   ├────────█ A17 █────────────
+    server   ├───────────────█ A1 █──────
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace import (
+    AdaptationApplied,
+    BlockRecord,
+    ConfigCommitted,
+    CorruptionRecord,
+    NoteRecord,
+    RollbackRecord,
+    Trace,
+)
+
+
+def render_events(trace: Trace, width: int = 72) -> str:
+    """Chronological event log, one line per protocol-relevant record."""
+    lines: List[str] = []
+    for record in trace:
+        if isinstance(record, ConfigCommitted):
+            members = "{" + ",".join(sorted(record.configuration)) + "}"
+            tag = f"commit {record.step_id}"
+            if record.action_id:
+                tag += f" ({record.action_id})"
+            lines.append(f"t={record.time:9.2f}  {tag}: {members}")
+        elif isinstance(record, BlockRecord):
+            verb = "blocked" if record.blocked else "resumed"
+            lines.append(f"t={record.time:9.2f}    {record.process}: {verb}")
+        elif isinstance(record, AdaptationApplied):
+            delta = []
+            if record.removes:
+                delta.append("-" + ",".join(sorted(record.removes)))
+            if record.adds:
+                delta.append("+" + ",".join(sorted(record.adds)))
+            lines.append(
+                f"t={record.time:9.2f}    {record.process}: in-action "
+                f"{record.action_id} [{' '.join(delta) or 'no local delta'}]"
+            )
+        elif isinstance(record, RollbackRecord):
+            lines.append(
+                f"t={record.time:9.2f}    {record.process}: ROLLBACK "
+                f"{record.action_id}"
+            )
+        elif isinstance(record, CorruptionRecord):
+            lines.append(
+                f"t={record.time:9.2f}    {record.process}: CORRUPTION "
+                f"{record.detail}"
+            )
+        elif isinstance(record, NoteRecord):
+            lines.append(f"t={record.time:9.2f}  note: {record.text}")
+    return "\n".join(lines)
+
+
+def render_timeline(trace: Trace, width: int = 64) -> str:
+    """Per-process lane diagram of blocked intervals and in-actions.
+
+    Time is scaled to *width* columns between the first and last record;
+    ``█`` marks blocked spans, ``A``/``R`` the instants of in-actions and
+    rollbacks, ``!`` corruption, ``|`` commits (on the global lane).
+    """
+    records = list(trace)
+    if not records:
+        return "(empty trace)"
+    t0 = records[0].time
+    t1 = max(r.time for r in records)
+    span = max(t1 - t0, 1e-9)
+
+    def col(time: float) -> int:
+        return min(width - 1, int((time - t0) / span * (width - 1)))
+
+    processes: List[str] = []
+    for record in records:
+        process = getattr(record, "process", None)
+        if process and process not in processes:
+            processes.append(process)
+    lanes: Dict[str, List[str]] = {p: ["─"] * width for p in processes}
+    global_lane = ["·"] * width
+
+    block_start: Dict[str, float] = {}
+    for record in records:
+        if isinstance(record, BlockRecord):
+            if record.blocked:
+                block_start[record.process] = record.time
+            else:
+                start = block_start.pop(record.process, record.time)
+                lane = lanes[record.process]
+                for column in range(col(start), col(record.time) + 1):
+                    if lane[column] == "─":
+                        lane[column] = "█"
+        elif isinstance(record, AdaptationApplied):
+            lanes[record.process][col(record.time)] = "A"
+        elif isinstance(record, RollbackRecord):
+            lanes[record.process][col(record.time)] = "R"
+        elif isinstance(record, CorruptionRecord):
+            lanes[record.process][col(record.time)] = "!"
+        elif isinstance(record, ConfigCommitted):
+            global_lane[col(record.time)] = "|"
+    # a process still blocked at trace end keeps its bar to the edge
+    for process, start in block_start.items():
+        lane = lanes[process]
+        for column in range(col(start), width):
+            if lane[column] == "─":
+                lane[column] = "█"
+
+    name_width = max((len(p) for p in processes), default=6)
+    lines = [
+        f"{'commits'.ljust(name_width)} {''.join(global_lane)}",
+    ]
+    for process in processes:
+        lines.append(f"{process.ljust(name_width)} {''.join(lanes[process])}")
+    lines.append(
+        f"{''.ljust(name_width)} t={t0:g} .. t={t1:g} "
+        f"(█ blocked, A in-action, R rollback, ! corruption, | commit)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Threaded live runtime: real hot swaps with the same protocol machines.
+
+The discrete-event simulator (:mod:`repro.sim`) proves the protocol's
+properties; this package shows the *same* sans-io manager/agent machines
+driving a live, multi-threaded Python system — each process is a thread,
+coordination messages travel over in-memory queues, timers are real, and
+the recomposed structure is a running :class:`~repro.components.FilterChain`
+processing items while the adaptation happens around it.
+"""
+
+from repro.runtime.transport import InMemoryTransport, STOP
+from repro.runtime.host import LiveAgentHost, LiveApp
+from repro.runtime.live import LiveAdaptationSystem, PipelineApp
+
+__all__ = [
+    "InMemoryTransport",
+    "STOP",
+    "LiveApp",
+    "LiveAgentHost",
+    "LiveAdaptationSystem",
+    "PipelineApp",
+]

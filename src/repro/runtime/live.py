@@ -1,0 +1,351 @@
+"""The live adaptation system: threaded manager + hosts + demo pipeline app.
+
+:class:`LiveAdaptationSystem` assembles the manager and one
+:class:`~repro.runtime.host.LiveAgentHost` per process; ``adapt_to``
+blocks the calling thread until the adaptation reaches a terminal
+outcome.  :class:`PipelineApp` is a ready-made application for examples
+and tests: a worker thread pumps items through a live
+:class:`~repro.components.FilterChain`, pausing while its host is blocked
+and rebuilding the chain from the host's component set after in-actions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.components.filters import Filter, FilterChain
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.invariants import InvariantSet
+from repro.core.model import ComponentUniverse, Configuration
+from repro.core.planner import AdaptationPlan, AdaptationPlanner
+from repro.errors import NoSafePathError, RuntimeHostError, UnsafeConfigurationError
+from repro.protocol.effects import (
+    AdaptationAborted,
+    AdaptationComplete,
+    AwaitUser,
+    CancelTimer,
+    Effect,
+    RequestReplan,
+    Send,
+    SetTimer,
+    StepCommitted,
+    StepRolledBack,
+)
+from repro.protocol.failures import FailurePolicy, ReplanKind
+from repro.protocol.manager import FlushProvider, ManagerMachine, no_flush
+from repro.protocol.messages import Envelope
+from repro.runtime.host import LiveAgentHost, LiveApp
+from repro.runtime.transport import STOP, InMemoryTransport
+from repro.sim.cluster import AdaptationOutcome
+from repro.trace import ConfigCommitted, NoteRecord, Trace
+
+
+class LiveAdaptationSystem:
+    """Threaded deployment of the safe-adaptation protocol.
+
+    Args:
+        time_scale: wall seconds per protocol time unit.  Policies speak
+            the simulator's units (≈ milliseconds); the default maps one
+            unit to 1 ms of real time.
+    """
+
+    def __init__(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+        initial_config: Configuration,
+        apps: Optional[Mapping[str, LiveApp]] = None,
+        policy: Optional[FailurePolicy] = None,
+        flush_provider: FlushProvider = no_flush,
+        time_scale: float = 0.001,
+        replan_k: int = 8,
+        manager_id: str = "manager",
+    ):
+        self.universe = universe
+        self.planner = AdaptationPlanner(universe, invariants, actions)
+        self.planner.space.require_safe(initial_config, role="initial configuration")
+        self.transport = InMemoryTransport()
+        self.trace = Trace()
+        self.time_scale = time_scale
+        self.manager_id = manager_id
+        self._t0 = time.monotonic()
+        self.machine = ManagerMachine(
+            universe, policy=policy, flush_provider=flush_provider, manager_id=manager_id
+        )
+        self.committed = initial_config
+        self.outcome: Optional[AdaptationOutcome] = None
+        self.replan_k = replan_k
+        self._outcome_ready = threading.Event()
+        self._lock = threading.RLock()
+        self._timers: Dict[str, threading.Timer] = {}
+        self._queue = self.transport.register(manager_id)
+        self._thread = threading.Thread(
+            target=self._receive_loop, name="adaptation-manager", daemon=True
+        )
+        apps = dict(apps or {})
+        self.hosts: Dict[str, LiveAgentHost] = {}
+        for process_id in universe.processes():
+            local = {
+                name for name in initial_config.members
+                if universe.process_of(name) == process_id
+            }
+            self.hosts[process_id] = LiveAgentHost(
+                process_id,
+                self.transport,
+                universe,
+                local,
+                app=apps.pop(process_id, None),
+                trace=self.trace,
+                clock=self.now,
+                manager_id=manager_id,
+            )
+        if apps:
+            raise RuntimeHostError(f"apps for unknown processes: {sorted(apps)}")
+        self.trace.append(
+            ConfigCommitted(
+                time=self.now(), configuration=initial_config.members, step_id="initial"
+            )
+        )
+
+    # -- clock ------------------------------------------------------------------
+    def now(self) -> float:
+        """Elapsed protocol time units since construction."""
+        return (time.monotonic() - self._t0) / self.time_scale
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        self._thread.start()
+        for host in self.hosts.values():
+            host.start()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            for timer in self._timers.values():
+                timer.cancel()
+            self._timers.clear()
+        for host in self.hosts.values():
+            host.stop(timeout=timeout)
+        self.transport.stop_endpoint(self.manager_id)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - shutdown hygiene
+            raise RuntimeHostError("manager thread did not stop")
+
+    def __enter__(self) -> "LiveAdaptationSystem":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- adaptation entry ------------------------------------------------------------
+    def adapt_to(self, target: Configuration, timeout: float = 30.0) -> AdaptationOutcome:
+        """Plan and execute current→target; blocks until terminal outcome."""
+        with self._lock:
+            plan = self.planner.plan(self.committed, target)
+            self.outcome = None
+            self._outcome_ready.clear()
+            self._started_at = self.now()
+            self._dispatch(self.machine.start(plan))
+        if not self._outcome_ready.wait(timeout=timeout):
+            raise RuntimeHostError(
+                f"adaptation did not finish within {timeout}s "
+                f"(manager state {self.machine.state.value})"
+            )
+        assert self.outcome is not None
+        return self.outcome
+
+    # -- manager loop -----------------------------------------------------------------
+    def _receive_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is STOP:
+                return
+            assert isinstance(item, Envelope)
+            with self._lock:
+                self._dispatch(self.machine.on_message(item.message))
+
+    def _dispatch(self, effects: Iterable[Effect]) -> None:
+        pending: List[Effect] = list(effects)
+        while pending:
+            effect = pending.pop(0)
+            if isinstance(effect, Send):
+                self.transport.send(
+                    Envelope(self.manager_id, effect.destination, effect.message)
+                )
+            elif isinstance(effect, SetTimer):
+                self._set_timer(effect.name, effect.delay)
+            elif isinstance(effect, CancelTimer):
+                self._cancel_timer(effect.name)
+            elif isinstance(effect, StepCommitted):
+                self.committed = effect.step.target
+                self.trace.append(
+                    ConfigCommitted(
+                        time=self.now(),
+                        configuration=effect.step.target.members,
+                        step_id=effect.step_key,
+                        action_id=effect.step.action.action_id,
+                    )
+                )
+            elif isinstance(effect, StepRolledBack):
+                self.trace.append(
+                    NoteRecord(
+                        time=self.now(),
+                        text=f"step {effect.step_key} rolled back: {effect.reason}",
+                    )
+                )
+            elif isinstance(effect, RequestReplan):
+                pending.extend(self._handle_replan(effect))
+            elif isinstance(effect, AdaptationComplete):
+                self._finish("complete", effect.configuration, "target reached")
+            elif isinstance(effect, AdaptationAborted):
+                self._finish("aborted", effect.configuration, effect.reason)
+            elif isinstance(effect, AwaitUser):
+                self._finish("await_user", effect.configuration, effect.reason)
+            else:  # pragma: no cover - defensive
+                raise RuntimeHostError(f"unhandled manager effect {effect!r}")
+
+    def _finish(self, status: str, configuration: Configuration, reason: str) -> None:
+        self.outcome = AdaptationOutcome(
+            status=status,
+            configuration=configuration,
+            reason=reason,
+            steps_committed=self.machine.steps_committed,
+            steps_rolled_back=self.machine.steps_rolled_back,
+            started_at=getattr(self, "_started_at", 0.0),
+            finished_at=self.now(),
+        )
+        self._outcome_ready.set()
+
+    # -- timers ------------------------------------------------------------------
+    def _set_timer(self, name: str, delay: float) -> None:
+        self._cancel_timer(name)
+
+        def fire() -> None:
+            with self._lock:
+                self._timers.pop(name, None)
+                self._dispatch(self.machine.on_timeout(name))
+
+        timer = threading.Timer(delay * self.time_scale, fire)
+        timer.daemon = True
+        self._timers[name] = timer
+        timer.start()
+
+    def _cancel_timer(self, name: str) -> None:
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+
+    # -- re-planning ------------------------------------------------------------------
+    def _handle_replan(self, request: RequestReplan) -> List[Effect]:
+        if request.kind == ReplanKind.ALTERNATE_TO_TARGET:
+            destination = self.machine.target
+        else:
+            destination = self.machine.original_source
+        assert destination is not None
+        if request.current == destination:
+            return self.machine.on_new_plan(
+                AdaptationPlan(request.current, destination, (), 0.0)
+            )
+        try:
+            candidates = self.planner.plan_k(request.current, destination, self.replan_k)
+        except (NoSafePathError, UnsafeConfigurationError):
+            return self.machine.on_no_plan()
+        failed = set(request.failed_edges)
+        for plan in candidates:
+            if all(
+                (step.source, step.action.action_id) not in failed
+                for step in plan.steps
+            ):
+                return self.machine.on_new_plan(plan)
+        return self.machine.on_no_plan()
+
+
+class PipelineApp(LiveApp):
+    """A live pipeline: worker thread pushing items through a FilterChain.
+
+    Args:
+        filter_factory: maps a component name to a :class:`Filter`; the
+            chain is rebuilt from the host's component set after every
+            structural change.
+        source: produces the next input item (defaults to a counter).
+        sink: consumes chain outputs.
+        interval: worker period in wall seconds.
+    """
+
+    def __init__(
+        self,
+        filter_factory: Callable[[str], Filter],
+        sink: Callable[[object], None],
+        source: Optional[Callable[[], object]] = None,
+        interval: float = 0.002,
+    ):
+        self.filter_factory = filter_factory
+        self.sink = sink
+        self._counter = 0
+        self.source = source or self._default_source
+        self.interval = interval
+        self.chain: Optional[FilterChain] = None
+        self.items_processed = 0
+        self._stop = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+        self._chain_lock = threading.Lock()
+
+    def _default_source(self) -> object:
+        self._counter += 1
+        return self._counter
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        self._rebuild_chain()
+        self._worker = threading.Thread(
+            target=self._run, name=f"pipeline-{self.host.process_id}", daemon=True
+        )
+        self._worker.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.host.running_event.set()  # unblock a paused worker so it can exit
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            # Pause while the host is blocked (held in its safe state).
+            self.host.running_event.wait(timeout=0.5)
+            if self._stop.is_set():
+                return
+            if not self.host.running_event.is_set():
+                continue
+            with self._chain_lock:
+                chain = self.chain
+                if chain is not None:
+                    for item in chain.push(self.source()):
+                        self.sink(item)
+                    self.items_processed += 1
+            time.sleep(self.interval)
+
+    # -- adaptation hooks ---------------------------------------------------------------
+    def _rebuild_chain(self) -> None:
+        with self._chain_lock:
+            self.chain = FilterChain(
+                f"{self.host.process_id}.chain",
+                [self.filter_factory(name) for name in sorted(self.host.components)],
+            )
+
+    def begin_reset(
+        self, step_key: str, action: AdaptiveAction, inject_flush: bool, await_flush: bool
+    ) -> None:
+        # The worker holds the chain lock for a whole item: acquiring it
+        # here means "not mid-item", i.e. the local safe state.
+        with self._chain_lock:
+            pass
+        self.host.local_safe(step_key)
+
+    def apply_action(self, action: AdaptiveAction) -> None:
+        self._rebuild_chain()
+
+    def undo_action(self, action: AdaptiveAction) -> None:
+        self._rebuild_chain()

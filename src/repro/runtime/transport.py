@@ -1,0 +1,49 @@
+"""In-memory queue transport for the threaded runtime.
+
+Each registered endpoint gets an unbounded queue; :meth:`send` routes an
+envelope to the destination queue.  A :data:`STOP` sentinel shuts a host's
+receive loop down cleanly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Optional
+
+from repro.errors import RuntimeHostError
+from repro.protocol.messages import Envelope
+
+STOP = object()  # sentinel shutting down a receive loop
+
+
+class InMemoryTransport:
+    """Thread-safe endpoint registry + router."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, "queue.Queue"] = {}
+        self._lock = threading.Lock()
+        self.messages_sent = 0
+
+    def register(self, endpoint: str) -> "queue.Queue":
+        with self._lock:
+            if endpoint in self._queues:
+                raise RuntimeHostError(f"endpoint {endpoint!r} already registered")
+            q: "queue.Queue" = queue.Queue()
+            self._queues[endpoint] = q
+            return q
+
+    def send(self, envelope: Envelope) -> None:
+        with self._lock:
+            q = self._queues.get(envelope.destination)
+        if q is None:
+            raise RuntimeHostError(f"no endpoint {envelope.destination!r}")
+        self.messages_sent += 1
+        q.put(envelope)
+
+    def stop_endpoint(self, endpoint: str) -> None:
+        """Deliver the STOP sentinel (receive loop exits after draining)."""
+        with self._lock:
+            q = self._queues.get(endpoint)
+        if q is not None:
+            q.put(STOP)

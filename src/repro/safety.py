@@ -1,0 +1,190 @@
+"""Executable safety checker — the paper's §3 definition, run over traces.
+
+    "A dynamic adaptation process is safe iff
+       – It does not violate dependency relationships among components.
+       – It does not interrupt critical communication segments."
+
+Given an execution :class:`~repro.trace.Trace`, the checker verifies:
+
+1. **Dependency clause** — every committed configuration satisfies every
+   invariant (safe configurations only, per §3.1).
+2. **CCS clause** — for every CID, ``S_CID ∈ CCS`` (or the segment is still
+   a live prefix at the instant the trace ends), and no application-level
+   corruption was recorded (corruption is the observable symptom of an
+   interrupted segment).
+3. **Global-safe-state discipline** (optional, on by default) — every
+   local in-action fired while its hosting process was blocked, i.e. held
+   in a safe state, per §3.3's equivalence proof.
+
+Baseline strategies in :mod:`repro.baselines` demonstrably fail these
+checks; the safe-adaptation protocol passes them under randomized
+schedules and injected faults (see ``tests/protocol`` and
+``benchmarks/bench_safety_vs_baselines.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.ccs import CCSSpec
+from repro.core.invariants import InvariantSet
+from repro.errors import SafetyViolationError
+from repro.trace import (
+    AdaptationApplied,
+    BlockRecord,
+    CommRecord,
+    ConfigCommitted,
+    CorruptionRecord,
+    Trace,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One piece of evidence that an execution was unsafe."""
+
+    kind: str  # "dependency" | "ccs" | "corruption" | "discipline"
+    time: float
+    detail: str
+
+
+@dataclass
+class SafetyReport:
+    """Checker output: list of violations plus summary counters."""
+
+    violations: List[Violation] = field(default_factory=list)
+    configurations_checked: int = 0
+    segments_checked: int = 0
+    segments_complete: int = 0
+    in_actions_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: str) -> Tuple[Violation, ...]:
+        return tuple(v for v in self.violations if v.kind == kind)
+
+    def raise_if_unsafe(self) -> None:
+        if not self.ok:
+            first = self.violations[0]
+            raise SafetyViolationError(
+                f"{len(self.violations)} safety violation(s); first: "
+                f"[{first.kind} @ t={first.time:g}] {first.detail}"
+            )
+
+    def summary(self) -> str:
+        status = "SAFE" if self.ok else f"UNSAFE ({len(self.violations)} violations)"
+        return (
+            f"{status} — {self.configurations_checked} configurations, "
+            f"{self.segments_complete}/{self.segments_checked} segments complete, "
+            f"{self.in_actions_checked} in-actions checked"
+        )
+
+
+class SafetyChecker:
+    """Judges traces against the paper's two-clause safety definition."""
+
+    def __init__(
+        self,
+        invariants: InvariantSet,
+        ccs: Optional[CCSSpec] = None,
+        check_discipline: bool = True,
+    ):
+        self.invariants = invariants
+        self.ccs = ccs
+        self.check_discipline = check_discipline
+
+    def check(self, trace: Trace) -> SafetyReport:
+        report = SafetyReport()
+        self._check_dependencies(trace, report)
+        if self.ccs is not None:
+            self._check_segments(trace, report)
+        self._check_corruption(trace, report)
+        if self.check_discipline:
+            self._check_discipline(trace, report)
+        return report
+
+    # -- clause 1: dependency relationships -------------------------------------
+    def _check_dependencies(self, trace: Trace, report: SafetyReport) -> None:
+        for record in trace.of_type(ConfigCommitted):
+            report.configurations_checked += 1
+            broken = self.invariants.violated(record.configuration)
+            for invariant in broken:
+                members = "{" + ",".join(sorted(record.configuration)) + "}"
+                report.violations.append(
+                    Violation(
+                        kind="dependency",
+                        time=record.time,
+                        detail=(
+                            f"configuration {members} (step {record.step_id}) "
+                            f"violates invariant {invariant.name!r}"
+                        ),
+                    )
+                )
+
+    # -- clause 2: critical communication segments ---------------------------------
+    def _check_segments(self, trace: Trace, report: SafetyReport) -> None:
+        assert self.ccs is not None
+        last_time: Dict[int, float] = {}
+        for record in trace.of_type(CommRecord):
+            last_time[record.cid] = record.time
+        for verdict in self.ccs.judge_trace(trace):
+            report.segments_checked += 1
+            if verdict.complete:
+                report.segments_complete += 1
+            elif verdict.interrupted:
+                report.violations.append(
+                    Violation(
+                        kind="ccs",
+                        time=last_time.get(verdict.cid, 0.0),
+                        detail=(
+                            f"segment CID={verdict.cid} interrupted: observed "
+                            f"{list(verdict.sequence)} is not in CCS"
+                        ),
+                    )
+                )
+            # else: in progress at end of trace — permitted.
+
+    def _check_corruption(self, trace: Trace, report: SafetyReport) -> None:
+        for record in trace.of_type(CorruptionRecord):
+            report.violations.append(
+                Violation(
+                    kind="corruption",
+                    time=record.time,
+                    detail=f"[{record.process}] {record.detail}",
+                )
+            )
+
+    # -- clause 3 (derived): in-actions only in held-safe processes ------------------
+    def _check_discipline(self, trace: Trace, report: SafetyReport) -> None:
+        blocked: Dict[str, bool] = {}
+        for record in trace:
+            if isinstance(record, BlockRecord):
+                blocked[record.process] = record.blocked
+            elif isinstance(record, AdaptationApplied):
+                report.in_actions_checked += 1
+                if not blocked.get(record.process, False):
+                    report.violations.append(
+                        Violation(
+                            kind="discipline",
+                            time=record.time,
+                            detail=(
+                                f"in-action {record.action_id} executed on "
+                                f"process {record.process!r} while it was not "
+                                "held in a safe (blocked) state"
+                            ),
+                        )
+                    )
+
+
+def check_safe(
+    trace: Trace,
+    invariants: InvariantSet,
+    ccs: Optional[CCSSpec] = None,
+    check_discipline: bool = True,
+) -> SafetyReport:
+    """One-shot convenience wrapper around :class:`SafetyChecker`."""
+    checker = SafetyChecker(invariants, ccs=ccs, check_discipline=check_discipline)
+    return checker.check(trace)

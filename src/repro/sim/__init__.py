@@ -1,0 +1,57 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluated on a physical wireless testbed (iPAQ + laptop clients
+on a multicast LAN).  We substitute a deterministic discrete-event
+simulator: same protocol code (the sans-io machines), but with seedable
+schedules, per-channel delay/loss models, partitions, and full execution
+traces — strictly better for *verifying* safety claims than real hardware.
+
+* :mod:`repro.sim.kernel` — event loop, simulated clock, timers.
+* :mod:`repro.sim.net` — directed channels, loss/delay models, multicast,
+  partitions.
+* :mod:`repro.sim.cluster` — manager/agent hosts wiring the protocol
+  machines to the simulated network, plus the application adapter API.
+* :mod:`repro.sim.apps` — synthetic process applications used by tests and
+  benchmarks (configurable quiesce latency, fail-to-reset injection).
+"""
+
+from repro.sim.kernel import Simulator, TimerHandle
+from repro.sim.net import (
+    BernoulliLoss,
+    BurstLoss,
+    DelayModel,
+    FixedDelay,
+    LossModel,
+    Network,
+    NoLoss,
+    UniformDelay,
+)
+from repro.sim.cluster import (
+    AdaptationCluster,
+    AdaptationOutcome,
+    ManagerHost,
+    ProcessApp,
+    ProcessHost,
+)
+from repro.sim.apps import MonitoredApp, QuiescentApp, StuckApp
+
+__all__ = [
+    "Simulator",
+    "TimerHandle",
+    "Network",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "BurstLoss",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "AdaptationCluster",
+    "AdaptationOutcome",
+    "ManagerHost",
+    "ProcessHost",
+    "ProcessApp",
+    "MonitoredApp",
+    "QuiescentApp",
+    "StuckApp",
+]

@@ -1,0 +1,116 @@
+"""Synthetic process applications for protocol tests and benchmarks.
+
+These adapters exercise the protocol without a real application on top:
+
+* :class:`QuiescentApp` — reaches its local safe state after a
+  configurable delay (models finishing the current critical communication
+  segment);
+* :class:`StuckApp` — never reaches the safe state (the paper's
+  *fail-to-reset* failure: "the local process may be engaged in a long
+  critical communication segment"), optionally only for the first *n*
+  attempts so retries can succeed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.actions import AdaptiveAction
+from repro.sim.cluster import ProcessApp
+from repro.sim.kernel import TimerHandle
+
+
+class QuiescentApp(ProcessApp):
+    """Reaches the local safe state ``quiesce_delay`` after each reset."""
+
+    def __init__(self, quiesce_delay: float = 2.0, resume_delay: float = 0.0):
+        self.quiesce_delay = quiesce_delay
+        self.resume_delay = resume_delay
+        self._pending: Optional[TimerHandle] = None
+        self.resets_started = 0
+        self.resets_aborted = 0
+
+    def begin_reset(self, step_key, action, inject_flush, await_flush) -> None:
+        self.resets_started += 1
+        host = self.host
+
+        def reach_safe() -> None:
+            self._pending = None
+            host.local_safe(step_key)
+
+        self._pending = host.sim.schedule(self.quiesce_delay, reach_safe)
+
+    def abort_reset(self, step_key) -> None:
+        self.resets_aborted += 1
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def resume_latency(self) -> float:
+        return self.resume_delay
+
+
+class MonitoredApp(ProcessApp):
+    """Local safe state derived automatically from a temporal monitor (§7).
+
+    Instead of a fixed quiesce delay, the app feeds its workload events to
+    a :class:`repro.ltl.SafeStateMonitor`; when a reset is pending and an
+    observation lands in a safe state, the agent is notified.  This is the
+    paper's future-work proposal ("the formula can then be dynamically
+    evaluated ... the state can be automatically identified as a safe
+    state") realized against the simulator.
+    """
+
+    def __init__(self, monitor):
+        self.monitor = monitor
+        self._pending_step: Optional[str] = None
+        monitor.on_safe(self._maybe_release)
+
+    def observe(self, *events: str) -> None:
+        """Feed workload events (e.g. segment begin/end) to the monitor."""
+        self.monitor.observe(*events)
+
+    def _maybe_release(self) -> None:
+        if self._pending_step is not None:
+            step_key, self._pending_step = self._pending_step, None
+            self.host.local_safe(step_key)
+
+    def begin_reset(self, step_key, action, inject_flush, await_flush) -> None:
+        if self.monitor.safe:
+            self.host.sim.call_soon(lambda: self.host.local_safe(step_key))
+        else:
+            self._pending_step = step_key
+
+    def abort_reset(self, step_key) -> None:
+        if self._pending_step == step_key:
+            self._pending_step = None
+
+
+class StuckApp(ProcessApp):
+    """Fail-to-reset injection: never (or not initially) reaches safety.
+
+    Args:
+        stuck_attempts: how many reset attempts to ignore before behaving
+            like a quiescent app.  ``None`` means stuck forever.
+        quiesce_delay: delay used once un-stuck.
+    """
+
+    def __init__(self, stuck_attempts: Optional[int] = None, quiesce_delay: float = 2.0):
+        self.stuck_attempts = stuck_attempts
+        self.quiesce_delay = quiesce_delay
+        self.attempts_seen = 0
+        self._pending: Optional[TimerHandle] = None
+
+    def begin_reset(self, step_key, action, inject_flush, await_flush) -> None:
+        self.attempts_seen += 1
+        if self.stuck_attempts is None or self.attempts_seen <= self.stuck_attempts:
+            return  # silently stay busy: the manager's timeout will fire
+        host = self.host
+        self._pending = host.sim.schedule(
+            self.quiesce_delay, lambda: host.local_safe(step_key)
+        )
+
+    def abort_reset(self, step_key) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None

@@ -1,0 +1,126 @@
+"""Deterministic discrete-event simulation kernel.
+
+A classic event-heap simulator: events are ``(time, sequence, callback)``
+triples; ties in time break by scheduling order, so a run is a pure
+function of (code, seed).  All randomness in the simulation must come from
+:attr:`Simulator.rng`, which is seeded at construction — the property
+tests rely on bit-identical replays.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class TimerHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float):
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Single-threaded discrete-event loop with a simulated clock."""
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self._seq = 0
+        self._heap: List[Tuple[float, int, TimerHandle, Callable[[], None]]] = []
+        self._events_processed = 0
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> TimerHandle:
+        """Run *callback* after *delay* simulated time units.
+
+        Returns a handle; :meth:`TimerHandle.cancel` prevents execution.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not callable(callback):
+            raise SimulationError(f"callback must be callable, got {callback!r}")
+        self._seq += 1
+        handle = TimerHandle(self.now + delay)
+        heapq.heappush(self._heap, (handle.time, self._seq, handle, callback))
+        return handle
+
+    def call_soon(self, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule at the current time (after already-queued same-time events)."""
+        return self.schedule(0.0, callback)
+
+    # -- execution -------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            time, _, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if time < self.now:  # pragma: no cover - heap invariant
+                raise SimulationError("event heap produced time travel")
+            self.now = time
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run events until the queue drains, *until* is reached, or
+        *stop_when* returns true (checked between events).
+
+        Raises:
+            SimulationError: if *max_events* is exceeded — the standard
+                guard against accidental infinite event loops.
+        """
+        processed = 0
+        while self._heap:
+            if stop_when is not None and stop_when():
+                return
+            next_time = self._next_live_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _next_live_time(self) -> Optional[float]:
+        while self._heap:
+            time, _, handle, _cb = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None

@@ -1,0 +1,218 @@
+"""Simulated network: directed channels, loss/delay models, multicast.
+
+Models the paper's communication substrate (§3): components/processes
+communicate over *directed channels*.  Each ``(source, destination)`` pair
+has a delay model and a loss model; channels are FIFO by default (a
+TCP-like property the manager/agent coordination in §5 assumes), and can
+be made non-FIFO to model datagram traffic.  Partitions block a channel
+entirely until healed — the "long-term network failure" of §4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.protocol.messages import Envelope
+from repro.sim.kernel import Simulator
+
+
+# -- delay models -----------------------------------------------------------------
+
+class DelayModel:
+    """Samples per-message propagation delay."""
+
+    def sample(self, rng) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedDelay(DelayModel):
+    delay: float = 1.0
+
+    def sample(self, rng) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    low: float = 0.5
+    high: float = 2.0
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+# -- loss models ------------------------------------------------------------------
+
+class LossModel:
+    """Decides whether a given message is dropped."""
+
+    def drops(self, rng) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoLoss(LossModel):
+    def drops(self, rng) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class BernoulliLoss(LossModel):
+    """Independent per-message drop probability."""
+
+    probability: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1], got {self.probability}")
+
+    def drops(self, rng) -> bool:
+        return rng.random() < self.probability
+
+
+class BurstLoss(LossModel):
+    """Gilbert–Elliott-style two-state burst loss.
+
+    In the *good* state messages pass; in the *bad* state they drop.  The
+    chain transitions good→bad with ``p_enter`` per message and bad→good
+    with ``p_exit`` — modelling the bursty outages typical at the wireless
+    edge the paper targets.
+    """
+
+    def __init__(self, p_enter: float = 0.01, p_exit: float = 0.25):
+        if not (0 <= p_enter <= 1 and 0 <= p_exit <= 1):
+            raise ValueError("burst probabilities must be in [0,1]")
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self._bad = False
+
+    def drops(self, rng) -> bool:
+        if self._bad:
+            if rng.random() < self.p_exit:
+                self._bad = False
+        else:
+            if rng.random() < self.p_enter:
+                self._bad = True
+        return self._bad
+
+
+@dataclass
+class _ChannelConfig:
+    delay: DelayModel
+    loss: LossModel
+    fifo: bool = True
+
+
+class Network:
+    """Message fabric connecting simulated processes.
+
+    Processes register a handler; :meth:`send` routes an
+    :class:`~repro.protocol.messages.Envelope` through the channel's loss
+    and delay models and schedules delivery on the simulator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_delay: Optional[DelayModel] = None,
+        default_loss: Optional[LossModel] = None,
+    ):
+        self.sim = sim
+        self.default_delay = default_delay or FixedDelay(1.0)
+        self.default_loss = default_loss or NoLoss()
+        self._handlers: Dict[str, Callable[[Envelope], None]] = {}
+        self._channels: Dict[Tuple[str, str], _ChannelConfig] = {}
+        self._partitioned: Set[FrozenSet[str]] = set()
+        self._groups: Dict[str, List[str]] = {}
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- registration ----------------------------------------------------------
+    def register(self, process_id: str, handler: Callable[[Envelope], None]) -> None:
+        if process_id in self._handlers:
+            raise SimulationError(f"process {process_id!r} already registered")
+        self._handlers[process_id] = handler
+
+    def set_channel(
+        self,
+        source: str,
+        destination: str,
+        delay: Optional[DelayModel] = None,
+        loss: Optional[LossModel] = None,
+        fifo: bool = True,
+    ) -> None:
+        """Override the models for one directed channel."""
+        self._channels[(source, destination)] = _ChannelConfig(
+            delay=delay or self.default_delay,
+            loss=loss or self.default_loss,
+            fifo=fifo,
+        )
+
+    # -- partitions ----------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Block all traffic between *a* and *b* (both directions)."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitioned
+
+    # -- multicast ------------------------------------------------------------------
+    def group_join(self, group: str, process_id: str) -> None:
+        members = self._groups.setdefault(group, [])
+        if process_id not in members:
+            members.append(process_id)
+
+    def group_leave(self, group: str, process_id: str) -> None:
+        members = self._groups.get(group, [])
+        if process_id in members:
+            members.remove(process_id)
+
+    def group_members(self, group: str) -> Tuple[str, ...]:
+        return tuple(self._groups.get(group, ()))
+
+    def multicast(self, source: str, group: str, message) -> None:
+        """Send *message* to every group member except the sender."""
+        for member in self.group_members(group):
+            if member != source:
+                self.send(Envelope(source=source, destination=member, message=message))
+
+    # -- transmission ----------------------------------------------------------------
+    def send(self, envelope: Envelope) -> None:
+        """Route one envelope; may drop, delays, preserves FIFO if configured."""
+        self.messages_sent += 1
+        src, dst = envelope.source, envelope.destination
+        if dst not in self._handlers:
+            raise SimulationError(f"no process registered as {dst!r}")
+        if self.is_partitioned(src, dst):
+            self.messages_dropped += 1
+            return
+        config = self._channels.get((src, dst))
+        delay_model = config.delay if config else self.default_delay
+        loss_model = config.loss if config else self.default_loss
+        fifo = config.fifo if config else True
+        if loss_model.drops(self.sim.rng):
+            self.messages_dropped += 1
+            return
+        deliver_at = self.sim.now + delay_model.sample(self.sim.rng)
+        if fifo:
+            last = self._last_delivery.get((src, dst), -1.0)
+            if deliver_at < last:
+                deliver_at = last
+            self._last_delivery[(src, dst)] = deliver_at
+
+        def deliver() -> None:
+            self.messages_delivered += 1
+            self._handlers[dst](envelope)
+
+        self.sim.schedule(deliver_at - self.sim.now, deliver)

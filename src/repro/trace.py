@@ -1,0 +1,209 @@
+"""Execution traces shared by the simulator, live runtime, and checker.
+
+The paper's safety definition is a property of executions: dependency
+relationships must hold in every (committed) configuration, and for every
+critical-communication identifier CID the extracted action sequence
+``S_CID`` must belong to the CCS language.  Everything that executes
+adaptations in this library — the discrete-event simulator, the threaded
+live runtime, and the baseline strategies — emits the same typed trace
+records so one checker (:mod:`repro.safety`) can judge them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Type, TypeVar
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Base record: everything is timestamped with simulation/wall time."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class ConfigCommitted(TraceRecord):
+    """The global configuration reached a new committed value.
+
+    Emitted when an adaptation step completes (and once at system start).
+    Between two commits the system is either quiescent or mid-step with the
+    affected processes blocked — the paper's atomicity assumption.
+    """
+
+    configuration: FrozenSet[str]
+    step_id: str = "initial"
+    action_id: str = ""
+
+
+@dataclass(frozen=True)
+class CommRecord(TraceRecord):
+    """One atomic action of a critical communication segment.
+
+    ``cid`` is the paper's critical communication identifier (a natural
+    number identifying the segment instance, e.g. a packet sequence
+    number); ``action`` names the atomic action (e.g. ``"encode"``).
+    """
+
+    cid: int
+    action: str
+    component: str = ""
+    process: str = ""
+
+
+@dataclass(frozen=True)
+class AdaptationApplied(TraceRecord):
+    """A local in-action executed on a process (structure altered)."""
+
+    process: str
+    action_id: str
+    removes: FrozenSet[str]
+    adds: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class BlockRecord(TraceRecord):
+    """A process blocked (``blocked=True``) or resumed (``False``)."""
+
+    process: str
+    blocked: bool
+
+
+@dataclass(frozen=True)
+class CorruptionRecord(TraceRecord):
+    """Application-level evidence of unsafe adaptation (e.g. a frame whose
+    checksum failed because it was encrypted under a scheme with no matching
+    decoder present)."""
+
+    process: str
+    detail: str
+    cid: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RollbackRecord(TraceRecord):
+    """A process rolled back a (partially) applied step."""
+
+    process: str
+    action_id: str
+
+
+@dataclass(frozen=True)
+class NoteRecord(TraceRecord):
+    """Free-form annotation (protocol milestones, debugging)."""
+
+    text: str
+
+
+R = TypeVar("R", bound=TraceRecord)
+
+# All concrete record types, for (de)serialization.
+_RECORD_TYPES = (
+    ConfigCommitted,
+    CommRecord,
+    AdaptationApplied,
+    BlockRecord,
+    CorruptionRecord,
+    RollbackRecord,
+    NoteRecord,
+)
+
+
+class Trace:
+    """Append-only ordered sequence of trace records."""
+
+    def __init__(self, records: Iterable[TraceRecord] = ()):
+        self._records: List[TraceRecord] = list(records)
+
+    def append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        self._records.extend(records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def of_type(self, record_type: Type[R]) -> Tuple[R, ...]:
+        """All records of a given type, in trace order."""
+        return tuple(r for r in self._records if isinstance(r, record_type))
+
+    def comm_sequence(self, cid: int) -> Tuple[str, ...]:
+        """The paper's ``S_CID``: atomic actions of one segment, in order."""
+        return tuple(
+            r.action
+            for r in self._records
+            if isinstance(r, CommRecord) and r.cid == cid
+        )
+
+    def cids(self) -> Tuple[int, ...]:
+        """All critical-communication identifiers seen, in first-seen order."""
+        seen: List[int] = []
+        known = set()
+        for record in self._records:
+            if isinstance(record, CommRecord) and record.cid not in known:
+                known.add(record.cid)
+                seen.append(record.cid)
+        return tuple(seen)
+
+    def committed_configurations(self) -> Tuple[FrozenSet[str], ...]:
+        return tuple(r.configuration for r in self.of_type(ConfigCommitted))
+
+    def final_configuration(self) -> Optional[FrozenSet[str]]:
+        commits = self.of_type(ConfigCommitted)
+        return commits[-1].configuration if commits else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Trace({len(self._records)} records)"
+
+    # -- persistence ------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialize to JSON lines (one record per line, type-tagged).
+
+        Traces are the audit artifact of an adaptation; persisting them
+        lets the safety checker run offline/after the fact.
+        """
+        import dataclasses
+        import json
+
+        lines = []
+        for record in self._records:
+            payload = {"type": type(record).__name__}
+            for field_info in dataclasses.fields(record):
+                value = getattr(record, field_info.name)
+                if isinstance(value, frozenset):
+                    value = sorted(value)
+                payload[field_info.name] = value
+            lines.append(json.dumps(payload, sort_keys=True))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Inverse of :meth:`to_jsonl`."""
+        import dataclasses
+        import json
+
+        registry = {klass.__name__: klass for klass in _RECORD_TYPES}
+        records = []
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            type_name = payload.pop("type", None)
+            klass = registry.get(type_name)
+            if klass is None:
+                raise ValueError(f"line {line_no}: unknown record type {type_name!r}")
+            kwargs = {}
+            for field_info in dataclasses.fields(klass):
+                if field_info.name not in payload:
+                    continue
+                value = payload[field_info.name]
+                # lists only ever encode frozenset-valued fields
+                if isinstance(value, list):
+                    value = frozenset(value)
+                kwargs[field_info.name] = value
+            records.append(klass(**kwargs))
+        return cls(records)

@@ -1,0 +1,111 @@
+"""Tests for the FEC-extended video system (adaptable loss resilience)."""
+
+import pytest
+
+from repro.apps.video.extended import (
+    DEFAULT_FEC_K,
+    FEC_COMPONENTS,
+    extended_actions,
+    extended_invariants,
+    extended_planner,
+    extended_source,
+    extended_target,
+    extended_universe,
+)
+from repro.apps.video.scenario import VideoScenario, build_video_cluster
+from repro.sim.net import BernoulliLoss
+
+
+class TestExtendedModel:
+    def test_universe_extends_paper(self):
+        universe = extended_universe()
+        assert len(universe) == 10
+        assert universe.process_of("FE") == "server"
+        assert universe.process_of("FH") == "handheld"
+        assert universe.process_of("FL") == "laptop"
+
+    def test_fec_is_all_or_nothing(self):
+        invariants = extended_invariants()
+        base = extended_source().members
+        assert invariants.all_hold(base)
+        assert invariants.all_hold(base | set(FEC_COMPONENTS))
+        assert not invariants.all_hold(base | {"FE"})
+        assert not invariants.all_hold(base | {"FH", "FL"})
+        assert not invariants.all_hold(base | {"FE", "FH"})
+
+    def test_safe_space_doubles(self):
+        planner = extended_planner()
+        assert planner.space.count() == 16  # paper's 8 × {FEC, no FEC}
+
+    def test_fec_triple_actions_connect_the_layers(self):
+        planner = extended_planner()
+        plan = planner.plan(extended_source(), extended_source(with_fec=True))
+        assert plan.action_ids == ("AF+",)
+        back = planner.plan(extended_source(with_fec=True), extended_source())
+        assert back.action_ids == ("AF-",)
+
+    def test_paper_map_unchanged_in_extended_space(self):
+        planner = extended_planner()
+        plan = planner.plan(extended_source(), extended_target())
+        assert plan.total_cost == 50.0
+        assert "AF+" not in plan.action_ids
+
+
+class TestExtendedRuntime:
+    def test_fec_insertion_mid_stream_is_safe(self):
+        cluster = build_video_cluster(
+            seed=2, extended=True, data_loss=BernoulliLoss(0.15)
+        )
+        scenario = VideoScenario(cluster=cluster)
+        cluster.sim.run(until=100.0)
+        outcome = cluster.adapt_to(extended_source(with_fec=True))
+        cluster.sim.run(until=cluster.sim.now + 100.0)
+        assert outcome.succeeded
+        scenario.safety_report().raise_if_unsafe()
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0 and stats["laptop_corrupt"] == 0
+
+    def test_fec_improves_delivery_under_loss(self):
+        def delivery_ratio(with_fec):
+            initial = extended_source(with_fec=with_fec)
+            cluster = build_video_cluster(
+                seed=5, extended=True, initial=initial,
+                data_loss=BernoulliLoss(0.15),
+            )
+            scenario = VideoScenario(cluster=cluster)
+            cluster.sim.run(until=400.0)
+            stats = scenario.stream_stats()
+            return stats["handheld_received"] / stats["packets_sent"]
+
+        without = delivery_ratio(False)
+        with_fec = delivery_ratio(True)
+        assert with_fec > without + 0.05  # material improvement
+
+    def test_fec_removal_mid_stream_is_safe(self):
+        cluster = build_video_cluster(
+            seed=3, extended=True, initial=extended_source(with_fec=True)
+        )
+        scenario = VideoScenario(cluster=cluster)
+        cluster.sim.run(until=60.0)
+        outcome = cluster.adapt_to(extended_source(with_fec=False))
+        cluster.sim.run(until=cluster.sim.now + 60.0)
+        assert outcome.succeeded
+        scenario.safety_report().raise_if_unsafe()
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0 and stats["laptop_corrupt"] == 0
+
+    def test_hardening_while_fec_active(self):
+        """The paper's 64→128-bit MAP runs unchanged with FEC composed."""
+        cluster = build_video_cluster(
+            seed=6, extended=True, initial=extended_source(with_fec=True),
+            data_loss=BernoulliLoss(0.1),
+        )
+        scenario = VideoScenario(cluster=cluster)
+        cluster.sim.run(until=50.0)
+        outcome = cluster.adapt_to(extended_target(with_fec=True))
+        cluster.sim.run(until=cluster.sim.now + 100.0)
+        assert outcome.succeeded
+        assert outcome.steps_committed == 5
+        scenario.safety_report().raise_if_unsafe()
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0 and stats["laptop_corrupt"] == 0

@@ -1,0 +1,76 @@
+"""Failure injection on the live video stream: safety must survive."""
+
+import pytest
+
+from repro.apps.video import VideoScenario, build_video_cluster
+from repro.apps.video.system import paper_source, paper_target
+from repro.protocol.failures import FailurePolicy
+from repro.sim.net import BernoulliLoss, UniformDelay
+
+POLICY = FailurePolicy(
+    reset_timeout=80.0,
+    resume_timeout=60.0,
+    rollback_timeout=60.0,
+    retransmit_interval=20.0,
+)
+
+
+class TestVideoUnderFaults:
+    def test_rollback_mid_stream_is_invisible_to_viewers(self):
+        """Force the first A4 attempt to fail; stream must stay clean."""
+        scenario = VideoScenario(
+            cluster=build_video_cluster(seed=7, policy=POLICY)
+        )
+        cluster = scenario.cluster
+        cluster.sim.run(until=40.0)
+        # Partition manager↔server just before the A1 step's reset goes
+        # out: the step times out and rolls back; after the heal the retry
+        # (or an alternate) completes the adaptation.
+        def cut():
+            cluster.network.partition("manager", "server")
+        def heal():
+            cluster.network.heal_all()
+        cluster.sim.schedule(3.0, cut)    # between A17 and A1
+        cluster.sim.schedule(200.0, heal)
+        outcome = cluster.adapt_to(paper_target())
+        cluster.sim.run(until=cluster.sim.now + 60.0)
+        assert outcome.succeeded
+        assert outcome.steps_rolled_back >= 1
+        scenario.safety_report().raise_if_unsafe()
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0
+        assert stats["laptop_corrupt"] == 0
+
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_lossy_everything_never_corrupts(self, seed):
+        scenario = VideoScenario(
+            cluster=build_video_cluster(
+                seed=seed,
+                policy=POLICY,
+                control_loss=BernoulliLoss(0.15),
+                control_delay=UniformDelay(0.5, 2.5),
+            )
+        )
+        outcome = scenario.run()
+        report = scenario.safety_report()
+        assert report.ok, report.violations[:3]
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0
+        assert stats["laptop_corrupt"] == 0
+        assert outcome.status in ("complete", "aborted", "await_user")
+
+    def test_data_plane_loss_is_not_a_safety_violation(self):
+        """Dropped video packets are loss, not unsafe adaptation."""
+        scenario = VideoScenario(
+            cluster=build_video_cluster(
+                seed=3, policy=POLICY, data_loss=BernoulliLoss(0.2)
+            )
+        )
+        outcome = scenario.run()
+        assert outcome.succeeded
+        report = scenario.safety_report()
+        # lost packets leave in-progress segments, never interrupted ones
+        assert report.ok
+        stats = scenario.stream_stats()
+        assert stats["handheld_received"] < stats["packets_sent"]
+        assert stats["handheld_corrupt"] == 0

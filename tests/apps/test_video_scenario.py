@@ -1,0 +1,137 @@
+"""Integration tests: the full §5.2 video walk-through on the simulator."""
+
+import pytest
+
+from repro.apps.video import VideoScenario, build_video_cluster
+from repro.apps.video.system import paper_source, paper_target
+from repro.sim.net import BernoulliLoss, UniformDelay
+from repro.trace import BlockRecord, CommRecord
+
+
+class TestPaperWalkthrough:
+    @pytest.fixture(scope="class")
+    def finished(self):
+        scenario = VideoScenario(seed=1)
+        outcome = scenario.run()
+        return scenario, outcome
+
+    def test_adaptation_completes_in_five_steps(self, finished):
+        _, outcome = finished
+        assert outcome.succeeded
+        assert outcome.steps_committed == 5
+        assert outcome.configuration == paper_target()
+
+    def test_zero_corrupted_packets(self, finished):
+        scenario, _ = finished
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0
+        assert stats["laptop_corrupt"] == 0
+        assert stats["handheld_ok"] > 0
+
+    def test_stream_keeps_flowing_through_adaptation(self, finished):
+        scenario, outcome = finished
+        # frames were sent before, during, and after the adaptation window
+        send_times = [
+            r.time for r in scenario.cluster.trace.of_type(CommRecord)
+            if r.action == "send"
+        ]
+        assert min(send_times) < outcome.started_at
+        assert max(send_times) > outcome.finished_at
+
+    def test_safety_report_clean(self, finished):
+        scenario, _ = finished
+        report = scenario.safety_report()
+        report.raise_if_unsafe()
+        assert report.segments_complete > 100
+
+    def test_server_never_blocked_on_map(self, finished):
+        # The MAP avoids composite actions, so the stream source never
+        # stops: server blocking is limited to its own A1 swap (zero-length
+        # quiesce in the simulator — block and resume at the same instant).
+        scenario, _ = finished
+        server_blocks = [
+            r for r in scenario.cluster.trace.of_type(BlockRecord)
+            if r.process == "server"
+        ]
+        blocked_spans = []
+        start = None
+        for record in server_blocks:
+            if record.blocked:
+                start = record.time
+            elif start is not None:
+                blocked_spans.append(record.time - start)
+                start = None
+        assert sum(blocked_spans) == 0.0
+
+    def test_all_packets_eventually_decoded(self, finished):
+        scenario, _ = finished
+        stats = scenario.stream_stats()
+        # everything received was decoded OK (in-flight tail may be undelivered)
+        assert stats["handheld_ok"] == stats["handheld_received"]
+        assert stats["laptop_ok"] == stats["laptop_received"]
+
+
+class TestVariations:
+    def test_lossy_control_plane_still_safe(self):
+        scenario = VideoScenario(
+            seed=9,
+            control_loss=BernoulliLoss(0.2),
+            control_delay=UniformDelay(0.5, 2.0),
+        )
+        outcome = scenario.run()
+        assert outcome.succeeded
+        scenario.safety_report().raise_if_unsafe()
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0 and stats["laptop_corrupt"] == 0
+
+    def test_deterministic_replay(self):
+        a = VideoScenario(seed=5)
+        b = VideoScenario(seed=5)
+        out_a, out_b = a.run(), b.run()
+        assert out_a.finished_at == out_b.finished_at
+        assert a.stream_stats() == b.stream_stats()
+
+    def test_single_composite_step_also_safe_but_blocks_server(self, planner):
+        # Ablation: run the A14 triple instead of the MAP.
+        from repro.apps.video.scenario import VideoScenario
+
+        scenario = VideoScenario(seed=2)
+        cluster = scenario.cluster
+        cluster.sim.run(until=50.0)
+        plans = cluster.planner.plan_k(paper_source(), paper_target(), 20)
+        a14 = next(p for p in plans if p.action_ids == ("A14",))
+        outcome = cluster.run_plan(a14)
+        cluster.sim.run(until=cluster.sim.now + 60.0)
+        assert outcome.succeeded
+        scenario.safety_report().raise_if_unsafe()
+        # the server WAS blocked for a real interval this time (drain wait)
+        server_blocks = [
+            r for r in cluster.trace.of_type(BlockRecord) if r.process == "server"
+        ]
+        times = {}
+        total = 0.0
+        start = None
+        for record in server_blocks:
+            if record.blocked and start is None:
+                start = record.time
+            elif not record.blocked and start is not None:
+                total += record.time - start
+                start = None
+        assert total > 0.0
+
+    def test_adaptation_from_intermediate_config(self):
+        start = paper_source().apply_delta(frozenset({"D1"}), frozenset({"D2"}))
+        scenario = VideoScenario(cluster=build_video_cluster(seed=3, initial=start))
+        outcome = scenario.run()
+        assert outcome.succeeded
+        assert outcome.steps_committed == 4  # A2 already done
+        scenario.safety_report().raise_if_unsafe()
+
+    def test_reverse_adaptation_impossible(self):
+        # From the 128-bit config there is no safe path back (no reverse
+        # actions in Table 2) — the planner must say so, not hang.
+        from repro.errors import NoSafePathError
+
+        scenario = VideoScenario(cluster=build_video_cluster(seed=4, initial=paper_target()))
+        with pytest.raises(NoSafePathError):
+            scenario.cluster.manager.request_adaptation(paper_source())

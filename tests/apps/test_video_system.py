@@ -1,0 +1,125 @@
+"""Unit tests for the §5.1 static model (universe, invariants, Table 2)."""
+
+import pytest
+
+from repro.apps.video.scenario import (
+    VIDEO_CCS,
+    cid_for,
+    make_video_flush_provider,
+)
+from repro.apps.video.system import (
+    PAPER_SOURCE_BITS,
+    PAPER_TARGET_BITS,
+    paper_source,
+    paper_target,
+    video_actions,
+    video_planner,
+    video_universe,
+)
+
+
+class TestModel:
+    def test_component_order_matches_paper(self, universe):
+        assert universe.order == ("D5", "D4", "D3", "D2", "D1", "E2", "E1")
+
+    def test_source_target_bits(self):
+        assert PAPER_SOURCE_BITS == "0100101"
+        assert PAPER_TARGET_BITS == "1010010"
+        assert paper_source() == frozenset({"D4", "D1", "E1"})
+        assert paper_target() == frozenset({"D5", "D3", "E2"})
+
+    def test_table2_has_17_actions(self, actions):
+        assert len(actions) == 17
+        assert actions.ids() == tuple(f"A{i}" for i in range(1, 18))
+
+    def test_table2_costs(self, actions):
+        costs = {a.action_id: a.cost for a in actions}
+        for aid in ("A1", "A2", "A3", "A4", "A5", "A16", "A17"):
+            assert costs[aid] == 10
+        for aid in ("A6", "A7", "A8", "A9"):
+            assert costs[aid] == 100
+        for aid in ("A10", "A11", "A12"):
+            assert costs[aid] == 50
+        for aid in ("A13", "A14", "A15"):
+            assert costs[aid] == 150
+
+    def test_table2_operations(self, actions):
+        assert actions.get("A1").operation_text() == "E1 -> E2"
+        assert actions.get("A16").operation_text() == "-D4"
+        assert actions.get("A17").operation_text() == "+D5"
+        assert actions.get("A14").operation_text() == "(D1, D4, E1) -> (D3, D5, E2)"
+
+    def test_composites_match_their_descriptions(self, actions):
+        # e.g. A6 = "A1 and A2": its delta is the union of A1 and A2.
+        pairs = {
+            "A6": ("A1", "A2"), "A7": ("A1", "A3"), "A8": ("A1", "A4"),
+            "A9": ("A1", "A5"), "A10": ("A2", "A5"), "A11": ("A3", "A5"),
+            "A12": ("A4", "A5"),
+        }
+        for composite_id, (left_id, right_id) in pairs.items():
+            composite = actions.get(composite_id)
+            left, right = actions.get(left_id), actions.get(right_id)
+            assert composite.removes == left.removes | right.removes
+            assert composite.adds == left.adds | right.adds
+
+    def test_planner_factory(self):
+        planner = video_planner()
+        assert planner.space.count() == 8
+
+
+class TestFlushProvider:
+    @pytest.fixture
+    def provider(self, universe):
+        return make_video_flush_provider(universe)
+
+    def participants(self, actions, universe, action_id):
+        return actions.get(action_id).participants(universe)
+
+    def test_capability_preserving_swap_needs_no_drain(self, provider, actions, universe):
+        # A2: D1→D2 — D2 decodes everything D1 did.
+        action = actions.get("A2")
+        inject, awaiters = provider(action, self.participants(actions, universe, "A2"))
+        assert inject == frozenset() and awaiters == frozenset()
+
+    def test_capability_reducing_swap_drains_without_blocking_server(
+        self, provider, actions, universe
+    ):
+        # A4: D2→D3 loses des64 on the handheld.
+        action = actions.get("A4")
+        inject, awaiters = provider(action, self.participants(actions, universe, "A4"))
+        assert inject == frozenset({"server"})
+        assert awaiters == frozenset({"handheld"})
+
+    def test_remove_decoder_drains(self, provider, actions, universe):
+        action = actions.get("A16")  # -D4: laptop loses des64
+        inject, awaiters = provider(action, self.participants(actions, universe, "A16"))
+        assert awaiters == frozenset({"laptop"})
+
+    def test_insert_decoder_needs_no_drain(self, provider, actions, universe):
+        action = actions.get("A17")  # +D5 adds capability
+        inject, awaiters = provider(action, self.participants(actions, universe, "A17"))
+        assert inject == frozenset() and awaiters == frozenset()
+
+    def test_encoder_only_swap_needs_no_drain(self, provider, actions, universe):
+        # A1: old decoders remain present in both endpoint configs.
+        action = actions.get("A1")
+        inject, awaiters = provider(action, self.participants(actions, universe, "A1"))
+        assert inject == frozenset() and awaiters == frozenset()
+
+    def test_composite_blocks_server_and_drains_decoder_hosts(
+        self, provider, actions, universe
+    ):
+        action = actions.get("A14")  # triple across all three processes
+        inject, awaiters = provider(action, self.participants(actions, universe, "A14"))
+        assert inject == frozenset({"server"})
+        assert awaiters == frozenset({"handheld", "laptop"})
+
+
+class TestCCS:
+    def test_allowed_sequence(self):
+        assert VIDEO_CCS.is_complete(("encode", "send", "receive", "decode"))
+        assert not VIDEO_CCS.is_complete(("encode", "send", "receive", "corrupt"))
+
+    def test_cid_scheme_distinct_per_destination(self):
+        assert cid_for(10, 0) != cid_for(10, 1)
+        assert cid_for(10, 0) != cid_for(11, 0)

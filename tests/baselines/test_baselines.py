@@ -1,0 +1,176 @@
+"""Baseline strategies: demonstrate exactly which safety clause breaks.
+
+These tests are the executable form of the paper's argument: unsafe and
+quiescence-only adaptation observably corrupt the system, while the safe
+protocol (tested elsewhere) and the heavyweight alternatives do not —
+at very different disruption costs.
+"""
+
+import pytest
+
+from repro.apps.video import VideoScenario
+from repro.apps.video.system import paper_source, paper_target
+from repro.baselines import (
+    LocalQuiescenceSwap,
+    RestartSwap,
+    TwoPhaseSwap,
+    UnsafeSwap,
+    delta_action,
+)
+from repro.core.model import Configuration
+from repro.trace import BlockRecord
+
+
+@pytest.fixture
+def target():
+    return paper_target()
+
+
+def fresh(seed=3):
+    return VideoScenario(seed=seed)
+
+
+class TestDeltaAction:
+    def test_delta(self):
+        action = delta_action(paper_source(), paper_target())
+        assert action.removes == frozenset({"D1", "D4", "E1"})
+        assert action.adds == frozenset({"D3", "D5", "E2"})
+
+
+class TestUnsafeSwap:
+    def test_corrupts_in_flight_packets(self, target):
+        scenario = fresh()
+        UnsafeSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=120.0)
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] > 0
+        assert stats["laptop_corrupt"] > 0
+
+    def test_fails_ccs_and_discipline_clauses(self, target):
+        scenario = fresh()
+        UnsafeSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=120.0)
+        report = scenario.safety_report()
+        assert not report.ok
+        assert report.by_kind("ccs")
+        assert report.by_kind("corruption")
+        assert report.by_kind("discipline")
+
+    def test_reaches_target_anyway(self, target):
+        """Unsafe ≠ unsuccessful: the end state is right, the journey wrong."""
+        scenario = fresh()
+        result = UnsafeSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=120.0)
+        assert result.done
+        assert scenario.cluster.live_configuration == target
+
+    def test_staggered_variant_also_breaks_dependency_clause(self, target):
+        scenario = fresh()
+        UnsafeSwap(scenario.cluster, target, at_time=50.0, stagger=4.0).schedule()
+        scenario.cluster.sim.run(until=130.0)
+        report = scenario.safety_report()
+        assert report.by_kind("dependency")
+
+
+class TestLocalQuiescenceSwap:
+    def test_locally_disciplined_but_globally_unsafe(self, target):
+        scenario = fresh()
+        LocalQuiescenceSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=130.0)
+        report = scenario.safety_report()
+        assert not report.ok
+        # every in-action fired blocked (quiescence!) ...
+        assert not report.by_kind("discipline")
+        # ... yet dependencies and segments still break: the paper's point.
+        assert report.by_kind("dependency")
+        assert report.by_kind("corruption")
+
+    def test_corruption_from_uncoordinated_order(self, target):
+        scenario = fresh()
+        LocalQuiescenceSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=130.0)
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] + stats["laptop_corrupt"] > 0
+
+
+class TestTwoPhaseSwap:
+    def test_safe_but_blocks_the_world(self, target):
+        scenario = fresh()
+        cluster = scenario.cluster
+        cluster.sim.run(until=50.0)
+        outcome = TwoPhaseSwap(cluster, target).run()
+        cluster.sim.run(until=cluster.sim.now + 60.0)
+        assert outcome.succeeded
+        scenario.safety_report().raise_if_unsafe()
+        stats = scenario.stream_stats()
+        assert stats["handheld_corrupt"] == 0 and stats["laptop_corrupt"] == 0
+        # all three processes were blocked at some point
+        blocked = {
+            r.process for r in cluster.trace.of_type(BlockRecord) if r.blocked
+        }
+        assert blocked == {"server", "handheld", "laptop"}
+
+    def test_single_step(self, target):
+        scenario = fresh()
+        scenario.cluster.sim.run(until=50.0)
+        outcome = TwoPhaseSwap(scenario.cluster, target).run()
+        assert outcome.steps_committed == 1
+
+
+class TestRestartSwap:
+    def test_safe_but_discards_inflight(self, target):
+        scenario = fresh()
+        strategy = RestartSwap(scenario.cluster, target, at_time=50.0,
+                               restart_duration=10.0)
+        strategy.schedule()
+        scenario.cluster.sim.run(until=140.0)
+        report = scenario.safety_report()
+        assert report.ok
+        assert strategy.packets_discarded > 0
+        assert scenario.cluster.live_configuration == target
+
+    def test_blocks_every_process(self, target):
+        scenario = fresh()
+        RestartSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=140.0)
+        blocked = {
+            r.process
+            for r in scenario.cluster.trace.of_type(BlockRecord)
+            if r.blocked
+        }
+        assert blocked == {"server", "handheld", "laptop"}
+
+
+class TestComparisonSummary:
+    def test_only_undisciplined_strategies_corrupt(self, target):
+        """One table: strategy → (safe?, corrupt packets)."""
+        outcomes = {}
+        scenario = fresh()
+        UnsafeSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=120.0)
+        stats = scenario.stream_stats()
+        outcomes["unsafe"] = (
+            scenario.safety_report().ok,
+            stats["handheld_corrupt"] + stats["laptop_corrupt"],
+        )
+
+        scenario = fresh()
+        LocalQuiescenceSwap(scenario.cluster, target, at_time=50.0).schedule()
+        scenario.cluster.sim.run(until=120.0)
+        stats = scenario.stream_stats()
+        outcomes["quiescence"] = (
+            scenario.safety_report().ok,
+            stats["handheld_corrupt"] + stats["laptop_corrupt"],
+        )
+
+        scenario = fresh()
+        outcome = scenario.run()
+        stats = scenario.stream_stats()
+        outcomes["safe-protocol"] = (
+            scenario.safety_report().ok,
+            stats["handheld_corrupt"] + stats["laptop_corrupt"],
+        )
+
+        assert outcomes["unsafe"][0] is False and outcomes["unsafe"][1] > 0
+        assert outcomes["quiescence"][0] is False and outcomes["quiescence"][1] > 0
+        assert outcomes["safe-protocol"] == (True, 0)

@@ -1,0 +1,75 @@
+"""Unit tests for compression filters."""
+
+import pytest
+
+from repro.codecs.compress import CompressFilter, DecompressFilter
+from repro.codecs.crypto_filters import EncoderFilter, DecoderFilter
+from repro.codecs.packets import data_packet, marker_packet
+from repro.components.filters import FilterChain
+
+
+def packet(payload=b"A" * 200, seq=1):
+    return data_packet(seq, 0, 0, 1, payload)
+
+
+class TestCompress:
+    def test_round_trip(self):
+        (compressed,) = CompressFilter("c").process(packet())
+        assert compressed.compressed
+        assert len(compressed.payload) < 200
+        (restored,) = DecompressFilter("d").process(compressed)
+        assert not restored.compressed
+        assert restored.payload == b"A" * 200
+        assert restored.verify()
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError):
+            CompressFilter("c", level=11)
+
+    def test_markers_bypass(self):
+        marker = marker_packet(1, "k")
+        assert CompressFilter("c").process(marker) == [marker]
+        assert DecompressFilter("d").process(marker) == [marker]
+
+    def test_double_compression_skipped(self):
+        compressor = CompressFilter("c")
+        (once,) = compressor.process(packet())
+        (twice,) = compressor.process(once)
+        assert twice is once
+
+    def test_encrypted_payload_not_compressed(self):
+        (enc,) = EncoderFilter("E1", "des64").process(packet())
+        compressor = CompressFilter("c")
+        assert compressor.process(enc) == [enc]
+
+    def test_stats(self):
+        compressor = CompressFilter("c")
+        compressor.process(packet())
+        status = compressor.refract("compression_status")
+        assert status["bytes_in"] == 200
+        assert status["ratio"] < 1.0
+
+
+class TestFullPipelineOrdering:
+    def test_compress_then_encrypt_then_decrypt_then_decompress(self):
+        send = FilterChain(
+            "send", [CompressFilter("c"), EncoderFilter("E1", "des64")]
+        )
+        recv = FilterChain(
+            "recv", [DecoderFilter("D1", ["des64"]), DecompressFilter("d")]
+        )
+        (wire,) = send.push(packet())
+        assert wire.enc_scheme == "des64"
+        (restored,) = recv.push(wire)
+        assert restored.verify()
+        assert restored.payload == b"A" * 200
+
+    def test_decompress_waits_for_decryption(self):
+        # A compressed-then-encrypted packet reaching DecompressFilter
+        # before any decoder must be bypassed, not crash.
+        send = FilterChain(
+            "send", [CompressFilter("c"), EncoderFilter("E2", "des128")]
+        )
+        (wire,) = send.push(packet())
+        (out,) = DecompressFilter("d").process(wire)
+        assert out is wire

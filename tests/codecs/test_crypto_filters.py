@@ -1,0 +1,114 @@
+"""Unit tests for encoder/decoder filters (E1/E2, D1–D5 semantics)."""
+
+import pytest
+
+from repro.apps.video.system import make_decoder, make_encoder
+from repro.codecs.crypto_filters import DecoderFilter, EncoderFilter
+from repro.codecs.packets import data_packet, marker_packet
+
+
+def packet(payload=b"payload", seq=1):
+    return data_packet(seq, 0, 0, 1, payload)
+
+
+class TestEncoder:
+    def test_encrypts_and_tags(self):
+        encoder = EncoderFilter("E1", "des64")
+        (out,) = encoder.process(packet())
+        assert out.enc_scheme == "des64"
+        assert out.payload != b"payload"
+        assert not out.verify()  # encrypted payload no longer matches checksum
+        assert encoder.packets_encoded == 1
+
+    def test_markers_pass_through(self):
+        encoder = EncoderFilter("E1", "des64")
+        marker = marker_packet(1, "k")
+        assert encoder.process(marker) == [marker]
+
+    def test_already_encrypted_passes_through(self):
+        e1 = EncoderFilter("E1", "des64")
+        e2 = EncoderFilter("E2", "des128")
+        (once,) = e1.process(packet())
+        (twice,) = e2.process(once)
+        assert twice is once
+        assert e2.packets_skipped == 1
+
+    def test_status_refraction(self):
+        encoder = EncoderFilter("E1", "des64")
+        encoder.process(packet())
+        assert encoder.refract("encoder_status")["encoded"] == 1
+
+
+class TestDecoder:
+    def test_matching_scheme_decodes(self):
+        (enc,) = EncoderFilter("E1", "des64").process(packet())
+        decoder = DecoderFilter("D1", ["des64"])
+        (out,) = decoder.process(enc)
+        assert out.enc_scheme is None
+        assert out.payload == b"payload"
+        assert out.verify()
+        assert decoder.packets_decoded == 1
+
+    def test_bypass_rule(self):
+        (enc,) = EncoderFilter("E2", "des128").process(packet())
+        decoder = DecoderFilter("D1", ["des64"])
+        (out,) = decoder.process(enc)
+        assert out is enc  # forwarded untouched, still encrypted
+        assert decoder.packets_bypassed == 1
+
+    def test_plaintext_bypassed(self):
+        decoder = DecoderFilter("D1", ["des64"])
+        p = packet()
+        assert decoder.process(p) == [p]
+
+    def test_compat_decoder_handles_both(self):
+        d2 = DecoderFilter("D2", ["des64", "des128"])
+        for scheme, encoder_name in (("des64", "E1"), ("des128", "E2")):
+            (enc,) = EncoderFilter(encoder_name, scheme).process(packet())
+            (out,) = d2.process(enc)
+            assert out.verify(), scheme
+        assert d2.packets_decoded == 2
+
+    def test_on_decode_observer(self):
+        seen = []
+        decoder = DecoderFilter("D1", ["des64"], on_decode=seen.append)
+        (enc,) = EncoderFilter("E1", "des64").process(packet())
+        decoder.process(enc)
+        assert len(seen) == 1 and seen[0].verify()
+
+    def test_needs_schemes(self):
+        with pytest.raises(ValueError):
+            DecoderFilter("D0", [])
+
+
+class TestPaperComponentFactories:
+    @pytest.mark.parametrize(
+        "decoder,encoder,should_decode",
+        [
+            ("D1", "E1", True), ("D1", "E2", False),
+            ("D2", "E1", True), ("D2", "E2", True),
+            ("D3", "E1", False), ("D3", "E2", True),
+            ("D4", "E1", True), ("D4", "E2", False),
+            ("D5", "E1", False), ("D5", "E2", True),
+        ],
+    )
+    def test_compatibility_matrix(self, decoder, encoder, should_decode):
+        (enc,) = make_encoder(encoder).process(packet())
+        (out,) = make_decoder(decoder).process(enc)
+        assert out.verify() == should_decode
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            make_encoder("D1")
+        with pytest.raises(KeyError):
+            make_decoder("E1")
+
+    def test_chain_d4_d5_decodes_both_schemes(self):
+        """The laptop's transitional chain [D4, D5] handles both streams."""
+        from repro.components.filters import FilterChain
+
+        chain = FilterChain("laptop", [make_decoder("D4"), make_decoder("D5")])
+        for encoder_name in ("E1", "E2"):
+            (enc,) = make_encoder(encoder_name).process(packet())
+            (out,) = chain.push(enc)
+            assert out.verify(), encoder_name

@@ -1,0 +1,146 @@
+"""Unit tests for the XOR-parity FEC filters."""
+
+import pytest
+
+from repro.codecs.fec import FecDecoderFilter, FecEncoderFilter, _xor_payloads
+from repro.codecs.packets import data_packet, marker_packet
+
+
+def packets(n, size=16):
+    return [data_packet(i, 0, i, n, bytes([i]) * size) for i in range(n)]
+
+
+class TestXor:
+    def test_xor_identity(self):
+        assert _xor_payloads([b"\x0f\x0f", b"\x0f\x0f"]) == b"\x00\x00"
+
+    def test_xor_uneven_lengths(self):
+        out = _xor_payloads([b"\xff", b"\x00\xaa"])
+        assert out == b"\xff\xaa"
+
+
+class TestEncoder:
+    def test_parity_every_k_packets(self):
+        encoder = FecEncoderFilter("fec", k=3)
+        outputs = []
+        for packet in packets(3):
+            outputs.extend(encoder.process(packet))
+        assert len(outputs) == 4  # 3 data + 1 parity
+        parity = outputs[-1]
+        assert parity.is_parity
+        assert parity.members == (0, 1, 2)
+        assert encoder.parity_emitted == 1
+
+    def test_data_passes_through_unchanged(self):
+        encoder = FecEncoderFilter("fec", k=4)
+        p = packets(1)[0]
+        assert encoder.process(p)[0] is p
+
+    def test_markers_ignored(self):
+        encoder = FecEncoderFilter("fec", k=2)
+        marker = marker_packet(9, "k")
+        assert encoder.process(marker) == [marker]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            FecEncoderFilter("fec", k=1)
+
+
+class TestDecoder:
+    def encode_group(self, k=3):
+        encoder = FecEncoderFilter("fec", k=k)
+        out = []
+        for packet in packets(k):
+            out.extend(encoder.process(packet))
+        return out  # k data + parity
+
+    def test_no_loss_parity_absorbed(self):
+        decoder = FecDecoderFilter("fecd")
+        outputs = []
+        for packet in self.encode_group():
+            outputs.extend(decoder.process(packet))
+        assert [p.seq for p in outputs] == [0, 1, 2]
+        assert decoder.parity_consumed == 1
+        assert decoder.recovered == 0
+
+    def test_single_loss_recovered_exactly(self):
+        stream = self.encode_group()
+        lost = stream.pop(1)  # drop data packet seq=1
+        decoder = FecDecoderFilter("fecd")
+        outputs = []
+        for packet in stream:
+            outputs.extend(decoder.process(packet))
+        recovered = [p for p in outputs if p.seq == lost.seq]
+        assert len(recovered) == 1
+        from dataclasses import replace
+        assert replace(recovered[0], recovered=False) == lost  # byte-exact
+        assert recovered[0].recovered
+        assert recovered[0].verify()
+        assert decoder.recovered == 1
+
+    def test_recovery_with_uneven_payload_lengths(self):
+        # The last chunk of a frame is shorter: recovery must not pad it.
+        encoder = FecEncoderFilter("fec", k=3)
+        originals = [
+            data_packet(0, 0, 0, 3, b"A" * 16),
+            data_packet(1, 0, 1, 3, b"B" * 16),
+            data_packet(2, 0, 2, 3, b"C" * 5),
+        ]
+        stream = []
+        for packet in originals:
+            stream.extend(encoder.process(packet))
+        lost = originals[2]
+        stream = [p for p in stream if p.seq != lost.seq]
+        decoder = FecDecoderFilter("fecd")
+        outputs = []
+        for packet in stream:
+            outputs.extend(decoder.process(packet))
+        (recovered,) = [p for p in outputs if p.seq == lost.seq]
+        from dataclasses import replace
+        assert replace(recovered, recovered=False) == lost
+        assert recovered.verify()
+
+    def test_recovered_encrypted_packet_decrypts(self):
+        from repro.codecs.crypto_filters import DecoderFilter, EncoderFilter
+
+        crypto = EncoderFilter("E1", "des64")
+        fec_enc = FecEncoderFilter("fec", k=3)
+        stream = []
+        originals = packets(3, size=24)
+        for packet in originals:
+            (encrypted,) = crypto.process(packet)
+            stream.extend(fec_enc.process(encrypted))
+        # lose the middle encrypted packet
+        lost_seq = originals[1].seq
+        stream = [p for p in stream if p.seq != lost_seq]
+        fec_dec = FecDecoderFilter("fecd")
+        decryptor = DecoderFilter("D1", ["des64"])
+        delivered = []
+        for packet in stream:
+            for out in fec_dec.process(packet):
+                delivered.extend(decryptor.process(out))
+        by_seq = {p.seq: p for p in delivered}
+        assert by_seq[lost_seq].verify()
+        assert by_seq[lost_seq].payload == originals[1].payload
+
+    def test_double_loss_unrecoverable(self):
+        stream = self.encode_group()
+        del stream[1]
+        del stream[0]
+        decoder = FecDecoderFilter("fecd")
+        outputs = []
+        for packet in stream:
+            outputs.extend(decoder.process(packet))
+        assert decoder.recovered == 0
+        assert [p.seq for p in outputs] == [2]
+
+    def test_cache_eviction(self):
+        decoder = FecDecoderFilter("fecd", cache_size=2)
+        for packet in packets(5):
+            decoder.process(packet)
+        assert len(decoder._seen) == 2
+
+    def test_status_refraction(self):
+        decoder = FecDecoderFilter("fecd")
+        status = decoder.refract("fec_status")
+        assert status["recovered"] == 0

@@ -1,0 +1,113 @@
+"""Unit tests for frames, the synthetic camera, packetizer, reassembler."""
+
+import pytest
+
+from repro.codecs.frames import Frame, Packetizer, Reassembler, SyntheticCamera
+
+
+class TestCamera:
+    def test_frames_are_deterministic(self):
+        a = SyntheticCamera(seed=1, frame_size=64)
+        b = SyntheticCamera(seed=1, frame_size=64)
+        assert a.capture().data == b.capture().data
+
+    def test_seed_changes_content(self):
+        a = SyntheticCamera(seed=1).capture()
+        b = SyntheticCamera(seed=2).capture()
+        assert a.data != b.data
+
+    def test_frame_ids_increment(self):
+        cam = SyntheticCamera()
+        assert cam.capture().frame_id == 0
+        assert cam.capture().frame_id == 1
+        assert cam.frames_captured == 2
+
+    def test_frame_at_is_pure(self):
+        cam = SyntheticCamera(seed=3)
+        assert cam.frame_at(5).data == cam.frame_at(5).data
+
+    def test_checksum_verifies(self):
+        frame = SyntheticCamera().capture()
+        assert frame.verify()
+        assert not Frame(frame.frame_id, frame.data + b"x", frame.checksum).verify()
+
+    def test_frame_size_validated(self):
+        with pytest.raises(ValueError):
+            SyntheticCamera(frame_size=0)
+
+
+class TestPacketizer:
+    def test_chunking(self):
+        frame = Frame.create(0, b"x" * 100)
+        packets = Packetizer(chunk_size=40).packetize(frame)
+        assert [len(p.payload) for p in packets] == [40, 40, 20]
+        assert [p.chunk_index for p in packets] == [0, 1, 2]
+        assert all(p.chunk_count == 3 for p in packets)
+
+    def test_sequence_numbers_globally_unique(self):
+        packetizer = Packetizer(chunk_size=10)
+        a = packetizer.packetize(Frame.create(0, b"x" * 25))
+        b = packetizer.packetize(Frame.create(1, b"y" * 25))
+        seqs = [p.seq for p in a + b]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_empty_frame_yields_one_packet(self):
+        packets = Packetizer().packetize(Frame.create(0, b""))
+        assert len(packets) == 1
+        assert packets[0].payload == b""
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            Packetizer(chunk_size=0)
+
+
+class TestReassembler:
+    def make_packets(self, data=b"A" * 100, frame_id=0):
+        return Packetizer(chunk_size=40).packetize(Frame.create(frame_id, data))
+
+    def test_frame_complete_only_when_all_chunks(self):
+        reassembler = Reassembler()
+        packets = self.make_packets()
+        assert reassembler.add(packets[0]) is None
+        assert reassembler.add(packets[1]) is None
+        result = reassembler.add(packets[2])
+        assert result is not None and result.ok
+        assert result.data == b"A" * 100
+        assert reassembler.frames_ok == 1
+
+    def test_out_of_order_chunks(self):
+        reassembler = Reassembler()
+        packets = self.make_packets()
+        reassembler.add(packets[2])
+        reassembler.add(packets[0])
+        result = reassembler.add(packets[1])
+        assert result is not None and result.ok
+
+    def test_interleaved_frames(self):
+        reassembler = Reassembler()
+        packetizer = Packetizer(chunk_size=40)
+        frame_a = packetizer.packetize(Frame.create(0, b"a" * 80))
+        frame_b = packetizer.packetize(Frame.create(1, b"b" * 80))
+        reassembler.add(frame_a[0])
+        reassembler.add(frame_b[0])
+        assert reassembler.pending_frames == 2
+        assert reassembler.add(frame_a[1]).frame_id == 0
+        assert reassembler.add(frame_b[1]).frame_id == 1
+
+    def test_corrupt_chunk_reported(self):
+        reassembler = Reassembler()
+        packets = self.make_packets()
+        bad = packets[1].with_payload(b"garbage!" * 5)
+        reassembler.add(packets[0])
+        reassembler.add(bad)
+        result = reassembler.add(packets[2])
+        assert result is not None and not result.ok
+        assert result.corrupt_chunks == (1,)
+        assert reassembler.frames_corrupt == 1
+
+    def test_non_data_packets_ignored(self):
+        from repro.codecs.packets import marker_packet
+
+        reassembler = Reassembler()
+        assert reassembler.add(marker_packet(1, "k")) is None

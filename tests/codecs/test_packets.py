@@ -1,0 +1,64 @@
+"""Unit tests for the packet model."""
+
+import zlib
+
+import pytest
+
+from repro.codecs.packets import Packet, data_packet, marker_packet
+
+
+class TestDataPacket:
+    def test_checksum_computed(self):
+        packet = data_packet(1, 0, 0, 1, b"hello")
+        assert packet.checksum == zlib.crc32(b"hello") & 0xFFFFFFFF
+        assert packet.verify()
+
+    def test_tampered_payload_fails_verify(self):
+        packet = data_packet(1, 0, 0, 1, b"hello")
+        tampered = packet.with_payload(b"hellO")
+        assert not tampered.verify()
+
+    def test_encrypted_payload_fails_verify(self):
+        packet = data_packet(1, 0, 0, 1, b"hello")
+        encrypted = packet.with_payload(b"\x99" * 16, enc_scheme="des64")
+        assert not encrypted.verify()
+
+    def test_compressed_payload_fails_verify(self):
+        packet = data_packet(1, 0, 0, 1, b"hello")
+        assert not packet.with_payload(b"zz", compressed=True).verify()
+
+    def test_kind_flags(self):
+        packet = data_packet(1, 0, 0, 1, b"x")
+        assert packet.is_data and not packet.is_marker and not packet.is_parity
+
+    def test_immutability(self):
+        import dataclasses
+
+        packet = data_packet(1, 0, 0, 1, b"x")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            packet.payload = b"y"  # type: ignore[misc]
+
+    def test_with_payload_preserves_other_fields(self):
+        packet = data_packet(7, 3, 2, 4, b"x")
+        changed = packet.with_payload(b"y")
+        assert changed.seq == 7
+        assert changed.frame_id == 3
+        assert changed.chunk_index == 2
+        assert changed.checksum == packet.checksum
+
+
+class TestMarkerPacket:
+    def test_marker_fields(self):
+        marker = marker_packet(99, "plan1/3#0")
+        assert marker.is_marker
+        assert marker.marker_key == "plan1/3#0"
+
+    def test_marker_always_verifies(self):
+        assert marker_packet(1, "k").verify()
+
+
+class TestParityPacket:
+    def test_parity_verify_trivially_true(self):
+        parity = Packet(seq=-1, kind="parity", payload=b"\x01", members=(1, 2))
+        assert parity.verify()
+        assert parity.is_parity

@@ -1,0 +1,83 @@
+"""Unit tests for the adaptive component model (refraction/transmutation)."""
+
+import pytest
+
+from repro.components.base import AdaptiveComponent, absorb, refraction, transmutation
+from repro.errors import ModelError
+
+
+@absorb
+class Thermostat(AdaptiveComponent):
+    def __init__(self, name):
+        super().__init__(name)
+        self.setpoint = 20.0
+
+    @refraction
+    def read_setpoint(self):
+        return self.setpoint
+
+    @transmutation
+    def set_setpoint(self, value):
+        self.setpoint = value
+
+
+class UndecoratedChild(Thermostat):
+    """Subclass without @absorb: registries must still be discovered."""
+
+    @refraction
+    def read_twice(self):
+        return self.setpoint * 2
+
+
+class TestDiscovery:
+    def test_refraction_names(self):
+        assert "read_setpoint" in Thermostat.refraction_names()
+        assert "status" in Thermostat.refraction_names()  # inherited
+
+    def test_transmutation_names(self):
+        assert Thermostat.transmutation_names() == ("set_setpoint",)
+
+    def test_roles_disjoint(self):
+        assert "set_setpoint" not in Thermostat.refraction_names()
+        assert "read_setpoint" not in Thermostat.transmutation_names()
+
+    def test_undecorated_subclass_auto_absorbed(self):
+        child = UndecoratedChild("t2")
+        assert child.refract("read_twice") == 40.0
+        assert "read_setpoint" in UndecoratedChild.refraction_names()
+
+
+class TestInvocation:
+    def test_refract_by_name(self):
+        t = Thermostat("t")
+        assert t.refract("read_setpoint") == 20.0
+
+    def test_transmute_by_name(self):
+        t = Thermostat("t")
+        t.transmute("set_setpoint", value=25.0)
+        assert t.setpoint == 25.0
+
+    def test_unknown_refraction_lists_available(self):
+        t = Thermostat("t")
+        with pytest.raises(ModelError) as excinfo:
+            t.refract("bogus")
+        assert "read_setpoint" in str(excinfo.value)
+
+    def test_unknown_transmutation_raises(self):
+        t = Thermostat("t")
+        with pytest.raises(ModelError):
+            t.transmute("bogus")
+
+    def test_refraction_cannot_be_transmuted(self):
+        t = Thermostat("t")
+        with pytest.raises(ModelError):
+            t.transmute("read_setpoint")
+
+    def test_default_status_refraction(self):
+        t = Thermostat("t")
+        status = t.refract("status")
+        assert status == {"name": "t", "type": "Thermostat"}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Thermostat("")

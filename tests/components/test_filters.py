@@ -1,0 +1,120 @@
+"""Unit tests for filters and the recomposable filter chain."""
+
+import pytest
+
+from repro.components.filters import Filter, FilterChain, PassthroughFilter
+from repro.errors import ModelError
+
+
+class Doubler(Filter):
+    def process(self, packet):
+        return [packet * 2]
+
+
+class Duplicator(Filter):
+    """Fan-out: one packet in, two out."""
+
+    def process(self, packet):
+        return [packet, packet]
+
+
+class Absorber(Filter):
+    """Swallows everything."""
+
+    def process(self, packet):
+        return []
+
+
+class TestChainProcessing:
+    def test_empty_chain_is_identity(self):
+        chain = FilterChain("c")
+        assert chain.push(5) == [5]
+
+    def test_filters_applied_in_order(self):
+        chain = FilterChain("c", [Doubler("d1"), Doubler("d2")])
+        assert chain.push(3) == [12]
+
+    def test_fan_out(self):
+        chain = FilterChain("c", [Duplicator("dup"), Doubler("d")])
+        assert chain.push(1) == [2, 2]
+
+    def test_absorption_short_circuits(self):
+        chain = FilterChain("c", [Absorber("a"), Doubler("d")])
+        assert chain.push(1) == []
+
+    def test_push_many(self):
+        chain = FilterChain("c", [Doubler("d")])
+        assert chain.push_many([1, 2]) == [2, 4]
+
+    def test_counters(self):
+        chain = FilterChain("c", [Duplicator("dup")])
+        chain.push(1)
+        chain.push(2)
+        assert chain.packets_in == 2
+        assert chain.packets_out == 4
+
+
+class TestRecomposition:
+    def test_insert_append_and_at_index(self):
+        chain = FilterChain("c", [Doubler("a")])
+        chain.insert_filter(Doubler("b"))
+        chain.insert_filter(Doubler("front"), index=0)
+        assert chain.filter_names() == ("front", "a", "b")
+
+    def test_duplicate_name_rejected(self):
+        chain = FilterChain("c", [Doubler("a")])
+        with pytest.raises(ModelError):
+            chain.insert_filter(Doubler("a"))
+
+    def test_remove_returns_filter(self):
+        chain = FilterChain("c", [Doubler("a"), Doubler("b")])
+        removed = chain.remove_filter("a")
+        assert removed.name == "a"
+        assert chain.filter_names() == ("b",)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ModelError):
+            FilterChain("c").remove_filter("nope")
+
+    def test_replace_preserves_position(self):
+        chain = FilterChain("c", [Doubler("a"), Doubler("b"), Doubler("c3")])
+        old = chain.replace_filter("b", Duplicator("b2"))
+        assert old.name == "b"
+        assert chain.filter_names() == ("a", "b2", "c3")
+
+    def test_replace_same_name_allowed(self):
+        chain = FilterChain("c", [Doubler("x")])
+        chain.replace_filter("x", Duplicator("x"))
+        assert isinstance(chain.filters[0], Duplicator)
+
+    def test_replace_with_existing_other_name_rejected(self):
+        chain = FilterChain("c", [Doubler("a"), Doubler("b")])
+        with pytest.raises(ModelError):
+            chain.replace_filter("a", Doubler("b"))
+
+    def test_recomposition_takes_effect_immediately(self):
+        chain = FilterChain("c", [Doubler("d")])
+        assert chain.push(1) == [2]
+        chain.replace_filter("d", Duplicator("d"))
+        assert chain.push(1) == [1, 1]
+
+    def test_transmutations_discoverable(self):
+        names = FilterChain("c").transmutation_names()
+        assert {"insert_filter", "remove_filter", "replace_filter"} <= set(names)
+
+    def test_chain_status_refraction(self):
+        chain = FilterChain("c", [PassthroughFilter("p")])
+        chain.push(1)
+        status = chain.refract("chain_status")
+        assert status["filters"] == ("p",)
+        assert status["packets_in"] == 1
+
+    def test_contains_len_index(self):
+        chain = FilterChain("c", [Doubler("a")])
+        assert "a" in chain and "z" not in chain
+        assert len(chain) == 1
+        assert chain.index_of("a") == 0
+
+    def test_base_filter_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Filter("f").process(1)

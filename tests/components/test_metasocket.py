@@ -1,0 +1,102 @@
+"""Unit tests for send/recv MetaSockets."""
+
+import pytest
+
+from repro.components.filters import Filter
+from repro.components.metasocket import RecvMetaSocket, SendMetaSocket
+
+
+class Tag(Filter):
+    def __init__(self, name, tag):
+        super().__init__(name)
+        self.tag = tag
+
+    def process(self, packet):
+        return [packet + self.tag]
+
+
+class TestSendMetaSocket:
+    def test_send_through_chain_to_transport(self):
+        sent = []
+        sock = SendMetaSocket("s", transport=sent.append, filters=[Tag("t", "!")])
+        assert sock.send("hi") == 1
+        assert sent == ["hi!"]
+        assert sock.packets_sent == 1
+
+    def test_blocked_socket_sends_nothing(self):
+        sent = []
+        sock = SendMetaSocket("s", transport=sent.append)
+        sock.set_blocked(True)
+        assert sock.send("hi") == 0
+        assert sent == []
+
+    def test_unblock_resumes(self):
+        sent = []
+        sock = SendMetaSocket("s", transport=sent.append)
+        sock.set_blocked(True)
+        sock.set_blocked(False)
+        sock.send("x")
+        assert sent == ["x"]
+
+    def test_filter_transmutations(self):
+        sent = []
+        sock = SendMetaSocket("s", transport=sent.append)
+        sock.insert_filter(Tag("a", "A"))
+        sock.insert_filter(Tag("b", "B"))
+        sock.send("x")
+        sock.replace_filter("a", Tag("a", "Z"))
+        sock.send("x")
+        sock.remove_filter("b")
+        sock.send("x")
+        assert sent == ["xAB", "xZB", "xZ"]
+
+    def test_status_refraction(self):
+        sock = SendMetaSocket("s", transport=lambda p: None, filters=[Tag("t", "!")])
+        sock.set_resetting(True)
+        status = sock.refract("socket_status")
+        assert status["filters"] == ("t",)
+        assert status["resetting"] is True
+
+
+class TestRecvMetaSocket:
+    def test_receive_through_chain_to_deliver(self):
+        got = []
+        sock = RecvMetaSocket("r", deliver=got.append, filters=[Tag("t", "?")])
+        sock.receive("msg")
+        assert got == ["msg?"]
+        assert sock.packets_delivered == 1
+
+    def test_blocked_socket_buffers(self):
+        got = []
+        sock = RecvMetaSocket("r", deliver=got.append)
+        sock.set_blocked(True)
+        sock.receive("a")
+        sock.receive("b")
+        assert got == []
+        assert sock.buffered == 2
+
+    def test_unblock_flushes_in_order(self):
+        got = []
+        sock = RecvMetaSocket("r", deliver=got.append)
+        sock.set_blocked(True)
+        sock.receive("a")
+        sock.receive("b")
+        sock.set_blocked(False)
+        assert got == ["a", "b"]
+        assert sock.buffered == 0
+
+    def test_buffered_packets_use_post_swap_chain(self):
+        # The crucial adaptation property: packets arriving while blocked
+        # are decoded by the chain installed by the in-action.
+        got = []
+        sock = RecvMetaSocket("r", deliver=got.append, filters=[Tag("old", "-old")])
+        sock.set_blocked(True)
+        sock.receive("pkt")
+        sock.replace_filter("old", Tag("new", "-new"))
+        sock.set_blocked(False)
+        assert got == ["pkt-new"]
+
+    def test_resetting_flag(self):
+        sock = RecvMetaSocket("r", deliver=lambda p: None)
+        sock.transmute("set_resetting", value=True)
+        assert sock.resetting

@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's §5 video system in various assemblies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.video.system import (
+    paper_source,
+    paper_target,
+    video_actions,
+    video_invariants,
+    video_planner,
+    video_universe,
+)
+from repro.core.planner import AdaptationPlanner
+
+
+@pytest.fixture
+def universe():
+    return video_universe()
+
+
+@pytest.fixture
+def invariants():
+    return video_invariants()
+
+
+@pytest.fixture
+def actions():
+    return video_actions()
+
+
+@pytest.fixture
+def planner(universe, invariants, actions) -> AdaptationPlanner:
+    return AdaptationPlanner(universe, invariants, actions)
+
+
+@pytest.fixture
+def source(universe):
+    return paper_source(universe)
+
+
+@pytest.fixture
+def target(universe):
+    return paper_target(universe)
+
+
+# The eight safe configurations of Table 1, keyed by bit vector.
+TABLE1_BITS = (
+    "0100101",
+    "1100101",
+    "1101001",
+    "1101010",
+    "1110010",
+    "0101001",
+    "1001010",
+    "1010010",
+)
+
+
+@pytest.fixture
+def table1_bits():
+    return TABLE1_BITS

@@ -1,0 +1,240 @@
+"""Unit tests for adaptive actions and the action library."""
+
+import pytest
+
+from repro.core.actions import (
+    ActionBindings,
+    ActionKind,
+    ActionLibrary,
+    AdaptiveAction,
+    LocalActionBinding,
+)
+from repro.core.model import Configuration
+from repro.errors import ActionError, ActionNotApplicableError, DuplicateActionError
+
+
+class TestConstruction:
+    def test_insert(self):
+        action = AdaptiveAction.insert("A17", "D5", 10)
+        assert action.kind == ActionKind.INSERT
+        assert action.adds == frozenset({"D5"})
+        assert action.description == "insert D5"
+
+    def test_remove(self):
+        action = AdaptiveAction.remove("A16", "D4", 10)
+        assert action.kind == ActionKind.REMOVE
+
+    def test_replace(self):
+        action = AdaptiveAction.replace("A1", "E1", "E2", 10)
+        assert action.kind == ActionKind.REPLACE
+        assert action.touched == frozenset({"E1", "E2"})
+
+    def test_replace_self_rejected(self):
+        with pytest.raises(ActionError):
+            AdaptiveAction.replace("bad", "X", "X", 1)
+
+    def test_empty_delta_rejected(self):
+        with pytest.raises(ActionError):
+            AdaptiveAction("noop", frozenset(), frozenset(), 1)
+
+    def test_overlapping_delta_rejected(self):
+        with pytest.raises(ActionError):
+            AdaptiveAction("bad", frozenset({"A"}), frozenset({"A"}), 1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ActionError):
+            AdaptiveAction.insert("bad", "X", -1)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ActionError):
+            AdaptiveAction.insert("", "X", 1)
+
+
+class TestCompose:
+    def test_pair(self):
+        a1 = AdaptiveAction.replace("A1", "E1", "E2", 10)
+        a2 = AdaptiveAction.replace("A2", "D1", "D2", 10)
+        pair = AdaptiveAction.compose("A6", [a1, a2], cost=100)
+        assert pair.kind == ActionKind.COMPOSITE
+        assert pair.removes == frozenset({"E1", "D1"})
+        assert pair.adds == frozenset({"E2", "D2"})
+        assert pair.cost == 100
+        assert pair.description == "A1 and A2"
+
+    def test_default_cost_is_sum(self):
+        a1 = AdaptiveAction.insert("i", "X", 3)
+        a2 = AdaptiveAction.insert("j", "Y", 4)
+        assert AdaptiveAction.compose("c", [a1, a2]).cost == 7
+
+    def test_conflicting_parts_rejected(self):
+        a1 = AdaptiveAction.remove("r", "X", 1)
+        a2 = AdaptiveAction.insert("i", "X", 1)
+        with pytest.raises(ActionError):
+            AdaptiveAction.compose("c", [a1, a2])
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ActionError):
+            AdaptiveAction.compose("c", [])
+
+
+class TestSemantics:
+    def test_applicable_and_apply(self):
+        action = AdaptiveAction.replace("A1", "E1", "E2", 10)
+        config = Configuration(["E1", "D4"])
+        assert action.is_applicable(config)
+        assert action.apply(config) == frozenset({"E2", "D4"})
+
+    def test_not_applicable_when_remove_missing(self):
+        action = AdaptiveAction.remove("r", "X", 1)
+        assert not action.is_applicable(Configuration(["Y"]))
+        with pytest.raises(ActionNotApplicableError):
+            action.apply(Configuration(["Y"]))
+
+    def test_not_applicable_when_add_present(self):
+        action = AdaptiveAction.insert("i", "X", 1)
+        assert not action.is_applicable(Configuration(["X"]))
+
+    def test_inverse_round_trips(self):
+        action = AdaptiveAction.replace("A1", "E1", "E2", 10)
+        config = Configuration(["E1"])
+        assert action.inverse().apply(action.apply(config)) == config
+        assert action.inverse().action_id == "undo(A1)"
+
+    def test_participants(self, universe):
+        action = AdaptiveAction("A14", frozenset({"D1", "D4", "E1"}),
+                                frozenset({"D3", "D5", "E2"}), 150)
+        assert action.participants(universe) == frozenset(
+            {"server", "handheld", "laptop"}
+        )
+
+    def test_operation_text(self):
+        assert AdaptiveAction.replace("a", "E1", "E2", 1).operation_text() == "E1 -> E2"
+        assert AdaptiveAction.remove("b", "D4", 1).operation_text() == "-D4"
+        assert AdaptiveAction.insert("c", "D5", 1).operation_text() == "+D5"
+        composite = AdaptiveAction("d", frozenset({"D1", "E1"}),
+                                   frozenset({"D2", "E2"}), 1)
+        assert composite.operation_text() == "(D1, E1) -> (D2, E2)"
+
+
+class TestLibrary:
+    def test_duplicate_id_rejected(self):
+        lib = ActionLibrary([AdaptiveAction.insert("A", "X", 1)])
+        with pytest.raises(DuplicateActionError):
+            lib.add(AdaptiveAction.insert("A", "Y", 1))
+
+    def test_lookup(self, actions):
+        assert actions.get("A1").cost == 10
+        with pytest.raises(ActionError):
+            actions.get("A99")
+
+    def test_contains_len_iter(self, actions):
+        assert "A16" in actions
+        assert len(actions) == 17
+        assert [a.action_id for a in actions][:3] == ["A1", "A2", "A3"]
+
+    def test_applicable_to(self, actions, source):
+        ids = {a.action_id for a in actions.applicable_to(source)}
+        # From {D1,D4,E1}: replaces of D1, E1, D4, composites, +D5.
+        assert "A2" in ids and "A17" in ids and "A13" in ids
+        assert "A4" not in ids  # D2 not present
+        assert "A16" in ids  # remove D4 is applicable (safety is separate)
+
+    def test_total_cost(self, actions):
+        assert actions.total_cost(["A2", "A17", "A1", "A16", "A4"]) == 50
+
+    def test_restricted_to(self, actions):
+        sub = actions.restricted_to(frozenset({"E1", "E2"}))
+        assert sub.ids() == ("A1",)
+
+
+class TestGenerateComposites:
+    def base(self):
+        from repro.core.actions import generate_composites
+
+        lib = ActionLibrary(
+            [
+                AdaptiveAction.replace("r1", "A", "B", 10),
+                AdaptiveAction.replace("r2", "C", "D", 10),
+                AdaptiveAction.replace("r3", "B", "C", 10),  # overlaps both
+            ]
+        )
+        return lib, generate_composites
+
+    def test_disjoint_pairs_generated(self):
+        lib, generate = self.base()
+        out = generate(lib, cost_fn=lambda parts: 100.0)
+        assert "r1+r2" in out
+        composite = out.get("r1+r2")
+        assert composite.removes == frozenset({"A", "C"})
+        assert composite.cost == 100.0
+
+    def test_overlapping_pairs_skipped(self):
+        lib, generate = self.base()
+        out = generate(lib, cost_fn=lambda parts: 1.0)
+        assert "r1+r3" not in out  # share B
+        assert "r2+r3" not in out  # share C
+
+    def test_base_untouched_and_included(self):
+        lib, generate = self.base()
+        out = generate(lib, cost_fn=lambda parts: 1.0)
+        assert len(lib) == 3
+        assert "r1" in out and len(out) == 4
+
+    def test_table2_pairs_reconstructable(self, actions):
+        """Generating pairs over A1–A5 with the paper's cost rule yields
+        exactly Table 2's pair composites (module ids)."""
+        from repro.core.actions import generate_composites
+
+        singles = ActionLibrary([actions.get(f"A{i}") for i in range(1, 6)])
+
+        def paper_cost(parts):
+            # encoder+decoder pairs cost 100; decoder-only pairs cost 50
+            touched = frozenset().union(*(p.touched for p in parts))
+            return 100.0 if touched & {"E1", "E2"} else 50.0
+
+        out = generate_composites(singles, cost_fn=paper_cost)
+        generated = {
+            (a.removes, a.adds): a.cost
+            for a in out
+            if a.kind == ActionKind.COMPOSITE
+        }
+        for pair_id in ("A6", "A7", "A8", "A9", "A10", "A11", "A12"):
+            paper_action = actions.get(pair_id)
+            key = (paper_action.removes, paper_action.adds)
+            assert key in generated, pair_id
+            assert generated[key] == paper_action.cost, pair_id
+
+    def test_max_parts_validated(self):
+        lib, generate = self.base()
+        with pytest.raises(ActionError):
+            generate(lib, cost_fn=lambda parts: 1.0, max_parts=1)
+
+    def test_triples(self, actions):
+        from repro.core.actions import generate_composites
+
+        singles = ActionLibrary([actions.get(f"A{i}") for i in range(1, 6)])
+        out = generate_composites(
+            singles, cost_fn=lambda parts: 150.0, max_parts=3
+        )
+        a14 = actions.get("A14")
+        matches = [
+            a for a in out
+            if a.removes == a14.removes and a.adds == a14.adds
+        ]
+        assert matches and matches[0].cost == 150.0
+
+
+class TestBindings:
+    def test_lookup_unbound_is_empty(self):
+        bindings = ActionBindings()
+        binding = bindings.lookup("A1", "server")
+        assert isinstance(binding, LocalActionBinding)
+        assert binding.in_action is None
+
+    def test_bind_and_lookup(self):
+        bindings = ActionBindings()
+        calls = []
+        bindings.bind("A1", "server", in_action=lambda: calls.append("in"))
+        bindings.lookup("A1", "server").in_action()
+        assert calls == ["in"]
+        assert len(bindings) == 1

@@ -1,0 +1,133 @@
+"""Unit tests for structural/dependency invariants."""
+
+import pytest
+
+from repro.core.invariants import (
+    DependencyInvariant,
+    Invariant,
+    InvariantSet,
+    StructuralInvariant,
+)
+from repro.core.model import Configuration
+from repro.errors import ModelError
+from repro.expr import Atom, exactly_one
+
+
+class TestInvariant:
+    def test_from_string(self):
+        inv = Invariant("A & B")
+        assert inv.holds({"A", "B"})
+        assert not inv.holds({"A"})
+
+    def test_from_expr(self):
+        inv = Invariant(Atom("A"))
+        assert inv.holds({"A"})
+
+    def test_accepts_configuration_objects(self):
+        inv = Invariant("A")
+        assert inv.holds(Configuration(["A"]))
+
+    def test_default_name_is_rendered_expr(self):
+        assert Invariant("A & B").name == "A & B"
+
+    def test_explicit_name(self):
+        assert Invariant("A", name="presence").name == "presence"
+
+    def test_equality_is_structural(self):
+        assert Invariant("A & B") == Invariant("A & B")
+        assert Invariant("A & B") != Invariant("B & A")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            Invariant(42)  # type: ignore[arg-type]
+
+
+class TestDependencyInvariant:
+    def test_single_string_form(self):
+        inv = DependencyInvariant("E1 -> (D1 | D2) & D4")
+        assert inv.holds({"D4", "D1", "E1"})
+        assert inv.holds({"D3"})  # vacuous
+        assert not inv.holds({"E1"})
+
+    def test_two_part_form(self):
+        inv = DependencyInvariant("E1", "(D1 | D2) & D4")
+        assert inv.holds({"E1", "D2", "D4"})
+
+    def test_accessors(self):
+        inv = DependencyInvariant("A -> B")
+        assert inv.depender == Atom("A")
+        assert inv.condition == Atom("B")
+
+    def test_non_implication_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyInvariant("A & B")
+
+
+class TestInvariantSet:
+    @pytest.fixture
+    def invset(self):
+        return InvariantSet(
+            [
+                StructuralInvariant(exactly_one("E1", "E2"), name="security"),
+                DependencyInvariant("E1 -> D1"),
+            ]
+        )
+
+    def test_all_hold(self, invset):
+        assert invset.all_hold({"E1", "D1"})
+        assert invset.all_hold({"E2"})
+        assert not invset.all_hold({"E1"})
+        assert not invset.all_hold(set())  # no encoder
+
+    def test_violated_reports_in_order(self, invset):
+        broken = invset.violated({"E1", "E2", "D1"})
+        assert [inv.name for inv in broken] == ["security"]
+        broken = invset.violated(set())
+        assert len(broken) == 1
+
+    def test_explain(self, invset):
+        assert "safe configuration" in invset.explain({"E2"})
+        assert "violates" in invset.explain({"E1"})
+
+    def test_atoms(self, invset):
+        assert invset.atoms() == frozenset({"E1", "E2", "D1"})
+
+    def test_of_constructor_mixed(self):
+        s = InvariantSet.of("A", Invariant("B"), Atom("C"))
+        assert len(s) == 3
+        assert s.all_hold({"A", "B", "C"})
+
+    def test_extended(self, invset):
+        bigger = invset.extended(Invariant("D9"))
+        assert len(bigger) == 3
+        assert len(invset) == 2  # original untouched
+
+    def test_indexable_iterable(self, invset):
+        assert invset[0].name == "security"
+        assert len(list(invset)) == 2
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            InvariantSet(["not an invariant"])  # type: ignore[list-item]
+
+
+class TestPaperInvariants:
+    def test_table1_configs_all_safe(self, invariants, universe, table1_bits):
+        for bits in table1_bits:
+            config = universe.from_bits(bits)
+            assert invariants.all_hold(config), bits
+
+    def test_counterexamples_unsafe(self, invariants, universe):
+        # two decoders on the handheld
+        assert not invariants.all_hold(frozenset({"D1", "D2", "D4", "E1"}))
+        # no encoder at all
+        assert not invariants.all_hold(frozenset({"D1", "D4"}))
+        # E2 without D5
+        assert not invariants.all_hold(frozenset({"D2", "D4", "E2"}))
+
+    def test_exactly_eight_safe_configurations(self, invariants, universe):
+        count = sum(
+            1 for config in universe.all_configurations()
+            if invariants.all_hold(config)
+        )
+        assert count == 8

@@ -1,0 +1,138 @@
+"""Unit tests for components, configurations, and the bit-vector codec."""
+
+import pytest
+
+from repro.core.model import Component, ComponentUniverse, Configuration
+from repro.errors import ConfigurationError, ModelError, UnknownComponentError
+
+
+class TestComponent:
+    def test_defaults(self):
+        c = Component("D1")
+        assert c.process == "local"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Component("")
+
+    def test_empty_process_rejected(self):
+        with pytest.raises(ModelError):
+            Component("D1", process="")
+
+
+class TestConfiguration:
+    def test_membership_and_iteration_sorted(self):
+        config = Configuration(["B", "A"])
+        assert "A" in config
+        assert list(config) == ["A", "B"]
+        assert len(config) == 2
+
+    def test_equality_with_frozenset(self):
+        assert Configuration(["A"]) == frozenset({"A"})
+        assert Configuration(["A"]) == Configuration(["A"])
+
+    def test_hashable(self):
+        assert {Configuration(["A"]), Configuration(["A"])} == {Configuration(["A"])}
+
+    def test_immutable(self):
+        config = Configuration(["A"])
+        with pytest.raises(AttributeError):
+            config.members = frozenset()
+
+    def test_invalid_member_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([""])
+
+    def test_with_without(self):
+        config = Configuration(["A"])
+        assert config.with_components(["B"]) == frozenset({"A", "B"})
+        assert config.without_components(["A"]) == frozenset()
+
+    def test_apply_delta(self):
+        config = Configuration(["A", "B"])
+        out = config.apply_delta(frozenset({"A"}), frozenset({"C"}))
+        assert out == frozenset({"B", "C"})
+
+    def test_apply_delta_validates_removes(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(["A"]).apply_delta(frozenset({"X"}), frozenset())
+
+    def test_apply_delta_validates_adds(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(["A"]).apply_delta(frozenset(), frozenset({"A"}))
+
+    def test_symmetric_difference(self):
+        a = Configuration(["A", "B"])
+        b = Configuration(["B", "C"])
+        assert a.symmetric_difference(b) == frozenset({"A", "C"})
+
+    def test_label(self):
+        assert Configuration(["B", "A"]).label() == "{A,B}"
+
+
+class TestComponentUniverse:
+    @pytest.fixture
+    def universe(self):
+        return ComponentUniverse.from_names(
+            ["D5", "D4", "E1"], {"D5": "laptop", "D4": "laptop", "E1": "server"}
+        )
+
+    def test_order_preserved(self, universe):
+        assert universe.order == ("D5", "D4", "E1")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ModelError):
+            ComponentUniverse([Component("A"), Component("A")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            ComponentUniverse([])
+
+    def test_lookup(self, universe):
+        assert universe.component("E1").process == "server"
+        with pytest.raises(UnknownComponentError):
+            universe.component("Z")
+
+    def test_processes_in_declaration_order(self, universe):
+        assert universe.processes() == ("laptop", "server")
+
+    def test_processes_of(self, universe):
+        assert universe.processes_of(["D4", "E1"]) == frozenset({"laptop", "server"})
+
+    def test_validate_members(self, universe):
+        universe.validate_members(["D4"])
+        with pytest.raises(UnknownComponentError):
+            universe.validate_members(["D4", "Z"])
+
+    def test_bits_round_trip(self, universe):
+        config = universe.configuration("D4", "E1")
+        bits = universe.to_bits(config)
+        assert bits == "011"
+        assert universe.from_bits(bits) == config
+
+    def test_from_bits_validates_length_and_chars(self, universe):
+        with pytest.raises(ConfigurationError):
+            universe.from_bits("01")
+        with pytest.raises(ConfigurationError):
+            universe.from_bits("0x1")
+
+    def test_all_configurations_count_and_order(self, universe):
+        configs = list(universe.all_configurations())
+        assert len(configs) == 8
+        assert configs[0] == frozenset()
+        assert configs[-1] == frozenset({"D5", "D4", "E1"})
+        # ascending bit-vector order
+        assert [universe.to_bits(c) for c in configs[:3]] == ["000", "001", "010"]
+
+
+class TestPaperEncoding:
+    def test_paper_bit_vectors(self, universe, source, target):
+        assert universe.to_bits(source) == "0100101"
+        assert source == frozenset({"D4", "D1", "E1"})
+        assert universe.to_bits(target) == "1010010"
+        assert target == frozenset({"D5", "D3", "E2"})
+
+    def test_paper_processes(self, universe):
+        assert universe.process_of("E1") == "server"
+        assert universe.process_of("D2") == "handheld"
+        assert universe.process_of("D5") == "laptop"

@@ -1,0 +1,94 @@
+"""Unit tests for the Feistel cipher substrate."""
+
+import pytest
+
+from repro.crypto.feistel import BLOCK_SIZE, FeistelCipher, pad, unpad
+
+
+class TestPadding:
+    def test_pad_always_adds(self):
+        assert len(pad(b"")) == BLOCK_SIZE
+        assert len(pad(b"12345678")) == 16
+
+    def test_round_trip(self):
+        for size in range(0, 3 * BLOCK_SIZE):
+            data = bytes(range(size % 256))[:size]
+            assert unpad(pad(data)) == data
+
+    def test_unpad_rejects_bad_padding(self):
+        with pytest.raises(ValueError):
+            unpad(b"\x00" * BLOCK_SIZE)
+        with pytest.raises(ValueError):
+            unpad(b"1234567")  # wrong length
+        with pytest.raises(ValueError):
+            unpad(b"")
+
+
+class TestBlocks:
+    @pytest.fixture
+    def cipher(self):
+        return FeistelCipher(b"secret-key")
+
+    def test_block_round_trip(self, cipher):
+        block = b"ABCDEFGH"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_block_changes_ciphertext(self, cipher):
+        assert cipher.encrypt_block(b"ABCDEFGH") != b"ABCDEFGH"
+
+    def test_wrong_block_size_rejected(self, cipher):
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"waytoolongforablock")
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            FeistelCipher(b"")
+        with pytest.raises(ValueError):
+            FeistelCipher(b"k", rounds=1)
+
+
+class TestMessages:
+    @pytest.fixture
+    def cipher(self):
+        return FeistelCipher(bytes(range(16)))
+
+    def test_round_trip_various_lengths(self, cipher):
+        for size in (0, 1, 7, 8, 9, 63, 64, 100):
+            data = bytes(i % 251 for i in range(size))
+            assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_deterministic_for_same_nonce(self, cipher):
+        assert cipher.encrypt(b"hello", nonce=5) == cipher.encrypt(b"hello", nonce=5)
+
+    def test_nonce_changes_ciphertext(self, cipher):
+        assert cipher.encrypt(b"hello", nonce=1) != cipher.encrypt(b"hello", nonce=2)
+
+    def test_nonce_required_for_decryption(self, cipher):
+        ct = cipher.encrypt(b"hello", nonce=9)
+        assert cipher.decrypt(ct, nonce=9) == b"hello"
+        with pytest.raises(ValueError):
+            # wrong nonce scrambles the first block and breaks padding (or
+            # yields garbage that very rarely unpads — ValueError expected)
+            assert cipher.decrypt(ct, nonce=8) != b"hello"
+
+    def test_wrong_key_fails_or_garbles(self):
+        a = FeistelCipher(b"key-a")
+        b = FeistelCipher(b"key-b")
+        ct = a.encrypt(b"payload-payload-payload")
+        try:
+            assert b.decrypt(ct) != b"payload-payload-payload"
+        except ValueError:
+            pass  # broken padding is the expected common case
+
+    def test_cbc_hides_repeating_blocks(self, cipher):
+        ct = cipher.encrypt(b"A" * 32)
+        blocks = [ct[i : i + BLOCK_SIZE] for i in range(0, len(ct), BLOCK_SIZE)]
+        assert len(set(blocks)) == len(blocks)
+
+    def test_malformed_ciphertext_rejected(self, cipher):
+        with pytest.raises(ValueError):
+            cipher.decrypt(b"123")
+        with pytest.raises(ValueError):
+            cipher.decrypt(b"")

@@ -1,0 +1,151 @@
+"""Unit tests for the dependency-expression AST."""
+
+import pytest
+
+from repro.expr import (
+    And,
+    Atom,
+    FALSE,
+    Implies,
+    Not,
+    OneOf,
+    Or,
+    TRUE,
+    Xor,
+    all_of,
+    any_of,
+    exactly_one,
+)
+
+
+class TestAtom:
+    def test_true_when_present(self):
+        assert Atom("A").evaluate({"A", "B"})
+
+    def test_false_when_absent(self):
+        assert not Atom("A").evaluate({"B"})
+
+    def test_atoms(self):
+        assert Atom("A").atoms() == frozenset({"A"})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Atom("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            Atom(3)
+
+    def test_equality_and_hash(self):
+        assert Atom("A") == Atom("A")
+        assert Atom("A") != Atom("B")
+        assert hash(Atom("A")) == hash(Atom("A"))
+
+    def test_immutable(self):
+        atom = Atom("A")
+        with pytest.raises(AttributeError):
+            atom.name = "B"
+
+
+class TestConstants:
+    def test_true(self):
+        assert TRUE.evaluate(set())
+
+    def test_false(self):
+        assert not FALSE.evaluate({"A"})
+
+    def test_no_atoms(self):
+        assert TRUE.atoms() == frozenset()
+        assert FALSE.atoms() == frozenset()
+
+
+class TestConnectives:
+    def test_and(self):
+        expr = And((Atom("A"), Atom("B")))
+        assert expr.evaluate({"A", "B"})
+        assert not expr.evaluate({"A"})
+
+    def test_or(self):
+        expr = Or((Atom("A"), Atom("B")))
+        assert expr.evaluate({"A"})
+        assert expr.evaluate({"B"})
+        assert not expr.evaluate(set())
+
+    def test_not(self):
+        assert Not(Atom("A")).evaluate(set())
+        assert not Not(Atom("A")).evaluate({"A"})
+
+    def test_xor_two_operands(self):
+        expr = Xor((Atom("A"), Atom("B")))
+        assert expr.evaluate({"A"})
+        assert expr.evaluate({"B"})
+        assert not expr.evaluate({"A", "B"})
+        assert not expr.evaluate(set())
+
+    def test_xor_is_parity_for_three(self):
+        expr = Xor((Atom("A"), Atom("B"), Atom("C")))
+        assert expr.evaluate({"A", "B", "C"})  # odd count → true
+        assert not expr.evaluate({"A", "B"})
+
+    def test_one_of_is_exactly_one(self):
+        expr = OneOf((Atom("A"), Atom("B"), Atom("C")))
+        assert expr.evaluate({"B"})
+        assert not expr.evaluate({"A", "C"})
+        assert not expr.evaluate(set())
+
+    def test_implies_vacuous(self):
+        expr = Implies(Atom("A"), Atom("B"))
+        assert expr.evaluate(set())          # antecedent false
+        assert expr.evaluate({"A", "B"})
+        assert not expr.evaluate({"A"})
+
+    def test_nary_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            And((Atom("A"),))
+
+    def test_operand_type_checked(self):
+        with pytest.raises(TypeError):
+            And((Atom("A"), "B"))  # type: ignore[arg-type]
+
+    def test_nested_atoms_union(self):
+        expr = Implies(Atom("A"), And((Atom("B"), Not(Atom("C")))))
+        assert expr.atoms() == frozenset({"A", "B", "C"})
+
+
+class TestOperatorSugar:
+    def test_and_or_xor_invert_rshift(self):
+        expr = (Atom("A") & Atom("B")) | ~Atom("C")
+        assert expr.evaluate({"A", "B", "C"})
+        assert expr.evaluate(set())  # ~C true
+        assert not expr.evaluate({"C"})
+        imp = Atom("A") >> Atom("B")
+        assert isinstance(imp, Implies)
+        x = Atom("A") ^ Atom("B")
+        assert isinstance(x, Xor)
+
+
+class TestConvenienceConstructors:
+    def test_all_of(self):
+        assert all_of("A", "B").evaluate({"A", "B"})
+        assert not all_of("A", "B").evaluate({"A"})
+        assert all_of().evaluate(set())  # empty conjunction is TRUE
+        assert all_of("A") == Atom("A")
+
+    def test_any_of(self):
+        assert any_of("A", "B").evaluate({"B"})
+        assert not any_of().evaluate({"A"})  # empty disjunction is FALSE
+
+    def test_exactly_one(self):
+        expr = exactly_one("A", "B")
+        assert expr.evaluate({"A"})
+        assert not expr.evaluate({"A", "B"})
+        assert exactly_one("A") == Atom("A")
+        assert not exactly_one().evaluate(set())
+
+    def test_paper_dependency_invariant_semantics(self):
+        # E1 -> (D1 | D2) & D4, evaluated on Table 1 rows.
+        expr = Implies(Atom("E1"), And((Or((Atom("D1"), Atom("D2"))), Atom("D4"))))
+        assert expr.evaluate({"D4", "D1", "E1"})
+        assert expr.evaluate({"D5", "D3", "E2"})  # E1 absent → vacuous
+        assert not expr.evaluate({"D4", "D3", "E1"})
+        assert not expr.evaluate({"D1", "E1"})  # D4 missing

@@ -1,0 +1,68 @@
+"""Property-based tests for the expression language (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import And, Atom, Expr, Implies, Not, OneOf, Or, Xor, parse
+from repro.expr.ast import to_text
+
+NAMES = ["A", "B", "C", "D1", "D2", "E1"]
+
+
+def exprs(max_leaves: int = 12) -> st.SearchStrategy[Expr]:
+    atoms = st.sampled_from(NAMES).map(Atom)
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.lists(children, min_size=2, max_size=4).map(lambda ops: And(tuple(ops))),
+            st.lists(children, min_size=2, max_size=4).map(lambda ops: Or(tuple(ops))),
+            st.lists(children, min_size=2, max_size=4).map(lambda ops: Xor(tuple(ops))),
+            st.lists(children, min_size=2, max_size=4).map(lambda ops: OneOf(tuple(ops))),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+configs = st.sets(st.sampled_from(NAMES))
+
+
+@given(exprs(), configs)
+def test_evaluation_is_deterministic(expr, config):
+    assert expr.evaluate(config) == expr.evaluate(config)
+
+
+@given(exprs())
+def test_render_parse_round_trip(expr):
+    assert parse(to_text(expr)) == expr
+
+
+@given(exprs(), configs)
+def test_round_trip_preserves_semantics(expr, config):
+    assert parse(to_text(expr)).evaluate(config) == expr.evaluate(config)
+
+
+@given(exprs(), configs)
+def test_double_negation(expr, config):
+    assert Not(Not(expr)).evaluate(config) == expr.evaluate(config)
+
+
+@given(exprs(), exprs(), configs)
+def test_implies_is_material(a, b, config):
+    assert Implies(a, b).evaluate(config) == (
+        (not a.evaluate(config)) or b.evaluate(config)
+    )
+
+
+@given(st.lists(st.sampled_from(NAMES), min_size=2, max_size=5, unique=True), configs)
+def test_one_of_counts_members(names, config):
+    expr = OneOf(tuple(Atom(n) for n in names))
+    expected = sum(1 for n in names if n in config) == 1
+    assert expr.evaluate(config) == expected
+
+
+@given(exprs(), configs)
+def test_atoms_cover_evaluation_support(expr, config):
+    """Evaluation only depends on atoms the expression mentions."""
+    relevant = expr.atoms()
+    assert expr.evaluate(config) == expr.evaluate(config & relevant)

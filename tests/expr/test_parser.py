@@ -1,0 +1,120 @@
+"""Unit tests for the dependency-expression parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expr import And, Atom, Implies, Not, OneOf, Or, TRUE, FALSE, Xor, parse
+
+
+class TestBasics:
+    def test_single_atom(self):
+        assert parse("E1") == Atom("E1")
+
+    def test_atom_with_digits_dots_dashes(self):
+        assert parse("mod.sub-1_x") == Atom("mod.sub-1_x")
+
+    def test_constants(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+    def test_whitespace_tolerated(self):
+        assert parse("  A   &   B ") == And((Atom("A"), Atom("B")))
+
+
+class TestOperators:
+    def test_and_symbol_and_word(self):
+        expected = And((Atom("A"), Atom("B")))
+        assert parse("A & B") == expected
+        assert parse("A and B") == expected
+
+    def test_or_symbol_and_word(self):
+        expected = Or((Atom("A"), Atom("B")))
+        assert parse("A | B") == expected
+        assert parse("A or B") == expected
+
+    def test_xor_symbol_and_infix_word(self):
+        expected = Xor((Atom("A"), Atom("B")))
+        assert parse("A ^ B") == expected
+        assert parse("A xor B") == expected
+
+    def test_not(self):
+        assert parse("!A") == Not(Atom("A"))
+        assert parse("not A") == Not(Atom("A"))
+        assert parse("!!A") == Not(Not(Atom("A")))
+
+    def test_implies_both_arrows(self):
+        expected = Implies(Atom("A"), Atom("B"))
+        assert parse("A -> B") == expected
+        assert parse("A => B") == expected
+        assert parse("A implies B") == expected
+
+    def test_chains_flatten(self):
+        assert parse("A & B & C") == And((Atom("A"), Atom("B"), Atom("C")))
+        assert parse("A | B | C") == Or((Atom("A"), Atom("B"), Atom("C")))
+
+    def test_parenthesized_subexpression_not_flattened(self):
+        assert parse("(A & B) & C") == And((And((Atom("A"), Atom("B"))), Atom("C")))
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        assert parse("A | B & C") == Or((Atom("A"), And((Atom("B"), Atom("C")))))
+
+    def test_xor_between_and_and_or(self):
+        assert parse("A | B ^ C") == Or((Atom("A"), Xor((Atom("B"), Atom("C")))))
+        assert parse("A ^ B & C") == Xor((Atom("A"), And((Atom("B"), Atom("C")))))
+
+    def test_implies_loosest_and_right_associative(self):
+        assert parse("A | B -> C") == Implies(Or((Atom("A"), Atom("B"))), Atom("C"))
+        assert parse("A -> B -> C") == Implies(
+            Atom("A"), Implies(Atom("B"), Atom("C"))
+        )
+
+    def test_not_binds_tightest(self):
+        assert parse("!A & B") == And((Not(Atom("A")), Atom("B")))
+
+    def test_parens_override(self):
+        assert parse("(A | B) & C") == And((Or((Atom("A"), Atom("B"))), Atom("C")))
+
+
+class TestFunctions:
+    def test_one_of(self):
+        assert parse("one_of(D1, D2, D3)") == OneOf(
+            (Atom("D1"), Atom("D2"), Atom("D3"))
+        )
+
+    def test_xor_function(self):
+        assert parse("xor(E1, E2)") == Xor((Atom("E1"), Atom("E2")))
+
+    def test_single_argument_collapses(self):
+        assert parse("one_of(A)") == Atom("A")
+
+    def test_nested_expressions_as_arguments(self):
+        expr = parse("one_of(A & B, C)")
+        assert expr == OneOf((And((Atom("A"), Atom("B"))), Atom("C")))
+
+    def test_paper_invariant_strings(self):
+        expr = parse("E1 -> (D1 | D2) & D4")
+        assert expr == Implies(
+            Atom("E1"), And((Or((Atom("D1"), Atom("D2"))), Atom("D4")))
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "   ", "A &", "& A", "A B", "(A", "A)", "one_of(", "A -> ", "A @ B",
+         "one_of()", "A ,B"],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("A @ B")
+        assert excinfo.value.position is not None
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            parse(42)  # type: ignore[arg-type]

@@ -1,0 +1,82 @@
+"""Tests for three-valued partial evaluation (backtracking's pruning oracle)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import Atom, parse
+from repro.expr.partial import evaluate_partial
+from tests.expr.test_expr_properties import NAMES, exprs
+
+
+class TestDeterminedCases:
+    def test_atom(self):
+        a = Atom("A")
+        assert evaluate_partial(a, {"A"}, set()) is True
+        assert evaluate_partial(a, set(), {"A"}) is False
+        assert evaluate_partial(a, set(), set()) is None
+
+    def test_and_short_circuit_on_false(self):
+        expr = parse("A & B")
+        assert evaluate_partial(expr, set(), {"A"}) is False  # B undecided
+
+    def test_and_unknown_until_all_true(self):
+        expr = parse("A & B")
+        assert evaluate_partial(expr, {"A"}, set()) is None
+        assert evaluate_partial(expr, {"A", "B"}, set()) is True
+
+    def test_or_short_circuit_on_true(self):
+        expr = parse("A | B")
+        assert evaluate_partial(expr, {"B"}, set()) is True
+
+    def test_not(self):
+        expr = parse("!A")
+        assert evaluate_partial(expr, set(), {"A"}) is True
+        assert evaluate_partial(expr, set(), set()) is None
+
+    def test_implies_vacuous_early(self):
+        expr = parse("A -> B & C")
+        assert evaluate_partial(expr, set(), {"A"}) is True  # B, C undecided
+        # (B & C) is already False once B is false, so A→False with A true:
+        assert evaluate_partial(expr, {"A"}, {"B"}) is False
+        assert evaluate_partial(parse("A -> B"), {"A"}, {"B"}) is False
+
+    def test_one_of_two_trues_is_false_early(self):
+        expr = parse("one_of(A, B, C)")
+        assert evaluate_partial(expr, {"A", "B"}, set()) is False  # C undecided
+
+    def test_one_of_single_true_needs_rest_decided(self):
+        expr = parse("one_of(A, B, C)")
+        assert evaluate_partial(expr, {"A"}, {"B"}) is None
+        assert evaluate_partial(expr, {"A"}, {"B", "C"}) is True
+
+    def test_one_of_all_false(self):
+        expr = parse("one_of(A, B)")
+        assert evaluate_partial(expr, set(), {"A", "B"}) is False
+
+    def test_xor_needs_all_operands(self):
+        expr = parse("A ^ B")
+        assert evaluate_partial(expr, {"A"}, set()) is None
+        assert evaluate_partial(expr, {"A"}, {"B"}) is True
+
+
+@given(exprs(), st.sets(st.sampled_from(NAMES)), st.sets(st.sampled_from(NAMES)))
+@settings(max_examples=150, deadline=None)
+def test_partial_is_sound(expr, present, absent):
+    """If partial evaluation returns a value, every completion agrees."""
+    absent = absent - present
+    verdict = evaluate_partial(expr, present, absent)
+    if verdict is None:
+        return
+    undecided = sorted(expr.atoms() - present - absent)
+    for mask in range(1 << len(undecided)):
+        extra = {undecided[i] for i in range(len(undecided)) if mask & (1 << i)}
+        assert expr.evaluate(set(present) | extra) == verdict
+
+
+@given(exprs(), st.sets(st.sampled_from(NAMES)))
+@settings(max_examples=100, deadline=None)
+def test_partial_is_complete_on_full_assignments(expr, config):
+    """With every atom decided, partial evaluation equals evaluation."""
+    atoms = expr.atoms()
+    verdict = evaluate_partial(expr, config & atoms, atoms - config)
+    assert verdict == expr.evaluate(config)

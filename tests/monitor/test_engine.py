@@ -1,0 +1,98 @@
+"""Unit + integration tests for the decision engine."""
+
+import pytest
+
+from repro.apps.video import build_video_cluster
+from repro.apps.video.system import paper_source, paper_target
+from repro.core.model import Configuration
+from repro.monitor.engine import DecisionEngine
+from repro.monitor.rules import AdaptationRule, Threshold
+from repro.monitor.sensors import GaugeSensor
+
+
+def make_rule(name, sensor, target, priority=0, cooldown=0.0):
+    return AdaptationRule(
+        name=name,
+        sensor=sensor,
+        threshold=Threshold(trip=0.5),
+        target=target,
+        priority=priority,
+        cooldown=cooldown,
+    )
+
+
+class TestEvaluate:
+    def test_fires_and_requests(self):
+        sensor = GaugeSensor("threat", 0.9)
+        target = Configuration(["X"])
+        requested = []
+        engine = DecisionEngine([make_rule("r", sensor, target)])
+        decision = engine.evaluate(0.0, Configuration(["Y"]), requested.append)
+        assert decision is not None and decision.accepted
+        assert requested == [target]
+
+    def test_no_trip_no_decision(self):
+        sensor = GaugeSensor("threat", 0.1)
+        engine = DecisionEngine([make_rule("r", sensor, Configuration(["X"]))])
+        assert engine.evaluate(0.0, Configuration(["Y"]), lambda t: None) is None
+
+    def test_busy_manager_defers(self):
+        sensor = GaugeSensor("threat", 0.9)
+        engine = DecisionEngine([make_rule("r", sensor, Configuration(["X"]))])
+        decision = engine.evaluate(
+            0.0, Configuration(["Y"]), lambda t: None, busy=True
+        )
+        assert decision is not None and not decision.accepted
+        assert decision.detail == "manager busy"
+
+    def test_already_at_target_skipped(self):
+        sensor = GaugeSensor("threat", 0.9)
+        target = Configuration(["X"])
+        engine = DecisionEngine([make_rule("r", sensor, target)])
+        decision = engine.evaluate(0.0, target, lambda t: None)
+        assert decision is not None and not decision.accepted
+
+    def test_priority_wins(self):
+        low = make_rule("low", GaugeSensor("a", 0.9), Configuration(["L"]), priority=1)
+        high = make_rule("high", GaugeSensor("b", 0.9), Configuration(["H"]), priority=9)
+        requested = []
+        engine = DecisionEngine([low, high])
+        engine.evaluate(0.0, Configuration(["Y"]), requested.append)
+        assert requested == [Configuration(["H"])]
+
+    def test_planner_error_recorded_not_raised(self):
+        from repro.errors import NoSafePathError
+
+        sensor = GaugeSensor("threat", 0.9)
+        engine = DecisionEngine([make_rule("r", sensor, Configuration(["X"]))])
+
+        def failing_request(target):
+            raise NoSafePathError("nope")
+
+        decision = engine.evaluate(0.0, Configuration(["Y"]), failing_request)
+        assert decision is not None and not decision.accepted
+        assert "nope" in decision.detail
+
+    def test_decisions_logged(self):
+        sensor = GaugeSensor("threat", 0.9)
+        engine = DecisionEngine([make_rule("r", sensor, Configuration(["X"]))])
+        engine.evaluate(0.0, Configuration(["Y"]), lambda t: None)
+        assert len(engine.decisions) == 1
+
+
+class TestOnCluster:
+    def test_threat_rise_triggers_hardening(self):
+        """End-to-end RAPIDware loop: monitor → decide → safely adapt."""
+        cluster = build_video_cluster(seed=6)
+        threat = GaugeSensor("threat", 0.0)
+        rule = make_rule("harden-to-128", threat, paper_target(), cooldown=50.0)
+        engine = DecisionEngine([rule])
+        engine.attach_to(cluster, period=10.0)
+        cluster.sim.schedule(35.0, lambda: threat.set(0.9))
+        cluster.sim.run(until=300.0)
+        assert cluster.manager.outcome is not None
+        assert cluster.manager.outcome.succeeded
+        assert cluster.manager.committed == paper_target()
+        accepted = [d for d in engine.decisions if d.accepted]
+        assert len(accepted) == 1
+        assert accepted[0].rule == "harden-to-128"

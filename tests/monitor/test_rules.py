@@ -1,0 +1,80 @@
+"""Unit tests for thresholds and adaptation rules."""
+
+import pytest
+
+from repro.core.model import Configuration
+from repro.monitor.rules import AdaptationRule, Threshold
+from repro.monitor.sensors import GaugeSensor
+
+
+class TestThreshold:
+    def test_trips_above(self):
+        t = Threshold(trip=5.0, direction="above")
+        assert not t.check(4.0)
+        assert t.check(6.0)
+
+    def test_trips_below(self):
+        t = Threshold(trip=5.0, direction="below")
+        assert not t.check(6.0)
+        assert t.check(4.0)
+
+    def test_fires_once_until_rearmed(self):
+        t = Threshold(trip=5.0)
+        assert t.check(6.0)
+        assert not t.check(7.0)  # still tripped, not re-armed
+        assert not t.check(6.5)
+        t.check(4.0)  # re-arm
+        assert t.check(6.0)
+
+    def test_hysteresis_band(self):
+        t = Threshold(trip=5.0, rearm=3.0)
+        assert t.check(6.0)
+        t.check(4.0)   # inside the band: not re-armed
+        assert not t.check(6.0)
+        t.check(2.0)   # below rearm: re-armed
+        assert t.check(6.0)
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            Threshold(trip=1.0, direction="sideways")
+
+
+class TestAdaptationRule:
+    def make_rule(self, **kwargs):
+        sensor = GaugeSensor("threat")
+        rule = AdaptationRule(
+            name="harden",
+            sensor=sensor,
+            threshold=Threshold(trip=0.5),
+            target=Configuration(["X"]),
+            **kwargs,
+        )
+        return sensor, rule
+
+    def test_fires_when_tripped(self):
+        sensor, rule = self.make_rule()
+        sensor.set(0.9)
+        assert rule.evaluate(now=0.0)
+
+    def test_silent_below(self):
+        sensor, rule = self.make_rule()
+        sensor.set(0.1)
+        assert not rule.evaluate(now=0.0)
+
+    def test_cooldown(self):
+        sensor, rule = self.make_rule(cooldown=100.0)
+        sensor.set(0.9)
+        assert rule.evaluate(now=0.0)
+        rule.mark_fired(0.0)
+        sensor.set(0.1)  # re-arm
+        rule.evaluate(now=10.0)
+        sensor.set(0.9)
+        assert not rule.evaluate(now=50.0)  # cooling down
+        assert rule.evaluate(now=150.0)
+
+    def test_mark_fired_counts(self):
+        _, rule = self.make_rule()
+        rule.mark_fired(1.0)
+        rule.mark_fired(2.0)
+        assert rule.fired_count == 2
+        assert rule.last_fired == 2.0

@@ -1,0 +1,89 @@
+"""Unit tests for sensors."""
+
+import pytest
+
+from repro.monitor.sensors import (
+    BatterySensor,
+    EwmaSensor,
+    GaugeSensor,
+    Sensor,
+    WindowRateSensor,
+)
+
+
+class TestGauge:
+    def test_set_and_sample(self):
+        gauge = GaugeSensor("threat", 1.0)
+        assert gauge.sample() == 1.0
+        gauge.set(5.0)
+        assert gauge.sample() == 5.0
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            GaugeSensor("")
+
+
+class TestEwma:
+    def test_converges_toward_observations(self):
+        sensor = EwmaSensor("loss", alpha=0.5)
+        for _ in range(20):
+            sensor.observe(10.0)
+        assert sensor.sample() == pytest.approx(10.0, abs=0.1)
+
+    def test_smoothing(self):
+        sensor = EwmaSensor("loss", alpha=0.1)
+        sensor.observe(100.0)
+        assert sensor.sample() == pytest.approx(10.0)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            EwmaSensor("x", alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaSensor("x", alpha=1.5)
+
+
+class TestWindowRate:
+    def test_fraction_over_window(self):
+        sensor = WindowRateSensor("loss", window=4)
+        for bad in (True, False, True, True):
+            sensor.observe(bad)
+        assert sensor.sample() == 0.75
+
+    def test_window_slides(self):
+        sensor = WindowRateSensor("loss", window=2)
+        sensor.observe(True)
+        sensor.observe(True)
+        sensor.observe(False)
+        sensor.observe(False)
+        assert sensor.sample() == 0.0
+
+    def test_empty_reads_zero(self):
+        assert WindowRateSensor("loss").sample() == 0.0
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            WindowRateSensor("x", window=0)
+
+
+class TestBattery:
+    def test_drains_with_time(self):
+        battery = BatterySensor("bat", capacity=100.0, drain_per_unit=1.0)
+        battery.advance_to(0.0)
+        battery.advance_to(30.0)
+        assert battery.sample() == 70.0
+
+    def test_never_negative(self):
+        battery = BatterySensor("bat", capacity=10.0, drain_per_unit=1.0)
+        battery.advance_to(0.0)
+        battery.advance_to(1000.0)
+        assert battery.sample() == 0.0
+
+    def test_time_going_backwards_ignored(self):
+        battery = BatterySensor("bat", capacity=10.0, drain_per_unit=1.0)
+        battery.advance_to(5.0)
+        battery.advance_to(3.0)
+        assert battery.sample() == 10.0
+
+    def test_abstract_base(self):
+        with pytest.raises(NotImplementedError):
+            Sensor("s").sample()

@@ -1,0 +1,234 @@
+"""Unit tests for the agent state machine (Figure 1)."""
+
+import pytest
+
+from repro.core.actions import AdaptiveAction
+from repro.errors import IllegalTransitionError
+from repro.protocol.agent import AgentMachine, AgentState
+from repro.protocol.effects import (
+    AbortReset,
+    BlockProcess,
+    ExecuteInAction,
+    ExecutePostAction,
+    ResumeProcess,
+    Send,
+    StartReset,
+    UndoInAction,
+)
+from repro.protocol.messages import (
+    AdaptDone,
+    ResetCmd,
+    ResetDone,
+    ResumeCmd,
+    ResumeDone,
+    RollbackCmd,
+    RollbackDone,
+    StatusQuery,
+    StatusReport,
+)
+
+ACTION = AdaptiveAction.replace("A2", "D1", "D2", 10)
+KEY = "plan1/0#0"
+
+
+def reset_cmd(participants=("handheld",), key=KEY, **kwargs):
+    return ResetCmd(
+        step_key=key,
+        action=ACTION,
+        participants=frozenset(participants),
+        **kwargs,
+    )
+
+
+def fresh_agent():
+    return AgentMachine("handheld", manager_id="mgr")
+
+
+def sends(effects):
+    return [e.message for e in effects if isinstance(e, Send)]
+
+
+class TestHappyPathMultiParticipant:
+    def test_reset_starts_resetting(self):
+        agent = fresh_agent()
+        effects = agent.on_message(reset_cmd(("handheld", "server")))
+        assert agent.state == AgentState.RESETTING
+        assert isinstance(effects[0], StartReset)
+        assert effects[0].action == ACTION
+
+    def test_local_safe_blocks_reports_and_executes(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        effects = agent.on_local_safe(KEY)
+        assert agent.state == AgentState.SAFE
+        assert isinstance(effects[0], BlockProcess)
+        assert isinstance(effects[1], Send)
+        assert isinstance(effects[1].message, ResetDone)
+        assert isinstance(effects[2], ExecuteInAction)
+
+    def test_in_action_applied_waits_blocked(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        agent.on_local_safe(KEY)
+        effects = agent.on_in_action_applied(KEY)
+        assert agent.state == AgentState.ADAPTED
+        assert isinstance(effects[0].message, AdaptDone)
+        # multi-participant: no self-resume
+        assert not any(isinstance(e, ResumeProcess) for e in effects)
+
+    def test_resume_cmd_then_resumed(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        agent.on_local_safe(KEY)
+        agent.on_in_action_applied(KEY)
+        effects = agent.on_message(ResumeCmd(step_key=KEY))
+        assert agent.state == AgentState.RESUMING
+        assert isinstance(effects[0], ResumeProcess)
+        effects = agent.on_resumed(KEY)
+        assert agent.state == AgentState.RUNNING
+        assert isinstance(effects[0].message, ResumeDone)
+        assert any(isinstance(e, ExecutePostAction) for e in effects)
+
+
+class TestSoloParticipant:
+    def test_auto_resume_after_in_action(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld",)))
+        agent.on_local_safe(KEY)
+        effects = agent.on_in_action_applied(KEY)
+        assert agent.state == AgentState.RESUMING
+        assert isinstance(effects[0].message, AdaptDone)
+        assert any(isinstance(e, ResumeProcess) for e in effects)
+
+    def test_resume_done_after_host_confirms(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld",)))
+        agent.on_local_safe(KEY)
+        agent.on_in_action_applied(KEY)
+        effects = agent.on_resumed(KEY)
+        assert isinstance(effects[0].message, ResumeDone)
+        assert agent.state == AgentState.RUNNING
+
+
+class TestIdempotency:
+    def finished_agent(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld",)))
+        agent.on_local_safe(KEY)
+        agent.on_in_action_applied(KEY)
+        agent.on_resumed(KEY)
+        return agent
+
+    def test_duplicate_reset_replays_final_answer(self):
+        agent = self.finished_agent()
+        effects = agent.on_message(reset_cmd(("handheld",)))
+        assert isinstance(sends(effects)[0], ResumeDone)
+        assert agent.state == AgentState.RUNNING
+
+    def test_duplicate_resume_replays_final_answer(self):
+        agent = self.finished_agent()
+        effects = agent.on_message(ResumeCmd(step_key=KEY))
+        assert isinstance(sends(effects)[0], ResumeDone)
+
+    def test_retransmitted_reset_mid_safe_resends_reset_done(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        agent.on_local_safe(KEY)
+        agent.on_in_action_applied(KEY)  # now ADAPTED
+        effects = agent.on_message(reset_cmd(("handheld", "server")))
+        assert isinstance(sends(effects)[0], AdaptDone)
+
+    def test_retransmitted_reset_while_resetting_is_silent(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        assert agent.on_message(reset_cmd(("handheld", "server"))) == []
+
+    def test_stale_resume_for_unknown_step_ignored(self):
+        agent = fresh_agent()
+        assert agent.on_message(ResumeCmd(step_key="plan9/9#9")) == []
+
+    def test_stale_host_callbacks_ignored(self):
+        agent = fresh_agent()
+        assert agent.on_local_safe("nope") == []
+        assert agent.on_in_action_applied("nope") == []
+        assert agent.on_resumed("nope") == []
+
+    def test_status_query_answered(self):
+        agent = fresh_agent()
+        effects = agent.on_message(StatusQuery(step_key="x"))
+        report = sends(effects)[0]
+        assert isinstance(report, StatusReport)
+        assert report.state == "running"
+
+
+class TestRollback:
+    def test_rollback_while_resetting_aborts(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        effects = agent.on_message(RollbackCmd(step_key=KEY))
+        assert agent.state == AgentState.RUNNING
+        assert isinstance(effects[0], AbortReset)
+        assert isinstance(sends(effects)[0], RollbackDone)
+
+    def test_rollback_after_in_action_undoes(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        agent.on_local_safe(KEY)
+        agent.on_in_action_applied(KEY)
+        effects = agent.on_message(RollbackCmd(step_key=KEY))
+        assert agent.state == AgentState.ROLLING_BACK
+        assert isinstance(effects[0], UndoInAction)
+        effects = agent.on_undone(KEY)
+        assert isinstance(effects[0], ResumeProcess)
+        effects = agent.on_resumed(KEY)
+        assert isinstance(sends(effects)[0], RollbackDone)
+        assert agent.state == AgentState.RUNNING
+
+    def test_rollback_for_never_seen_step_acked_directly(self):
+        agent = fresh_agent()
+        effects = agent.on_message(RollbackCmd(step_key="plan1/3#0"))
+        done = sends(effects)[0]
+        assert isinstance(done, RollbackDone)
+        assert done.step_key == "plan1/3#0"
+
+    def test_rollback_after_local_completion_undoes_solo_commit(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld",)))
+        agent.on_local_safe(KEY)
+        agent.on_in_action_applied(KEY)
+        agent.on_resumed(KEY)  # locally complete
+        effects = agent.on_message(RollbackCmd(step_key=KEY))
+        assert isinstance(effects[0], BlockProcess)
+        assert isinstance(effects[1], UndoInAction)
+        agent.on_undone(KEY)
+        effects = agent.on_resumed(KEY)
+        assert isinstance(sends(effects)[0], RollbackDone)
+
+    def test_duplicate_rollback_replays(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        agent.on_message(RollbackCmd(step_key=KEY))
+        effects = agent.on_message(RollbackCmd(step_key=KEY))
+        assert isinstance(sends(effects)[0], RollbackDone)
+
+    def test_new_attempt_after_rollback_is_fresh(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        agent.on_message(RollbackCmd(step_key=KEY))
+        retry_key = "plan1/0#1"
+        effects = agent.on_message(reset_cmd(("handheld", "server"), key=retry_key))
+        assert isinstance(effects[0], StartReset)
+        assert agent.step_key == retry_key
+
+
+class TestErrors:
+    def test_new_step_while_busy_raises(self):
+        agent = fresh_agent()
+        agent.on_message(reset_cmd(("handheld", "server")))
+        with pytest.raises(IllegalTransitionError):
+            agent.on_message(reset_cmd(("handheld", "server"), key="plan1/1#0"))
+
+    def test_unknown_message_type_raises(self):
+        agent = fresh_agent()
+        with pytest.raises(IllegalTransitionError):
+            agent.on_message(ResetDone(step_key=KEY, process="x"))

@@ -1,0 +1,134 @@
+"""Adversarial fuzzing of the sans-io machines.
+
+The machines must be total over *any* message sequence — every input is
+either handled (possibly by ignoring it) or rejected with
+:class:`IllegalTransitionError`; nothing else may escape, and the agent's
+bookkeeping must never desynchronize (e.g. claim an applied action while
+RUNNING with no completed record).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import AdaptiveAction
+from repro.errors import IllegalTransitionError
+from repro.protocol.agent import AgentMachine, AgentState
+from repro.protocol.effects import Effect
+from repro.protocol.manager import ManagerMachine
+from repro.protocol.messages import (
+    AdaptDone,
+    Message,
+    ResetCmd,
+    ResetDone,
+    ResumeCmd,
+    ResumeDone,
+    RollbackCmd,
+    RollbackDone,
+    StatusQuery,
+)
+from repro.apps.video.system import video_planner, paper_source, paper_target
+
+ACTIONS = [
+    AdaptiveAction.replace("A2", "D1", "D2", 10),
+    AdaptiveAction.replace("A1", "E1", "E2", 10),
+    AdaptiveAction.insert("A17", "D5", 10),
+]
+
+STEP_KEYS = ["plan1/0#0", "plan1/0#1", "plan1/1#0", "plan2/0#0"]
+
+PROCESSES = ["handheld", "server", "laptop"]
+
+
+def agent_messages() -> st.SearchStrategy[Message]:
+    keys = st.sampled_from(STEP_KEYS)
+    return st.one_of(
+        st.builds(
+            ResetCmd,
+            step_key=keys,
+            action=st.sampled_from(ACTIONS),
+            participants=st.frozensets(st.sampled_from(PROCESSES), min_size=1),
+            await_flush=st.booleans(),
+            inject_flush=st.booleans(),
+        ),
+        st.builds(ResumeCmd, step_key=keys),
+        st.builds(RollbackCmd, step_key=keys),
+        st.builds(StatusQuery, step_key=keys),
+    )
+
+
+def agent_inputs():
+    """A message or a (possibly stale) host callback."""
+    keys = st.sampled_from(STEP_KEYS)
+    return st.one_of(
+        st.tuples(st.just("message"), agent_messages()),
+        st.tuples(st.just("local_safe"), keys),
+        st.tuples(st.just("in_action_applied"), keys),
+        st.tuples(st.just("resumed"), keys),
+        st.tuples(st.just("undone"), keys),
+    )
+
+
+@given(st.lists(agent_inputs(), max_size=30))
+@settings(max_examples=300, deadline=None)
+def test_agent_machine_is_total(inputs):
+    agent = AgentMachine("handheld", "manager")
+    for kind, payload in inputs:
+        try:
+            if kind == "message":
+                effects = agent.on_message(payload)
+            elif kind == "local_safe":
+                effects = agent.on_local_safe(payload)
+            elif kind == "in_action_applied":
+                effects = agent.on_in_action_applied(payload)
+            elif kind == "resumed":
+                effects = agent.on_resumed(payload)
+            else:
+                effects = agent.on_undone(payload)
+        except IllegalTransitionError:
+            continue  # explicit, documented rejection
+        assert isinstance(effects, list)
+        assert all(isinstance(e, Effect) for e in effects)
+        # bookkeeping sanity: a RUNNING agent holds no step state
+        if agent.state == AgentState.RUNNING:
+            assert agent.step_key is None
+            assert agent.action is None
+            assert not agent.in_action_applied
+
+
+def manager_messages() -> st.SearchStrategy[Message]:
+    keys = st.sampled_from(STEP_KEYS + ["plan1/0#0"])
+    processes = st.sampled_from(PROCESSES)
+    return st.one_of(
+        st.builds(ResetDone, step_key=keys, process=processes),
+        st.builds(AdaptDone, step_key=keys, process=processes),
+        st.builds(ResumeDone, step_key=keys, process=processes),
+        st.builds(RollbackDone, step_key=keys, process=processes),
+    )
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("message"), manager_messages()),
+            st.tuples(st.just("timeout"), st.sampled_from(["phase", "retransmit", "x"])),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=300, deadline=None)
+def test_manager_machine_is_total(inputs):
+    planner = video_planner()
+    machine = ManagerMachine(planner.universe)
+    machine.start(planner.plan(paper_source(), paper_target()))
+    safe_space = planner.space
+    for kind, payload in inputs:
+        try:
+            if kind == "message":
+                effects = machine.on_message(payload)
+            else:
+                effects = machine.on_timeout(payload)
+        except IllegalTransitionError:
+            continue
+        assert isinstance(effects, list)
+        # the committed configuration can never leave the safe set
+        assert machine.committed is None or safe_space.is_safe(machine.committed)

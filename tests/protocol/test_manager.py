@@ -1,0 +1,308 @@
+"""Unit tests for the manager state machine (Figure 2) — pure, no sim."""
+
+import pytest
+
+from repro.core.planner import AdaptationPlan, PlanStep
+from repro.errors import IllegalTransitionError
+from repro.protocol.effects import (
+    AdaptationAborted,
+    AdaptationComplete,
+    AwaitUser,
+    RequestReplan,
+    Send,
+    SetTimer,
+    StepCommitted,
+    StepRolledBack,
+)
+from repro.protocol.failures import FailurePolicy, ReplanKind
+from repro.protocol.manager import ManagerMachine, ManagerState
+from repro.protocol.messages import (
+    AdaptDone,
+    FlushRequest,
+    ResetCmd,
+    ResetDone,
+    ResumeCmd,
+    ResumeDone,
+    RollbackCmd,
+    RollbackDone,
+)
+
+
+def sends(effects, message_type=None):
+    out = [e for e in effects if isinstance(e, Send)]
+    if message_type is not None:
+        out = [e for e in out if isinstance(e.message, message_type)]
+    return out
+
+
+def of(effects, effect_type):
+    return [e for e in effects if isinstance(e, effect_type)]
+
+
+@pytest.fixture
+def machine(universe):
+    return ManagerMachine(universe, policy=FailurePolicy())
+
+
+@pytest.fixture
+def plan(planner, source, target):
+    return planner.plan(source, target)
+
+
+def current_key(machine):
+    return machine._current_key
+
+
+class TestHappyPath:
+    def test_start_sends_resets_to_participants(self, machine, plan):
+        effects = machine.start(plan)
+        resets = sends(effects, ResetCmd)
+        # first step is A2 → only the handheld participates
+        assert [e.destination for e in resets] == ["handheld"]
+        assert machine.state == ManagerState.ADAPTING
+        assert of(effects, SetTimer)
+
+    def test_empty_plan_completes_immediately(self, machine, plan, source):
+        empty = AdaptationPlan(source, source, (), 0.0)
+        effects = machine.start(empty)
+        assert isinstance(effects[0], AdaptationComplete)
+
+    def test_adapt_done_triggers_resume(self, machine, plan):
+        machine.start(plan)
+        key = current_key(machine)
+        effects = machine.on_message(AdaptDone(step_key=key, process="handheld"))
+        resumes = sends(effects, ResumeCmd)
+        assert [e.destination for e in resumes] == ["handheld"]
+        assert machine.state == ManagerState.RESUMING
+
+    def test_resume_done_commits_and_advances(self, machine, plan):
+        machine.start(plan)
+        key = current_key(machine)
+        machine.on_message(AdaptDone(step_key=key, process="handheld"))
+        effects = machine.on_message(ResumeDone(step_key=key, process="handheld"))
+        commits = of(effects, StepCommitted)
+        assert len(commits) == 1
+        assert commits[0].step.action.action_id == plan.steps[0].action.action_id
+        # next step begins automatically
+        assert machine.state == ManagerState.ADAPTING
+        assert machine.step_index == 1
+
+    def test_full_walkthrough_completes(self, machine, plan):
+        effects = machine.start(plan)
+        for _ in plan.steps:
+            key = current_key(machine)
+            step = machine.current_step
+            participants = sorted(step.participants(machine.universe))
+            for process in participants:
+                machine.on_message(ResetDone(step_key=key, process=process))
+                effects = machine.on_message(AdaptDone(step_key=key, process=process))
+            for process in participants:
+                effects = machine.on_message(ResumeDone(step_key=key, process=process))
+            if machine.state == ManagerState.RUNNING:
+                break
+        complete = of(effects, AdaptationComplete)
+        assert complete and complete[0].total_steps == 5
+        assert machine.committed == plan.target
+
+    def test_stale_messages_ignored(self, machine, plan):
+        machine.start(plan)
+        assert machine.on_message(AdaptDone(step_key="old/9#9", process="x")) == []
+
+    def test_busy_manager_rejects_new_plan(self, machine, plan):
+        machine.start(plan)
+        with pytest.raises(IllegalTransitionError):
+            machine.start(plan)
+
+
+class TestTimeoutsAndRetransmits:
+    def test_retransmit_resends_resets(self, machine, plan):
+        machine.start(plan)
+        effects = machine.on_timeout("retransmit")
+        assert sends(effects, ResetCmd)
+        assert machine.state == ManagerState.ADAPTING
+
+    def test_phase_timeout_before_resume_rolls_back(self, machine, plan):
+        machine.start(plan)
+        effects = machine.on_timeout("phase")
+        assert machine.state == ManagerState.ROLLING_BACK
+        assert sends(effects, RollbackCmd)
+
+    def test_retransmit_budget_exhaustion_rolls_back(self, machine, plan):
+        machine.start(plan)
+        effects = []
+        for _ in range(machine.policy.max_retransmits + 1):
+            effects = machine.on_timeout("retransmit")
+        assert machine.state == ManagerState.ROLLING_BACK
+
+    def test_post_resume_timeout_keeps_retrying(self, machine, plan):
+        machine.start(plan)
+        key = current_key(machine)
+        machine.on_message(AdaptDone(step_key=key, process="handheld"))
+        effects = machine.on_timeout("phase")
+        # run-to-completion: resume retransmitted, no rollback
+        assert sends(effects, ResumeCmd)
+        assert machine.state == ManagerState.RESUMING
+
+    def test_post_resume_safety_valve(self, machine, plan):
+        machine.start(plan)
+        key = current_key(machine)
+        machine.on_message(AdaptDone(step_key=key, process="handheld"))
+        effects = []
+        for _ in range(machine.policy.max_post_resume_retransmits + 1):
+            effects = machine.on_timeout("retransmit")
+        assert machine.state == ManagerState.AWAIT_USER
+        assert of(effects, AwaitUser)
+
+    def test_unknown_timer_ignored(self, machine, plan):
+        machine.start(plan)
+        assert machine.on_timeout("bogus") == []
+
+
+class TestFailureCascade:
+    def roll_back_step(self, machine):
+        """Drive the current step through a rollback."""
+        machine.on_timeout("phase")
+        key = current_key(machine)
+        effects = []
+        for process in sorted(machine._pending_rollback.copy()):
+            effects = machine.on_message(RollbackDone(step_key=key, process=process))
+        return effects
+
+    def test_first_failure_retries_same_step(self, machine, plan):
+        machine.start(plan)
+        effects = self.roll_back_step(machine)
+        assert of(effects, StepRolledBack)
+        assert machine.state == ManagerState.ADAPTING
+        assert machine.attempt == 1
+        assert machine.step_index == 0
+        assert sends(effects, ResetCmd)  # fresh attempt key
+        assert current_key(machine).endswith("#1")
+
+    def test_second_failure_requests_alternate_plan(self, machine, plan):
+        machine.start(plan)
+        self.roll_back_step(machine)
+        effects = self.roll_back_step(machine)
+        replans = of(effects, RequestReplan)
+        assert len(replans) == 1
+        assert replans[0].kind == ReplanKind.ALTERNATE_TO_TARGET
+        assert replans[0].failed_edges == ((plan.source, plan.steps[0].action.action_id),)
+        assert machine.state == ManagerState.PREPARING
+
+    def test_new_plan_adopted(self, machine, plan, planner, source, target):
+        machine.start(plan)
+        self.roll_back_step(machine)
+        self.roll_back_step(machine)
+        alternates = planner.plan_k(source, target, 4)
+        effects = machine.on_new_plan(alternates[1])
+        assert sends(effects, ResetCmd)
+        assert machine.state == ManagerState.ADAPTING
+
+    def test_new_plan_must_start_at_committed(self, machine, plan, planner, target):
+        machine.start(plan)
+        self.roll_back_step(machine)
+        self.roll_back_step(machine)
+        bogus = AdaptationPlan(target, target, (), 0.0)
+        with pytest.raises(IllegalTransitionError):
+            machine.on_new_plan(bogus)
+
+    def test_no_plan_falls_back_to_return_home(self, machine, plan):
+        machine.start(plan)
+        self.roll_back_step(machine)
+        self.roll_back_step(machine)
+        effects = machine.on_no_plan()
+        # still at the source: nothing to return through → abort
+        aborts = of(effects, AdaptationAborted)
+        assert aborts and machine.state == ManagerState.RUNNING
+
+    def test_no_plan_away_from_source_requests_return(self, machine, plan):
+        machine.start(plan)
+        # commit first step, then fail the second twice
+        key = current_key(machine)
+        machine.on_message(AdaptDone(step_key=key, process="handheld"))
+        machine.on_message(ResumeDone(step_key=key, process="handheld"))
+        self.roll_back_step(machine)
+        self.roll_back_step(machine)
+        effects = machine.on_no_plan()
+        replans = of(effects, RequestReplan)
+        assert replans and replans[0].kind == ReplanKind.RETURN_TO_SOURCE
+        assert machine.returning
+
+    def test_no_way_home_awaits_user(self, machine, plan):
+        machine.start(plan)
+        key = current_key(machine)
+        machine.on_message(AdaptDone(step_key=key, process="handheld"))
+        machine.on_message(ResumeDone(step_key=key, process="handheld"))
+        self.roll_back_step(machine)
+        self.roll_back_step(machine)
+        machine.on_no_plan()  # → request return home
+        effects = machine.on_no_plan()  # even that fails
+        assert of(effects, AwaitUser)
+        assert machine.state == ManagerState.AWAIT_USER
+
+    def test_return_journey_completion_reports_aborted(self):
+        # The video library has no reverse actions, so "return to source"
+        # is impossible there (see EXPERIMENTS.md).  Use a reversible toy
+        # system: X1 → X2 → X3 with inverse actions.
+        from repro.core.actions import ActionLibrary, AdaptiveAction
+        from repro.core.invariants import InvariantSet
+        from repro.core.model import ComponentUniverse
+        from repro.core.planner import AdaptationPlanner
+
+        universe = ComponentUniverse.from_names(
+            ["X1", "X2", "X3"], {n: "node" for n in ("X1", "X2", "X3")}
+        )
+        invariants = InvariantSet.of("one_of(X1, X2, X3)")
+        actions = ActionLibrary(
+            [
+                AdaptiveAction.replace("S12", "X1", "X2", 1),
+                AdaptiveAction.replace("S21", "X2", "X1", 1),
+                AdaptiveAction.replace("S23", "X2", "X3", 1),
+            ]
+        )
+        planner = AdaptationPlanner(universe, invariants, actions)
+        source = universe.configuration("X1")
+        target = universe.configuration("X3")
+        machine = ManagerMachine(universe, policy=FailurePolicy(max_alternate_plans=0))
+        machine.start(planner.plan(source, target))
+        # commit step 1 (S12)
+        key = current_key(machine)
+        machine.on_message(AdaptDone(step_key=key, process="node"))
+        machine.on_message(ResumeDone(step_key=key, process="node"))
+        # fail step 2 (S23) twice → replan; alternates disabled → return home
+        self.roll_back_step(machine)
+        effects = self.roll_back_step(machine)
+        replans = of(effects, RequestReplan)
+        assert replans and replans[0].kind == ReplanKind.RETURN_TO_SOURCE
+        home = planner.plan(machine.committed, source)
+        machine.on_new_plan(home)
+        key = current_key(machine)
+        machine.on_message(AdaptDone(step_key=key, process="node"))
+        effects = machine.on_message(ResumeDone(step_key=key, process="node"))
+        aborts = of(effects, AdaptationAborted)
+        assert aborts
+        assert machine.committed == source
+
+
+class TestFlushRoles:
+    def test_flush_provider_drives_reset_flags(self, universe, planner, source, target):
+        from repro.apps.video.scenario import make_video_flush_provider
+
+        machine = ManagerMachine(
+            universe, flush_provider=make_video_flush_provider(universe)
+        )
+        plan = planner.plan(source, target)
+        # find the A4 step (capability-reducing decoder swap)
+        machine.start(plan)
+        while machine.current_step.action.action_id != "A4":
+            key = current_key(machine)
+            for process in sorted(machine.current_step.participants(universe)):
+                machine.on_message(AdaptDone(step_key=key, process=process))
+            for process in sorted(machine.current_step.participants(universe)):
+                machine.on_message(ResumeDone(step_key=key, process=process))
+        # Begin-step effects for A4 went out already; re-issue via retransmit
+        effects = machine.on_timeout("retransmit")
+        flushes = sends(effects, FlushRequest)
+        resets = sends(effects, ResetCmd)
+        assert [e.destination for e in flushes] == ["server"]
+        assert resets and resets[0].message.await_flush
+        assert not resets[0].message.inject_flush

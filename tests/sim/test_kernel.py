@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_non_callable_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, "not callable")  # type: ignore[arg-type]
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [2.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        log = []
+        later = sim.schedule(2.0, lambda: log.append("later"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert log == []
+
+
+class TestRunControl:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda: log.append("far"))
+        sim.run(until=5.0)
+        assert log == []
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["far"]
+
+    def test_until_past_all_events_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: log.append(i))
+        sim.run(stop_when=lambda: len(log) >= 3)
+        assert len(log) == 3
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestDeterminism:
+    def test_rng_seeded(self):
+        a = Simulator(seed=7)
+        b = Simulator(seed=7)
+        assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert Simulator(seed=1).rng.random() != Simulator(seed=2).rng.random()

@@ -1,0 +1,80 @@
+"""Integration: temporal-monitor-derived safe states drive the protocol."""
+
+import pytest
+
+from repro.apps.video.system import (
+    paper_source,
+    paper_target,
+    video_actions,
+    video_invariants,
+    video_universe,
+)
+from repro.ltl import no_open_segments
+from repro.safety import check_safe
+from repro.sim import AdaptationCluster, MonitoredApp
+
+
+@pytest.fixture
+def rig():
+    universe = video_universe()
+    apps = {
+        process: MonitoredApp(no_open_segments("begin", "end"))
+        for process in universe.processes()
+    }
+    cluster = AdaptationCluster(
+        universe, video_invariants(), video_actions(), paper_source(universe),
+        apps=apps,
+    )
+    return cluster, apps
+
+
+class TestMonitoredApp:
+    def test_idle_processes_adapt_immediately(self, rig):
+        cluster, apps = rig
+        outcome = cluster.adapt_to(paper_target())
+        assert outcome.succeeded
+        check_safe(cluster.trace, cluster.invariants).raise_if_unsafe()
+
+    def test_open_obligation_delays_reset(self, rig):
+        cluster, apps = rig
+        # The handheld is mid-segment when the adaptation begins...
+        apps["handheld"].observe("begin")
+
+        # ...and finishes it 30 time units in.
+        cluster.sim.schedule(30.0, lambda: apps["handheld"].observe("end"))
+        outcome = cluster.adapt_to(paper_target())
+        assert outcome.succeeded
+        # the first step (A2, on the handheld) could not commit before the
+        # segment closed at t=30
+        from repro.trace import ConfigCommitted
+
+        commits = cluster.trace.of_type(ConfigCommitted)
+        assert commits[1].time >= 30.0
+        check_safe(cluster.trace, cluster.invariants).raise_if_unsafe()
+
+    def test_never_closing_obligation_behaves_like_fail_to_reset(self, rig):
+        from repro.protocol.failures import FailurePolicy
+
+        universe = video_universe()
+        apps = {
+            process: MonitoredApp(no_open_segments())
+            for process in universe.processes()
+        }
+        cluster = AdaptationCluster(
+            universe, video_invariants(), video_actions(), paper_source(universe),
+            apps=apps,
+            policy=FailurePolicy(reset_timeout=50.0, retransmit_interval=15.0),
+        )
+        apps["handheld"].observe("start")  # never ends
+        outcome = cluster.adapt_to(paper_target())
+        assert outcome.status == "await_user"
+        assert cluster.planner.space.is_safe(cluster.manager.committed)
+
+    def test_observations_between_steps_are_fine(self, rig):
+        cluster, apps = rig
+        # traffic keeps flowing while no reset is pending
+        for _ in range(5):
+            apps["laptop"].observe("begin")
+            apps["laptop"].observe("end")
+        outcome = cluster.adapt_to(paper_target())
+        assert outcome.succeeded

@@ -1,0 +1,175 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.protocol.messages import Envelope, StatusQuery
+from repro.sim.kernel import Simulator
+from repro.sim.net import (
+    BernoulliLoss,
+    BurstLoss,
+    FixedDelay,
+    Network,
+    NoLoss,
+    UniformDelay,
+)
+
+
+def msg(tag="m"):
+    return StatusQuery(step_key=tag)
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=1)
+    net = Network(sim, default_delay=FixedDelay(1.0))
+    inboxes = {"a": [], "b": [], "c": []}
+    for pid in inboxes:
+        net.register(pid, inboxes[pid].append)
+    return sim, net, inboxes
+
+
+class TestDelivery:
+    def test_basic_delivery_with_delay(self, rig):
+        sim, net, inboxes = rig
+        net.send(Envelope("a", "b", msg()))
+        assert inboxes["b"] == []
+        sim.run()
+        assert len(inboxes["b"]) == 1
+        assert sim.now == 1.0
+
+    def test_unknown_destination_raises(self, rig):
+        _, net, _ = rig
+        with pytest.raises(SimulationError):
+            net.send(Envelope("a", "zzz", msg()))
+
+    def test_duplicate_registration_rejected(self, rig):
+        _, net, _ = rig
+        with pytest.raises(SimulationError):
+            net.register("a", lambda e: None)
+
+    def test_fifo_per_channel(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, default_delay=UniformDelay(0.1, 5.0))
+        received = []
+        net.register("dst", lambda e: received.append(e.message.step_key))
+        net.register("src", lambda e: None)
+        for index in range(20):
+            net.send(Envelope("src", "dst", msg(str(index))))
+        sim.run()
+        assert received == [str(i) for i in range(20)]
+
+    def test_non_fifo_channel_may_reorder(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, default_delay=UniformDelay(0.1, 5.0))
+        net.set_channel("src", "dst", fifo=False)
+        received = []
+        net.register("dst", lambda e: received.append(e.message.step_key))
+        net.register("src", lambda e: None)
+        for index in range(20):
+            net.send(Envelope("src", "dst", msg(str(index))))
+        sim.run()
+        assert sorted(received, key=int) == [str(i) for i in range(20)]
+        assert received != [str(i) for i in range(20)]  # reordered at this seed
+
+    def test_stats_counted(self, rig):
+        sim, net, _ = rig
+        net.send(Envelope("a", "b", msg()))
+        sim.run()
+        assert net.messages_sent == 1
+        assert net.messages_delivered == 1
+        assert net.messages_dropped == 0
+
+
+class TestLoss:
+    def test_no_loss(self):
+        assert not NoLoss().drops(None)
+
+    def test_bernoulli_bounds_validated(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+    def test_full_loss_drops_everything(self, rig):
+        sim, net, inboxes = rig
+        net.set_channel("a", "b", loss=BernoulliLoss(1.0))
+        for _ in range(5):
+            net.send(Envelope("a", "b", msg()))
+        sim.run()
+        assert inboxes["b"] == []
+        assert net.messages_dropped == 5
+
+    def test_partial_loss_statistics(self):
+        sim = Simulator(seed=11)
+        net = Network(sim, default_loss=BernoulliLoss(0.3))
+        net.register("dst", lambda e: None)
+        net.register("src", lambda e: None)
+        for _ in range(500):
+            net.send(Envelope("src", "dst", msg()))
+        sim.run()
+        assert 90 < net.messages_dropped < 220  # ≈ 150 expected
+
+    def test_burst_loss_produces_runs(self):
+        sim = Simulator(seed=5)
+        model = BurstLoss(p_enter=0.2, p_exit=0.3)
+        outcomes = [model.drops(sim.rng) for _ in range(300)]
+        # there must be at least one run of >= 3 consecutive drops
+        run, best = 0, 0
+        for dropped in outcomes:
+            run = run + 1 if dropped else 0
+            best = max(best, run)
+        assert best >= 3
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self, rig):
+        sim, net, inboxes = rig
+        net.partition("a", "b")
+        net.send(Envelope("a", "b", msg()))
+        net.send(Envelope("b", "a", msg()))
+        sim.run()
+        assert inboxes["a"] == [] and inboxes["b"] == []
+        assert net.messages_dropped == 2
+
+    def test_heal_restores(self, rig):
+        sim, net, inboxes = rig
+        net.partition("a", "b")
+        net.heal("a", "b")
+        net.send(Envelope("a", "b", msg()))
+        sim.run()
+        assert len(inboxes["b"]) == 1
+
+    def test_partition_leaves_other_channels(self, rig):
+        sim, net, inboxes = rig
+        net.partition("a", "b")
+        net.send(Envelope("a", "c", msg()))
+        sim.run()
+        assert len(inboxes["c"]) == 1
+
+    def test_heal_all(self, rig):
+        _, net, _ = rig
+        net.partition("a", "b")
+        net.partition("a", "c")
+        net.heal_all()
+        assert not net.is_partitioned("a", "b")
+        assert not net.is_partitioned("a", "c")
+
+
+class TestMulticast:
+    def test_group_membership(self, rig):
+        _, net, _ = rig
+        net.group_join("g", "a")
+        net.group_join("g", "b")
+        net.group_join("g", "b")  # idempotent
+        assert net.group_members("g") == ("a", "b")
+        net.group_leave("g", "a")
+        assert net.group_members("g") == ("b",)
+
+    def test_multicast_excludes_sender(self, rig):
+        sim, net, inboxes = rig
+        for pid in ("a", "b", "c"):
+            net.group_join("g", pid)
+        net.multicast("a", "g", msg())
+        sim.run()
+        assert len(inboxes["a"]) == 0
+        assert len(inboxes["b"]) == 1
+        assert len(inboxes["c"]) == 1

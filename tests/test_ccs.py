@@ -1,0 +1,105 @@
+"""Unit tests for critical communication segments (§3, §3.2)."""
+
+import pytest
+
+from repro.ccs import CCSSpec, SegmentTracker
+from repro.trace import CommRecord, Trace
+
+
+@pytest.fixture
+def spec():
+    return CCSSpec.single("encode", "send", "receive", "decode", name="packet")
+
+
+class TestCCSSpec:
+    def test_requires_sequences(self):
+        with pytest.raises(ValueError):
+            CCSSpec([])
+        with pytest.raises(ValueError):
+            CCSSpec([()])
+
+    def test_membership(self, spec):
+        assert spec.is_complete(("encode", "send", "receive", "decode"))
+        assert not spec.is_complete(("encode", "send"))
+        assert not spec.is_complete(("send", "encode"))
+
+    def test_prefixes(self, spec):
+        assert spec.is_prefix(())
+        assert spec.is_prefix(("encode",))
+        assert spec.is_prefix(("encode", "send", "receive", "decode"))
+        assert not spec.is_prefix(("send",))
+        assert not spec.is_prefix(("encode", "decode"))
+
+    def test_multiple_allowed_sequences(self):
+        spec = CCSSpec([("a", "b"), ("a", "c", "d")])
+        assert spec.is_complete(("a", "b"))
+        assert spec.is_prefix(("a", "c"))
+        assert not spec.is_complete(("a", "c"))
+
+    def test_judge(self, spec):
+        assert spec.judge(1, ("encode", "send", "receive", "decode")).complete
+        verdict = spec.judge(2, ("encode", "send"))
+        assert verdict.in_progress and not verdict.interrupted
+        verdict = spec.judge(3, ("encode", "send", "receive", "corrupt"))
+        assert verdict.interrupted
+
+
+class TestJudgeTrace:
+    def test_segments_judged_per_cid(self, spec):
+        trace = Trace()
+        for action in ("encode", "send", "receive", "decode"):
+            trace.append(CommRecord(time=0.0, cid=1, action=action))
+        for action in ("encode", "send"):
+            trace.append(CommRecord(time=0.0, cid=2, action=action))
+        for action in ("encode", "send", "receive", "corrupt"):
+            trace.append(CommRecord(time=0.0, cid=3, action=action))
+        verdicts = {v.cid: v for v in spec.judge_trace(trace)}
+        assert verdicts[1].complete
+        assert verdicts[2].in_progress
+        assert verdicts[3].interrupted
+
+    def test_open_cids(self, spec):
+        trace = Trace()
+        trace.append(CommRecord(time=0.0, cid=5, action="encode"))
+        for action in ("encode", "send", "receive", "decode"):
+            trace.append(CommRecord(time=0.0, cid=6, action=action))
+        assert spec.open_cids(trace) == (5,)
+
+    def test_interleaved_cids_separated(self, spec):
+        trace = Trace()
+        trace.append(CommRecord(time=0.0, cid=1, action="encode"))
+        trace.append(CommRecord(time=0.1, cid=2, action="encode"))
+        trace.append(CommRecord(time=0.2, cid=1, action="send"))
+        trace.append(CommRecord(time=0.3, cid=2, action="send"))
+        assert trace.comm_sequence(1) == ("encode", "send")
+        assert trace.comm_sequence(2) == ("encode", "send")
+
+
+class TestSegmentTracker:
+    def test_quiescent_initially(self, spec):
+        tracker = SegmentTracker(spec)
+        assert tracker.quiescent
+
+    def test_open_until_complete(self, spec):
+        tracker = SegmentTracker(spec)
+        tracker.observe(1, "encode")
+        assert not tracker.quiescent
+        assert tracker.open_count == 1
+        tracker.observe(1, "send")
+        tracker.observe(1, "receive")
+        tracker.observe(1, "decode")
+        assert tracker.quiescent
+        assert tracker.completed == 1
+
+    def test_violation_detected_and_closed(self, spec):
+        tracker = SegmentTracker(spec)
+        tracker.observe(1, "encode")
+        tracker.observe(1, "decode")  # not a valid continuation
+        assert tracker.quiescent  # violation closes the segment
+        assert tracker.violations == ((1, ("encode", "decode")),)
+
+    def test_multiple_segments_tracked(self, spec):
+        tracker = SegmentTracker(spec)
+        tracker.observe(1, "encode")
+        tracker.observe(2, "encode")
+        assert tracker.open_count == 2

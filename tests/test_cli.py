@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.manifest import video_manifest_text
+
+
+@pytest.fixture
+def manifest_path(tmp_path):
+    path = tmp_path / "video.manifest"
+    path.write_text(video_manifest_text(), encoding="utf-8")
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCheck:
+    def test_valid_manifest(self, manifest_path):
+        code, output = run_cli("check", manifest_path)
+        assert code == 0
+        assert "components: 7" in output
+        assert "safe configurations: 8" in output
+        assert "configuration source = {D1,D4,E1}: safe" in output
+
+    def test_missing_file(self):
+        code, _ = run_cli("check", "/nonexistent/x.manifest")
+        assert code == 2
+
+    def test_malformed_manifest(self, tmp_path):
+        bad = tmp_path / "bad.manifest"
+        bad.write_text("[components]\n", encoding="utf-8")
+        code, _ = run_cli("check", str(bad))
+        assert code == 2
+
+
+class TestSafeConfigs:
+    def test_prints_table1(self, manifest_path):
+        code, output = run_cli("safe-configs", manifest_path)
+        assert code == 0
+        assert "0100101" in output and "1010010" in output
+        assert output.count("\n") >= 9  # header + rule + 8 rows
+
+
+class TestPlan:
+    def test_map(self, manifest_path):
+        code, output = run_cli(
+            "plan", manifest_path, "--from", "source", "--to", "target"
+        )
+        assert code == 0
+        assert "cost 50" in output
+
+    def test_bits_and_members_accepted(self, manifest_path):
+        code, output = run_cli(
+            "plan", manifest_path, "--from", "0100101", "--to", "D3, D5, E2"
+        )
+        assert code == 0
+        assert "cost 50" in output
+
+    @pytest.mark.parametrize("method", ["lazy", "collaborative"])
+    def test_alternate_methods(self, manifest_path, method):
+        code, output = run_cli(
+            "plan", manifest_path, "--from", "source", "--to", "target",
+            "--method", method,
+        )
+        assert code == 0
+        assert "cost 50" in output
+
+    def test_k_best(self, manifest_path):
+        code, output = run_cli(
+            "plan", manifest_path, "--from", "source", "--to", "target", "--k", "3"
+        )
+        assert code == 0
+        assert "3 best plans" in output
+
+    def test_unsafe_endpoint_is_an_error(self, manifest_path):
+        code, _ = run_cli(
+            "plan", manifest_path, "--from", "E1", "--to", "target"
+        )
+        assert code == 2
+
+
+class TestSag:
+    def test_dot_output(self, manifest_path):
+        code, output = run_cli("sag", manifest_path)
+        assert code == 0
+        assert output.startswith("digraph SAG")
+        assert "n0100101" in output
+        assert 'label="A17 (10)"' in output
+
+    def test_highlighted_map(self, manifest_path):
+        code, output = run_cli(
+            "sag", manifest_path, "--highlight-map",
+            "--from", "source", "--to", "target",
+        )
+        assert code == 0
+        assert "color=red" in output
+
+    def test_highlight_requires_endpoints(self, manifest_path):
+        code, _ = run_cli("sag", manifest_path, "--highlight-map")
+        assert code == 2
+
+
+class TestSimulate:
+    def test_clean_run(self, manifest_path):
+        code, output = run_cli(
+            "simulate", manifest_path, "--from", "source", "--to", "target"
+        )
+        assert code == 0
+        assert "outcome: complete" in output
+        assert "SAFE" in output
+
+    def test_lossy_run_still_safe(self, manifest_path):
+        code, output = run_cli(
+            "simulate", manifest_path, "--from", "source", "--to", "target",
+            "--loss", "0.15", "--seed", "3",
+        )
+        assert "SAFE" in output
+
+    def test_timeline_rendering(self, manifest_path):
+        code, output = run_cli(
+            "simulate", manifest_path, "--from", "source", "--to", "target",
+            "--timeline",
+        )
+        assert code == 0
+        assert "commits" in output
+        assert "in-action A2" in output
+        assert "handheld" in output
+
+
+class TestExampleManifest:
+    def test_round_trips_through_check(self, tmp_path):
+        code, text = run_cli("example-manifest")
+        assert code == 0
+        path = tmp_path / "emitted.manifest"
+        path.write_text(text, encoding="utf-8")
+        code, output = run_cli("check", str(path))
+        assert code == 0
+        assert "safe configurations: 8" in output

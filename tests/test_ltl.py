@@ -1,0 +1,196 @@
+"""Tests for the past-time LTL monitor and safe-state detection (§7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ltl import (
+    BalancedPair,
+    Historically,
+    Once,
+    PAnd,
+    PImplies,
+    PNot,
+    POr,
+    PTLTLMonitor,
+    Previously,
+    Prop,
+    SafeStateMonitor,
+    Since,
+    no_open_segments,
+)
+
+A, B = Prop("a"), Prop("b")
+
+
+def run(formula, trace):
+    return PTLTLMonitor(formula).run(trace)
+
+
+class TestBooleans:
+    def test_prop(self):
+        assert run(A, [{"a"}, set(), {"a", "b"}]) == [True, False, True]
+
+    def test_not_and_or_implies(self):
+        assert run(PNot(A), [{"a"}, set()]) == [False, True]
+        assert run(PAnd(A, B), [{"a", "b"}, {"a"}]) == [True, False]
+        assert run(POr(A, B), [{"b"}, set()]) == [True, False]
+        assert run(PImplies(A, B), [{"a"}, {"a", "b"}, set()]) == [False, True, True]
+
+
+class TestTemporal:
+    def test_previously(self):
+        assert run(Previously(A), [{"a"}, set(), {"a"}, {"a"}]) == [
+            False, True, False, True,
+        ]
+
+    def test_once_latches(self):
+        assert run(Once(A), [set(), {"a"}, set(), set()]) == [
+            False, True, True, True,
+        ]
+
+    def test_historically_breaks_once(self):
+        assert run(Historically(A), [{"a"}, {"a"}, set(), {"a"}]) == [
+            True, True, False, False,
+        ]
+
+    def test_since(self):
+        # a S b: b seen, and a continuously since then
+        trace = [set(), {"b"}, {"a"}, {"a"}, set(), {"a"}]
+        assert run(Since(A, B), trace) == [False, True, True, True, False, False]
+
+    def test_since_retriggers(self):
+        trace = [{"b"}, set(), {"b"}]
+        assert run(Since(A, B), trace) == [True, False, True]
+
+    def test_request_acknowledged_pattern(self):
+        # "every request has been followed by an ack": ¬(¬ack S req)
+        req, ack = Prop("req"), Prop("ack")
+        formula = PNot(Since(PNot(ack), req))
+        trace = [set(), {"req"}, set(), {"ack"}, set(), {"req", "ack"}]
+        # note the last step: a request arriving *with* its ack still
+        # triggers strong-since, so the formula reads False there
+        assert run(formula, trace) == [True, False, False, True, True, False]
+
+
+class TestMonitorMechanics:
+    def test_step_returns_current_value(self):
+        monitor = PTLTLMonitor(Once(A))
+        assert monitor.step(set()) is False
+        assert monitor.step({"a"}) is True
+        assert monitor.steps == 2
+        assert monitor.value is True
+
+    def test_shared_subformula_evaluated_consistently(self):
+        shared = Once(A)
+        formula = PAnd(shared, PNot(PNot(shared)))
+        assert run(formula, [{"a"}, set()]) == [True, True]
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return Prop(draw(st.sampled_from(["a", "b", "c"])))
+    kind = draw(st.sampled_from(["not", "and", "or", "prev", "once", "hist", "since"]))
+    if kind == "not":
+        return PNot(draw(formulas(depth=depth - 1)))
+    if kind == "prev":
+        return Previously(draw(formulas(depth=depth - 1)))
+    if kind == "once":
+        return Once(draw(formulas(depth=depth - 1)))
+    if kind == "hist":
+        return Historically(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return {"and": PAnd, "or": POr, "since": Since}[kind](left, right)
+
+
+def reference_eval(formula, trace, index):
+    """Non-incremental semantics, as the oracle."""
+    if isinstance(formula, Prop):
+        return formula.name in trace[index]
+    if isinstance(formula, PNot):
+        return not reference_eval(formula.operand, trace, index)
+    if isinstance(formula, PAnd):
+        return reference_eval(formula.left, trace, index) and reference_eval(
+            formula.right, trace, index
+        )
+    if isinstance(formula, POr):
+        return reference_eval(formula.left, trace, index) or reference_eval(
+            formula.right, trace, index
+        )
+    if isinstance(formula, PImplies):
+        return (not reference_eval(formula.left, trace, index)) or reference_eval(
+            formula.right, trace, index
+        )
+    if isinstance(formula, Previously):
+        return index > 0 and reference_eval(formula.operand, trace, index - 1)
+    if isinstance(formula, Once):
+        return any(reference_eval(formula.operand, trace, j) for j in range(index + 1))
+    if isinstance(formula, Historically):
+        return all(reference_eval(formula.operand, trace, j) for j in range(index + 1))
+    if isinstance(formula, Since):
+        for j in range(index, -1, -1):
+            if reference_eval(formula.right, trace, j):
+                return all(
+                    reference_eval(formula.left, trace, k)
+                    for k in range(j + 1, index + 1)
+                )
+        return False
+    raise TypeError(formula)
+
+
+@given(
+    formulas(),
+    st.lists(st.sets(st.sampled_from(["a", "b", "c"])), min_size=1, max_size=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_incremental_matches_reference_semantics(formula, trace):
+    incremental = PTLTLMonitor(formula).run(trace)
+    reference = [reference_eval(formula, trace, i) for i in range(len(trace))]
+    assert incremental == reference
+
+
+class TestSafeStateMonitor:
+    def test_balanced_pairs_gate_safety(self):
+        monitor = no_open_segments("begin", "end")
+        assert monitor.safe  # vacuously, before any traffic
+        assert monitor.observe("begin") is False
+        assert monitor.open_obligations == 1
+        assert monitor.observe("end") is True
+
+    def test_nested_obligations(self):
+        monitor = no_open_segments()
+        monitor.observe("start")
+        monitor.observe("start")
+        monitor.observe("done")
+        assert not monitor.safe
+        monitor.observe("done")
+        assert monitor.safe
+
+    def test_unmatched_done_rejected(self):
+        monitor = no_open_segments()
+        with pytest.raises(ValueError):
+            monitor.observe("done")
+
+    def test_formula_and_pairs_combined(self):
+        # safe iff no open decode AND we have never seen "panic"
+        monitor = SafeStateMonitor(
+            formula=PNot(Once(Prop("panic"))),
+            pairs=[BalancedPair("start", "done")],
+        )
+        monitor.observe("start")
+        monitor.observe("done")
+        assert monitor.safe
+        monitor.observe("panic")
+        assert not monitor.safe
+        monitor.observe()  # panic is latched by Once
+        assert not monitor.safe
+
+    def test_on_safe_callbacks(self):
+        fired = []
+        monitor = no_open_segments()
+        monitor.on_safe(lambda: fired.append(True))
+        monitor.observe("start")
+        assert fired == []
+        monitor.observe("done")
+        assert fired == [True]

@@ -1,0 +1,142 @@
+"""Tests for the declarative manifest format."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.manifest import dumps, loads, video_manifest_text
+
+MINIMAL = """
+[components]
+A @ p1 : the app
+B1 @ p2
+B2 @ p2
+
+[invariants]
+presence : A
+: A -> B1 | B2
+exclusivity : one_of(B1, B2)
+
+[actions]
+swap  : B1 -> B2 @ 5 ; switch backends
+unswap: B2 -> B1 @ 5
+drop  : -B2 @ 1
+add   : +B2 @ 1
+
+[configurations]
+start = A, B1
+goal = 101
+"""
+
+
+class TestLoads:
+    def test_components(self):
+        manifest = loads(MINIMAL)
+        assert manifest.universe.order == ("A", "B1", "B2")
+        assert manifest.universe.process_of("A") == "p1"
+        assert manifest.universe.component("A").description == "the app"
+
+    def test_default_process(self):
+        manifest = loads("[components]\nX\n")
+        assert manifest.universe.process_of("X") == "local"
+
+    def test_invariants(self):
+        manifest = loads(MINIMAL)
+        assert len(manifest.invariants) == 3
+        assert manifest.invariants[0].name == "presence"
+        assert manifest.invariants.all_hold({"A", "B1"})
+        assert not manifest.invariants.all_hold({"A"})
+
+    def test_actions(self):
+        manifest = loads(MINIMAL)
+        swap = manifest.actions.get("swap")
+        assert swap.removes == frozenset({"B1"})
+        assert swap.adds == frozenset({"B2"})
+        assert swap.cost == 5
+        assert swap.description == "switch backends"
+        assert manifest.actions.get("drop").removes == frozenset({"B2"})
+        assert manifest.actions.get("add").adds == frozenset({"B2"})
+
+    def test_composite_operation(self):
+        text = MINIMAL + "\n[actions]\n"  # appending a section continues it
+        manifest = loads(
+            MINIMAL.replace(
+                "add   : +B2 @ 1", "add   : +B2 @ 1\nbig : (A, B1) -> (B2) @ 9"
+            )
+        )
+        big = manifest.actions.get("big")
+        assert big.removes == frozenset({"A", "B1"})
+        assert big.adds == frozenset({"B2"})
+
+    def test_configurations_by_members_and_bits(self):
+        manifest = loads(MINIMAL)
+        assert manifest.configurations["start"] == frozenset({"A", "B1"})
+        assert manifest.configurations["goal"] == frozenset({"A", "B2"})
+
+    def test_resolve_configuration_forms(self):
+        manifest = loads(MINIMAL)
+        assert manifest.resolve_configuration("start") == frozenset({"A", "B1"})
+        assert manifest.resolve_configuration("110") == frozenset({"A", "B1"})
+        assert manifest.resolve_configuration("A, B2") == frozenset({"A", "B2"})
+
+    def test_comments_and_blank_lines_ignored(self):
+        manifest = loads("# header\n[components]\n\nX # trailing\n")
+        assert "X" in manifest.universe
+
+    def test_planner_integration(self):
+        manifest = loads(MINIMAL)
+        planner = manifest.planner()
+        plan = planner.plan(
+            manifest.configurations["start"], manifest.configurations["goal"]
+        )
+        assert plan.action_ids == ("swap",)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("X\n", "before any"),
+            ("[weird]\n", "unknown section"),
+            ("[components]\n", "no [components]"),
+            ("[components]\nA\n[invariants]\nA -> Z\n", "unknown components"),
+            ("[components]\nA\n[actions]\nbad line\n", "bad action"),
+            ("[components]\nA\n[actions]\nx : ?? @ 1\n", "cannot parse"),
+            ("[components]\nA\n[actions]\nx : +Z @ 1\n", "unknown components"),
+            ("[components]\nA\n[configurations]\njust-a-name\n", "name = value"),
+        ],
+    )
+    def test_bad_manifests(self, text, fragment):
+        with pytest.raises(ParseError) as excinfo:
+            loads(text)
+        assert fragment in str(excinfo.value)
+
+
+class TestRoundTrip:
+    def test_minimal_round_trips(self):
+        manifest = loads(MINIMAL)
+        again = loads(dumps(manifest))
+        assert again.universe.order == manifest.universe.order
+        assert [i.expr for i in again.invariants] == [
+            i.expr for i in manifest.invariants
+        ]
+        assert [
+            (a.action_id, a.removes, a.adds, a.cost) for a in again.actions
+        ] == [(a.action_id, a.removes, a.adds, a.cost) for a in manifest.actions]
+        assert again.configurations == manifest.configurations
+
+    def test_video_manifest_reproduces_the_paper(self, table1_bits):
+        manifest = loads(video_manifest_text())
+        planner = manifest.planner()
+        got = {planner.universe.to_bits(c) for c in planner.space.enumerate()}
+        assert got == set(table1_bits)
+        plan = planner.plan(
+            manifest.configurations["source"], manifest.configurations["target"]
+        )
+        assert plan.total_cost == 50.0
+
+    def test_load_path(self, tmp_path):
+        from repro.manifest import load_path
+
+        target = tmp_path / "sys.manifest"
+        target.write_text(MINIMAL, encoding="utf-8")
+        assert "A" in load_path(target).universe

@@ -1,0 +1,170 @@
+"""Tests for the bounded protocol model checker.
+
+Positive: small scenarios explore exhaustively and every interleaving
+terminates safely.  Negative: deliberately broken inputs/machines are
+caught with counterexample paths — evidence the checker actually checks.
+"""
+
+import pytest
+
+from repro.apps.video.scenario import make_video_flush_provider
+from repro.apps.video.system import (
+    paper_source,
+    paper_target,
+    video_planner,
+)
+from repro.core.actions import AdaptiveAction
+from repro.core.model import Configuration
+from repro.core.planner import AdaptationPlan, PlanStep
+from repro.modelcheck import ModelCheckError, ProtocolModelChecker
+from repro.protocol.effects import BlockProcess
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return video_planner()
+
+
+
+def toy_planner_and_plan():
+    """Minimal universe: keeps drop/timer state spaces tractable."""
+    from repro.core.actions import ActionLibrary
+    from repro.core.invariants import InvariantSet
+    from repro.core.model import ComponentUniverse
+    from repro.core.planner import AdaptationPlanner
+
+    universe = ComponentUniverse.from_names(
+        ["X1", "X2"], {"X1": "node", "X2": "node"}
+    )
+    invariants = InvariantSet.of("one_of(X1, X2)")
+    actions = ActionLibrary([AdaptiveAction.replace("swap", "X1", "X2", 1)])
+    planner = AdaptationPlanner(universe, invariants, actions)
+    plan = planner.plan(universe.configuration("X1"), universe.configuration("X2"))
+    return planner, plan
+
+def single_step_plan(planner, action_id="A2"):
+    source = paper_source()
+    action = planner.actions.get(action_id)
+    target = action.apply(source)
+    step = PlanStep(index=0, action=action, source=source, target=target)
+    return AdaptationPlan(source=source, target=target, steps=(step,),
+                         total_cost=action.cost)
+
+
+class TestExhaustiveSafety:
+    def test_single_step_lossless(self, planner):
+        checker = ProtocolModelChecker(planner, single_step_plan(planner))
+        outcomes = checker.run()
+        assert outcomes == {"complete": 1}
+        assert checker.states_explored > 5
+
+    def test_single_step_with_one_drop(self):
+        from repro.protocol.failures import FailurePolicy
+
+        toy_planner, toy_plan = toy_planner_and_plan()
+        checker = ProtocolModelChecker(
+            toy_planner, toy_plan, max_drops=1,
+            policy=FailurePolicy(step_retries=1, max_alternate_plans=0,
+                                 max_retransmits=0,
+                                 max_post_resume_retransmits=1),
+        )
+        outcomes = checker.run()
+        # every terminal world completed (retry recovers the drop) or, if
+        # the rollback path was taken, ended at a safe configuration —
+        # either way no interleaving was unsafe
+        assert set(outcomes) <= {"complete", "aborted", "await_user"}
+        assert outcomes.get("complete", 0) >= 1
+        assert checker.states_explored > 50
+
+    def test_two_drops_on_toy_system(self):
+        # Drop-drop interleavings of every protocol phase, tight policy.
+        from repro.protocol.failures import FailurePolicy
+
+        toy_planner, toy_plan = toy_planner_and_plan()
+        checker = ProtocolModelChecker(
+            toy_planner, toy_plan, max_drops=2, max_states=300_000,
+            policy=FailurePolicy(step_retries=1, max_alternate_plans=0,
+                                 max_retransmits=0,
+                                 max_post_resume_retransmits=1),
+        )
+        outcomes = checker.run()
+        assert set(outcomes) <= {"complete", "aborted", "await_user"}
+        assert outcomes.get("complete", 0) >= 1
+
+    def test_composite_triple_lossless(self, planner):
+        plans = planner.plan_k(paper_source(), paper_target(), 20)
+        a14 = next(p for p in plans if p.action_ids == ("A14",))
+        checker = ProtocolModelChecker(
+            planner, a14, flush_provider=make_video_flush_provider(planner.universe)
+        )
+        outcomes = checker.run()
+        assert outcomes == {"complete": 1}
+        # three agents × interleaved resets/dones: a real state space
+        assert checker.states_explored > 100
+
+    def test_two_step_prefix_lossless(self, planner):
+        prefix = planner.plan(paper_source(), planner.universe.from_bits("0101001"))
+        checker = ProtocolModelChecker(planner, prefix)
+        assert checker.run() == {"complete": 1}
+
+    def test_free_timer_mode_on_tiny_plan(self):
+        toy_planner, toy_plan = toy_planner_and_plan()
+        from repro.protocol.failures import FailurePolicy
+
+        checker = ProtocolModelChecker(
+            toy_planner, toy_plan, timer_mode="free", max_states=300_000,
+            policy=FailurePolicy(step_retries=1, max_alternate_plans=0,
+                                 max_retransmits=0,
+                                 max_post_resume_retransmits=1),
+        )
+        outcomes = checker.run()
+        # spurious timeouts may roll back and retry, but never break safety
+        assert set(outcomes) <= {"complete", "aborted", "await_user"}
+        assert outcomes.get("complete", 0) >= 1
+
+    def test_invalid_timer_mode_rejected(self, planner):
+        with pytest.raises(ValueError):
+            ProtocolModelChecker(
+                planner, single_step_plan(planner), timer_mode="warp"
+            )
+
+
+class TestCheckerCatchesBugs:
+    def test_unsafe_committed_configuration_detected(self, planner):
+        # Hand-build a plan whose single step lands on an unsafe config
+        # (replacing D1 with D3 while E1 is active).
+        source = paper_source()
+        action = planner.actions.get("A3")  # D1 -> D3
+        target = action.apply(source)       # {D3,D4,E1}: violates E1 dep
+        step = PlanStep(index=0, action=action, source=source, target=target)
+        bogus = AdaptationPlan(source=source, target=target, steps=(step,),
+                               total_cost=10.0)
+        checker = ProtocolModelChecker(planner, bogus)
+        with pytest.raises(ModelCheckError) as excinfo:
+            checker.run()
+        assert "violates invariants" in str(excinfo.value)
+        assert excinfo.value.path  # counterexample recorded
+
+    def test_unblocked_in_action_detected(self, planner, monkeypatch):
+        # Break the agent: strip the BlockProcess effect before execution.
+        from repro.protocol import agent as agent_module
+
+        original = agent_module.AgentMachine.on_local_safe
+
+        def no_block(self, step_key):
+            return [e for e in original(self, step_key)
+                    if not isinstance(e, BlockProcess)]
+
+        monkeypatch.setattr(agent_module.AgentMachine, "on_local_safe", no_block)
+        checker = ProtocolModelChecker(planner, single_step_plan(planner))
+        with pytest.raises(ModelCheckError) as excinfo:
+            checker.run()
+        assert "unblocked" in str(excinfo.value)
+
+    def test_state_bound_enforced(self, planner):
+        checker = ProtocolModelChecker(
+            planner, single_step_plan(planner), max_drops=2, max_states=10
+        )
+        with pytest.raises(ModelCheckError) as excinfo:
+            checker.run()
+        assert "bound" in str(excinfo.value)

@@ -1,0 +1,82 @@
+"""Tests for trace rendering (event log + lane timeline)."""
+
+import pytest
+
+from repro.apps.video import VideoScenario
+from repro.render import render_events, render_timeline
+from repro.trace import (
+    AdaptationApplied,
+    BlockRecord,
+    ConfigCommitted,
+    CorruptionRecord,
+    RollbackRecord,
+    Trace,
+)
+
+
+def small_trace():
+    trace = Trace()
+    trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"A"})))
+    trace.append(BlockRecord(time=2.0, process="p1", blocked=True))
+    trace.append(
+        AdaptationApplied(time=3.0, process="p1", action_id="S",
+                          removes=frozenset({"A"}), adds=frozenset({"B"}))
+    )
+    trace.append(BlockRecord(time=4.0, process="p1", blocked=False))
+    trace.append(
+        ConfigCommitted(time=5.0, configuration=frozenset({"B"}),
+                        step_id="plan1/0#0", action_id="S")
+    )
+    return trace
+
+
+class TestRenderEvents:
+    def test_contains_all_event_kinds(self):
+        trace = small_trace()
+        trace.append(RollbackRecord(time=6.0, process="p1", action_id="S"))
+        trace.append(CorruptionRecord(time=7.0, process="p1", detail="bad pkt"))
+        text = render_events(trace)
+        assert "commit initial" in text
+        assert "p1: blocked" in text and "p1: resumed" in text
+        assert "in-action S [-A +B]" in text
+        assert "ROLLBACK S" in text
+        assert "CORRUPTION bad pkt" in text
+
+    def test_chronological(self):
+        text = render_events(small_trace())
+        lines = text.splitlines()
+        times = [float(line.split("t=")[1].split()[0]) for line in lines]
+        assert times == sorted(times)
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert render_timeline(Trace()) == "(empty trace)"
+
+    def test_lanes_and_markers(self):
+        text = render_timeline(small_trace(), width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("commits")
+        assert any(line.startswith("p1") for line in lines)
+        p1_lane = next(line for line in lines if line.startswith("p1"))
+        assert "█" in p1_lane  # the blocked interval
+        assert "A" in p1_lane  # the in-action
+        assert lines[0].count("|") == 2  # two commits
+
+    def test_still_blocked_at_end_extends_bar(self):
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"A"})))
+        trace.append(BlockRecord(time=5.0, process="p1", blocked=True))
+        trace.append(ConfigCommitted(time=10.0, configuration=frozenset({"A"})))
+        text = render_timeline(trace, width=20)
+        p1_lane = next(l for l in text.splitlines() if l.startswith("p1"))
+        assert p1_lane.rstrip().endswith("█")
+
+    def test_video_scenario_renders(self):
+        scenario = VideoScenario(seed=1)
+        scenario.run(warmup=20.0, cooldown=20.0)
+        text = render_timeline(scenario.cluster.trace)
+        assert "handheld" in text and "laptop" in text and "server" in text
+        assert "|" in text.splitlines()[0]
+        events = render_events(scenario.cluster.trace)
+        assert "commit plan1/0#0 (A2)" in events

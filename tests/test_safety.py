@@ -1,0 +1,145 @@
+"""Unit tests for the executable two-clause safety checker (§3)."""
+
+import pytest
+
+from repro.ccs import CCSSpec
+from repro.core.invariants import InvariantSet
+from repro.errors import SafetyViolationError
+from repro.safety import SafetyChecker, check_safe
+from repro.trace import (
+    AdaptationApplied,
+    BlockRecord,
+    CommRecord,
+    ConfigCommitted,
+    CorruptionRecord,
+    Trace,
+)
+
+INVARIANTS = InvariantSet.of("one_of(E1, E2)", "E1 -> D1")
+SPEC = CCSSpec.single("send", "receive", name="pair")
+
+
+def safe_trace():
+    trace = Trace()
+    trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1", "D1"})))
+    trace.append(CommRecord(time=1.0, cid=1, action="send"))
+    trace.append(CommRecord(time=2.0, cid=1, action="receive"))
+    trace.append(BlockRecord(time=3.0, process="p", blocked=True))
+    trace.append(
+        AdaptationApplied(time=4.0, process="p", action_id="A1",
+                          removes=frozenset({"E1"}), adds=frozenset({"E2"}))
+    )
+    trace.append(BlockRecord(time=5.0, process="p", blocked=False))
+    trace.append(
+        ConfigCommitted(time=6.0, configuration=frozenset({"E2", "D1"}), step_id="s1")
+    )
+    return trace
+
+
+class TestSafeTrace:
+    def test_reports_ok(self):
+        report = check_safe(safe_trace(), INVARIANTS, ccs=SPEC)
+        assert report.ok
+        assert report.configurations_checked == 2
+        assert report.segments_checked == 1
+        assert report.segments_complete == 1
+        assert report.in_actions_checked == 1
+
+    def test_raise_if_unsafe_noop(self):
+        check_safe(safe_trace(), INVARIANTS, ccs=SPEC).raise_if_unsafe()
+
+    def test_summary_format(self):
+        assert "SAFE" in check_safe(safe_trace(), INVARIANTS).summary()
+
+
+class TestDependencyClause:
+    def test_unsafe_committed_config_flagged(self):
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1"})))
+        report = check_safe(trace, INVARIANTS)
+        assert not report.ok
+        violations = report.by_kind("dependency")
+        assert len(violations) == 1
+        assert "E1 -> D1" in violations[0].detail
+
+    def test_one_violation_per_broken_invariant(self):
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1", "E2"})))
+        report = check_safe(trace, INVARIANTS)
+        assert len(report.by_kind("dependency")) == 2
+
+
+class TestCCSClause:
+    def test_in_progress_at_end_permitted(self):
+        trace = safe_trace()
+        trace.append(CommRecord(time=7.0, cid=2, action="send"))
+        assert check_safe(trace, INVARIANTS, ccs=SPEC).ok
+
+    def test_interrupted_segment_flagged(self):
+        trace = safe_trace()
+        trace.append(CommRecord(time=7.0, cid=2, action="receive"))  # bad start
+        report = check_safe(trace, INVARIANTS, ccs=SPEC)
+        assert len(report.by_kind("ccs")) == 1
+        assert "CID=2" in report.by_kind("ccs")[0].detail
+
+    def test_no_ccs_spec_skips_clause(self):
+        trace = safe_trace()
+        trace.append(CommRecord(time=7.0, cid=2, action="receive"))
+        assert check_safe(trace, INVARIANTS).ok  # ccs=None
+
+    def test_corruption_record_flagged(self):
+        trace = safe_trace()
+        trace.append(CorruptionRecord(time=8.0, process="p", detail="undecodable"))
+        report = check_safe(trace, INVARIANTS, ccs=SPEC)
+        assert len(report.by_kind("corruption")) == 1
+
+
+class TestDisciplineClause:
+    def test_in_action_while_unblocked_flagged(self):
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1", "D1"})))
+        trace.append(
+            AdaptationApplied(time=1.0, process="p", action_id="A1",
+                              removes=frozenset(), adds=frozenset({"X"}))
+        )
+        report = check_safe(trace, INVARIANTS)
+        assert len(report.by_kind("discipline")) == 1
+
+    def test_discipline_check_optional(self):
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1", "D1"})))
+        trace.append(
+            AdaptationApplied(time=1.0, process="p", action_id="A1",
+                              removes=frozenset(), adds=frozenset({"X"}))
+        )
+        assert check_safe(trace, INVARIANTS, check_discipline=False).ok
+
+    def test_block_state_tracked_per_process(self):
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1", "D1"})))
+        trace.append(BlockRecord(time=1.0, process="q", blocked=True))
+        trace.append(
+            AdaptationApplied(time=2.0, process="p", action_id="A1",
+                              removes=frozenset(), adds=frozenset({"X"}))
+        )
+        report = check_safe(trace, INVARIANTS)
+        assert len(report.by_kind("discipline")) == 1  # p unblocked, q irrelevant
+
+
+class TestRaising:
+    def test_raise_if_unsafe(self):
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1"})))
+        report = check_safe(trace, INVARIANTS)
+        with pytest.raises(SafetyViolationError) as excinfo:
+            report.raise_if_unsafe()
+        assert "dependency" in str(excinfo.value)
+
+    def test_violations_ordered_by_kind_groups(self):
+        checker = SafetyChecker(INVARIANTS, ccs=SPEC)
+        trace = Trace()
+        trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"E1"})))
+        trace.append(CommRecord(time=1.0, cid=9, action="receive"))
+        report = checker.check(trace)
+        kinds = {v.kind for v in report.violations}
+        assert kinds == {"dependency", "ccs"}

@@ -1,0 +1,143 @@
+"""Unit tests for the trace model."""
+
+from repro.trace import (
+    AdaptationApplied,
+    BlockRecord,
+    CommRecord,
+    ConfigCommitted,
+    CorruptionRecord,
+    NoteRecord,
+    RollbackRecord,
+    Trace,
+)
+
+
+def make_trace():
+    trace = Trace()
+    trace.append(ConfigCommitted(time=0.0, configuration=frozenset({"A"})))
+    trace.append(CommRecord(time=1.0, cid=7, action="send"))
+    trace.append(CommRecord(time=2.0, cid=8, action="send"))
+    trace.append(CommRecord(time=3.0, cid=7, action="receive"))
+    trace.append(
+        ConfigCommitted(time=4.0, configuration=frozenset({"B"}), step_id="s1",
+                        action_id="A1")
+    )
+    return trace
+
+
+class TestTrace:
+    def test_append_iter_len(self):
+        trace = make_trace()
+        assert len(trace) == 5
+        assert len(list(trace)) == 5
+
+    def test_extend(self):
+        trace = Trace()
+        trace.extend([NoteRecord(time=0.0, text="x"), NoteRecord(time=1.0, text="y")])
+        assert len(trace) == 2
+
+    def test_of_type(self):
+        trace = make_trace()
+        assert len(trace.of_type(CommRecord)) == 3
+        assert len(trace.of_type(ConfigCommitted)) == 2
+        assert trace.of_type(BlockRecord) == ()
+
+    def test_comm_sequence_extracts_s_cid(self):
+        trace = make_trace()
+        assert trace.comm_sequence(7) == ("send", "receive")
+        assert trace.comm_sequence(8) == ("send",)
+        assert trace.comm_sequence(99) == ()
+
+    def test_cids_first_seen_order(self):
+        assert make_trace().cids() == (7, 8)
+
+    def test_committed_configurations(self):
+        assert make_trace().committed_configurations() == (
+            frozenset({"A"}),
+            frozenset({"B"}),
+        )
+
+    def test_final_configuration(self):
+        assert make_trace().final_configuration() == frozenset({"B"})
+        assert Trace().final_configuration() is None
+
+    def test_constructor_accepts_records(self):
+        records = [NoteRecord(time=0.0, text="hello")]
+        assert len(Trace(records)) == 1
+
+
+class TestRecordTypes:
+    def test_records_are_frozen(self):
+        record = CommRecord(time=1.0, cid=1, action="send")
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            record.cid = 2  # type: ignore[misc]
+
+    def test_adaptation_applied_fields(self):
+        record = AdaptationApplied(
+            time=1.0, process="p", action_id="A1",
+            removes=frozenset({"X"}), adds=frozenset({"Y"}),
+        )
+        assert record.removes == frozenset({"X"})
+
+    def test_corruption_optional_cid(self):
+        record = CorruptionRecord(time=1.0, process="p", detail="bad")
+        assert record.cid is None
+
+    def test_rollback_record(self):
+        record = RollbackRecord(time=2.0, process="p", action_id="A3")
+        assert record.action_id == "A3"
+
+
+class TestSerialization:
+    def full_trace(self):
+        trace = make_trace()
+        trace.append(BlockRecord(time=5.0, process="p", blocked=True))
+        trace.append(
+            AdaptationApplied(
+                time=6.0, process="p", action_id="A1",
+                removes=frozenset({"X"}), adds=frozenset({"Y", "Z"}),
+            )
+        )
+        trace.append(CorruptionRecord(time=7.0, process="q", detail="bad", cid=3))
+        trace.append(RollbackRecord(time=8.0, process="p", action_id="A1"))
+        trace.append(NoteRecord(time=9.0, text="done"))
+        return trace
+
+    def test_jsonl_round_trip(self):
+        trace = self.full_trace()
+        restored = Trace.from_jsonl(trace.to_jsonl())
+        assert list(restored) == list(trace)
+
+    def test_jsonl_is_line_oriented(self):
+        text = self.full_trace().to_jsonl()
+        import json
+
+        for line in text.splitlines():
+            payload = json.loads(line)
+            assert "type" in payload and "time" in payload
+
+    def test_blank_lines_skipped(self):
+        trace = make_trace()
+        text = "\n\n" + trace.to_jsonl() + "\n\n"
+        assert len(Trace.from_jsonl(text)) == len(trace)
+
+    def test_unknown_type_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Trace.from_jsonl('{"type": "Martian", "time": 0.0}')
+
+    def test_checker_works_on_restored_trace(self):
+        from repro.core.invariants import InvariantSet
+        from repro.safety import check_safe
+
+        trace = self.full_trace()
+        restored = Trace.from_jsonl(trace.to_jsonl())
+        invariants = InvariantSet.of("A | B")
+        original = check_safe(trace, invariants)
+        again = check_safe(restored, invariants)
+        assert original.ok == again.ok
+        assert len(original.violations) == len(again.violations)

@@ -1,0 +1,74 @@
+"""Unit tests for benchmark workload generators and table rendering."""
+
+import pytest
+
+from repro.bench import format_table, random_system, replicated_video_system
+from repro.core.planner import AdaptationPlanner
+
+
+class TestReplicatedVideoSystem:
+    def test_size_scales(self):
+        system = replicated_video_system(3)
+        assert len(system.universe) == 21
+        assert len(system.invariants) == 12
+        assert len(system.actions) == 51
+
+    def test_groups_are_isolated(self):
+        system = replicated_video_system(2)
+        for action in system.actions:
+            suffixes = {name.split("@")[1] for name in action.touched}
+            assert len(suffixes) == 1
+        for invariant in system.invariants:
+            suffixes = {name.split("@")[1] for name in invariant.atoms()}
+            assert len(suffixes) == 1
+
+    def test_source_target_safe(self):
+        system = replicated_video_system(2)
+        assert system.invariants.all_hold(system.source)
+        assert system.invariants.all_hold(system.target)
+
+    def test_safe_space_is_power_of_eight(self):
+        system = replicated_video_system(2)
+        planner = AdaptationPlanner(system.universe, system.invariants, system.actions)
+        assert planner.space.count() == 64  # 8^2
+
+    def test_n_groups_validated(self):
+        with pytest.raises(ValueError):
+            replicated_video_system(0)
+
+
+class TestRandomSystem:
+    def test_reproducible(self):
+        a = random_system(42)
+        b = random_system(42)
+        assert a.universe.order == b.universe.order
+        assert a.source == b.source
+        assert [x.action_id for x in a.actions] == [x.action_id for x in b.actions]
+
+    def test_shapes(self):
+        system = random_system(7, n_components=5, n_invariants=2, n_actions=6)
+        assert len(system.universe) == 5
+        assert len(system.invariants) == 2
+        assert len(system.actions) == 6
+
+    def test_different_seeds_differ(self):
+        ops_a = [a.operation_text() for a in random_system(1).actions]
+        ops_b = [a.operation_text() for a in random_system(2).actions]
+        assert ops_a != ops_b
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "cost"], [["A1", 10], ["A14", 150]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "A14" in lines[3]
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

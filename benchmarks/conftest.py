@@ -4,17 +4,46 @@ Every benchmark regenerates a table or figure from the paper, asserts the
 *shape* (who wins, by what rough factor, where crossovers fall), and
 reports the regenerated rows both to stdout and into the pytest-benchmark
 ``extra_info`` so they land in machine-readable output.
+
+Planning-phase benchmarks additionally record their headline numbers into
+``benchmarks/BENCH_planning.json`` (via ``report(..., data=...)``) so
+future PRs can track the planning-engine trajectory against a committed
+baseline.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+from pathlib import Path
 
 import pytest
 
+PLANNING_JSON = Path(__file__).with_name("BENCH_planning.json")
 
-def report(title: str, text: str) -> None:
-    """Print a regenerated table so it is visible even under capture."""
+
+def report(title: str, text: str, data=None, json_path: Path = None) -> None:
+    """Print a regenerated table so it is visible even under capture.
+
+    When *data* (any JSON-serializable value) is given, it is also merged
+    into ``BENCH_planning.json`` under *title* — the machine-readable perf
+    record future PRs diff against.
+    """
     banner = f"\n=== {title} ===\n{text}\n"
     sys.stderr.write(banner)
     sys.stderr.flush()
+    if data is not None:
+        record_json(title, data, json_path=json_path)
+
+
+def record_json(key: str, data, json_path: Path = None) -> None:
+    """Merge ``{key: data}`` into the planning-trajectory JSON file."""
+    path = json_path or PLANNING_JSON
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = {}
+    existing[key] = data
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")

@@ -192,11 +192,57 @@ class AdaptiveAction:
         return f"-{removes}"
 
 
+class MaskedAction:
+    """An adaptive action pre-compiled against a universe's bit encoding.
+
+    Four masks make applicability and application O(1) integer ops in the
+    O(|V|·|A|) SAG-build loop and in A* successor expansion:
+
+    * ``required`` — bits that must be present (the removed components);
+    * ``forbidden`` — bits that must be absent (the added components);
+    * ``clear`` — bits switched off by :meth:`apply_mask`;
+    * ``set_bits`` — bits switched on by :meth:`apply_mask`.
+
+    The set-based :meth:`AdaptiveAction.is_applicable`/:meth:`~AdaptiveAction.apply`
+    stay the semantic source of truth; the property tests assert agreement
+    over every configuration of the universe.
+    """
+
+    __slots__ = ("action", "required", "forbidden", "clear", "set_bits")
+
+    def __init__(self, action: AdaptiveAction, bits) -> None:
+        required = 0
+        for name in action.removes:
+            required |= bits[name]
+        forbidden = 0
+        for name in action.adds:
+            forbidden |= bits[name]
+        self.action = action
+        self.required = required
+        self.forbidden = forbidden
+        self.clear = required
+        self.set_bits = forbidden
+
+    def is_applicable_mask(self, mask: int) -> bool:
+        """Mask form of :meth:`AdaptiveAction.is_applicable`."""
+        return (mask & self.required) == self.required and not (
+            mask & self.forbidden
+        )
+
+    def apply_mask(self, mask: int) -> int:
+        """Mask form of :meth:`AdaptiveAction.apply` (caller checks applicability)."""
+        return (mask & ~self.clear) | self.set_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MaskedAction({self.action.action_id!r})"
+
+
 class ActionLibrary:
     """The set *T* of available adaptive actions, indexed by id."""
 
     def __init__(self, actions: Iterable[AdaptiveAction] = ()):
         self._actions: Dict[str, AdaptiveAction] = {}
+        self._masked_cache: Dict[Tuple[str, ...], Tuple[Optional[MaskedAction], ...]] = {}
         for action in actions:
             self.add(action)
 
@@ -204,6 +250,31 @@ class ActionLibrary:
         if action.action_id in self._actions:
             raise DuplicateActionError(f"duplicate action id {action.action_id!r}")
         self._actions[action.action_id] = action
+        self._masked_cache.clear()
+
+    def compiled_for(
+        self, universe: ComponentUniverse
+    ) -> Tuple[Optional[MaskedAction], ...]:
+        """Per-action masks for *universe*, aligned with iteration order.
+
+        Entries are ``None`` for actions touching components outside the
+        universe — those have no bit encoding, and consumers fall back to
+        the set-based delta for them (they can never connect two universe
+        configurations, so the SAG build skips them outright).
+
+        Cached per bit encoding (i.e. per universe component order) and
+        invalidated when the library grows.
+        """
+        key = universe.order
+        cached = self._masked_cache.get(key)
+        if cached is None:
+            bits = universe.atom_bits
+            cached = tuple(
+                MaskedAction(action, bits) if action.touched <= universe.names else None
+                for action in self._actions.values()
+            )
+            self._masked_cache[key] = cached
+        return cached
 
     def __iter__(self) -> Iterator[AdaptiveAction]:
         """Iterate in action-id declaration order (deterministic)."""

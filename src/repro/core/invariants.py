@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import (
     AbstractSet,
+    Callable,
     FrozenSet,
     Iterable,
     Iterator,
@@ -159,6 +160,25 @@ class InvariantSet:
     def all_hold(self, config: AbstractSet[str]) -> bool:
         """True iff *config* is a **safe configuration** (paper §3.1)."""
         return all(inv.holds(config) for inv in self._invariants)
+
+    def compile_mask(self, bits) -> "Callable[[int], bool]":
+        """Compiled form of :meth:`all_hold` over an integer presence mask.
+
+        *bits* maps component names to bit values — normally
+        :attr:`repro.core.model.ComponentUniverse.atom_bits`.  The returned
+        closure agrees with :meth:`all_hold` on every configuration whose
+        members all carry bits (the property tests pin this); the AST path
+        stays the semantic source of truth.
+        """
+        from repro.expr.compile import compile_conjunction
+
+        return compile_conjunction((inv.expr for inv in self._invariants), bits)
+
+    def compile_mask_partial(self, bits) -> "Tuple[Callable[[int, int], Optional[bool]], ...]":
+        """Three-valued compiled invariants for backtracking enumeration."""
+        from repro.expr.compile import compile_all_partial
+
+        return compile_all_partial((inv.expr for inv in self._invariants), bits)
 
     def violated(self, config: AbstractSet[str]) -> Tuple[Invariant, ...]:
         """The invariants *config* breaks — empty tuple means safe."""

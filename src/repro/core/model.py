@@ -58,10 +58,11 @@ class Configuration:
     hashable and cheap to copy.
     """
 
-    __slots__ = ("_members",)
+    __slots__ = ("_members", "_hash")
 
     def __init__(self, members: Iterable[str] = ()):
         object.__setattr__(self, "_members", frozenset(members))
+        object.__setattr__(self, "_hash", None)
         for name in self._members:
             if not isinstance(name, str) or not name:
                 raise ConfigurationError(
@@ -99,7 +100,14 @@ class Configuration:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._members)
+        # Configurations are dict keys on every hot path (graph adjacency,
+        # distance maps, vertex lookup); hashing the frozenset once is a
+        # measurable win during SAG construction and search.
+        value = self._hash
+        if value is None:
+            value = hash(self._members)
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __le__(self, other: "Configuration") -> bool:
         return self._members <= _members_of(other)
@@ -161,6 +169,16 @@ class ComponentUniverse:
             if component.name in self._by_name:
                 raise ModelError(f"duplicate component {component.name!r}")
             self._by_name[component.name] = component
+        # Bitmask codec: bit value of order[i] is 1 << (n-1-i), so the
+        # integer mask of a configuration equals its bit-vector string
+        # read as a binary number (MSB = order[0]).
+        n = len(self._order)
+        self._atom_bits: Dict[str, int] = {
+            name: 1 << (n - 1 - i) for i, name in enumerate(self._order)
+        }
+        self._full_mask: int = (1 << n) - 1
+        self._mask_cache: Dict[FrozenSet[str], int] = {}
+        self._config_cache: Dict[int, Configuration] = {}
 
     @classmethod
     def from_names(
@@ -219,6 +237,70 @@ class ComponentUniverse:
         unknown = sorted(set(names) - set(self._by_name))
         if unknown:
             raise UnknownComponentError(f"unknown components: {unknown}")
+
+    # -- integer bitmask fast path ----------------------------------------------
+    @property
+    def atom_bits(self) -> Mapping[str, int]:
+        """Bit value (power of two) of every component name.
+
+        The mapping drives :mod:`repro.expr.compile`: a configuration's
+        mask ANDed with ``atom_bits[name]`` is non-zero iff the component
+        is present.
+        """
+        return self._atom_bits
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with every component present (``2^n - 1``)."""
+        return self._full_mask
+
+    def bit_of(self, name: str) -> int:
+        """Bit value of *name*; raises on unknown components."""
+        try:
+            return self._atom_bits[name]
+        except KeyError:
+            raise UnknownComponentError(f"unknown component {name!r}") from None
+
+    def mask_of_names(self, names: Iterable[str]) -> int:
+        """Combined mask of *names* (each must belong to the universe)."""
+        mask = 0
+        bits = self._atom_bits
+        try:
+            for name in names:
+                mask |= bits[name]
+        except KeyError:
+            raise UnknownComponentError(f"unknown component {name!r}") from None
+        return mask
+
+    def mask_of(self, config: Configuration) -> int:
+        """Integer bit-vector of *config* (cached per configuration).
+
+        Equal to ``int(self.to_bits(config), 2)`` but computed with pure
+        dict lookups and OR — the hot-path representation the planning
+        engine runs on.  Raises :class:`UnknownComponentError` if the
+        configuration contains components outside the universe.
+        """
+        members = config.members
+        cached = self._mask_cache.get(members)
+        if cached is None:
+            cached = self.mask_of_names(members)
+            self._mask_cache[members] = cached
+        return cached
+
+    def from_mask(self, mask: int) -> Configuration:
+        """Inverse of :meth:`mask_of`; decoded configurations are interned."""
+        config = self._config_cache.get(mask)
+        if config is None:
+            if mask < 0 or mask > self._full_mask:
+                raise ConfigurationError(
+                    f"mask {mask:#x} out of range for universe size {len(self._order)}"
+                )
+            config = Configuration(
+                name for name, bit in self._atom_bits.items() if mask & bit
+            )
+            self._config_cache[mask] = config
+            self._mask_cache.setdefault(config.members, mask)
+        return config
 
     # -- bit-vector codec --------------------------------------------------------
     def to_bits(self, config: Configuration) -> str:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.actions import ActionLibrary, AdaptiveAction
 from repro.core.collaborative import collaborative_sets, project_invariants
@@ -88,9 +88,12 @@ class AdaptationPlan:
 class AdaptationPlanner:
     """Runs the detection & setup phase for a fixed ``(universe, I, T, A)``.
 
-    The safe space and SAG are computed lazily and cached; re-planning after
-    a failed step (different source, same graph) is therefore cheap, which
-    is what the §4.4 failure-handling cascade relies on.
+    The planner is **incremental**: the safe space, the SAG, and every
+    computed plan are cached.  The §4.4 failure cascade — retry the step,
+    ask for the next minimum adaptation path, roll back to the source —
+    re-enters the planner with shifting ``(source, target)`` pairs; each
+    answer is derived once from the shared SAG and the mask-level safety
+    memo, then served from the plan cache on repetition.
     """
 
     def __init__(
@@ -104,6 +107,18 @@ class AdaptationPlanner:
         self.actions = actions
         self.space = SafeConfigurationSpace(universe, invariants)
         self._sag: Optional[SafeAdaptationGraph] = None
+        self._plan_cache: Dict[
+            Tuple[Configuration, Configuration], Optional[AdaptationPlan]
+        ] = {}
+        self._plan_k_cache: Dict[
+            Tuple[Configuration, Configuration, int], Tuple[AdaptationPlan, ...]
+        ] = {}
+
+    def reset_caches(self) -> None:
+        """Drop the cached SAG and plans (after mutating the action library)."""
+        self._sag = None
+        self._plan_cache.clear()
+        self._plan_k_cache.clear()
 
     # -- setup steps -------------------------------------------------------------
     @property
@@ -141,17 +156,27 @@ class AdaptationPlanner:
     def plan(self, source: Configuration, target: Configuration) -> AdaptationPlan:
         """The Minimum Adaptation Path (Dijkstra over the full SAG).
 
+        Results are cached per ``(source, target)`` — the §4.4 cascade
+        re-requests the same routes while retrying/rolling back and gets
+        the memoized plan instead of a fresh graph search.
+
         Raises:
             UnsafeConfigurationError: source or target violates invariants.
             NoSafePathError: target unreachable through safe configurations.
         """
         self._validate_endpoints(source, target)
-        path = shortest_path(self.sag.graph, source, target)
-        if path is None:
+        key = (source, target)
+        if key in self._plan_cache:
+            plan = self._plan_cache[key]
+        else:
+            path = shortest_path(self.sag.graph, source, target)
+            plan = None if path is None else self._plan_from_path(path)
+            self._plan_cache[key] = plan
+        if plan is None:
             raise NoSafePathError(
                 f"no safe adaptation path from {source.label()} to {target.label()}"
             )
-        return self._plan_from_path(path)
+        return plan
 
     def plan_k(
         self, source: Configuration, target: Configuration, k: int
@@ -159,11 +184,17 @@ class AdaptationPlanner:
         """Up to *k* minimum-cost plans in non-decreasing cost order (Yen).
 
         Plan 2 is the paper's "second minimum adaptation path" used when a
-        step fails and the manager re-routes.
+        step fails and the manager re-routes.  Cached per
+        ``(source, target, k)`` for the same reason as :meth:`plan`.
         """
         self._validate_endpoints(source, target)
-        paths = k_shortest_paths(self.sag.graph, source, target, k)
-        return [self._plan_from_path(path) for path in paths]
+        key = (source, target, k)
+        cached = self._plan_k_cache.get(key)
+        if cached is None:
+            paths = k_shortest_paths(self.sag.graph, source, target, k)
+            cached = tuple(self._plan_from_path(path) for path in paths)
+            self._plan_k_cache[key] = cached
+        return list(cached)
 
     def plan_lazy(
         self,
@@ -187,7 +218,15 @@ class AdaptationPlanner:
             raise NoSafePathError("no adaptive actions available")
         max_flip = max(len(a.touched) for a in actions)
         min_cost = min(a.cost for a in actions)
+        masked = self.actions.compiled_for(self.universe)
+        if all(m is not None for m in masked):
+            return self._plan_lazy_masked(
+                source, target, actions, masked, max_flip, min_cost, max_expansions
+            )
 
+        # Some action touches components outside the universe: such an
+        # action can route through configurations that have no bit
+        # encoding, so the search stays on the frozenset representation.
         def heuristic(config: Configuration) -> float:
             delta = len(config.symmetric_difference(target))
             if delta == 0:
@@ -207,6 +246,71 @@ class AdaptationPlanner:
                 f"no safe adaptation path from {source.label()} to {target.label()}"
             )
         return self._plan_from_path(path)
+
+    def _plan_lazy_masked(
+        self,
+        source: Configuration,
+        target: Configuration,
+        actions: Tuple[AdaptiveAction, ...],
+        masked: Sequence,
+        max_flip: int,
+        min_cost: float,
+        max_expansions: Optional[int],
+    ) -> AdaptationPlan:
+        """Lazy A* over integer masks — the bitmask fast path.
+
+        Node identity, successor order, and heap tie-breaking are
+        bijective with the frozenset search, so the returned plan is
+        identical; only the per-expansion cost drops from set algebra to
+        a few int ops against the shared safety memo.
+        """
+        universe = self.universe
+        source_mask = universe.mask_of(source)
+        target_mask = universe.mask_of(target)
+        is_safe_mask = self.space.is_safe_mask
+        pairs = tuple(zip(actions, masked))
+
+        def heuristic(mask: int) -> float:
+            delta = (mask ^ target_mask).bit_count()
+            if delta == 0:
+                return 0.0
+            return math.ceil(delta / max_flip) * min_cost
+
+        def successors(mask: int):
+            for action, m in pairs:
+                required = m.required
+                if (mask & required) == required and not (mask & m.forbidden):
+                    result = (mask & ~m.clear) | m.set_bits
+                    if is_safe_mask(result):
+                        yield action.action_id, action.cost, result
+
+        path = lazy_astar(source_mask, target_mask, successors, heuristic, max_expansions)
+        if path is None:
+            raise NoSafePathError(
+                f"no safe adaptation path from {source.label()} to {target.label()}"
+            )
+        # decode the mask path back into configurations
+        configs: List[Configuration] = [source]
+        for mask in path.nodes[1:-1]:
+            configs.append(universe.from_mask(mask))
+        if len(path.nodes) > 1:
+            configs.append(target)
+        steps = []
+        for index, edge in enumerate(path.edges):
+            steps.append(
+                PlanStep(
+                    index=index,
+                    action=self.actions.get(edge.label),
+                    source=configs[index],
+                    target=configs[index + 1],
+                )
+            )
+        return AdaptationPlan(
+            source=source,
+            target=target,
+            steps=tuple(steps),
+            total_cost=path.cost,
+        )
 
     def plan_collaborative(
         self, source: Configuration, target: Configuration

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro.core.actions import ActionLibrary, AdaptiveAction
 from repro.core.model import Configuration
 from repro.core.space import SafeConfigurationSpace
+from repro.errors import UnknownComponentError
 from repro.graphs import Digraph
 
 
@@ -44,10 +45,48 @@ class SafeAdaptationGraph:
             vertices: Tuple[Configuration, ...] = space.enumerate()
         else:
             vertices = tuple(restrict_to)
-        vertex_set = set(vertices)
         graph: Digraph = Digraph()
         for config in vertices:
             graph.add_node(config)
+        universe = space.universe
+        try:
+            vertex_masks = [universe.mask_of(config) for config in vertices]
+        except UnknownComponentError:
+            # Vertices outside the universe (caller-supplied restrict_to)
+            # have no bit encoding; keep the set-based build for them.
+            cls._build_arcs_setwise(graph, vertices, actions)
+            return cls(graph, actions)
+        # Bitmask fast path: the O(|V|·|A|) loop runs on precompiled
+        # integer masks — applicability, application, and the target
+        # lookup are each a couple of int ops.  Actions touching
+        # components outside the universe can never connect two vertices
+        # (their result always leaves the universe), so they are skipped,
+        # exactly as the set-based build would skip them.
+        config_by_mask = dict(zip(vertex_masks, vertices))
+        masked_actions = [
+            (masked, action)
+            for masked, action in zip(actions.compiled_for(universe), actions)
+            if masked is not None
+        ]
+        add_edge = graph.add_edge
+        get_target = config_by_mask.get
+        for config, mask in zip(vertices, vertex_masks):
+            for masked, action in masked_actions:
+                required = masked.required
+                if (mask & required) == required and not (mask & masked.forbidden):
+                    target = get_target((mask & ~masked.clear) | masked.set_bits)
+                    if target is not None:
+                        add_edge(config, target, action.action_id, action.cost)
+        return cls(graph, actions)
+
+    @staticmethod
+    def _build_arcs_setwise(
+        graph: Digraph,
+        vertices: Tuple[Configuration, ...],
+        actions: ActionLibrary,
+    ) -> None:
+        """Reference arc construction over frozensets (fallback path)."""
+        vertex_set = set(vertices)
         for config in vertices:
             for action in actions:
                 if not action.is_applicable(config):
@@ -55,7 +94,6 @@ class SafeAdaptationGraph:
                 result = action.apply(config)
                 if result in vertex_set:
                     graph.add_edge(config, result, action.action_id, action.cost)
-        return cls(graph, actions)
 
     # -- structure -------------------------------------------------------------
     @property

@@ -9,15 +9,24 @@ A configuration is safe iff it satisfies every invariant.  Enumeration over
 components no adaptive action can touch at their current values and only
 vary the rest.  The restriction is exact (it enumerates precisely the safe
 configurations reachable by the given actions from the given base).
+
+Performance: safety testing runs on the bitmask fast path.  The invariant
+conjunction is compiled once (:mod:`repro.expr.compile`) to a closure over
+an integer presence mask, and verdicts are memoized per mask in a table
+shared by every consumer — :meth:`SafeConfigurationSpace.is_safe`, the
+backtracking enumerators, :meth:`SafeAdaptationGraph.build
+<repro.core.sag.SafeAdaptationGraph.build>`, and the planner's lazy A*.
+The frozenset/AST evaluation path remains the semantic source of truth and
+still serves configurations containing components outside the universe.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.invariants import InvariantSet
 from repro.core.model import ComponentUniverse, Configuration
-from repro.errors import UnsafeConfigurationError
+from repro.errors import UnknownComponentError, UnsafeConfigurationError
 
 
 class SafeConfigurationSpace:
@@ -27,11 +36,66 @@ class SafeConfigurationSpace:
         self.universe = universe
         self.invariants = invariants
         self._cache: Optional[Tuple[Configuration, ...]] = None
+        self._safe_memo: Dict[int, bool] = {}
+        self._compiled: Optional[Callable[[int], bool]] = None
+        self._compiled_partial: Optional[Tuple[Callable, ...]] = None
+
+    # -- compiled fast path ------------------------------------------------------
+    @property
+    def safe_memo(self) -> Dict[int, bool]:
+        """The shared mask -> verdict memo table (exposed for reuse)."""
+        return self._safe_memo
+
+    def _compiled_mask_fn(self) -> Callable[[int], bool]:
+        if self._compiled is None:
+            self._compiled = self.invariants.compile_mask(self.universe.atom_bits)
+        return self._compiled
+
+    def _compiled_partial_fns(self) -> Tuple[Callable, ...]:
+        if self._compiled_partial is None:
+            self._compiled_partial = self.invariants.compile_mask_partial(
+                self.universe.atom_bits
+            )
+        return self._compiled_partial
+
+    def _check_schedule(self, names: Tuple[str, ...]) -> Tuple[Tuple[Callable, ...], ...]:
+        """Per-position invariant checks for a backtracking order.
+
+        ``schedule[i]`` holds the compiled three-valued closures of the
+        invariants that mention ``names[i]`` — the only invariants whose
+        verdict can change when that component is decided.  Checking just
+        those at each depth is exact (the parent node already vetted the
+        rest) and drops the per-node work from |I| closures to the
+        invariant's fan-in.
+        """
+        fns = self._compiled_partial_fns()
+        buckets: List[List[Callable]] = [[] for _ in names]
+        position = {name: i for i, name in enumerate(names)}
+        for inv, fn in zip(self.invariants, fns):
+            for atom in inv.atoms():
+                index = position.get(atom)
+                if index is not None:
+                    buckets[index].append(fn)
+        return tuple(tuple(bucket) for bucket in buckets)
+
+    def is_safe_mask(self, mask: int) -> bool:
+        """Memoized safety verdict for an integer presence mask."""
+        verdict = self._safe_memo.get(mask)
+        if verdict is None:
+            verdict = self._compiled_mask_fn()(mask)
+            self._safe_memo[mask] = verdict
+        return verdict
 
     # -- membership ------------------------------------------------------------
     def is_safe(self, config: Configuration) -> bool:
         """True iff *config* is a safe configuration (paper §3.1)."""
-        return self.invariants.all_hold(config)
+        try:
+            mask = self.universe.mask_of(config)
+        except UnknownComponentError:
+            # Configurations reaching outside the universe keep the
+            # set-based evaluation (they have no mask encoding).
+            return self.invariants.all_hold(config)
+        return self.is_safe_mask(mask)
 
     def require_safe(self, config: Configuration, role: str = "configuration") -> None:
         """Raise :class:`UnsafeConfigurationError` with an explanation if unsafe."""
@@ -54,6 +118,11 @@ class SafeConfigurationSpace:
             self._cache = self.enumerate_backtracking()
         return self._cache
 
+    def enumerate_masks(self) -> Tuple[int, ...]:
+        """Masks of :meth:`enumerate`'s result, in the same order."""
+        mask_of = self.universe.mask_of
+        return tuple(mask_of(config) for config in self.enumerate())
+
     def enumerate_restricted(
         self,
         base: Configuration,
@@ -63,11 +132,57 @@ class SafeConfigurationSpace:
 
         Components outside *free_components* keep their membership from
         *base*.  This is how a planner scopes the search to the components
-        an adaptation can actually touch, avoiding the full 2^n sweep.
+        an adaptation can actually touch, avoiding the full 2^n sweep: the
+        three-valued backtracking pruner runs over just the free
+        components, with everything else pre-decided, and leaf verdicts go
+        through the shared safety memo table.
         """
         free: Tuple[str, ...] = tuple(dict.fromkeys(free_components))
         self.universe.validate_members(free)
         frozen = base.members - frozenset(free)
+        if not frozen <= self.universe.names:
+            # Frozen members outside the universe have no bit encoding;
+            # keep the exhaustive set-based sweep for that corner.
+            return self._enumerate_restricted_setwise(frozen, free)
+        universe = self.universe
+        bit_of = universe.bit_of
+        present0 = universe.mask_of_names(frozen)
+        free_bits = tuple(bit_of(name) for name in free)
+        # everything outside the free components is decided up front
+        decided0 = universe.full_mask ^ universe.mask_of_names(free)
+        # invariants not touching a free component are fully decided at
+        # the root; reject the whole restriction in one pass if any fails
+        for expr in self._compiled_partial_fns():
+            if expr(present0, decided0) is False:
+                return ()
+        schedule = self._check_schedule(free)
+        out: List[Configuration] = []
+        from_mask = universe.from_mask
+
+        def recurse(index: int, present: int, decided: int) -> None:
+            if index == len(free_bits):
+                if self.is_safe_mask(present):
+                    out.append(from_mask(present))
+                return
+            bit = free_bits[index]
+            decided |= bit
+            checks = schedule[index]
+            # '0' branch first, then '1' (final order is re-sorted below)
+            for candidate in (present, present | bit):
+                for expr in checks:
+                    if expr(candidate, decided) is False:
+                        break
+                else:
+                    recurse(index + 1, candidate, decided)
+
+        recurse(0, present0, decided0)
+        out.sort(key=self.universe.to_bits)
+        return tuple(out)
+
+    def _enumerate_restricted_setwise(
+        self, frozen: FrozenSet[str], free: Tuple[str, ...]
+    ) -> Tuple[Configuration, ...]:
+        """Exhaustive fallback for bases reaching outside the universe."""
         out: List[Configuration] = []
         n = len(free)
         for mask in range(1 << n):
@@ -78,7 +193,9 @@ class SafeConfigurationSpace:
             config = Configuration(members)
             if self.is_safe(config):
                 out.append(config)
-        out.sort(key=self.universe.to_bits)
+        out.sort(key=lambda c: "".join(
+            "1" if name in c else "0" for name in self.universe.order
+        ))
         return tuple(out)
 
     def enumerate_backtracking(self) -> Tuple[Configuration, ...]:
@@ -90,38 +207,42 @@ class SafeConfigurationSpace:
         one-of/dependency constraint are abandoned without expanding the
         remaining 2^k subtree.  Produces exactly :meth:`enumerate`'s
         result (same order) but scales far better on constrained spaces.
+
+        Runs entirely on compiled bitmask closures; every leaf verdict is
+        recorded in the shared safety memo so later SAG construction and
+        lazy planning reuse it for free.
         """
-        from repro.expr.partial import evaluate_partial
-
-        order = self.universe.order
-        exprs = [inv.expr for inv in self.invariants]
+        universe = self.universe
+        order = universe.order
+        order_bits = tuple(universe.bit_of(name) for name in order)
+        # invariants with no universe atom are constant under the mask
+        # encoding — decide them once up front instead of per node
+        for expr in self._compiled_partial_fns():
+            if expr(0, 0) is False:
+                return ()
+        schedule = self._check_schedule(order)
+        memo = self._safe_memo
         out: List[Configuration] = []
-        present: set = set()
-        absent: set = set()
+        from_mask = universe.from_mask
+        n = len(order_bits)
 
-        def undecided_ok() -> bool:
-            for expr in exprs:
-                if evaluate_partial(expr, present, absent) is False:
-                    return False
-            return True
-
-        def recurse(index: int) -> None:
-            if index == len(order):
-                # all decided: any remaining None is impossible here
-                out.append(Configuration(present))
+        def recurse(index: int, present: int, decided: int) -> None:
+            if index == n:
+                memo[present] = True
+                out.append(from_mask(present))
                 return
-            name = order[index]
+            bit = order_bits[index]
+            decided |= bit
+            checks = schedule[index]
             # '0' branch first so results come out in ascending bit order
-            absent.add(name)
-            if undecided_ok():
-                recurse(index + 1)
-            absent.discard(name)
-            present.add(name)
-            if undecided_ok():
-                recurse(index + 1)
-            present.discard(name)
+            for candidate in (present, present | bit):
+                for expr in checks:
+                    if expr(candidate, decided) is False:
+                        break
+                else:
+                    recurse(index + 1, candidate, decided)
 
-        recurse(0)
+        recurse(0, 0, 0)
         return tuple(out)
 
     def count(self) -> int:

@@ -34,8 +34,20 @@ from repro.expr.ast import (
     to_text,
 )
 from repro.expr.parser import parse
+from repro.expr.compile import (
+    compile_all,
+    compile_all_partial,
+    compile_conjunction,
+    compile_expr,
+    compile_partial,
+)
 
 __all__ = [
+    "compile_expr",
+    "compile_all",
+    "compile_all_partial",
+    "compile_conjunction",
+    "compile_partial",
     "Expr",
     "Atom",
     "Not",

@@ -1,0 +1,419 @@
+"""Bitmask compilation of dependency expressions (performance layer).
+
+The detection & setup phase evaluates the same invariant expressions over
+thousands of configurations: once per candidate during safe-space
+enumeration, once per ``(vertex, action)`` pair during SAG construction,
+and once per expansion during lazy A*.  Walking the
+:mod:`repro.expr.ast` tree each time dominates the phase's cost.
+
+This module compiles an :class:`~repro.expr.ast.Expr` once, against a
+``name -> bit value`` mapping (see
+:attr:`repro.core.model.ComponentUniverse.atom_bits`), into a closure over
+an integer *presence mask*.  Every connective reduces to integer tests:
+
+* ``Atom(name)``            → ``mask & bit``
+* ``And`` of atoms          → ``(mask & required) == required``
+* ``Or`` of atoms           → ``mask & any_bits``
+* ``Xor`` of distinct atoms → ``(mask & bits).bit_count() & 1``
+* ``OneOf`` of atoms        → ``x = mask & bits; x and not (x & (x - 1))``
+* ``Implies(a, b)``         → ``not a(mask) or b(mask)``
+
+Atoms naming components *outside* the mapping compile to constant False —
+identical to set evaluation, where a component that can never be a member
+never satisfies an atom.
+
+:func:`compile_partial` is the three-valued (Kleene) counterpart used by
+the backtracking enumerator: closures over ``(present, decided)`` masks
+returning ``True``/``False``/``None`` with the exact semantics of
+:func:`repro.expr.partial.evaluate_partial`.
+
+The AST ``evaluate`` remains the semantic source of truth; the property
+tests in ``tests/expr/test_compile_properties.py`` pin the two evaluators
+together on randomized expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.expr.ast import (
+    And,
+    Atom,
+    Expr,
+    Implies,
+    Not,
+    OneOf,
+    Or,
+    Xor,
+    _Const,
+)
+
+MaskFn = Callable[[int], bool]
+PartialMaskFn = Callable[[int, int], Optional[bool]]
+
+_ALWAYS_TRUE: MaskFn = lambda mask: True
+_ALWAYS_FALSE: MaskFn = lambda mask: False
+
+
+def compile_expr(expr: Expr, bits: Mapping[str, int]) -> MaskFn:
+    """Compile *expr* to a ``mask -> bool`` closure of pure integer ops.
+
+    Args:
+        bits: bit value (power of two) per component name; names missing
+            from the mapping are treated as never-present.
+    """
+    if isinstance(expr, _Const):
+        return _ALWAYS_TRUE if expr.value else _ALWAYS_FALSE
+    if isinstance(expr, Atom):
+        bit = bits.get(expr.name, 0)
+        if not bit:
+            return _ALWAYS_FALSE
+        return lambda mask, _b=bit: (mask & _b) != 0
+    if isinstance(expr, Not):
+        inner = compile_expr(expr.operand, bits)
+        if inner is _ALWAYS_TRUE:
+            return _ALWAYS_FALSE
+        if inner is _ALWAYS_FALSE:
+            return _ALWAYS_TRUE
+        return lambda mask, _f=inner: not _f(mask)
+    if isinstance(expr, And):
+        required, forbidden, rest = _partition(expr.operands, bits)
+        if any(f is _ALWAYS_FALSE for f in rest) or (required & forbidden):
+            return _ALWAYS_FALSE
+        rest = tuple(f for f in rest if f is not _ALWAYS_TRUE)
+        if not rest:
+            return lambda mask, _r=required, _f=forbidden: (
+                (mask & _r) == _r and not (mask & _f)
+            )
+        return lambda mask, _r=required, _f=forbidden, _fs=rest: (
+            (mask & _r) == _r
+            and not (mask & _f)
+            and all(f(mask) for f in _fs)
+        )
+    if isinstance(expr, Or):
+        # De Morgan dual of the And partition: positive atoms collapse to
+        # one any-bit test, negated atoms to one not-all-present test.
+        present_any, absent_any, rest = _partition(expr.operands, bits)
+        if any(f is _ALWAYS_TRUE for f in rest):
+            return _ALWAYS_TRUE
+        rest = tuple(f for f in rest if f is not _ALWAYS_FALSE)
+        if not rest:
+            return lambda mask, _p=present_any, _a=absent_any: (
+                (mask & _p) != 0 or (mask & _a) != _a
+            )
+        return lambda mask, _p=present_any, _a=absent_any, _fs=rest: (
+            (mask & _p) != 0
+            or (mask & _a) != _a
+            or any(f(mask) for f in _fs)
+        )
+    if isinstance(expr, Xor):
+        atom_bits, rest = _atom_split(expr.operands, bits)
+        if not rest and _distinct(atom_bits):
+            combined = 0
+            for bit in atom_bits:
+                combined |= bit
+            return lambda mask, _c=combined: ((mask & _c).bit_count() & 1) == 1
+        fns = tuple(compile_expr(op, bits) for op in expr.operands)
+
+        def xor_fn(mask: int, _fs: Tuple[MaskFn, ...] = fns) -> bool:
+            value = False
+            for f in _fs:
+                value ^= f(mask)
+            return value
+
+        return xor_fn
+    if isinstance(expr, OneOf):
+        atom_bits, rest = _atom_split(expr.operands, bits)
+        if not rest and _distinct(atom_bits):
+            combined = 0
+            for bit in atom_bits:
+                combined |= bit
+
+            def one_of_bits(mask: int, _c: int = combined) -> bool:
+                x = mask & _c
+                return x != 0 and (x & (x - 1)) == 0
+
+            return one_of_bits
+        fns = tuple(compile_expr(op, bits) for op in expr.operands)
+
+        def one_of_fn(mask: int, _fs: Tuple[MaskFn, ...] = fns) -> bool:
+            count = 0
+            for f in _fs:
+                if f(mask):
+                    count += 1
+                    if count > 1:
+                        return False
+            return count == 1
+
+        return one_of_fn
+    if isinstance(expr, Implies):
+        antecedent = compile_expr(expr.antecedent, bits)
+        consequent = compile_expr(expr.consequent, bits)
+        if antecedent is _ALWAYS_FALSE or consequent is _ALWAYS_TRUE:
+            return _ALWAYS_TRUE
+        if antecedent is _ALWAYS_TRUE:
+            return consequent
+        if isinstance(expr.antecedent, Atom):
+            bit = bits.get(expr.antecedent.name, 0)
+            return lambda mask, _b=bit, _c=consequent: (
+                not (mask & _b) or _c(mask)
+            )
+        return lambda mask, _a=antecedent, _c=consequent: (
+            not _a(mask) or _c(mask)
+        )
+    raise TypeError(f"unknown Expr node {type(expr).__name__}")  # pragma: no cover
+
+
+def compile_all(exprs: Iterable[Expr], bits: Mapping[str, int]) -> Tuple[MaskFn, ...]:
+    """Compile several expressions against one bit mapping."""
+    return tuple(compile_expr(expr, bits) for expr in exprs)
+
+
+def compile_conjunction(exprs: Iterable[Expr], bits: Mapping[str, int]) -> MaskFn:
+    """One closure deciding whether *all* expressions hold under a mask.
+
+    This is the compiled form of :meth:`InvariantSet.all_hold`: a safe
+    configuration is one whose mask satisfies the conjunction.
+    """
+    fns = tuple(f for f in compile_all(exprs, bits) if f is not _ALWAYS_TRUE)
+    if not fns:
+        return _ALWAYS_TRUE
+    if any(f is _ALWAYS_FALSE for f in fns):
+        return _ALWAYS_FALSE
+    if len(fns) == 1:
+        return fns[0]
+    return lambda mask, _fs=fns: all(f(mask) for f in _fs)
+
+
+# -- three-valued compilation ---------------------------------------------------
+
+
+def compile_partial(expr: Expr, bits: Mapping[str, int]) -> PartialMaskFn:
+    """Compile *expr* to a Kleene closure over ``(present, decided)`` masks.
+
+    ``present`` holds the bits decided *in*, ``decided`` all decided bits
+    (so ``decided & ~present`` are the bits decided *out*).  The closure
+    returns ``True``/``False`` once the decided bits determine the value,
+    else ``None`` — the pruning test of the backtracking enumerator.
+    """
+    if isinstance(expr, _Const):
+        value = expr.value
+        return lambda present, decided, _v=value: _v
+    if isinstance(expr, Atom):
+        bit = bits.get(expr.name, 0)
+        if not bit:
+            # A component outside the universe can never become present.
+            return lambda present, decided: False
+
+        def atom_fn(present: int, decided: int, _b: int = bit) -> Optional[bool]:
+            if decided & _b:
+                return (present & _b) != 0
+            return None
+
+        return atom_fn
+    if isinstance(expr, Not):
+        inner = compile_partial(expr.operand, bits)
+
+        def not_fn(present: int, decided: int, _f: PartialMaskFn = inner) -> Optional[bool]:
+            value = _f(present, decided)
+            return None if value is None else (not value)
+
+        return not_fn
+    if isinstance(expr, And):
+        required, forbidden, rest = _partition_partial(expr.operands, bits)
+
+        def and_fn(
+            present: int,
+            decided: int,
+            _r: int = required,
+            _f: int = forbidden,
+            _fs: Tuple[PartialMaskFn, ...] = rest,
+        ) -> Optional[bool]:
+            # any required bit decided-out, or forbidden bit decided-in?
+            if _r & decided & ~present or _f & present:
+                return False
+            unknown = (_r | _f) & ~decided
+            for fn in _fs:
+                value = fn(present, decided)
+                if value is False:
+                    return False
+                if value is None:
+                    unknown = 1
+            return None if unknown else True
+
+        return and_fn
+    if isinstance(expr, Or):
+        present_any, absent_any, rest = _partition_partial(expr.operands, bits)
+
+        def or_fn(
+            present: int,
+            decided: int,
+            _p: int = present_any,
+            _a: int = absent_any,
+            _fs: Tuple[PartialMaskFn, ...] = rest,
+        ) -> Optional[bool]:
+            if _p & present or _a & decided & ~present:
+                return True
+            unknown = (_p | _a) & ~decided
+            for fn in _fs:
+                value = fn(present, decided)
+                if value is True:
+                    return True
+                if value is None:
+                    unknown = 1
+            return None if unknown else False
+
+        return or_fn
+    if isinstance(expr, Xor):
+        fns = tuple(compile_partial(op, bits) for op in expr.operands)
+
+        def xor_fn(
+            present: int, decided: int, _fs: Tuple[PartialMaskFn, ...] = fns
+        ) -> Optional[bool]:
+            parity = False
+            for fn in _fs:
+                value = fn(present, decided)
+                if value is None:
+                    return None
+                parity ^= value
+            return parity
+
+        return xor_fn
+    if isinstance(expr, OneOf):
+        atom_bits, rest = _atom_split(expr.operands, bits)
+        if not rest and _distinct(atom_bits):
+            combined = 0
+            for bit in atom_bits:
+                combined |= bit
+
+            def one_of_bits(
+                present: int, decided: int, _c: int = combined
+            ) -> Optional[bool]:
+                trues = (present & _c).bit_count()
+                if trues > 1:
+                    return False
+                if _c & ~decided:
+                    return None  # an undecided operand could flip the count
+                return trues == 1
+
+            return one_of_bits
+        fns = tuple(compile_partial(op, bits) for op in expr.operands)
+
+        def one_of_fn(
+            present: int, decided: int, _fs: Tuple[PartialMaskFn, ...] = fns
+        ) -> Optional[bool]:
+            trues = 0
+            unknowns = 0
+            for fn in _fs:
+                value = fn(present, decided)
+                if value is True:
+                    trues += 1
+                    if trues > 1:
+                        return False
+                elif value is None:
+                    unknowns += 1
+            if unknowns == 0:
+                return trues == 1
+            return None
+
+        return one_of_fn
+    if isinstance(expr, Implies):
+        antecedent = compile_partial(expr.antecedent, bits)
+        consequent = compile_partial(expr.consequent, bits)
+
+        def implies_fn(
+            present: int,
+            decided: int,
+            _a: PartialMaskFn = antecedent,
+            _c: PartialMaskFn = consequent,
+        ) -> Optional[bool]:
+            left = _a(present, decided)
+            if left is False:
+                return True
+            right = _c(present, decided)
+            if right is True:
+                return True
+            if left is True and right is False:
+                return False
+            return None
+
+        return implies_fn
+    raise TypeError(f"unknown Expr node {type(expr).__name__}")  # pragma: no cover
+
+
+def compile_all_partial(
+    exprs: Iterable[Expr], bits: Mapping[str, int]
+) -> Tuple[PartialMaskFn, ...]:
+    """Compile several expressions to Kleene closures at once."""
+    return tuple(compile_partial(expr, bits) for expr in exprs)
+
+
+# -- helpers --------------------------------------------------------------------
+
+
+def _partition(
+    operands: Iterable[Expr], bits: Mapping[str, int]
+) -> Tuple[int, int, List[MaskFn]]:
+    """Split operands into (positive-atom bits, negated-atom bits, rest)."""
+    positive = 0
+    negated = 0
+    rest: List[MaskFn] = []
+    for op in operands:
+        if isinstance(op, Atom):
+            bit = bits.get(op.name, 0)
+            if bit:
+                positive |= bit
+            else:
+                rest.append(_ALWAYS_FALSE)
+        elif isinstance(op, Not) and isinstance(op.operand, Atom):
+            bit = bits.get(op.operand.name, 0)
+            if bit:
+                negated |= bit
+            else:
+                rest.append(_ALWAYS_TRUE)
+        else:
+            rest.append(compile_expr(op, bits))
+    return positive, negated, rest
+
+
+def _partition_partial(
+    operands: Iterable[Expr], bits: Mapping[str, int]
+) -> Tuple[int, int, Tuple[PartialMaskFn, ...]]:
+    """Three-valued analogue of :func:`_partition`.
+
+    Foreign atoms (no bit) are constant False and cannot use the mask fast
+    path, so they fall into the closure list.
+    """
+    positive = 0
+    negated = 0
+    rest: List[PartialMaskFn] = []
+    for op in operands:
+        if isinstance(op, Atom) and bits.get(op.name, 0):
+            positive |= bits[op.name]
+        elif (
+            isinstance(op, Not)
+            and isinstance(op.operand, Atom)
+            and bits.get(op.operand.name, 0)
+        ):
+            negated |= bits[op.operand.name]
+        else:
+            rest.append(compile_partial(op, bits))
+    return positive, negated, tuple(rest)
+
+
+def _atom_split(
+    operands: Iterable[Expr], bits: Mapping[str, int]
+) -> Tuple[List[int], List[Expr]]:
+    """Separate plain-atom operands (as bit values) from compound ones."""
+    atom_bits: List[int] = []
+    rest: List[Expr] = []
+    for op in operands:
+        if isinstance(op, Atom) and bits.get(op.name, 0):
+            atom_bits.append(bits[op.name])
+        else:
+            rest.append(op)
+    return atom_bits, rest
+
+
+def _distinct(values: List[int]) -> bool:
+    return len(set(values)) == len(values)

@@ -38,7 +38,7 @@ def astar_path(
     """
 
     def successors(node: N) -> Iterable[Tuple[L, float, N]]:
-        for edge in graph.out_edges(node):
+        for edge in graph.adjacency(node):
             yield edge.label, edge.weight, edge.target
 
     return lazy_astar(source, target, successors, heuristic)

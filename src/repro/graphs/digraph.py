@@ -10,10 +10,12 @@ this is a multigraph keyed by labels rather than an adjacency matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Set, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple, TypeVar
 
 N = TypeVar("N", bound=Hashable)
 L = TypeVar("L", bound=Hashable)
+
+_NO_EDGES: Tuple = ()
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,15 @@ class Digraph(Generic[N, L]):
     def out_edges(self, node: N) -> Tuple[Edge[N, L], ...]:
         """Outgoing edges of *node* (empty tuple if the node is unknown)."""
         return tuple(self._adjacency.get(node, ()))
+
+    def adjacency(self, node: N) -> Sequence[Edge[N, L]]:
+        """Outgoing edges of *node* without a defensive copy.
+
+        Hot-path accessor for the search algorithms: returns the internal
+        edge list (do not mutate).  :meth:`out_edges` stays the safe,
+        copying API for everyone else.
+        """
+        return self._adjacency.get(node, _NO_EDGES)
 
     def successors(self, node: N) -> Iterator[N]:
         seen: Set[N] = set()

@@ -5,13 +5,17 @@ SAG to find a feasible solution with minimum weight".  Ties between
 equal-cost paths are broken deterministically by (cost, hop count,
 insertion order), so a given SAG always yields the same Minimum Adaptation
 Path run-to-run — important for reproducible planning.
+
+Implementation note: nodes (for the planner: configurations) are interned
+to dense integer indices, so every heap entry is a tuple of plain scalars
+and the priority queue never falls back to comparing node objects.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, Hashable, Iterable, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
 
 from repro.graphs.digraph import Digraph, Edge
 
@@ -61,37 +65,60 @@ def dijkstra(
     """
     if source not in graph:
         raise KeyError(f"source node not in graph: {source!r}")
-    dist: Dict[N, float] = {source: 0.0}
-    hops: Dict[N, int] = {source: 0}
-    pred: Dict[N, Edge[N, L]] = {}
-    settled: set = set()
+    # Nodes are interned to dense integer indices on first discovery, so
+    # heap entries are pure scalar tuples — (cost, hops, tie, index) —
+    # and the inner loop never hashes or compares node objects beyond one
+    # dict lookup per discovered neighbour.
+    index_of: Dict[N, int] = {source: 0}
+    nodes: List[N] = [source]
+    dist: List[float] = [0.0]
+    hops: List[int] = [0]
+    pred: List[Optional[Edge[N, L]]] = [None]
+    settled: List[bool] = [False]
+    adjacency = graph.adjacency
     counter = 0
-    # heap entries: (cost, hop_count, tie, node)
-    heap: list = [(0.0, 0, counter, source)]
+    # heap entries: (cost, hop_count, tie, node index)
+    heap: list = [(0.0, 0, counter, 0)]
     while heap:
-        cost, nhops, _, node = heapq.heappop(heap)
-        if node in settled:
+        cost, nhops, _, idx = heapq.heappop(heap)
+        if settled[idx]:
             continue
-        settled.add(node)
+        settled[idx] = True
+        node = nodes[idx]
         if target is not None and node == target:
             break
-        for edge in graph.out_edges(node):
-            if edge.target in settled:
+        for edge in adjacency(node):
+            neighbour = edge.target
+            nidx = index_of.get(neighbour)
+            if nidx is None:
+                nidx = len(nodes)
+                index_of[neighbour] = nidx
+                nodes.append(neighbour)
+                dist.append(cost + edge.weight)
+                hops.append(nhops + 1)
+                pred.append(edge)
+                settled.append(False)
+                counter += 1
+                heapq.heappush(heap, (dist[nidx], nhops + 1, counter, nidx))
+                continue
+            if settled[nidx]:
                 continue
             candidate = cost + edge.weight
             candidate_hops = nhops + 1
-            best = dist.get(edge.target)
-            if (
-                best is None
-                or candidate < best
-                or (candidate == best and candidate_hops < hops[edge.target])
+            best = dist[nidx]
+            if candidate < best or (
+                candidate == best and candidate_hops < hops[nidx]
             ):
-                dist[edge.target] = candidate
-                hops[edge.target] = candidate_hops
-                pred[edge.target] = edge
+                dist[nidx] = candidate
+                hops[nidx] = candidate_hops
+                pred[nidx] = edge
                 counter += 1
-                heapq.heappush(heap, (candidate, candidate_hops, counter, edge.target))
-    return dist, pred
+                heapq.heappush(heap, (candidate, candidate_hops, counter, nidx))
+    dist_map: Dict[N, float] = {n: dist[i] for i, n in enumerate(nodes)}
+    pred_map: Dict[N, Edge[N, L]] = {
+        n: pred[i] for i, n in enumerate(nodes) if pred[i] is not None
+    }
+    return dist_map, pred_map
 
 
 def _reconstruct(source: N, target: N, pred: Dict[N, Edge[N, L]], cost: float) -> Path[N, L]:

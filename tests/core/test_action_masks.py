@@ -1,0 +1,96 @@
+"""Mask-based action semantics ≡ set-based semantics.
+
+``MaskedAction`` precompiles each adaptive action's delta against a
+universe's bit encoding so the SAG build and A* expansion run on integer
+ops.  These tests pin the mask path to the frozenset path across the
+whole Table 2 action library (every configuration of the video universe)
+and on randomized deltas.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.video.system import video_actions, video_universe
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.model import ComponentUniverse
+
+NAMES = ("A", "B", "C", "D", "E", "F")
+
+
+class TestTable2Agreement:
+    def test_masks_agree_on_every_configuration(self):
+        universe = video_universe()
+        actions = video_actions()
+        masked = actions.compiled_for(universe)
+        assert len(masked) == len(actions)
+        for config in universe.all_configurations():
+            mask = universe.mask_of(config)
+            for action, m in zip(actions, masked):
+                assert m.is_applicable_mask(mask) == action.is_applicable(config), (
+                    action.action_id,
+                    config.label(),
+                )
+                if action.is_applicable(config):
+                    assert universe.from_mask(m.apply_mask(mask)) == action.apply(
+                        config
+                    )
+
+    def test_mask_fields_reflect_delta(self):
+        universe = video_universe()
+        actions = video_actions()
+        a1 = actions.get("A1")  # E1 -> E2
+        (masked,) = [
+            m for m, a in zip(actions.compiled_for(universe), actions) if a is a1
+        ]
+        assert masked.required == universe.bit_of("E1")
+        assert masked.forbidden == universe.bit_of("E2")
+        assert masked.clear == masked.required
+        assert masked.set_bits == masked.forbidden
+
+    def test_compiled_for_is_cached_and_invalidated(self):
+        universe = video_universe()
+        actions = video_actions()
+        first = actions.compiled_for(universe)
+        assert actions.compiled_for(universe) is first
+        actions.add(AdaptiveAction.insert("AX", "D1", 5.0))
+        second = actions.compiled_for(universe)
+        assert second is not first
+        assert len(second) == len(first) + 1
+
+    def test_foreign_actions_compile_to_none(self):
+        universe = video_universe()
+        library = ActionLibrary(
+            [
+                AdaptiveAction.insert("IN", "D5", 1.0),
+                AdaptiveAction.insert("OUT", "Z9", 1.0),
+            ]
+        )
+        masked = library.compiled_for(universe)
+        assert masked[0] is not None
+        assert masked[1] is None
+
+
+@st.composite
+def _actions(draw):
+    removes = draw(st.frozensets(st.sampled_from(NAMES), max_size=3))
+    adds = draw(
+        st.frozensets(
+            st.sampled_from(sorted(set(NAMES) - removes)), max_size=3
+        )
+    )
+    if not removes and not adds:
+        adds = frozenset(("A",))
+        removes = frozenset(("B",))
+    return AdaptiveAction("R0", removes, adds, cost=1.0)
+
+
+class TestRandomizedAgreement:
+    @given(action=_actions(), members=st.frozensets(st.sampled_from(NAMES)))
+    @settings(max_examples=300)
+    def test_applicability_and_apply_agree(self, action, members):
+        universe = ComponentUniverse.from_names(NAMES)
+        config = universe.configuration(*members)
+        mask = universe.mask_of(config)
+        (masked,) = ActionLibrary([action]).compiled_for(universe)
+        assert masked.is_applicable_mask(mask) == action.is_applicable(config)
+        if action.is_applicable(config):
+            assert universe.from_mask(masked.apply_mask(mask)) == action.apply(config)

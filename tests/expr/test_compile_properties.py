@@ -1,0 +1,115 @@
+"""Property tests: compiled-mask evaluation ≡ AST evaluation.
+
+The bitmask engine (``repro.expr.compile``) is a pure performance layer;
+these tests pin it to the semantic source of truth on randomized
+expressions and configurations:
+
+* ``compile_expr`` agrees with ``Expr.evaluate`` on every configuration;
+* ``compile_partial`` agrees with ``repro.expr.partial.evaluate_partial``
+  on every partial decision, and collapses to ``evaluate`` once all atoms
+  are decided;
+* ``compile_conjunction`` agrees with ``InvariantSet.all_hold``.
+
+Atoms are drawn from the universe under test: components outside the
+universe are the one documented divergence (the compiler folds them to
+constant False — the value they take in any universe configuration —
+while three-valued set evaluation keeps them forever-unknown).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.invariants import Invariant, InvariantSet
+from repro.core.model import ComponentUniverse
+from repro.expr.ast import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Implies,
+    Not,
+    OneOf,
+    Or,
+    Xor,
+)
+from repro.expr.compile import (
+    compile_conjunction,
+    compile_expr,
+    compile_partial,
+)
+from repro.expr.partial import evaluate_partial
+
+NAMES = ("A", "B", "C", "D", "E", "F")
+UNIVERSE = ComponentUniverse.from_names(NAMES)
+BITS = UNIVERSE.atom_bits
+
+
+def _nary(node):
+    return st.lists(EXPRESSIONS, min_size=2, max_size=4).map(
+        lambda ops: node(tuple(ops))
+    )
+
+
+ATOMS = st.sampled_from(NAMES).map(Atom)
+EXPRESSIONS = st.recursive(
+    st.one_of(ATOMS, st.sampled_from((TRUE, FALSE))),
+    lambda children: st.one_of(
+        children.map(Not),
+        st.lists(children, min_size=2, max_size=4).map(lambda ops: And(tuple(ops))),
+        st.lists(children, min_size=2, max_size=4).map(lambda ops: Or(tuple(ops))),
+        st.lists(children, min_size=2, max_size=4).map(lambda ops: Xor(tuple(ops))),
+        st.lists(children, min_size=2, max_size=4).map(lambda ops: OneOf(tuple(ops))),
+        st.tuples(children, children).map(lambda ab: Implies(ab[0], ab[1])),
+    ),
+    max_leaves=16,
+)
+CONFIGS = st.frozensets(st.sampled_from(NAMES))
+
+
+@given(expr=EXPRESSIONS, config=CONFIGS)
+@settings(max_examples=300)
+def test_compiled_agrees_with_evaluate(expr, config):
+    mask = UNIVERSE.mask_of_names(config)
+    assert compile_expr(expr, BITS)(mask) == expr.evaluate(config)
+
+
+@given(expr=EXPRESSIONS, decided_in=CONFIGS, decided_out=CONFIGS)
+@settings(max_examples=300)
+def test_compiled_partial_agrees_with_evaluate_partial(
+    expr, decided_in, decided_out
+):
+    present = decided_in
+    absent = decided_out - decided_in
+    present_mask = UNIVERSE.mask_of_names(present)
+    decided_mask = present_mask | UNIVERSE.mask_of_names(absent)
+    assert compile_partial(expr, BITS)(present_mask, decided_mask) == (
+        evaluate_partial(expr, present, absent)
+    )
+
+
+@given(expr=EXPRESSIONS, config=CONFIGS)
+@settings(max_examples=200)
+def test_fully_decided_partial_collapses_to_evaluate(expr, config):
+    present_mask = UNIVERSE.mask_of_names(config)
+    value = compile_partial(expr, BITS)(present_mask, UNIVERSE.full_mask)
+    assert value is not None
+    assert value == expr.evaluate(config)
+
+
+@given(exprs=st.lists(EXPRESSIONS, min_size=0, max_size=5), config=CONFIGS)
+@settings(max_examples=200)
+def test_conjunction_agrees_with_all_hold(exprs, config):
+    invariants = InvariantSet([Invariant(e) for e in exprs])
+    mask = UNIVERSE.mask_of_names(config)
+    assert compile_conjunction(exprs, BITS)(mask) == invariants.all_hold(config)
+    assert invariants.compile_mask(BITS)(mask) == invariants.all_hold(config)
+
+
+@given(expr=EXPRESSIONS, config=CONFIGS)
+@settings(max_examples=100)
+def test_foreign_atoms_fold_to_false(expr, config):
+    """An atom outside the bit mapping behaves like a never-present one."""
+    wrapped = And((expr, Not(Atom("OUTSIDE"))))
+    mask = UNIVERSE.mask_of_names(config)
+    # !OUTSIDE is vacuously true, so the conjunction equals expr itself
+    assert compile_expr(wrapped, BITS)(mask) == expr.evaluate(config)
+    assert compile_expr(Atom("OUTSIDE"), BITS)(mask) is False

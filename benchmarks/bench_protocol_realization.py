@@ -8,6 +8,9 @@ each action class through the live protocol and measures what Table 2
 prices: blocking time and stream disruption.
 """
 
+import time
+from pathlib import Path
+
 import pytest
 
 from benchmarks.conftest import report
@@ -15,6 +18,8 @@ from repro.apps.video import VideoScenario, build_video_cluster
 from repro.apps.video.system import paper_source, paper_target
 from repro.bench import format_table
 from repro.trace import BlockRecord
+
+BACKENDS_JSON = Path(__file__).with_name("BENCH_backends.json")
 
 CASES = [
     # (label, plan action ids) — each executed from the paper source.
@@ -94,6 +99,93 @@ def test_composites_block_sender_singles_do_not(benchmark):
                 ("composite A14", round(composite_blocked, 1)),
             ],
         ),
+    )
+
+
+def _fig4_system():
+    from repro.apps.video.system import (
+        video_actions,
+        video_invariants,
+        video_universe,
+    )
+
+    universe = video_universe()
+    return (universe, video_invariants(), video_actions(),
+            paper_source(universe), paper_target(universe))
+
+
+def _backend_runners(time_scale=0.0005, quiesce=2.0):
+    """Fig. 4 MAP realization on each execution backend.
+
+    Each runner returns ``(outcome, wall_seconds)`` for one source→target
+    adaptation with identical :class:`QuiescentAdapter` apps.
+    """
+    from repro.exec.aio import run_aio_adaptation
+    from repro.exec.app import QuiescentAdapter
+    from repro.runtime import LiveAdaptationSystem
+    from repro.sim import AdaptationCluster
+
+    universe, invariants, actions, source, target = _fig4_system()
+
+    def make_apps():
+        return {p: QuiescentAdapter(quiesce) for p in universe.processes()}
+
+    def run_sim():
+        cluster = AdaptationCluster(
+            universe, invariants, actions, source, apps=make_apps()
+        )
+        t0 = time.perf_counter()
+        outcome = cluster.adapt_to(target)
+        return outcome, time.perf_counter() - t0
+
+    def run_live():
+        system = LiveAdaptationSystem(
+            universe, invariants, actions, source,
+            apps=make_apps(), time_scale=time_scale,
+        )
+        with system:
+            t0 = time.perf_counter()
+            outcome = system.adapt_to(target, timeout=30.0)
+            wall = time.perf_counter() - t0
+        return outcome, wall
+
+    def run_aio():
+        t0 = time.perf_counter()
+        outcome, _system = run_aio_adaptation(
+            universe, invariants, actions, source, target,
+            apps=make_apps(), time_scale=time_scale, timeout=30.0,
+        )
+        return outcome, time.perf_counter() - t0
+
+    return {"sim": run_sim, "live": run_live, "aio": run_aio}
+
+
+def test_backend_realization_latency():
+    """One substrate, three backends: same MAP, per-backend latency.
+
+    The committed-step count is backend-independent (the substrate's
+    semantics set it); protocol-time duration is exact on the simulator
+    and scheduler-approximate on the wall-clock backends; wall time is
+    what each deployment style costs.
+    """
+    rows, data = [], {}
+    for name, runner in _backend_runners().items():
+        outcome, wall = runner()
+        assert outcome.succeeded, f"{name}: {outcome.status} ({outcome.reason})"
+        assert outcome.steps_committed == 5
+        rows.append((name, round(outcome.duration, 1), round(wall * 1000, 2)))
+        data[name] = {
+            "duration_units": outcome.duration,
+            "wall_ms": wall * 1000,
+            "steps_committed": outcome.steps_committed,
+        }
+    report(
+        "Fig. 4 MAP realization latency per backend",
+        format_table(
+            ["backend", "adaptation (protocol units)", "wall clock (ms)"], rows
+        ),
+        data=data,
+        json_path=BACKENDS_JSON,
     )
 
 

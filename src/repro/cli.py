@@ -8,9 +8,13 @@ Usage (``python -m repro <command> ...``):
   — compute the Minimum Adaptation Path (Figure 4's result).
 * ``sag MANIFEST [--highlight-map --from SRC --to DST]`` — emit Graphviz
   DOT of the Safe Adaptation Graph (Figure 4 itself).
-* ``simulate MANIFEST --from SRC --to DST [--seed N --loss P --quiesce MS]``
-  — run the realization phase on the discrete-event simulator and check
-  the execution against the paper's safety definition.
+* ``simulate MANIFEST --from SRC --to DST [--backend sim|live|aio]
+  [--seed N --loss P --quiesce MS --save-trace FILE]`` — run the
+  realization phase on the chosen execution backend (discrete-event
+  simulator, threaded live runtime, or asyncio) and check the execution
+  against the paper's safety definition.
+* ``trace check FILE --manifest MANIFEST`` — run the safety checker
+  offline on a persisted ``--save-trace`` JSONL file.
 * ``example-manifest`` — print the §5 video system as a manifest.
 
 ``SRC``/``DST`` may be a configuration name from the manifest's
@@ -72,17 +76,37 @@ def build_parser() -> argparse.ArgumentParser:
     sag.add_argument("--to", dest="target", help="target configuration")
 
     simulate = commands.add_parser(
-        "simulate", help="run the adaptation on the discrete-event simulator"
+        "simulate", help="run the adaptation on an execution backend"
     )
     _add_manifest(simulate)
     _add_endpoints(simulate)
+    simulate.add_argument(
+        "--backend", choices=("sim", "live", "aio"), default="sim",
+        help="execution substrate: discrete-event simulator (default), "
+             "threaded live runtime, or asyncio",
+    )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--loss", type=float, default=0.0,
-                          help="control-message loss probability")
+                          help="control-message loss probability (sim backend only)")
     simulate.add_argument("--quiesce", type=float, default=2.0,
                           help="per-process quiesce delay (time units)")
+    simulate.add_argument("--time-scale", type=float, default=0.001,
+                          help="wall seconds per time unit (live/aio backends)")
     simulate.add_argument("--timeline", action="store_true",
                           help="print the per-process adaptation timeline")
+    simulate.add_argument("--save-trace", metavar="FILE",
+                          help="persist the execution trace as JSON lines")
+
+    trace = commands.add_parser("trace", help="inspect persisted execution traces")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_check = trace_commands.add_parser(
+        "check", help="run the safety checker offline on a trace JSONL file"
+    )
+    trace_check.add_argument("tracefile", help="path to a trace .jsonl file")
+    trace_check.add_argument(
+        "--manifest", required=True,
+        help="manifest supplying the dependency invariants to check against",
+    )
 
     commands.add_parser(
         "example-manifest", help="print the paper's video system as a manifest"
@@ -162,40 +186,108 @@ def cmd_sag(args, out) -> int:
     return 0
 
 
-def cmd_simulate(args, out) -> int:
-    from repro.safety import check_safe
-    from repro.sim import AdaptationCluster, BernoulliLoss, QuiescentApp
+def _run_backend(args, manifest, source, target):
+    """Execute source→target on the selected backend; returns (outcome, trace)."""
+    from repro.exec.app import QuiescentAdapter
 
-    manifest = load_path(args.manifest)
-    source = manifest.resolve_configuration(args.source)
-    target = manifest.resolve_configuration(args.target)
-    cluster = AdaptationCluster(
+    if args.backend != "sim" and args.loss:
+        raise ReproError("--loss requires the sim backend (seeded loss models)")
+    quiesce_apps = {
+        process: QuiescentAdapter(args.quiesce)
+        for process in manifest.universe.processes()
+    }
+    if args.backend == "sim":
+        from repro.sim import AdaptationCluster, BernoulliLoss
+
+        cluster = AdaptationCluster(
+            manifest.universe,
+            manifest.invariants,
+            manifest.actions,
+            source,
+            seed=args.seed,
+            apps=quiesce_apps,
+            default_loss=BernoulliLoss(args.loss) if args.loss else None,
+        )
+        return cluster.adapt_to(target), cluster.trace
+    if args.backend == "live":
+        from repro.runtime import LiveAdaptationSystem
+
+        system = LiveAdaptationSystem(
+            manifest.universe,
+            manifest.invariants,
+            manifest.actions,
+            source,
+            apps=quiesce_apps,
+            time_scale=args.time_scale,
+        )
+        with system:
+            outcome = system.adapt_to(target)
+        return outcome, system.trace
+    from repro.exec.aio import run_aio_adaptation
+
+    outcome, system = run_aio_adaptation(
         manifest.universe,
         manifest.invariants,
         manifest.actions,
         source,
-        seed=args.seed,
-        apps={
-            process: QuiescentApp(args.quiesce)
-            for process in manifest.universe.processes()
-        },
-        default_loss=BernoulliLoss(args.loss) if args.loss else None,
+        target,
+        apps=quiesce_apps,
+        time_scale=args.time_scale,
     )
-    outcome = cluster.adapt_to(target)
+    return outcome, system.trace
+
+
+def cmd_simulate(args, out) -> int:
+    from repro.safety import check_safe
+
+    manifest = load_path(args.manifest)
+    source = manifest.resolve_configuration(args.source)
+    target = manifest.resolve_configuration(args.target)
+    outcome, trace = _run_backend(args, manifest, source, target)
+    print(f"backend: {args.backend}", file=out)
     print(f"outcome: {outcome.status} at {outcome.configuration.label()}", file=out)
     print(f"duration: {outcome.duration:g} time units, "
           f"steps committed: {outcome.steps_committed}, "
           f"rolled back: {outcome.steps_rolled_back}", file=out)
-    report = check_safe(cluster.trace, manifest.invariants)
+    report = check_safe(trace, manifest.invariants)
     print(f"safety: {report.summary()}", file=out)
+    if args.save_trace:
+        from pathlib import Path
+
+        Path(args.save_trace).write_text(trace.to_jsonl() + "\n", encoding="utf-8")
+        print(f"trace: {len(trace)} records -> {args.save_trace}", file=out)
     if args.timeline:
         from repro.render import render_events, render_timeline
 
         print(file=out)
-        print(render_timeline(cluster.trace), file=out)
+        print(render_timeline(trace), file=out)
         print(file=out)
-        print(render_events(cluster.trace), file=out)
+        print(render_events(trace), file=out)
     return 0 if (report.ok and outcome.succeeded) else 1
+
+
+def cmd_trace(args, out) -> int:
+    from pathlib import Path
+
+    from repro.safety import check_safe
+    from repro.trace import Trace
+
+    # only one sub-command today: `trace check`
+    manifest = load_path(args.manifest)
+    try:
+        text = Path(args.tracefile).read_text(encoding="utf-8")
+        restored = Trace.from_jsonl(text)
+    except ValueError as exc:
+        raise ReproError(f"malformed trace file {args.tracefile}: {exc}") from exc
+    report = check_safe(restored, manifest.invariants)
+    print(f"records: {len(restored)}", file=out)
+    print(f"committed configurations: {len(restored.committed_configurations())}",
+          file=out)
+    print(f"safety: {report.summary()}", file=out)
+    for violation in report.violations:
+        print(f"  [{violation.kind}] t={violation.time:g}: {violation.detail}",
+              file=out)
+    return 0 if report.ok else 1
 
 
 def cmd_example_manifest(args, out) -> int:
@@ -209,6 +301,7 @@ _COMMANDS = {
     "plan": cmd_plan,
     "sag": cmd_sag,
     "simulate": cmd_simulate,
+    "trace": cmd_trace,
     "example-manifest": cmd_example_manifest,
 }
 

@@ -102,6 +102,16 @@ class SafetyViolationError(ReproError):
     """A trace failed the paper's safety definition (checker found evidence)."""
 
 
+class ExecutionError(ReproError):
+    """Execution-substrate failure (backend misuse, unhandled effect...).
+
+    Backends narrow this to their own branch (:class:`SimulationError`
+    for the discrete-event simulator, :class:`RuntimeHostError` for the
+    threaded runtime) by passing ``error=`` to the shared runtimes in
+    :mod:`repro.exec`.
+    """
+
+
 class SimulationError(ReproError):
     """Discrete-event simulator misuse (time travel, dead process...)."""
 

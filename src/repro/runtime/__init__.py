@@ -6,6 +6,10 @@ driving a live, multi-threaded Python system — each process is a thread,
 coordination messages travel over in-memory queues, timers are real, and
 the recomposed structure is a running :class:`~repro.components.FilterChain`
 processing items while the adaptation happens around it.
+
+This package is the threaded backend of the shared execution substrate
+(:mod:`repro.exec`): hosts and the system assembly only add thread/queue
+wiring; all effect interpretation lives in the shared runtimes.
 """
 
 from repro.runtime.transport import InMemoryTransport, STOP

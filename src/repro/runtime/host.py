@@ -1,81 +1,43 @@
 """Live agent host: one thread per adaptive process.
 
-Mirrors :class:`repro.sim.cluster.ProcessHost` for real threads.  The
-host's receive loop consumes control messages; agent effects execute under
-an RLock so app-thread callbacks (``local_safe`` from a worker) and
-queue-thread message handling never interleave mid-effect.  Blocking is a
-:class:`threading.Event` the application's workers wait on.
+The threaded backend of the execution substrate.  All effect
+interpretation and trace emission live in
+:class:`repro.exec.runtime.AgentRuntime`; this module only adds the
+thread wiring — a receive loop consuming control messages from the
+in-memory transport, an RLock so app-thread callbacks (``local_safe``
+from a worker) and queue-thread message handling never interleave
+mid-effect, and real (scaled) wall-clock timers.  Blocking is the
+runtime's ``running_event``, a :class:`threading.Event` the
+application's workers wait on.
 """
 
 from __future__ import annotations
 
 import threading
-import time
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Iterable, Optional
 
-from repro.core.actions import AdaptiveAction
 from repro.core.model import ComponentUniverse
 from repro.errors import RuntimeHostError
-from repro.protocol.agent import AgentMachine
-from repro.protocol.effects import (
-    AbortReset,
-    BlockProcess,
-    Effect,
-    ExecuteInAction,
-    ExecutePostAction,
-    ResumeProcess,
-    Send,
-    StartReset,
-    UndoInAction,
-)
-from repro.protocol.messages import Envelope, FlushRequest
-from repro.runtime.transport import STOP, InMemoryTransport
-from repro.trace import AdaptationApplied, BlockRecord, RollbackRecord, Trace
+from repro.exec.app import AppAdapter
+from repro.exec.runtime import AgentRuntime
+from repro.exec.substrate import STOP, Clock, ThreadTimerService, WallClock
+from repro.protocol.messages import Envelope
+from repro.runtime.transport import InMemoryTransport
+from repro.trace import Trace
 
 
-class LiveApp:
-    """Application adapter for the threaded runtime (mirror of ProcessApp)."""
+class LiveApp(AppAdapter):
+    """Application adapter for the threaded runtime.
+
+    Compatibility alias of :class:`repro.exec.app.AppAdapter`; live apps
+    may additionally use ``self.host.running_event`` to pause workers
+    while the host is blocked.
+    """
 
     host: "LiveAgentHost"
 
-    def attach(self, host: "LiveAgentHost") -> None:
-        self.host = host
 
-    def start(self) -> None:
-        """Start application worker threads."""
-
-    def stop(self) -> None:
-        """Stop application worker threads (system shutdown)."""
-
-    def begin_reset(
-        self, step_key: str, action: AdaptiveAction, inject_flush: bool, await_flush: bool
-    ) -> None:
-        """Must eventually call ``self.host.local_safe(step_key)``."""
-        self.host.local_safe(step_key)
-
-    def abort_reset(self, step_key: str) -> None:
-        pass
-
-    def apply_action(self, action: AdaptiveAction) -> None:
-        pass
-
-    def undo_action(self, action: AdaptiveAction) -> None:
-        pass
-
-    def post_action(self, action: AdaptiveAction) -> None:
-        pass
-
-    def inject_marker(self, step_key: str) -> None:
-        pass
-
-    def on_blocked(self) -> None:
-        pass
-
-    def on_resumed(self) -> None:
-        pass
-
-
-class LiveAgentHost:
+class LiveAgentHost(AgentRuntime):
     """One adaptive process: receive thread + agent machine + app."""
 
     def __init__(
@@ -84,23 +46,25 @@ class LiveAgentHost:
         transport: InMemoryTransport,
         universe: ComponentUniverse,
         components: Iterable[str],
-        app: Optional[LiveApp] = None,
+        app: Optional[AppAdapter] = None,
         trace: Optional[Trace] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Clock] = None,
         manager_id: str = "manager",
+        time_scale: float = 0.001,
     ):
-        self.process_id = process_id
-        self.transport = transport
-        self.universe = universe
-        self.components: Set[str] = set(components)
-        self.trace = trace if trace is not None else Trace()
-        self.clock = clock
-        self.app = app or LiveApp()
-        self.app.attach(self)
-        self.agent = AgentMachine(process_id, manager_id)
-        self._lock = threading.RLock()
-        self.running_event = threading.Event()  # set == full operation
-        self.running_event.set()
+        super().__init__(
+            process_id,
+            universe,
+            components,
+            clock=clock if clock is not None else WallClock(time_scale),
+            transport=transport,
+            timers=ThreadTimerService(time_scale),
+            trace=trace if trace is not None else Trace(),
+            app=app or LiveApp(),
+            manager_id=manager_id,
+            lock=threading.RLock(),
+            error=RuntimeHostError,
+        )
         self._queue = transport.register(process_id)
         self._thread = threading.Thread(
             target=self._receive_loop, name=f"agent-{process_id}", daemon=True
@@ -113,14 +77,11 @@ class LiveAgentHost:
 
     def stop(self, timeout: float = 5.0) -> None:
         self.app.stop()
+        self.timers.cancel_all()
         self.transport.stop_endpoint(self.process_id)
         self._thread.join(timeout=timeout)
         if self._thread.is_alive():  # pragma: no cover - shutdown hygiene
             raise RuntimeHostError(f"agent thread {self.process_id} did not stop")
-
-    @property
-    def blocked(self) -> bool:
-        return not self.running_event.is_set()
 
     # -- inbound ---------------------------------------------------------------
     def _receive_loop(self) -> None:
@@ -129,85 +90,4 @@ class LiveAgentHost:
             if item is STOP:
                 return
             assert isinstance(item, Envelope)
-            if isinstance(item.message, FlushRequest):
-                self.app.inject_marker(item.message.step_key)
-                continue
-            with self._lock:
-                self._execute(self.agent.on_message(item.message))
-
-    def local_safe(self, step_key: str) -> None:
-        """App callback (any thread): local safe state reached."""
-        with self._lock:
-            self._execute(self.agent.on_local_safe(step_key))
-
-    # -- effect interpreter ---------------------------------------------------------
-    def _execute(self, effects: List[Effect]) -> None:
-        pending = list(effects)
-        while pending:
-            effect = pending.pop(0)
-            if isinstance(effect, Send):
-                self.transport.send(
-                    Envelope(self.process_id, effect.destination, effect.message)
-                )
-            elif isinstance(effect, StartReset):
-                self.app.begin_reset(
-                    effect.step_key,
-                    effect.action,
-                    effect.inject_flush,
-                    effect.await_flush,
-                )
-            elif isinstance(effect, AbortReset):
-                self.app.abort_reset(effect.step_key)
-            elif isinstance(effect, BlockProcess):
-                self.running_event.clear()
-                self.trace.append(
-                    BlockRecord(time=self.clock(), process=self.process_id, blocked=True)
-                )
-                self.app.on_blocked()
-            elif isinstance(effect, ResumeProcess):
-                self.running_event.set()
-                self.trace.append(
-                    BlockRecord(time=self.clock(), process=self.process_id, blocked=False)
-                )
-                self.app.on_resumed()
-                pending.extend(self.agent.on_resumed(effect.step_key))
-            elif isinstance(effect, ExecuteInAction):
-                self._apply_delta(effect.action, inverse=False)
-                self.app.apply_action(effect.action)
-                self.trace.append(
-                    AdaptationApplied(
-                        time=self.clock(),
-                        process=self.process_id,
-                        action_id=effect.action.action_id,
-                        removes=frozenset(self._local(effect.action.removes)),
-                        adds=frozenset(self._local(effect.action.adds)),
-                    )
-                )
-                pending.extend(self.agent.on_in_action_applied(effect.step_key))
-            elif isinstance(effect, UndoInAction):
-                self._apply_delta(effect.action, inverse=True)
-                self.app.undo_action(effect.action)
-                self.trace.append(
-                    RollbackRecord(
-                        time=self.clock(),
-                        process=self.process_id,
-                        action_id=effect.action.action_id,
-                    )
-                )
-                pending.extend(self.agent.on_undone(effect.step_key))
-            elif isinstance(effect, ExecutePostAction):
-                self.app.post_action(effect.action)
-            else:  # pragma: no cover - defensive
-                raise RuntimeHostError(f"unhandled agent effect {effect!r}")
-
-    def _local(self, names: Iterable[str]) -> Set[str]:
-        return {
-            name for name in names
-            if self.universe.process_of(name) == self.process_id
-        }
-
-    def _apply_delta(self, action: AdaptiveAction, inverse: bool) -> None:
-        removes = self._local(action.adds if inverse else action.removes)
-        adds = self._local(action.removes if inverse else action.adds)
-        self.components -= removes
-        self.components |= adds
+            self.on_envelope(item)

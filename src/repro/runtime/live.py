@@ -1,6 +1,8 @@
 """The live adaptation system: threaded manager + hosts + demo pipeline app.
 
-:class:`LiveAdaptationSystem` assembles the manager and one
+The threaded backend's system assembly.  :class:`LiveAdaptationSystem`
+builds one shared :class:`~repro.exec.runtime.ManagerRuntime` (which owns
+all manager-side effect interpretation) plus one
 :class:`~repro.runtime.host.LiveAgentHost` per process; ``adapt_to``
 blocks the calling thread until the adaptation reaches a terminal
 outcome.  :class:`PipelineApp` is a ready-made application for examples
@@ -13,33 +15,23 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.components.filters import Filter, FilterChain
 from repro.core.actions import ActionLibrary, AdaptiveAction
 from repro.core.invariants import InvariantSet
 from repro.core.model import ComponentUniverse, Configuration
-from repro.core.planner import AdaptationPlan, AdaptationPlanner
-from repro.errors import NoSafePathError, RuntimeHostError, UnsafeConfigurationError
-from repro.protocol.effects import (
-    AdaptationAborted,
-    AdaptationComplete,
-    AwaitUser,
-    CancelTimer,
-    Effect,
-    RequestReplan,
-    Send,
-    SetTimer,
-    StepCommitted,
-    StepRolledBack,
-)
-from repro.protocol.failures import FailurePolicy, ReplanKind
+from repro.core.planner import AdaptationPlanner
+from repro.errors import RuntimeHostError
+from repro.exec.app import AppAdapter
+from repro.exec.runtime import AdaptationOutcome, ManagerRuntime
+from repro.exec.substrate import STOP, ThreadTimerService, WallClock
+from repro.protocol.failures import FailurePolicy
 from repro.protocol.manager import FlushProvider, ManagerMachine, no_flush
 from repro.protocol.messages import Envelope
 from repro.runtime.host import LiveAgentHost, LiveApp
-from repro.runtime.transport import STOP, InMemoryTransport
-from repro.sim.cluster import AdaptationOutcome
-from repro.trace import ConfigCommitted, NoteRecord, Trace
+from repro.runtime.transport import InMemoryTransport
+from repro.trace import Trace
 
 
 class LiveAdaptationSystem:
@@ -57,7 +49,7 @@ class LiveAdaptationSystem:
         invariants: InvariantSet,
         actions: ActionLibrary,
         initial_config: Configuration,
-        apps: Optional[Mapping[str, LiveApp]] = None,
+        apps: Optional[Mapping[str, AppAdapter]] = None,
         policy: Optional[FailurePolicy] = None,
         flush_provider: FlushProvider = no_flush,
         time_scale: float = 0.001,
@@ -71,16 +63,9 @@ class LiveAdaptationSystem:
         self.trace = Trace()
         self.time_scale = time_scale
         self.manager_id = manager_id
-        self._t0 = time.monotonic()
-        self.machine = ManagerMachine(
-            universe, policy=policy, flush_provider=flush_provider, manager_id=manager_id
-        )
-        self.committed = initial_config
-        self.outcome: Optional[AdaptationOutcome] = None
-        self.replan_k = replan_k
+        self._clock = WallClock(time_scale)
         self._outcome_ready = threading.Event()
         self._lock = threading.RLock()
-        self._timers: Dict[str, threading.Timer] = {}
         self._queue = self.transport.register(manager_id)
         self._thread = threading.Thread(
             target=self._receive_loop, name="adaptation-manager", daemon=True
@@ -99,21 +84,44 @@ class LiveAdaptationSystem:
                 local,
                 app=apps.pop(process_id, None),
                 trace=self.trace,
-                clock=self.now,
+                clock=self._clock,
                 manager_id=manager_id,
+                time_scale=time_scale,
             )
         if apps:
             raise RuntimeHostError(f"apps for unknown processes: {sorted(apps)}")
-        self.trace.append(
-            ConfigCommitted(
-                time=self.now(), configuration=initial_config.members, step_id="initial"
-            )
+        self.manager = ManagerRuntime(
+            self.planner,
+            initial_config,
+            clock=self._clock,
+            transport=self.transport,
+            timers=ThreadTimerService(time_scale),
+            trace=self.trace,
+            policy=policy,
+            flush_provider=flush_provider,
+            manager_id=manager_id,
+            replan_k=replan_k,
+            lock=self._lock,
+            error=RuntimeHostError,
+            on_terminal=lambda outcome: self._outcome_ready.set(),
         )
 
-    # -- clock ------------------------------------------------------------------
+    # -- compatibility accessors ---------------------------------------------------
+    @property
+    def machine(self) -> ManagerMachine:
+        return self.manager.machine
+
+    @property
+    def committed(self) -> Configuration:
+        return self.manager.committed
+
+    @property
+    def outcome(self) -> Optional[AdaptationOutcome]:
+        return self.manager.outcome
+
     def now(self) -> float:
         """Elapsed protocol time units since construction."""
-        return (time.monotonic() - self._t0) / self.time_scale
+        return self._clock.now()
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> None:
@@ -122,10 +130,7 @@ class LiveAdaptationSystem:
             host.start()
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        with self._lock:
-            for timer in self._timers.values():
-                timer.cancel()
-            self._timers.clear()
+        self.manager.timers.cancel_all()
         for host in self.hosts.values():
             host.stop(timeout=timeout)
         self.transport.stop_endpoint(self.manager_id)
@@ -144,123 +149,25 @@ class LiveAdaptationSystem:
     def adapt_to(self, target: Configuration, timeout: float = 30.0) -> AdaptationOutcome:
         """Plan and execute current→target; blocks until terminal outcome."""
         with self._lock:
-            plan = self.planner.plan(self.committed, target)
-            self.outcome = None
+            plan = self.planner.plan(self.manager.committed, target)
             self._outcome_ready.clear()
-            self._started_at = self.now()
-            self._dispatch(self.machine.start(plan))
+            self.manager.start_plan(plan)
         if not self._outcome_ready.wait(timeout=timeout):
             raise RuntimeHostError(
                 f"adaptation did not finish within {timeout}s "
-                f"(manager state {self.machine.state.value})"
+                f"(manager state {self.manager.machine.state.value})"
             )
-        assert self.outcome is not None
-        return self.outcome
+        assert self.manager.outcome is not None
+        return self.manager.outcome
 
-    # -- manager loop -----------------------------------------------------------------
+    # -- manager receive loop ----------------------------------------------------
     def _receive_loop(self) -> None:
         while True:
             item = self._queue.get()
             if item is STOP:
                 return
             assert isinstance(item, Envelope)
-            with self._lock:
-                self._dispatch(self.machine.on_message(item.message))
-
-    def _dispatch(self, effects: Iterable[Effect]) -> None:
-        pending: List[Effect] = list(effects)
-        while pending:
-            effect = pending.pop(0)
-            if isinstance(effect, Send):
-                self.transport.send(
-                    Envelope(self.manager_id, effect.destination, effect.message)
-                )
-            elif isinstance(effect, SetTimer):
-                self._set_timer(effect.name, effect.delay)
-            elif isinstance(effect, CancelTimer):
-                self._cancel_timer(effect.name)
-            elif isinstance(effect, StepCommitted):
-                self.committed = effect.step.target
-                self.trace.append(
-                    ConfigCommitted(
-                        time=self.now(),
-                        configuration=effect.step.target.members,
-                        step_id=effect.step_key,
-                        action_id=effect.step.action.action_id,
-                    )
-                )
-            elif isinstance(effect, StepRolledBack):
-                self.trace.append(
-                    NoteRecord(
-                        time=self.now(),
-                        text=f"step {effect.step_key} rolled back: {effect.reason}",
-                    )
-                )
-            elif isinstance(effect, RequestReplan):
-                pending.extend(self._handle_replan(effect))
-            elif isinstance(effect, AdaptationComplete):
-                self._finish("complete", effect.configuration, "target reached")
-            elif isinstance(effect, AdaptationAborted):
-                self._finish("aborted", effect.configuration, effect.reason)
-            elif isinstance(effect, AwaitUser):
-                self._finish("await_user", effect.configuration, effect.reason)
-            else:  # pragma: no cover - defensive
-                raise RuntimeHostError(f"unhandled manager effect {effect!r}")
-
-    def _finish(self, status: str, configuration: Configuration, reason: str) -> None:
-        self.outcome = AdaptationOutcome(
-            status=status,
-            configuration=configuration,
-            reason=reason,
-            steps_committed=self.machine.steps_committed,
-            steps_rolled_back=self.machine.steps_rolled_back,
-            started_at=getattr(self, "_started_at", 0.0),
-            finished_at=self.now(),
-        )
-        self._outcome_ready.set()
-
-    # -- timers ------------------------------------------------------------------
-    def _set_timer(self, name: str, delay: float) -> None:
-        self._cancel_timer(name)
-
-        def fire() -> None:
-            with self._lock:
-                self._timers.pop(name, None)
-                self._dispatch(self.machine.on_timeout(name))
-
-        timer = threading.Timer(delay * self.time_scale, fire)
-        timer.daemon = True
-        self._timers[name] = timer
-        timer.start()
-
-    def _cancel_timer(self, name: str) -> None:
-        timer = self._timers.pop(name, None)
-        if timer is not None:
-            timer.cancel()
-
-    # -- re-planning ------------------------------------------------------------------
-    def _handle_replan(self, request: RequestReplan) -> List[Effect]:
-        if request.kind == ReplanKind.ALTERNATE_TO_TARGET:
-            destination = self.machine.target
-        else:
-            destination = self.machine.original_source
-        assert destination is not None
-        if request.current == destination:
-            return self.machine.on_new_plan(
-                AdaptationPlan(request.current, destination, (), 0.0)
-            )
-        try:
-            candidates = self.planner.plan_k(request.current, destination, self.replan_k)
-        except (NoSafePathError, UnsafeConfigurationError):
-            return self.machine.on_no_plan()
-        failed = set(request.failed_edges)
-        for plan in candidates:
-            if all(
-                (step.source, step.action.action_id) not in failed
-                for step in plan.steps
-            ):
-                return self.machine.on_new_plan(plan)
-        return self.machine.on_no_plan()
+            self.manager.on_envelope(item)
 
 
 class PipelineApp(LiveApp):

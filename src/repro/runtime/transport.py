@@ -12,9 +12,10 @@ import threading
 from typing import Dict, Optional
 
 from repro.errors import RuntimeHostError
+from repro.exec.substrate import STOP
 from repro.protocol.messages import Envelope
 
-STOP = object()  # sentinel shutting down a receive loop
+__all__ = ["STOP", "InMemoryTransport"]
 
 
 class InMemoryTransport:

@@ -9,8 +9,9 @@ traces — strictly better for *verifying* safety claims than real hardware.
 * :mod:`repro.sim.kernel` — event loop, simulated clock, timers.
 * :mod:`repro.sim.net` — directed channels, loss/delay models, multicast,
   partitions.
-* :mod:`repro.sim.cluster` — manager/agent hosts wiring the protocol
-  machines to the simulated network, plus the application adapter API.
+* :mod:`repro.sim.cluster` — the discrete-event backend of the shared
+  execution substrate (:mod:`repro.exec`): manager/agent hosts wiring
+  the shared runtimes to the simulated clock, timers, and network.
 * :mod:`repro.sim.apps` — synthetic process applications used by tests and
   benchmarks (configurable quiesce latency, fail-to-reset injection).
 """

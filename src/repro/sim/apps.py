@@ -15,39 +15,18 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.actions import AdaptiveAction
+from repro.exec.app import QuiescentAdapter
 from repro.sim.cluster import ProcessApp
 from repro.sim.kernel import TimerHandle
 
 
-class QuiescentApp(ProcessApp):
-    """Reaches the local safe state ``quiesce_delay`` after each reset."""
+class QuiescentApp(QuiescentAdapter):
+    """Reaches the local safe state ``quiesce_delay`` after each reset.
 
-    def __init__(self, quiesce_delay: float = 2.0, resume_delay: float = 0.0):
-        self.quiesce_delay = quiesce_delay
-        self.resume_delay = resume_delay
-        self._pending: Optional[TimerHandle] = None
-        self.resets_started = 0
-        self.resets_aborted = 0
-
-    def begin_reset(self, step_key, action, inject_flush, await_flush) -> None:
-        self.resets_started += 1
-        host = self.host
-
-        def reach_safe() -> None:
-            self._pending = None
-            host.local_safe(step_key)
-
-        self._pending = host.sim.schedule(self.quiesce_delay, reach_safe)
-
-    def abort_reset(self, step_key) -> None:
-        self.resets_aborted += 1
-        if self._pending is not None:
-            self._pending.cancel()
-            self._pending = None
-
-    def resume_latency(self) -> float:
-        return self.resume_delay
+    Thin alias of the backend-portable
+    :class:`repro.exec.app.QuiescentAdapter` (the delay runs on the
+    host's timer service, so on the simulator it is simulated ticks).
+    """
 
 
 class MonitoredApp(ProcessApp):

@@ -1,11 +1,15 @@
-"""Protocol-on-simulator integration: manager and agent hosts.
+"""Discrete-event backend of the execution substrate.
 
-This module wires the sans-io protocol machines to the simulated network
-and clock.  A :class:`ProcessHost` owns one agent plus the local slice of
-the component configuration and an application adapter
-(:class:`ProcessApp`) that decides when the local safe state is reached;
-a :class:`ManagerHost` owns the manager machine, the planner (for the
-§4.4 re-planning cascade), and the execution trace.
+This module wires the shared runtimes (:mod:`repro.exec.runtime`) to the
+simulated network and clock: :class:`SimClock` and
+:class:`SimTimerService` adapt the :class:`~repro.sim.kernel.Simulator`
+to the substrate's :class:`~repro.exec.substrate.Clock` /
+:class:`~repro.exec.substrate.TimerService` contracts, and the
+:class:`~repro.sim.net.Network` *is* the substrate's transport.  All
+effect interpretation and trace emission live in
+:class:`~repro.exec.runtime.AgentRuntime` /
+:class:`~repro.exec.runtime.ManagerRuntime`; the classes here only add
+simulator wiring and keep their historical names.
 
 :class:`AdaptationCluster` assembles a full system from
 ``(universe, invariants, actions)`` and runs adaptation requests end to
@@ -15,109 +19,81 @@ end, returning an :class:`AdaptationOutcome` and a checkable
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Mapping, Optional, Set
 
-from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.actions import ActionLibrary
 from repro.core.invariants import InvariantSet
 from repro.core.model import ComponentUniverse, Configuration
 from repro.core.planner import AdaptationPlan, AdaptationPlanner
-from repro.errors import NoSafePathError, SimulationError, UnsafeConfigurationError
-from repro.protocol.agent import AgentMachine
-from repro.protocol.effects import (
-    AbortReset,
-    AdaptationAborted,
-    AdaptationComplete,
-    AwaitUser,
-    BlockProcess,
-    CancelTimer,
-    Effect,
-    ExecuteInAction,
-    ExecutePostAction,
-    RequestReplan,
-    ResumeProcess,
-    Send,
-    SetTimer,
-    StartReset,
-    StepCommitted,
-    StepRolledBack,
-    UndoInAction,
-)
-from repro.protocol.failures import FailurePolicy, ReplanKind
-from repro.protocol.manager import FlushProvider, ManagerMachine, no_flush
-from repro.protocol.messages import Envelope, FlushRequest, Message
+from repro.errors import SimulationError
+from repro.exec.app import AppAdapter
+from repro.exec.runtime import AdaptationOutcome, AgentRuntime, ManagerRuntime
+from repro.protocol.failures import FailurePolicy
+from repro.protocol.manager import FlushProvider, no_flush
 from repro.sim.kernel import Simulator, TimerHandle
 from repro.sim.net import DelayModel, LossModel, Network
-from repro.trace import (
-    AdaptationApplied,
-    BlockRecord,
-    ConfigCommitted,
-    NoteRecord,
-    RollbackRecord,
-    Trace,
-)
+from repro.trace import Trace
+
+__all__ = [
+    "AdaptationCluster",
+    "AdaptationOutcome",
+    "ManagerHost",
+    "ProcessApp",
+    "ProcessHost",
+    "SimClock",
+    "SimTimerService",
+]
 
 
-class ProcessApp:
-    """Application adapter: how a process quiesces, recomposes, and resumes.
+class SimClock:
+    """Substrate clock over the simulator's virtual time."""
 
-    Subclass and override what the application needs; the defaults model a
-    process that can quiesce instantly and whose recomposition is purely
-    the component-set change.  ``self.host`` is set by :meth:`attach`.
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+
+    def now(self) -> float:
+        return self._sim.now
+
+
+class SimTimerService:
+    """Substrate timers over the simulator's event heap."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._handles: Dict[str, TimerHandle] = {}
+
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> None:
+        self.cancel_timer(name)
+
+        def fire() -> None:
+            self._handles.pop(name, None)
+            callback()
+
+        self._handles[name] = self._sim.schedule(delay, fire)
+
+    def cancel_timer(self, name: str) -> None:
+        handle = self._handles.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def cancel_all(self) -> None:
+        handles, self._handles = list(self._handles.values()), {}
+        for handle in handles:
+            handle.cancel()
+
+
+class ProcessApp(AppAdapter):
+    """Application adapter for the simulated backend.
+
+    Compatibility alias of :class:`repro.exec.app.AppAdapter`; simulator
+    apps may additionally use ``self.host.sim`` (the event loop) and
+    ``self.host.network`` (the simulated network).
     """
 
     host: "ProcessHost"
 
-    def attach(self, host: "ProcessHost") -> None:
-        self.host = host
 
-    def start(self) -> None:
-        """Begin application traffic (called once at simulation start)."""
-
-    def begin_reset(
-        self, step_key: str, action: AdaptiveAction, inject_flush: bool, await_flush: bool
-    ) -> None:
-        """Pre-action + reset initiation (Fig. 1 'resetting do: reset').
-
-        Must eventually call ``self.host.local_safe(step_key)`` once the
-        local safe state (plus any required drain condition) is reached.
-        The default is immediate quiescence.
-        """
-        self.host.local_safe(step_key)
-
-    def abort_reset(self, step_key: str) -> None:
-        """Reset cancelled (rollback before the safe state was reached)."""
-
-    def apply_action(self, action: AdaptiveAction) -> None:
-        """Application-level structural change beyond the component set."""
-
-    def undo_action(self, action: AdaptiveAction) -> None:
-        """Reverse :meth:`apply_action` (rollback)."""
-
-    def post_action(self, action: AdaptiveAction) -> None:
-        """Local post-action, e.g. destroy replaced components."""
-
-    def on_blocked(self) -> None:
-        """Process was just blocked (held in its safe state)."""
-
-    def on_resumed(self) -> None:
-        """Full operation resumed."""
-
-    def inject_marker(self, step_key: str) -> None:
-        """Push a drain marker into the outgoing stream *without blocking*.
-
-        Sent to upstream processes that are not themselves participants of
-        a step whose downstream loses decode capability (see
-        :class:`~repro.protocol.messages.FlushRequest`).  Default: no-op.
-        """
-
-    def resume_latency(self) -> float:
-        """Simulated time needed to restore full operation (default: 0)."""
-        return 0.0
-
-
-class ProcessHost:
+class ProcessHost(AgentRuntime):
     """One simulated process: agent machine + local components + app."""
 
     def __init__(
@@ -128,156 +104,27 @@ class ProcessHost:
         universe: ComponentUniverse,
         process_id: str,
         components: Iterable[str],
-        app: Optional[ProcessApp] = None,
+        app: Optional[AppAdapter] = None,
         manager_id: str = "manager",
     ):
         self.sim = sim
         self.network = network
-        self.trace = trace
-        self.universe = universe
-        self.process_id = process_id
-        self.components: Set[str] = set(components)
-        self.blocked = False
-        self.app = app or ProcessApp()
-        self.app.attach(self)
-        self.agent = AgentMachine(process_id, manager_id)
-        network.register(process_id, self._on_envelope)
-
-    # -- inbound ---------------------------------------------------------------
-    def _on_envelope(self, envelope: Envelope) -> None:
-        if isinstance(envelope.message, FlushRequest):
-            # Out-of-band drain request: handled by the app, not the agent.
-            self.app.inject_marker(envelope.message.step_key)
-            return
-        self.dispatch(self.agent.on_message(envelope.message))
-
-    def local_safe(self, step_key: str) -> None:
-        """App callback: local safe state (and drain condition) reached."""
-        self.dispatch(self.agent.on_local_safe(step_key))
-
-    # -- local component slice ----------------------------------------------------
-    def _local_slice(self, names: Iterable[str]) -> Set[str]:
-        return {
-            name
-            for name in names
-            if self.universe.process_of(name) == self.process_id
-        }
-
-    def _apply_local(self, action: AdaptiveAction) -> None:
-        removes = self._local_slice(action.removes)
-        adds = self._local_slice(action.adds)
-        missing = removes - self.components
-        if missing:
-            raise SimulationError(
-                f"{self.process_id}: in-action {action.action_id} removes "
-                f"components not present locally: {sorted(missing)}"
-            )
-        self.components -= removes
-        self.components |= adds
-
-    def _undo_local(self, action: AdaptiveAction) -> None:
-        removes = self._local_slice(action.adds)  # inverse
-        adds = self._local_slice(action.removes)
-        self.components -= removes
-        self.components |= adds
-
-    # -- effect interpreter ---------------------------------------------------------
-    def dispatch(self, effects: Iterable[Effect]) -> None:
-        queue: Deque[Effect] = deque(effects)
-        while queue:
-            effect = queue.popleft()
-            if isinstance(effect, Send):
-                self.network.send(
-                    Envelope(self.process_id, effect.destination, effect.message)
-                )
-            elif isinstance(effect, StartReset):
-                self.app.begin_reset(
-                    effect.step_key,
-                    effect.action,
-                    effect.inject_flush,
-                    effect.await_flush,
-                )
-            elif isinstance(effect, AbortReset):
-                self.app.abort_reset(effect.step_key)
-            elif isinstance(effect, BlockProcess):
-                self.blocked = True
-                self.trace.append(
-                    BlockRecord(time=self.sim.now, process=self.process_id, blocked=True)
-                )
-                self.app.on_blocked()
-            elif isinstance(effect, ResumeProcess):
-                queue.extend(self._resume(effect.step_key))
-            elif isinstance(effect, ExecuteInAction):
-                self._apply_local(effect.action)
-                self.app.apply_action(effect.action)
-                self.trace.append(
-                    AdaptationApplied(
-                        time=self.sim.now,
-                        process=self.process_id,
-                        action_id=effect.action.action_id,
-                        removes=frozenset(self._local_slice(effect.action.removes)),
-                        adds=frozenset(self._local_slice(effect.action.adds)),
-                    )
-                )
-                queue.extend(self.agent.on_in_action_applied(effect.step_key))
-            elif isinstance(effect, UndoInAction):
-                self._undo_local(effect.action)
-                self.app.undo_action(effect.action)
-                self.trace.append(
-                    RollbackRecord(
-                        time=self.sim.now,
-                        process=self.process_id,
-                        action_id=effect.action.action_id,
-                    )
-                )
-                queue.extend(self.agent.on_undone(effect.step_key))
-            elif isinstance(effect, ExecutePostAction):
-                self.app.post_action(effect.action)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(
-                    f"{self.process_id}: unhandled agent effect {effect!r}"
-                )
-
-    def _resume(self, step_key: str) -> List[Effect]:
-        latency = self.app.resume_latency()
-
-        def finish() -> None:
-            self.blocked = False
-            self.trace.append(
-                BlockRecord(time=self.sim.now, process=self.process_id, blocked=False)
-            )
-            self.app.on_resumed()
-            self.dispatch(self.agent.on_resumed(step_key))
-
-        if latency > 0:
-            self.sim.schedule(latency, finish)
-            return []
-        finish()
-        return []
+        super().__init__(
+            process_id,
+            universe,
+            components,
+            clock=SimClock(sim),
+            transport=network,
+            timers=SimTimerService(sim),
+            trace=trace,
+            app=app or ProcessApp(),
+            manager_id=manager_id,
+            error=SimulationError,
+        )
+        network.register(process_id, self.on_envelope)
 
 
-@dataclass
-class AdaptationOutcome:
-    """Terminal result of one adaptation request."""
-
-    status: str  # "complete" | "aborted" | "await_user"
-    configuration: Configuration
-    reason: str = ""
-    steps_committed: int = 0
-    steps_rolled_back: int = 0
-    started_at: float = 0.0
-    finished_at: float = 0.0
-
-    @property
-    def duration(self) -> float:
-        return self.finished_at - self.started_at
-
-    @property
-    def succeeded(self) -> bool:
-        return self.status == "complete"
-
-
-class ManagerHost:
+class ManagerHost(ManagerRuntime):
     """The adaptation manager process on the simulator."""
 
     def __init__(
@@ -294,153 +141,20 @@ class ManagerHost:
     ):
         self.sim = sim
         self.network = network
-        self.trace = trace
-        self.planner = planner
-        self.manager_id = manager_id
-        self.replan_k = replan_k
-        self.machine = ManagerMachine(
-            planner.universe,
+        super().__init__(
+            planner,
+            initial_config,
+            clock=SimClock(sim),
+            transport=network,
+            timers=SimTimerService(sim),
+            trace=trace,
             policy=policy,
             flush_provider=flush_provider,
             manager_id=manager_id,
+            replan_k=replan_k,
+            error=SimulationError,
         )
-        self.committed = initial_config
-        self.outcome: Optional[AdaptationOutcome] = None
-        self._timers: Dict[str, TimerHandle] = {}
-        self._started_at = 0.0
-        network.register(manager_id, self._on_envelope)
-        trace.append(
-            ConfigCommitted(
-                time=sim.now, configuration=initial_config.members, step_id="initial"
-            )
-        )
-
-    # -- entry point -----------------------------------------------------------
-    def request_adaptation(self, target: Configuration) -> None:
-        """Plan current→target and start executing (detection & setup + realization)."""
-        plan = self.planner.plan(self.committed, target)
-        self.start_plan(plan)
-
-    def start_plan(self, plan: AdaptationPlan) -> None:
-        """Execute a pre-computed plan (must start at the committed config)."""
-        if plan.source != self.committed:
-            raise SimulationError(
-                f"plan starts at {plan.source.label()} but system is at "
-                f"{self.committed.label()}"
-            )
-        self.outcome = None
-        self._started_at = self.sim.now
-        self.dispatch(self.machine.start(plan))
-
-    @property
-    def done(self) -> bool:
-        return self.outcome is not None
-
-    # -- inbound ---------------------------------------------------------------
-    def _on_envelope(self, envelope: Envelope) -> None:
-        self.dispatch(self.machine.on_message(envelope.message))
-
-    # -- effect interpreter -----------------------------------------------------
-    def dispatch(self, effects: Iterable[Effect]) -> None:
-        queue: Deque[Effect] = deque(effects)
-        while queue:
-            effect = queue.popleft()
-            if isinstance(effect, Send):
-                self.network.send(
-                    Envelope(self.manager_id, effect.destination, effect.message)
-                )
-            elif isinstance(effect, SetTimer):
-                self._set_timer(effect.name, effect.delay)
-            elif isinstance(effect, CancelTimer):
-                self._cancel_timer(effect.name)
-            elif isinstance(effect, StepCommitted):
-                self.committed = effect.step.target
-                self.trace.append(
-                    ConfigCommitted(
-                        time=self.sim.now,
-                        configuration=effect.step.target.members,
-                        step_id=effect.step_key,
-                        action_id=effect.step.action.action_id,
-                    )
-                )
-            elif isinstance(effect, StepRolledBack):
-                self.trace.append(
-                    NoteRecord(
-                        time=self.sim.now,
-                        text=(
-                            f"step {effect.step_key} "
-                            f"({effect.step.action.action_id}) rolled back: "
-                            f"{effect.reason}"
-                        ),
-                    )
-                )
-            elif isinstance(effect, RequestReplan):
-                queue.extend(self._handle_replan(effect))
-            elif isinstance(effect, AdaptationComplete):
-                self._finish("complete", effect.configuration, "target reached")
-            elif isinstance(effect, AdaptationAborted):
-                self._finish("aborted", effect.configuration, effect.reason)
-            elif isinstance(effect, AwaitUser):
-                self._finish("await_user", effect.configuration, effect.reason)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"manager: unhandled effect {effect!r}")
-
-    def _finish(self, status: str, configuration: Configuration, reason: str) -> None:
-        self.outcome = AdaptationOutcome(
-            status=status,
-            configuration=configuration,
-            reason=reason,
-            steps_committed=self.machine.steps_committed,
-            steps_rolled_back=self.machine.steps_rolled_back,
-            started_at=self._started_at,
-            finished_at=self.sim.now,
-        )
-        self.trace.append(
-            NoteRecord(time=self.sim.now, text=f"adaptation {status}: {reason}")
-        )
-
-    # -- timers ------------------------------------------------------------------
-    def _set_timer(self, name: str, delay: float) -> None:
-        self._cancel_timer(name)
-
-        def fire() -> None:
-            self._timers.pop(name, None)
-            self.dispatch(self.machine.on_timeout(name))
-
-        self._timers[name] = self.sim.schedule(delay, fire)
-
-    def _cancel_timer(self, name: str) -> None:
-        handle = self._timers.pop(name, None)
-        if handle is not None:
-            handle.cancel()
-
-    # -- re-planning (failure cascade, §4.4) ------------------------------------------
-    def _avoids_failed_edges(
-        self, plan: AdaptationPlan, failed: Tuple[Tuple[Configuration, str], ...]
-    ) -> bool:
-        failed_set = set(failed)
-        return all(
-            (step.source, step.action.action_id) not in failed_set
-            for step in plan.steps
-        )
-
-    def _handle_replan(self, request: RequestReplan) -> List[Effect]:
-        if request.kind == ReplanKind.ALTERNATE_TO_TARGET:
-            destination = self.machine.target
-        else:
-            destination = self.machine.original_source
-        assert destination is not None
-        if request.current == destination:
-            empty = AdaptationPlan(request.current, destination, (), 0.0)
-            return self.machine.on_new_plan(empty)
-        try:
-            candidates = self.planner.plan_k(request.current, destination, self.replan_k)
-        except (NoSafePathError, UnsafeConfigurationError):
-            return self.machine.on_no_plan()
-        for plan in candidates:
-            if self._avoids_failed_edges(plan, request.failed_edges):
-                return self.machine.on_new_plan(plan)
-        return self.machine.on_no_plan()
+        network.register(manager_id, self.on_envelope)
 
 
 class AdaptationCluster:
@@ -459,7 +173,7 @@ class AdaptationCluster:
         initial_config: Configuration,
         *,
         seed: int = 0,
-        apps: Optional[Mapping[str, ProcessApp]] = None,
+        apps: Optional[Mapping[str, AppAdapter]] = None,
         policy: Optional[FailurePolicy] = None,
         flush_provider: FlushProvider = no_flush,
         default_delay: Optional[DelayModel] = None,

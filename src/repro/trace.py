@@ -11,7 +11,9 @@ records so one checker (:mod:`repro.safety`) can judge them all.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from functools import lru_cache as _lru_cache
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Type, TypeVar
 
 
@@ -110,32 +112,48 @@ _RECORD_TYPES = (
 
 
 class Trace:
-    """Append-only ordered sequence of trace records."""
+    """Append-only ordered sequence of trace records.
+
+    Thread-safe: the live runtime appends from the manager receive-loop
+    thread, timer threads, and per-agent host threads concurrently, and
+    callers may iterate mid-run.  All mutation happens under an internal
+    lock and every read path (iteration, filtering, serialization) works
+    on an atomic :meth:`snapshot`.
+    """
 
     def __init__(self, records: Iterable[TraceRecord] = ()):
         self._records: List[TraceRecord] = list(records)
+        self._lock = threading.RLock()
 
     def append(self, record: TraceRecord) -> None:
-        self._records.append(record)
+        with self._lock:
+            self._records.append(record)
 
     def extend(self, records: Iterable[TraceRecord]) -> None:
-        self._records.extend(records)
+        with self._lock:
+            self._records.extend(records)
+
+    def snapshot(self) -> Tuple[TraceRecord, ...]:
+        """Atomic copy of the records appended so far."""
+        with self._lock:
+            return tuple(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self.snapshot())
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def of_type(self, record_type: Type[R]) -> Tuple[R, ...]:
         """All records of a given type, in trace order."""
-        return tuple(r for r in self._records if isinstance(r, record_type))
+        return tuple(r for r in self.snapshot() if isinstance(r, record_type))
 
     def comm_sequence(self, cid: int) -> Tuple[str, ...]:
         """The paper's ``S_CID``: atomic actions of one segment, in order."""
         return tuple(
             r.action
-            for r in self._records
+            for r in self.snapshot()
             if isinstance(r, CommRecord) and r.cid == cid
         )
 
@@ -143,7 +161,7 @@ class Trace:
         """All critical-communication identifiers seen, in first-seen order."""
         seen: List[int] = []
         known = set()
-        for record in self._records:
+        for record in self.snapshot():
             if isinstance(record, CommRecord) and record.cid not in known:
                 known.add(record.cid)
                 seen.append(record.cid)
@@ -157,7 +175,7 @@ class Trace:
         return commits[-1].configuration if commits else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"Trace({len(self._records)} records)"
+        return f"Trace({len(self)} records)"
 
     # -- persistence ------------------------------------------------------------
     def to_jsonl(self) -> str:
@@ -170,12 +188,14 @@ class Trace:
         import json
 
         lines = []
-        for record in self._records:
+        for record in self.snapshot():
             payload = {"type": type(record).__name__}
             for field_info in dataclasses.fields(record):
                 value = getattr(record, field_info.name)
                 if isinstance(value, frozenset):
                     value = sorted(value)
+                elif isinstance(value, tuple):
+                    value = list(value)
                 payload[field_info.name] = value
             lines.append(json.dumps(payload, sort_keys=True))
         return "\n".join(lines)
@@ -183,7 +203,6 @@ class Trace:
     @classmethod
     def from_jsonl(cls, text: str) -> "Trace":
         """Inverse of :meth:`to_jsonl`."""
-        import dataclasses
         import json
 
         registry = {klass.__name__: klass for klass in _RECORD_TYPES}
@@ -196,14 +215,40 @@ class Trace:
             klass = registry.get(type_name)
             if klass is None:
                 raise ValueError(f"line {line_no}: unknown record type {type_name!r}")
-            kwargs = {}
-            for field_info in dataclasses.fields(klass):
-                if field_info.name not in payload:
-                    continue
-                value = payload[field_info.name]
-                # lists only ever encode frozenset-valued fields
-                if isinstance(value, list):
-                    value = frozenset(value)
-                kwargs[field_info.name] = value
-            records.append(klass(**kwargs))
+            records.append(_decode_record(klass, payload))
         return cls(records)
+
+
+@_lru_cache(maxsize=None)
+def _field_hints(klass: Type[TraceRecord]) -> Tuple[Tuple[str, object], ...]:
+    """Resolved (name, type) pairs for a record class's dataclass fields."""
+    import dataclasses
+    import typing
+
+    hints = typing.get_type_hints(klass)
+    return tuple((f.name, hints.get(f.name)) for f in dataclasses.fields(klass))
+
+
+def _decode_record(klass: Type[TraceRecord], payload: dict) -> TraceRecord:
+    """Build a record from a JSON payload, coercing by declared field type.
+
+    JSON has no frozenset/tuple, so container fields round-trip through
+    lists; each list is coerced back to whatever the dataclass field
+    actually declares (``FrozenSet`` → frozenset, ``Tuple`` → tuple,
+    ``List`` stays a list) instead of being blanket-converted.
+    """
+    import typing
+
+    kwargs = {}
+    for name, hint in _field_hints(klass):
+        if name not in payload:
+            continue
+        value = payload[name]
+        if isinstance(value, list) and hint is not None:
+            origin = typing.get_origin(hint) or hint
+            if origin is frozenset:
+                value = frozenset(value)
+            elif origin in (tuple, set):
+                value = origin(value)
+        kwargs[name] = value
+    return klass(**kwargs)

@@ -123,6 +123,39 @@ class TestSimulate:
         )
         assert "SAFE" in output
 
+    @pytest.mark.parametrize("backend", ("live", "aio"))
+    def test_alternate_backends(self, manifest_path, backend):
+        code, output = run_cli(
+            "simulate", manifest_path, "--from", "source", "--to", "target",
+            "--backend", backend, "--time-scale", "0.0005",
+        )
+        assert code == 0
+        assert f"backend: {backend}" in output
+        assert "outcome: complete" in output
+        assert "SAFE" in output
+
+    def test_loss_requires_sim_backend(self, manifest_path):
+        code, _ = run_cli(
+            "simulate", manifest_path, "--from", "source", "--to", "target",
+            "--backend", "aio", "--loss", "0.1",
+        )
+        assert code == 2
+
+    def test_save_trace_then_offline_check(self, manifest_path, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        code, output = run_cli(
+            "simulate", manifest_path, "--from", "source", "--to", "target",
+            "--save-trace", str(trace_file),
+        )
+        assert code == 0
+        assert trace_file.exists()
+        code, output = run_cli(
+            "trace", "check", str(trace_file), "--manifest", manifest_path
+        )
+        assert code == 0
+        assert "SAFE" in output
+        assert "committed configurations: 6" in output
+
     def test_timeline_rendering(self, manifest_path):
         code, output = run_cli(
             "simulate", manifest_path, "--from", "source", "--to", "target",
@@ -132,6 +165,27 @@ class TestSimulate:
         assert "commits" in output
         assert "in-action A2" in output
         assert "handheld" in output
+
+
+class TestTraceCheck:
+    def test_malformed_trace_is_an_error(self, manifest_path, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "Martian", "time": 0.0}\n', encoding="utf-8")
+        code, _ = run_cli("trace", "check", str(bad), "--manifest", manifest_path)
+        assert code == 2
+
+    def test_unsafe_trace_fails(self, manifest_path, tmp_path):
+        unsafe = tmp_path / "unsafe.jsonl"
+        # A committed configuration with no decoder for encoder E1.
+        unsafe.write_text(
+            '{"type": "ConfigCommitted", "time": 0.0, "configuration": ["E1"]}\n',
+            encoding="utf-8",
+        )
+        code, output = run_cli(
+            "trace", "check", str(unsafe), "--manifest", manifest_path
+        )
+        assert code == 1
+        assert "UNSAFE" in output
 
 
 class TestExampleManifest:

@@ -66,6 +66,52 @@ class TestTrace:
         assert len(Trace(records)) == 1
 
 
+class TestThreadSafety:
+    def test_concurrent_append_and_iterate(self):
+        import threading
+
+        trace = Trace()
+        stop = threading.Event()
+        errors = []
+
+        def writer(worker):
+            i = 0
+            while not stop.is_set():
+                trace.append(NoteRecord(time=float(i), text=f"w{worker}"))
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    for _ in trace:  # snapshot-based: must never raise
+                        pass
+                    trace.of_type(NoteRecord)
+                    trace.to_jsonl()
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not errors
+        assert len(trace) > 0
+
+    def test_snapshot_is_stable_copy(self):
+        trace = make_trace()
+        snap = trace.snapshot()
+        trace.append(NoteRecord(time=10.0, text="later"))
+        assert len(snap) == 5
+        assert len(trace.snapshot()) == 6
+
+
 class TestRecordTypes:
     def test_records_are_frozen(self):
         record = CommRecord(time=1.0, cid=1, action="send")
@@ -129,6 +175,25 @@ class TestSerialization:
 
         with pytest.raises(ValueError):
             Trace.from_jsonl('{"type": "Martian", "time": 0.0}')
+
+    def test_list_fields_coerced_by_declared_type(self):
+        # frozenset fields come back as frozensets; a plain-list payload
+        # for a str field is left alone (no blanket list→frozenset).
+        restored = Trace.from_jsonl(
+            '{"type": "AdaptationApplied", "time": 1.0, "process": "p", '
+            '"action_id": "A1", "removes": ["X"], "adds": ["Y", "Z"]}'
+        )
+        record = list(restored)[0]
+        assert record.removes == frozenset({"X"})
+        assert record.adds == frozenset({"Y", "Z"})
+        assert isinstance(record.adds, frozenset)
+
+    def test_unknown_payload_fields_ignored(self):
+        # Forward compatibility: readers skip fields they don't know.
+        restored = Trace.from_jsonl(
+            '{"type": "NoteRecord", "time": 0.0, "text": "x", "bogus": 1}'
+        )
+        assert list(restored)[0].text == "x"
 
     def test_checker_works_on_restored_trace(self):
         from repro.core.invariants import InvariantSet

@@ -12,6 +12,7 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.apps.video import VideoScenario
+from repro.apps.video.scenario import VIDEO_CCS
 from repro.apps.video.system import paper_target
 from repro.baselines import (
     LocalQuiescenceSwap,
@@ -20,6 +21,8 @@ from repro.baselines import (
     UnsafeSwap,
 )
 from repro.bench import format_table
+from repro.obs import ObservationBus
+from repro.safety import StreamingSafetyChecker
 from repro.trace import BlockRecord
 
 
@@ -38,6 +41,14 @@ def total_blocked(trace, process):
 
 def run_strategy(name, seed=3):
     scenario = VideoScenario(seed=seed)
+    # Non-enforcing streaming checker on the observation bus: records the
+    # *moment* the first violation happened, not just the post-hoc verdict.
+    watcher = StreamingSafetyChecker(
+        scenario.cluster.invariants,
+        ccs=VIDEO_CCS,
+        universe=scenario.cluster.universe,
+    )
+    scenario.cluster.trace.attach_bus(ObservationBus(watcher), replay=True)
     target = paper_target()
     discarded = 0
     if name == "safe-protocol":
@@ -61,6 +72,7 @@ def run_strategy(name, seed=3):
         raise ValueError(name)
     stats = scenario.stream_stats()
     rep = scenario.safety_report()
+    first = watcher.first_violation
     return {
         "strategy": name,
         "safe": rep.ok,
@@ -71,6 +83,7 @@ def run_strategy(name, seed=3):
             total_blocked(scenario.cluster.trace, "server"), 1
         ),
         "packets_discarded": discarded,
+        "first_violation_ms": round(first.time, 1) if first is not None else None,
     }
 
 
@@ -106,12 +119,15 @@ def test_comparison_table(benchmark):
             [
                 "strategy", "safe", "dep viol", "ccs viol",
                 "corrupt pkts", "server blocked (ms)", "pkts discarded",
+                "first viol (ms)",
             ],
             [
                 (
                     r["strategy"], r["safe"], r["dependency"], r["ccs"],
                     r["corrupt_packets"], r["server_blocked_ms"],
                     r["packets_discarded"],
+                    "-" if r["first_violation_ms"] is None
+                    else r["first_violation_ms"],
                 )
                 for r in rows
             ],
@@ -127,3 +143,10 @@ def test_comparison_table(benchmark):
     # The quiescence baseline fails despite blocked in-actions (A2 ablation).
     assert by_name["quiescence"]["dependency"] > 0
     assert by_name["quiescence"]["corrupt_packets"] > 0
+    # Time-to-first-violation: the safe strategies never trip the streaming
+    # checker; the unsafe ones trip at/after the swap (scheduled at t=50).
+    for name in ("safe-protocol", "twophase", "restart"):
+        assert by_name[name]["first_violation_ms"] is None
+    for name in ("unsafe", "quiescence"):
+        assert by_name[name]["first_violation_ms"] is not None
+        assert by_name[name]["first_violation_ms"] >= 50.0

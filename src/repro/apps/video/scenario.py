@@ -165,6 +165,7 @@ def build_video_cluster(
     replan_k: int = 8,
     flush_mode: str = "capability",
     extended: bool = False,
+    bus=None,
 ) -> AdaptationCluster:
     """Assemble the full simulated video system of Figure 3.
 
@@ -215,6 +216,7 @@ def build_video_cluster(
         default_delay=control_delay or FixedDelay(1.0),
         default_loss=control_loss,
         replan_k=replan_k,
+        bus=bus,
     )
     data_delay = data_delay or FixedDelay(5.0)
     for client in CLIENTS:

@@ -43,7 +43,9 @@ def apply_slice(host: ProcessHost, action: AdaptiveAction) -> None:
     host.components -= local_removes
     host.components |= local_adds
     host.app.apply_action(action)
-    host.trace.append(
+    # emit (not raw trace.append) so baseline runs stream through any
+    # attached observation bus — online enforcement trips them mid-run.
+    host.emit(
         AdaptationApplied(
             time=host.sim.now,
             process=host.process_id,
@@ -57,7 +59,7 @@ def apply_slice(host: ProcessHost, action: AdaptiveAction) -> None:
 def record_block(host: ProcessHost, blocked: bool) -> None:
     """Toggle a host's blocked flag with trace + app notifications."""
     host.blocked = blocked
-    host.trace.append(
+    host.emit(
         BlockRecord(time=host.sim.now, process=host.process_id, blocked=blocked)
     )
     if blocked:
@@ -68,7 +70,7 @@ def record_block(host: ProcessHost, blocked: bool) -> None:
 
 def commit(cluster: AdaptationCluster, configuration: Configuration, step_id: str,
            action_id: str = "") -> None:
-    cluster.trace.append(
+    cluster.manager.emit(
         ConfigCommitted(
             time=cluster.sim.now,
             configuration=configuration.members,

@@ -103,6 +103,130 @@ class CCSSpec:
         return f"CCSSpec({self.name!r}, {len(self._allowed)} sequences)"
 
 
+class _SegmentState:
+    """Per-CID incremental state kept by :class:`CCSTracker`.
+
+    ``status`` is the segment's *current* classification:
+
+    * ``"open"`` — a proper prefix of at least one allowed sequence;
+    * ``"complete"`` — exactly an allowed sequence (stored compactly as
+      an index into the spec's allowed tuple, not a copied list — the
+      common case for long safe runs, so memory stays bounded by the
+      number of open/interrupted segments, not by traffic volume);
+    * ``"dead"`` — left the prefix set.  The prefix set is prefix-closed,
+      so no future action can revive a dead segment: its final verdict
+      is already known to be *interrupted*, which is what makes online
+      CCS enforcement sound.
+    """
+
+    __slots__ = ("status", "actions", "complete_index", "last_time")
+
+    def __init__(self) -> None:
+        self.status = "open"
+        self.actions: Optional[List[str]] = []
+        self.complete_index = -1
+        self.last_time = 0.0
+
+
+class CCSTracker:
+    """Incremental, batch-parity CCS checking over a record stream.
+
+    Mirrors :meth:`CCSSpec.judge_trace` event-by-event: after any number
+    of :meth:`observe` calls, :meth:`verdicts` equals what the batch
+    judgement would return over the same records (same CIDs, same
+    sequences, same first-seen order — the property tests pin this).
+    Unlike :class:`SegmentTracker` (live quiescence bookkeeping, which
+    forgets completed segments), this tracker keeps exact per-CID
+    verdict state so a completed segment that receives further actions
+    is re-judged exactly as the batch extraction would.
+
+    :meth:`observe` additionally returns a :class:`SegmentVerdict` at
+    the *moment* a segment becomes unrecoverable (leaves the prefix
+    set) — the online-enforcement hook: at that instant the final
+    verdict is guaranteed to be *interrupted*, no matter what follows.
+    """
+
+    def __init__(self, spec: CCSSpec):
+        self.spec = spec
+        self._segments: Dict[int, _SegmentState] = {}
+        self._complete_index: Dict[Tuple[str, ...], int] = {}
+        for index, seq in enumerate(spec._allowed):
+            self._complete_index.setdefault(seq, index)
+        self.completed = 0
+        self.interrupted = 0
+
+    def observe(self, cid: int, action: str, time: float = 0.0) -> Optional[SegmentVerdict]:
+        """Record one atomic action; returns a verdict iff the segment
+        just became irrecoverably interrupted (None otherwise)."""
+        state = self._segments.get(cid)
+        if state is None:
+            state = self._segments[cid] = _SegmentState()
+        state.last_time = time
+        if state.status == "dead":
+            assert state.actions is not None
+            state.actions.append(action)
+            return None
+        if state.status == "complete":
+            # Re-expand the compact form: the segment is growing again.
+            state.actions = list(self.spec.allowed[state.complete_index])
+            state.complete_index = -1
+            self.completed -= 1
+        assert state.actions is not None
+        state.actions.append(action)
+        sequence = tuple(state.actions)
+        if sequence in self.spec._complete:
+            state.status = "complete"
+            state.complete_index = self._complete_index[sequence]
+            state.actions = None
+            self.completed += 1
+            return None
+        if sequence in self.spec._prefixes:
+            state.status = "open"
+            return None
+        state.status = "dead"
+        self.interrupted += 1
+        return SegmentVerdict(cid=cid, sequence=sequence, complete=False, in_progress=False)
+
+    def sequence(self, cid: int) -> Tuple[str, ...]:
+        """The segment's full action sequence so far (== ``S_CID``)."""
+        state = self._segments[cid]
+        if state.status == "complete":
+            return self.spec.allowed[state.complete_index]
+        assert state.actions is not None
+        return tuple(state.actions)
+
+    def last_time(self, cid: int) -> float:
+        """Time of the most recent action observed for *cid*."""
+        return self._segments[cid].last_time
+
+    def cids(self) -> Tuple[int, ...]:
+        """All CIDs seen, in first-seen order (matches ``Trace.cids``)."""
+        return tuple(self._segments)
+
+    def verdicts(self) -> List[SegmentVerdict]:
+        """Batch-identical judgement of every segment seen so far."""
+        out: List[SegmentVerdict] = []
+        for cid, state in self._segments.items():
+            sequence = self.sequence(cid)
+            out.append(
+                SegmentVerdict(
+                    cid=cid,
+                    sequence=sequence,
+                    complete=state.status == "complete",
+                    in_progress=state.status == "open",
+                )
+            )
+        return out
+
+    @property
+    def segments_seen(self) -> int:
+        return len(self._segments)
+
+    @property
+    def open_count(self) -> int:
+        return sum(1 for s in self._segments.values() if s.status == "open")
+
+
 class SegmentTracker:
     """Incremental segment bookkeeping for live components.
 

@@ -96,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the per-process adaptation timeline")
     simulate.add_argument("--save-trace", metavar="FILE",
                           help="persist the execution trace as JSON lines")
+    simulate.add_argument("--enforce", action="store_true",
+                          help="online enforcement: abort the run at the first "
+                               "safety violation (streaming checker tripwire)")
+    simulate.add_argument("--metrics", action="store_true",
+                          help="print rolling execution counters collected "
+                               "over the observation bus")
+    simulate.add_argument("--tail", action="store_true",
+                          help="print the event log live as records are "
+                               "emitted (streaming sink)")
 
     trace = commands.add_parser("trace", help="inspect persisted execution traces")
     trace_commands = trace.add_subparsers(dest="trace_command", required=True)
@@ -106,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_check.add_argument(
         "--manifest", required=True,
         help="manifest supplying the dependency invariants to check against",
+    )
+    trace_check.add_argument(
+        "--stream", action="store_true",
+        help="stream the file through the incremental checker line by line "
+             "(constant memory; the record list is never materialized)",
+    )
+    trace_check.add_argument(
+        "--metrics", action="store_true",
+        help="also print rolling execution counters for the trace",
     )
 
     commands.add_parser(
@@ -186,7 +204,7 @@ def cmd_sag(args, out) -> int:
     return 0
 
 
-def _run_backend(args, manifest, source, target):
+def _run_backend(args, manifest, source, target, bus=None):
     """Execute source→target on the selected backend; returns (outcome, trace)."""
     from repro.exec.app import QuiescentAdapter
 
@@ -207,6 +225,7 @@ def _run_backend(args, manifest, source, target):
             seed=args.seed,
             apps=quiesce_apps,
             default_loss=BernoulliLoss(args.loss) if args.loss else None,
+            bus=bus,
         )
         return cluster.adapt_to(target), cluster.trace
     if args.backend == "live":
@@ -219,6 +238,7 @@ def _run_backend(args, manifest, source, target):
             source,
             apps=quiesce_apps,
             time_scale=args.time_scale,
+            bus=bus,
         )
         with system:
             outcome = system.adapt_to(target)
@@ -233,29 +253,58 @@ def _run_backend(args, manifest, source, target):
         target,
         apps=quiesce_apps,
         time_scale=args.time_scale,
+        bus=bus,
     )
     return outcome, system.trace
 
 
 def cmd_simulate(args, out) -> int:
-    from repro.safety import check_safe
+    from repro.errors import SafetyViolationError
+    from repro.obs import MetricsObserver, ObservationBus
+    from repro.safety import SafetyChecker
 
     manifest = load_path(args.manifest)
     source = manifest.resolve_configuration(args.source)
     target = manifest.resolve_configuration(args.target)
-    outcome, trace = _run_backend(args, manifest, source, target)
+
+    # All observation rides the bus: streaming safety (optionally
+    # enforcing), rolling metrics, and the live event tail.
+    checker = SafetyChecker(manifest.invariants, universe=manifest.universe)
+    stream = checker.streaming(enforce=args.enforce)
+    bus = ObservationBus(stream)
+    metrics = None
+    if args.metrics:
+        metrics = bus.subscribe(MetricsObserver())
+    if args.tail:
+        from repro.render import EventStreamSink
+
+        bus.subscribe(EventStreamSink(stream=out))
     print(f"backend: {args.backend}", file=out)
+    try:
+        outcome, trace = _run_backend(args, manifest, source, target, bus=bus)
+    except SafetyViolationError as exc:
+        violation = exc.violation
+        print("outcome: ABORTED by online enforcement", file=out)
+        if violation is not None:
+            print(f"violation: [{violation.kind}] t={violation.time:g}: "
+                  f"{violation.detail}", file=out)
+        else:  # pragma: no cover - violations always carry structure here
+            print(f"violation: {exc}", file=out)
+        return 1
     print(f"outcome: {outcome.status} at {outcome.configuration.label()}", file=out)
     print(f"duration: {outcome.duration:g} time units, "
           f"steps committed: {outcome.steps_committed}, "
           f"rolled back: {outcome.steps_rolled_back}", file=out)
-    report = check_safe(trace, manifest.invariants)
+    report = stream.finish()
     print(f"safety: {report.summary()}", file=out)
     if args.save_trace:
         from pathlib import Path
 
         Path(args.save_trace).write_text(trace.to_jsonl() + "\n", encoding="utf-8")
         print(f"trace: {len(trace)} records -> {args.save_trace}", file=out)
+    if metrics is not None:
+        print(file=out)
+        print(metrics.finish().summary(), file=out)
     if args.timeline:
         from repro.render import render_events, render_timeline
 
@@ -269,24 +318,47 @@ def cmd_simulate(args, out) -> int:
 def cmd_trace(args, out) -> int:
     from pathlib import Path
 
-    from repro.safety import check_safe
-    from repro.trace import Trace
+    from repro.obs import MetricsObserver
+    from repro.safety import SafetyChecker
+    from repro.trace import Trace, iter_jsonl
 
     # only one sub-command today: `trace check`
     manifest = load_path(args.manifest)
+    checker = SafetyChecker(manifest.invariants, universe=manifest.universe)
+    stream = checker.streaming()
+    metrics = MetricsObserver() if args.metrics else None
     try:
-        text = Path(args.tracefile).read_text(encoding="utf-8")
-        restored = Trace.from_jsonl(text)
+        if args.stream:
+            # Constant memory: records flow file → decoder → checker one
+            # at a time; the trace is never materialized.
+            with open(args.tracefile, encoding="utf-8") as handle:
+                for record in iter_jsonl(handle):
+                    stream.feed(record)
+                    if metrics is not None:
+                        metrics.feed(record)
+            records = stream.records_seen
+            commits = stream.configurations_checked
+        else:
+            text = Path(args.tracefile).read_text(encoding="utf-8")
+            restored = Trace.from_jsonl(text)
+            for record in restored:
+                stream.feed(record)
+                if metrics is not None:
+                    metrics.feed(record)
+            records = len(restored)
+            commits = len(restored.committed_configurations())
     except ValueError as exc:
         raise ReproError(f"malformed trace file {args.tracefile}: {exc}") from exc
-    report = check_safe(restored, manifest.invariants)
-    print(f"records: {len(restored)}", file=out)
-    print(f"committed configurations: {len(restored.committed_configurations())}",
-          file=out)
+    report = stream.finish()
+    print(f"records: {records}", file=out)
+    print(f"committed configurations: {commits}", file=out)
     print(f"safety: {report.summary()}", file=out)
     for violation in report.violations:
         print(f"  [{violation.kind}] t={violation.time:g}: {violation.detail}",
               file=out)
+    if metrics is not None:
+        print(file=out)
+        print(metrics.finish().summary(), file=out)
     return 0 if report.ok else 1
 
 

@@ -99,7 +99,16 @@ class UserInterventionRequired(ProtocolError):
 
 
 class SafetyViolationError(ReproError):
-    """A trace failed the paper's safety definition (checker found evidence)."""
+    """A trace failed the paper's safety definition (checker found evidence).
+
+    When raised by the streaming checker (batch ``raise_if_unsafe`` or the
+    online enforcement tripwire), ``violation`` carries the structured
+    :class:`repro.safety.Violation` (kind, time, detail) that tripped it.
+    """
+
+    def __init__(self, message: str, violation=None):
+        super().__init__(message)
+        self.violation = violation
 
 
 class ExecutionError(ReproError):

@@ -174,12 +174,13 @@ class AioAdaptationSystem:
         time_scale: float = 0.001,
         replan_k: int = 8,
         manager_id: str = "manager",
+        bus=None,
     ):
         self.universe = universe
         self.planner = AdaptationPlanner(universe, invariants, actions)
         self.planner.space.require_safe(initial_config, role="initial configuration")
         self.transport = AioTransport()
-        self.trace = Trace()
+        self.trace = Trace(bus=bus)
         self.time_scale = time_scale
         self.manager_id = manager_id
         self._clock = WallClock(time_scale)
@@ -301,6 +302,7 @@ def run_aio_adaptation(
     time_scale: float = 0.001,
     replan_k: int = 8,
     timeout: float = 30.0,
+    bus=None,
 ):
     """Synchronous convenience wrapper: build, run one adaptation, shut down.
 
@@ -319,6 +321,7 @@ def run_aio_adaptation(
             flush_provider=flush_provider,
             time_scale=time_scale,
             replan_k=replan_k,
+            bus=bus,
         )
         async with system:
             outcome = await system.adapt_to(target, timeout=timeout)

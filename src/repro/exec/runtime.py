@@ -132,6 +132,15 @@ class AgentRuntime:
         self.app.attach(self)
         self.agent = AgentMachine(process_id, manager_id)
 
+    def emit(self, record) -> None:
+        """Publish one trace record (single agent-side emission point).
+
+        Appending publishes to the trace's observation bus, so a raising
+        enforcement observer aborts the effect being interpreted — with
+        the violating record already recorded as evidence.
+        """
+        self.trace.append(record)
+
     # -- blocking gate -----------------------------------------------------------
     @property
     def blocked(self) -> bool:
@@ -200,7 +209,7 @@ class AgentRuntime:
                 self.app.abort_reset(effect.step_key)
             elif isinstance(effect, BlockProcess):
                 self.running_event.clear()
-                self.trace.append(
+                self.emit(
                     BlockRecord(
                         time=self.clock.now(), process=self.process_id, blocked=True
                     )
@@ -211,7 +220,7 @@ class AgentRuntime:
             elif isinstance(effect, ExecuteInAction):
                 self._apply_local(effect.action, inverse=False)
                 self.app.apply_action(effect.action)
-                self.trace.append(
+                self.emit(
                     AdaptationApplied(
                         time=self.clock.now(),
                         process=self.process_id,
@@ -224,7 +233,7 @@ class AgentRuntime:
             elif isinstance(effect, UndoInAction):
                 self._apply_local(effect.action, inverse=True)
                 self.app.undo_action(effect.action)
-                self.trace.append(
+                self.emit(
                     RollbackRecord(
                         time=self.clock.now(),
                         process=self.process_id,
@@ -250,7 +259,7 @@ class AgentRuntime:
 
     def _resume_now(self, step_key: str) -> List[Effect]:
         self.running_event.set()
-        self.trace.append(
+        self.emit(
             BlockRecord(time=self.clock.now(), process=self.process_id, blocked=False)
         )
         self.app.on_resumed()
@@ -344,11 +353,15 @@ class ManagerRuntime:
         self.committed = initial_config
         self.outcome: Optional[AdaptationOutcome] = None
         self._started_at = 0.0
-        trace.append(
+        self.emit(
             ConfigCommitted(
                 time=clock.now(), configuration=initial_config.members, step_id="initial"
             )
         )
+
+    def emit(self, record) -> None:
+        """Publish one trace record (single manager-side emission point)."""
+        self.trace.append(record)
 
     # -- entry point -----------------------------------------------------------
     def request_adaptation(self, target: Configuration) -> None:
@@ -403,7 +416,7 @@ class ManagerRuntime:
                 self.timers.cancel_timer(effect.name)
             elif isinstance(effect, StepCommitted):
                 self.committed = effect.step.target
-                self.trace.append(
+                self.emit(
                     ConfigCommitted(
                         time=self.clock.now(),
                         configuration=effect.step.target.members,
@@ -412,7 +425,7 @@ class ManagerRuntime:
                     )
                 )
             elif isinstance(effect, StepRolledBack):
-                self.trace.append(
+                self.emit(
                     NoteRecord(
                         time=self.clock.now(),
                         text=(
@@ -445,7 +458,7 @@ class ManagerRuntime:
             started_at=self._started_at,
             finished_at=self.clock.now(),
         )
-        self.trace.append(
+        self.emit(
             NoteRecord(time=self.clock.now(), text=f"adaptation {status}: {reason}")
         )
         if self._on_terminal is not None:

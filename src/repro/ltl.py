@@ -35,7 +35,18 @@ also supports *balanced* propositions (start/done pairs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import AbstractSet, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.obs import Observer
+from repro.trace import (
+    AdaptationApplied,
+    BlockRecord,
+    CommRecord,
+    ConfigCommitted,
+    CorruptionRecord,
+    RollbackRecord,
+    TraceRecord,
+)
 
 
 class PFormula:
@@ -260,3 +271,103 @@ class SafeStateMonitor:
 def no_open_segments(start: str = "start", done: str = "done") -> SafeStateMonitor:
     """The canonical decoder safe-state monitor: no segment mid-flight."""
     return SafeStateMonitor(pairs=[BalancedPair(start, done)])
+
+
+def record_events(record: TraceRecord) -> Tuple[str, ...]:
+    """Default trace-record → proposition mapping for :class:`TemporalObserver`.
+
+    Communication records contribute their atomic-action name directly
+    (so CCS-style formulas can be written over ``encode``/``send``/...);
+    lifecycle records contribute a fixed proposition each.  Records with
+    no temporal meaning (notes) map to the empty tuple and do not step
+    the monitor.
+    """
+    if isinstance(record, CommRecord):
+        return (record.action,)
+    if isinstance(record, BlockRecord):
+        return ("block",) if record.blocked else ("resume",)
+    if isinstance(record, ConfigCommitted):
+        return ("commit",)
+    if isinstance(record, AdaptationApplied):
+        return ("adapt",)
+    if isinstance(record, RollbackRecord):
+        return ("rollback",)
+    if isinstance(record, CorruptionRecord):
+        return ("corruption",)
+    return ()
+
+
+@dataclass
+class TemporalReport:
+    """Terminal summary of a :class:`TemporalObserver`."""
+
+    steps: int = 0
+    holds: Optional[bool] = None
+    unsafe_steps: int = 0
+    first_unsafe_time: Optional[float] = None
+
+    @property
+    def ever_unsafe(self) -> bool:
+        return self.unsafe_steps > 0
+
+
+class TemporalObserver(Observer):
+    """ptLTL / safe-state monitoring as an observation-bus subscriber.
+
+    Replaces the bespoke per-application plumbing (``MonitoredApp``
+    calling ``SafeStateMonitor.observe`` by hand): subscribe one of these
+    to a trace's bus and the monitor is stepped from the published record
+    stream itself, on any backend.  Wraps either a
+    :class:`SafeStateMonitor` (balanced pairs + formula; its safe-state
+    callbacks keep firing) or a bare :class:`PTLTLMonitor`.
+
+    ``events`` maps each record to the step's proposition set
+    (default :func:`record_events`); records mapping to no events are
+    skipped, and an optional ``process`` filter restricts the stream to
+    one process's records — local safe states are per-process in §3.2.
+    """
+
+    def __init__(
+        self,
+        monitor: Union[SafeStateMonitor, PTLTLMonitor],
+        events: Callable[[TraceRecord], Iterable[str]] = record_events,
+        process: Optional[str] = None,
+        name: str = "temporal",
+    ):
+        self.monitor = monitor
+        self._events = events
+        self._process = process
+        self._name = name
+        self._report = TemporalReport()
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def feed(self, record: TraceRecord) -> None:
+        if self._process is not None:
+            owner = getattr(record, "process", None)
+            if owner != self._process:
+                return
+        events = tuple(self._events(record))
+        if not events:
+            return
+        if isinstance(self.monitor, SafeStateMonitor):
+            holds = self.monitor.observe(*events)
+        else:
+            holds = self.monitor.step(events)
+        report = self._report
+        report.steps += 1
+        report.holds = holds
+        if not holds:
+            report.unsafe_steps += 1
+            if report.first_unsafe_time is None:
+                report.first_unsafe_time = record.time
+
+    @property
+    def holds(self) -> Optional[bool]:
+        """Current monitor value (None before the first stepped record)."""
+        return self._report.holds
+
+    def finish(self) -> TemporalReport:
+        return self._report

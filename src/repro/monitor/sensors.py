@@ -8,16 +8,30 @@ clock — time is passed in explicitly where it matters).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 
 class Sensor:
-    """A named scalar reading."""
+    """A named scalar reading.
+
+    Sensors that receive pushed readings notify registered listeners via
+    :meth:`on_update`, which is what lets the decision engine evaluate
+    on data arrival instead of polling on a fixed period.
+    """
 
     def __init__(self, name: str):
         if not name:
             raise ValueError("sensor name must be non-empty")
         self.name = name
+        self._listeners: List[Callable[["Sensor"], None]] = []
+
+    def on_update(self, listener: Callable[["Sensor"], None]) -> None:
+        """Register *listener*, called with the sensor after each update."""
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self)
 
     def sample(self) -> float:
         raise NotImplementedError
@@ -32,6 +46,7 @@ class GaugeSensor(Sensor):
 
     def set(self, value: float) -> None:
         self.value = value
+        self._notify()
 
     def sample(self) -> float:
         return self.value
@@ -49,6 +64,7 @@ class EwmaSensor(Sensor):
 
     def observe(self, value: float) -> None:
         self._value = self.alpha * value + (1.0 - self.alpha) * self._value
+        self._notify()
 
     def sample(self) -> float:
         return self._value
@@ -65,6 +81,7 @@ class WindowRateSensor(Sensor):
 
     def observe(self, bad: bool) -> None:
         self._events.append(bool(bad))
+        self._notify()
 
     def sample(self) -> float:
         if not self._events:

@@ -15,8 +15,9 @@ Example output::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
 
+from repro.obs import Observer
 from repro.trace import (
     AdaptationApplied,
     BlockRecord,
@@ -25,45 +26,97 @@ from repro.trace import (
     NoteRecord,
     RollbackRecord,
     Trace,
+    TraceRecord,
 )
+
+
+def format_record(record: TraceRecord) -> Optional[str]:
+    """One event-log line for a record, or None for records not rendered
+    (communication traffic is too chatty for the event log)."""
+    if isinstance(record, ConfigCommitted):
+        members = "{" + ",".join(sorted(record.configuration)) + "}"
+        tag = f"commit {record.step_id}"
+        if record.action_id:
+            tag += f" ({record.action_id})"
+        return f"t={record.time:9.2f}  {tag}: {members}"
+    if isinstance(record, BlockRecord):
+        verb = "blocked" if record.blocked else "resumed"
+        return f"t={record.time:9.2f}    {record.process}: {verb}"
+    if isinstance(record, AdaptationApplied):
+        delta = []
+        if record.removes:
+            delta.append("-" + ",".join(sorted(record.removes)))
+        if record.adds:
+            delta.append("+" + ",".join(sorted(record.adds)))
+        return (
+            f"t={record.time:9.2f}    {record.process}: in-action "
+            f"{record.action_id} [{' '.join(delta) or 'no local delta'}]"
+        )
+    if isinstance(record, RollbackRecord):
+        return (
+            f"t={record.time:9.2f}    {record.process}: ROLLBACK "
+            f"{record.action_id}"
+        )
+    if isinstance(record, CorruptionRecord):
+        return (
+            f"t={record.time:9.2f}    {record.process}: CORRUPTION "
+            f"{record.detail}"
+        )
+    if isinstance(record, NoteRecord):
+        return f"t={record.time:9.2f}  note: {record.text}"
+    return None
 
 
 def render_events(trace: Trace, width: int = 72) -> str:
     """Chronological event log, one line per protocol-relevant record."""
     lines: List[str] = []
     for record in trace:
-        if isinstance(record, ConfigCommitted):
-            members = "{" + ",".join(sorted(record.configuration)) + "}"
-            tag = f"commit {record.step_id}"
-            if record.action_id:
-                tag += f" ({record.action_id})"
-            lines.append(f"t={record.time:9.2f}  {tag}: {members}")
-        elif isinstance(record, BlockRecord):
-            verb = "blocked" if record.blocked else "resumed"
-            lines.append(f"t={record.time:9.2f}    {record.process}: {verb}")
-        elif isinstance(record, AdaptationApplied):
-            delta = []
-            if record.removes:
-                delta.append("-" + ",".join(sorted(record.removes)))
-            if record.adds:
-                delta.append("+" + ",".join(sorted(record.adds)))
-            lines.append(
-                f"t={record.time:9.2f}    {record.process}: in-action "
-                f"{record.action_id} [{' '.join(delta) or 'no local delta'}]"
-            )
-        elif isinstance(record, RollbackRecord):
-            lines.append(
-                f"t={record.time:9.2f}    {record.process}: ROLLBACK "
-                f"{record.action_id}"
-            )
-        elif isinstance(record, CorruptionRecord):
-            lines.append(
-                f"t={record.time:9.2f}    {record.process}: CORRUPTION "
-                f"{record.detail}"
-            )
-        elif isinstance(record, NoteRecord):
-            lines.append(f"t={record.time:9.2f}  note: {record.text}")
+        line = format_record(record)
+        if line is not None:
+            lines.append(line)
     return "\n".join(lines)
+
+
+class EventStreamSink(Observer):
+    """Streaming event log: tails a live run over the observation bus.
+
+    Each published record is formatted with :func:`format_record` and
+    written to *stream* (or handed to *emit*) as it happens — the same
+    lines ``render_events`` produces post-hoc, but printed while the run
+    is in flight (``repro simulate --tail``).  :meth:`finish` returns the
+    full formatted log collected so far.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        emit: Optional[Callable[[str], None]] = None,
+    ):
+        self._stream = stream
+        self._emit = emit
+        self._lines: List[str] = []
+
+    @property
+    def name(self) -> str:
+        return "events"
+
+    def feed(self, record: TraceRecord) -> None:
+        line = format_record(record)
+        if line is None:
+            return
+        self._lines.append(line)
+        if self._emit is not None:
+            self._emit(line)
+        if self._stream is not None:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    @property
+    def lines(self) -> Tuple[str, ...]:
+        return tuple(self._lines)
+
+    def finish(self) -> str:
+        return "\n".join(self._lines)
 
 
 def render_timeline(trace: Trace, width: int = 64) -> str:

@@ -55,12 +55,15 @@ class LiveAdaptationSystem:
         time_scale: float = 0.001,
         replan_k: int = 8,
         manager_id: str = "manager",
+        bus=None,
     ):
         self.universe = universe
         self.planner = AdaptationPlanner(universe, invariants, actions)
         self.planner.space.require_safe(initial_config, role="initial configuration")
         self.transport = InMemoryTransport()
-        self.trace = Trace()
+        # Bus publication happens under the trace lock, so observers see
+        # one serialized record stream even across runtime threads.
+        self.trace = Trace(bus=bus)
         self.time_scale = time_scale
         self.manager_id = manager_id
         self._clock = WallClock(time_scale)

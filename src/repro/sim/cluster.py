@@ -179,13 +179,16 @@ class AdaptationCluster:
         default_delay: Optional[DelayModel] = None,
         default_loss: Optional[LossModel] = None,
         replan_k: int = 8,
+        bus=None,
     ):
         self.universe = universe
         self.invariants = invariants
         self.actions = actions
         self.sim = Simulator(seed=seed)
         self.network = Network(self.sim, default_delay=default_delay, default_loss=default_loss)
-        self.trace = Trace()
+        # With an observation bus, every record any host appends is
+        # published at emission time (streaming checking/enforcement).
+        self.trace = Trace(bus=bus)
         self.planner = AdaptationPlanner(universe, invariants, actions)
         self.planner.space.require_safe(initial_config, role="initial configuration")
         apps = dict(apps or {})

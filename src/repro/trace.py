@@ -14,7 +14,20 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from functools import lru_cache as _lru_cache
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Type, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle with repro.obs)
+    from repro.obs import ObservationBus
 
 
 @dataclass(frozen=True)
@@ -119,19 +132,58 @@ class Trace:
     callers may iterate mid-run.  All mutation happens under an internal
     lock and every read path (iteration, filtering, serialization) works
     on an atomic :meth:`snapshot`.
+
+    A trace may carry an attached :class:`~repro.obs.ObservationBus`:
+    every appended record is *published* to the bus under the append
+    lock, so streaming observers (incremental safety checking, metrics,
+    live rendering, online enforcement) see the exact record sequence in
+    trace order — on every backend, from every emitter.  A publishing
+    observer that raises (the enforcement tripwire) aborts the append's
+    caller, but the record itself is already recorded: the trace keeps
+    the evidence of the violation that tripped it.
     """
 
-    def __init__(self, records: Iterable[TraceRecord] = ()):
+    def __init__(
+        self,
+        records: Iterable[TraceRecord] = (),
+        bus: "Optional[ObservationBus]" = None,
+    ):
         self._records: List[TraceRecord] = list(records)
         self._lock = threading.RLock()
+        # Seed records predate the bus attachment and are NOT published;
+        # use attach_bus(replay=True) to stream history to late joiners.
+        self._bus: "Optional[ObservationBus]" = bus
+
+    @property
+    def bus(self) -> "Optional[ObservationBus]":
+        """The attached observation bus, if any."""
+        return self._bus
+
+    def attach_bus(self, bus: "Optional[ObservationBus]", replay: bool = False) -> None:
+        """Attach (or with ``None`` detach) an observation bus.
+
+        With ``replay=True`` every record already in the trace is
+        published first, so observers joining a run in flight see the
+        full history before any live record.
+        """
+        with self._lock:
+            self._bus = bus
+            if bus is not None and replay:
+                for record in self._records:
+                    bus.publish(record)
 
     def append(self, record: TraceRecord) -> None:
         with self._lock:
             self._records.append(record)
+            if self._bus is not None:
+                self._bus.publish(record)
 
     def extend(self, records: Iterable[TraceRecord]) -> None:
         with self._lock:
-            self._records.extend(records)
+            for record in records:
+                self._records.append(record)
+                if self._bus is not None:
+                    self._bus.publish(record)
 
     def snapshot(self) -> Tuple[TraceRecord, ...]:
         """Atomic copy of the records appended so far."""
@@ -203,20 +255,30 @@ class Trace:
     @classmethod
     def from_jsonl(cls, text: str) -> "Trace":
         """Inverse of :meth:`to_jsonl`."""
-        import json
+        return cls(iter_jsonl(text.splitlines()))
 
-        registry = {klass.__name__: klass for klass in _RECORD_TYPES}
-        records = []
-        for line_no, line in enumerate(text.splitlines(), start=1):
-            if not line.strip():
-                continue
-            payload = json.loads(line)
-            type_name = payload.pop("type", None)
-            klass = registry.get(type_name)
-            if klass is None:
-                raise ValueError(f"line {line_no}: unknown record type {type_name!r}")
-            records.append(_decode_record(klass, payload))
-        return cls(records)
+
+def iter_jsonl(lines: Iterable[str]) -> Iterator[TraceRecord]:
+    """Decode trace records from JSON lines, one at a time.
+
+    Accepts any iterable of lines — including an open file handle — so a
+    persisted trace can stream through the incremental checker
+    (``repro trace check --stream``) without ever materializing the
+    record list.  Blank lines are skipped; unknown record types raise
+    ``ValueError`` with the offending line number.
+    """
+    import json
+
+    registry = {klass.__name__: klass for klass in _RECORD_TYPES}
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        type_name = payload.pop("type", None)
+        klass = registry.get(type_name)
+        if klass is None:
+            raise ValueError(f"line {line_no}: unknown record type {type_name!r}")
+        yield _decode_record(klass, payload)
 
 
 @_lru_cache(maxsize=None)

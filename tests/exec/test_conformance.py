@@ -26,7 +26,8 @@ from repro.exec.aio import run_aio_adaptation
 from repro.exec.app import QuiescentAdapter, StuckAdapter
 from repro.protocol.failures import FailurePolicy
 from repro.runtime import LiveAdaptationSystem
-from repro.safety import check_safe
+from repro.obs import MetricsObserver, ObservationBus
+from repro.safety import SafetyChecker, check_safe
 from repro.sim import AdaptationCluster
 
 # Wall time per protocol unit on the live/aio backends: fast enough for
@@ -35,7 +36,8 @@ from repro.sim import AdaptationCluster
 TIME_SCALE = 0.0005
 
 
-def run_sim(universe, invariants, actions, source, target, make_app, policy=None):
+def run_sim(universe, invariants, actions, source, target, make_app, policy=None,
+            bus=None):
     cluster = AdaptationCluster(
         universe,
         invariants,
@@ -43,12 +45,14 @@ def run_sim(universe, invariants, actions, source, target, make_app, policy=None
         source,
         apps={p: make_app() for p in universe.processes()},
         policy=policy,
+        bus=bus,
     )
     outcome = cluster.adapt_to(target)
     return outcome, cluster.trace
 
 
-def run_live(universe, invariants, actions, source, target, make_app, policy=None):
+def run_live(universe, invariants, actions, source, target, make_app, policy=None,
+             bus=None):
     system = LiveAdaptationSystem(
         universe,
         invariants,
@@ -57,13 +61,15 @@ def run_live(universe, invariants, actions, source, target, make_app, policy=Non
         apps={p: make_app() for p in universe.processes()},
         policy=policy,
         time_scale=TIME_SCALE,
+        bus=bus,
     )
     with system:
         outcome = system.adapt_to(target, timeout=30.0)
     return outcome, system.trace
 
 
-def run_aio(universe, invariants, actions, source, target, make_app, policy=None):
+def run_aio(universe, invariants, actions, source, target, make_app, policy=None,
+            bus=None):
     outcome, system = run_aio_adaptation(
         universe,
         invariants,
@@ -74,6 +80,7 @@ def run_aio(universe, invariants, actions, source, target, make_app, policy=None
         policy=policy,
         time_scale=TIME_SCALE,
         timeout=30.0,
+        bus=bus,
     )
     return outcome, system.trace
 
@@ -169,3 +176,45 @@ class TestInjectedFailureRollback:
         _, sim_trace = results[0]["sim"]
         _, trace = results[0][backend]
         assert trace.committed_configurations() == sim_trace.committed_configurations()
+
+
+class TestStreamingObservation:
+    """The observation bus on every backend: streaming verdict == batch
+    replay, and online enforcement is inert on the safe protocol."""
+
+    def _run(self, backend, enforce):
+        universe = video_universe()
+        invariants = video_invariants()
+        checker = SafetyChecker(invariants, universe=universe)
+        stream = checker.streaming(enforce=enforce)
+        metrics = MetricsObserver()
+        bus = ObservationBus(stream, metrics)
+        outcome, trace = BACKENDS[backend](
+            universe,
+            invariants,
+            video_actions(),
+            paper_source(universe),
+            paper_target(universe),
+            lambda: QuiescentAdapter(quiesce_delay=2.0),
+            bus=bus,
+        )
+        return checker, stream, metrics, bus, outcome, trace
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_streaming_verdict_matches_batch_replay(self, backend):
+        checker, stream, metrics, bus, outcome, trace = self._run(
+            backend, enforce=False
+        )
+        assert outcome.succeeded
+        # Every emitted record streamed through the bus, in trace order.
+        assert bus.records_published == len(trace)
+        assert metrics.finish().records == len(trace)
+        # The incremental verdict is byte-identical to the replay oracle.
+        assert stream.finish() == checker.check_replay(trace)
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_enforcement_inert_on_safe_protocol(self, backend):
+        _, stream, _, _, outcome, _ = self._run(backend, enforce=True)
+        assert outcome.succeeded, f"{backend}: enforcement tripped a safe run"
+        assert not stream.tripped
+        assert stream.finish().ok

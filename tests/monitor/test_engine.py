@@ -87,7 +87,8 @@ class TestOnCluster:
         threat = GaugeSensor("threat", 0.0)
         rule = make_rule("harden-to-128", threat, paper_target(), cooldown=50.0)
         engine = DecisionEngine([rule])
-        engine.attach_to(cluster, period=10.0)
+        with pytest.deprecated_call():
+            engine.attach_to(cluster, period=10.0)
         cluster.sim.schedule(35.0, lambda: threat.set(0.9))
         cluster.sim.run(until=300.0)
         assert cluster.manager.outcome is not None
@@ -96,3 +97,61 @@ class TestOnCluster:
         accepted = [d for d in engine.decisions if d.accepted]
         assert len(accepted) == 1
         assert accepted[0].rule == "harden-to-128"
+
+
+class TestOnBus:
+    def test_event_driven_hardening(self):
+        """attach_to_bus: the tripping reading itself fires the rule."""
+        from repro.obs import ObservationBus
+
+        cluster = build_video_cluster(seed=6, bus=ObservationBus())
+        threat = GaugeSensor("threat", 0.0)
+        rule = make_rule("harden-to-128", threat, paper_target(), cooldown=50.0)
+        engine = DecisionEngine([rule])
+        engine.attach_to_bus(cluster)
+        cluster.sim.schedule(35.0, lambda: threat.set(0.9))
+        cluster.sim.run(until=300.0)
+        assert cluster.manager.outcome is not None
+        assert cluster.manager.outcome.succeeded
+        assert cluster.manager.committed == paper_target()
+        accepted = [d for d in engine.decisions if d.accepted]
+        assert len(accepted) == 1
+        assert accepted[0].rule == "harden-to-128"
+        # Event-driven: the decision fired at the reading (t=35), not at
+        # the next polling tick (t=40 under the deprecated period=10).
+        assert accepted[0].time == pytest.approx(35.0)
+
+    def test_busy_rule_retries_after_manager_finishes(self):
+        """A rule tripping mid-adaptation fires again on the terminal note."""
+        from repro.obs import ObservationBus
+
+        cluster = build_video_cluster(seed=6, bus=ObservationBus())
+        load = GaugeSensor("load", 0.0)
+        threat = GaugeSensor("threat", 0.0)
+        middle = cluster.universe.from_bits("1101001")  # {D2,D4,D5,E1}
+        stage = make_rule("stage", load, middle, priority=5)
+        harden = make_rule("harden", threat, paper_target())
+        engine = DecisionEngine([stage, harden])
+        engine.attach_to_bus(cluster)
+        cluster.sim.schedule(35.0, lambda: load.set(0.9))
+        # While the staging adaptation is still in flight, the second
+        # sensor trips; the engine records "manager busy" and retries
+        # when the bus publishes the terminal milestone.
+        cluster.sim.schedule(38.0, lambda: threat.set(0.9))
+        cluster.sim.run(until=400.0)
+        deferred = [d for d in engine.decisions if d.detail == "manager busy"]
+        assert deferred and deferred[0].rule == "harden"
+        accepted = [d for d in engine.decisions if d.accepted]
+        assert [d.rule for d in accepted] == ["stage", "harden"]
+        assert cluster.manager.committed == paper_target()
+
+    def test_without_bus_sensor_updates_still_drive_evaluation(self):
+        cluster = build_video_cluster(seed=6)
+        threat = GaugeSensor("threat", 0.0)
+        rule = make_rule("harden-to-128", threat, paper_target(), cooldown=50.0)
+        engine = DecisionEngine([rule])
+        engine.attach_to_bus(cluster)  # trace has no bus: sensor-only mode
+        cluster.sim.schedule(35.0, lambda: threat.set(0.9))
+        cluster.sim.run(until=300.0)
+        assert cluster.manager.outcome is not None
+        assert cluster.manager.outcome.succeeded

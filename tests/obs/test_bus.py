@@ -1,0 +1,253 @@
+"""The observation bus: publication, ordering, stats, trace integration."""
+
+import io
+
+import pytest
+
+from repro.ltl import TemporalObserver, no_open_segments
+from repro.obs import (
+    CallbackObserver,
+    MetricsObserver,
+    ObservationBus,
+    Observer,
+    ObserverStats,
+)
+from repro.render import EventStreamSink, render_events
+from repro.trace import (
+    AdaptationApplied,
+    BlockRecord,
+    CommRecord,
+    ConfigCommitted,
+    CorruptionRecord,
+    NoteRecord,
+    RollbackRecord,
+    Trace,
+)
+
+
+def sample_records():
+    return [
+        ConfigCommitted(time=0.0, configuration=frozenset({"A"})),
+        BlockRecord(time=1.0, process="p1", blocked=True),
+        AdaptationApplied(
+            time=2.0, process="p1", action_id="a1",
+            removes=frozenset({"A"}), adds=frozenset({"B"}),
+        ),
+        BlockRecord(time=3.0, process="p1", blocked=False),
+        ConfigCommitted(time=4.0, configuration=frozenset({"B"}), step_id="s1"),
+        CommRecord(time=5.0, cid=1, action="send"),
+        RollbackRecord(time=6.0, process="p1", action_id="a1"),
+        CorruptionRecord(time=7.0, process="p1", detail="bad frame"),
+        NoteRecord(time=8.0, text="adaptation complete: target reached"),
+    ]
+
+
+class Collector(Observer):
+    def __init__(self):
+        self.records = []
+
+    def feed(self, record):
+        self.records.append(record)
+
+    def finish(self):
+        return len(self.records)
+
+
+class TestObservationBus:
+    def test_publish_fans_out_in_subscription_order(self):
+        seen = []
+        bus = ObservationBus(
+            CallbackObserver(lambda r: seen.append(("first", r)), name="one"),
+            CallbackObserver(lambda r: seen.append(("second", r)), name="two"),
+        )
+        record = NoteRecord(time=0.0, text="x")
+        bus.publish(record)
+        assert seen == [("first", record), ("second", record)]
+        assert bus.records_published == 1
+
+    def test_subscribe_rejects_plain_callables(self):
+        bus = ObservationBus()
+        with pytest.raises(TypeError):
+            bus.subscribe(lambda record: None)
+
+    def test_unsubscribe_stops_delivery(self):
+        collector = Collector()
+        bus = ObservationBus(collector)
+        bus.publish(NoteRecord(time=0.0, text="a"))
+        bus.unsubscribe(collector)
+        bus.publish(NoteRecord(time=1.0, text="b"))
+        assert len(collector.records) == 1
+
+    def test_finish_collects_reports_by_name(self):
+        collector = Collector()
+        bus = ObservationBus(collector, MetricsObserver())
+        bus.publish(NoteRecord(time=0.0, text="a"))
+        reports = bus.finish()
+        assert reports["Collector"] == 1
+        assert reports["MetricsObserver"].records == 1
+
+    def test_timed_stats_account_every_feed(self):
+        bus = ObservationBus(Collector())
+        for record in sample_records():
+            bus.publish(record)
+        stats = bus.stats()["Collector"]
+        assert stats.records == len(sample_records())
+        assert stats.seconds >= 0.0
+        assert stats.mean_us >= 0.0
+
+    def test_untimed_bus_skips_accounting(self):
+        collector = Collector()
+        bus = ObservationBus(collector, timed=False)
+        bus.publish(NoteRecord(time=0.0, text="a"))
+        assert len(collector.records) == 1
+        assert bus.stats()["Collector"].records == 0
+
+    def test_observer_exception_propagates_to_publisher(self):
+        class Tripwire(Observer):
+            def feed(self, record):
+                raise RuntimeError("tripped")
+
+        bus = ObservationBus(Tripwire())
+        with pytest.raises(RuntimeError):
+            bus.publish(NoteRecord(time=0.0, text="x"))
+
+    def test_mean_us_handles_zero_records(self):
+        assert ObserverStats().mean_us == 0.0
+
+
+class TestTraceBusIntegration:
+    def test_append_publishes(self):
+        collector = Collector()
+        trace = Trace(bus=ObservationBus(collector))
+        records = sample_records()
+        for record in records:
+            trace.append(record)
+        assert collector.records == records
+
+    def test_extend_publishes_per_record(self):
+        collector = Collector()
+        trace = Trace(bus=ObservationBus(collector))
+        trace.extend(sample_records())
+        assert collector.records == sample_records()
+
+    def test_seed_records_are_not_published(self):
+        collector = Collector()
+        Trace(sample_records(), bus=ObservationBus(collector))
+        assert collector.records == []
+
+    def test_attach_bus_replay_streams_history_first(self):
+        trace = Trace(sample_records())
+        live = NoteRecord(time=9.0, text="live")
+        collector = Collector()
+        trace.attach_bus(ObservationBus(collector), replay=True)
+        trace.append(live)
+        assert collector.records == sample_records() + [live]
+
+    def test_detach_stops_publication(self):
+        collector = Collector()
+        trace = Trace(bus=ObservationBus(collector))
+        trace.attach_bus(None)
+        trace.append(NoteRecord(time=0.0, text="x"))
+        assert collector.records == []
+
+    def test_raising_observer_aborts_append_but_keeps_the_record(self):
+        class Tripwire(Observer):
+            def feed(self, record):
+                if isinstance(record, CorruptionRecord):
+                    raise RuntimeError("tripped")
+
+        trace = Trace(bus=ObservationBus(Tripwire()))
+        bad = CorruptionRecord(time=1.0, process="p1", detail="bad")
+        with pytest.raises(RuntimeError):
+            trace.append(bad)
+        # The evidence survives: the record landed before publication.
+        assert trace.snapshot()[-1] == bad
+
+
+class TestMetricsObserver:
+    def test_counters(self):
+        metrics = MetricsObserver()
+        for record in sample_records():
+            metrics.feed(record)
+        report = metrics.finish()
+        assert report.records == 9
+        assert report.commits == 2
+        assert report.blocks == 1
+        assert report.resumes == 1
+        assert report.in_actions == 1
+        assert report.rollbacks == 1
+        assert report.corruption == 1
+        assert report.comm_actions == 1
+        assert report.notes == 1
+        assert report.first_time == 0.0 and report.last_time == 8.0
+        assert report.span == 8.0
+        assert report.by_kind["ConfigCommitted"] == 2
+
+    def test_finish_is_idempotent_and_json_round_trips(self):
+        import json
+
+        metrics = MetricsObserver()
+        for record in sample_records():
+            metrics.feed(record)
+        assert metrics.finish() == metrics.finish()
+        payload = metrics.finish().to_json()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_empty_report(self):
+        report = MetricsObserver().finish()
+        assert report.records == 0
+        assert report.span == 0.0
+        assert "records: 0" in report.summary()
+
+
+class TestEventStreamSink:
+    def test_streamed_lines_match_batch_render(self):
+        records = sample_records()
+        sink = EventStreamSink()
+        for record in records:
+            sink.feed(record)
+        assert sink.finish() == render_events(Trace(records))
+
+    def test_writes_to_stream_as_records_arrive(self):
+        out = io.StringIO()
+        sink = EventStreamSink(stream=out)
+        sink.feed(NoteRecord(time=1.0, text="hello"))
+        assert "note: hello" in out.getvalue()
+
+    def test_comm_records_are_not_rendered(self):
+        sink = EventStreamSink()
+        sink.feed(CommRecord(time=0.0, cid=1, action="send"))
+        assert sink.lines == ()
+
+
+class TestTemporalObserver:
+    def test_balanced_pairs_from_comm_records(self):
+        observer = TemporalObserver(
+            no_open_segments(start="send", done="receive"),
+            events=lambda r: (r.action,) if isinstance(r, CommRecord) else (),
+        )
+        observer.feed(CommRecord(time=0.0, cid=1, action="send"))
+        assert observer.holds is False
+        observer.feed(CommRecord(time=1.0, cid=1, action="receive"))
+        assert observer.holds is True
+        report = observer.finish()
+        assert report.steps == 2
+        assert report.unsafe_steps == 1
+        assert report.first_unsafe_time == 0.0
+
+    def test_process_filter(self):
+        observer = TemporalObserver(
+            no_open_segments(start="send", done="receive"),
+            events=lambda r: (r.action,) if isinstance(r, CommRecord) else (),
+            process="p1",
+        )
+        observer.feed(CommRecord(time=0.0, cid=1, action="send", process="p2"))
+        assert observer.finish().steps == 0
+
+    def test_default_record_events_skips_notes(self):
+        from repro.ltl import record_events
+
+        assert record_events(NoteRecord(time=0.0, text="x")) == ()
+        assert record_events(CommRecord(time=0.0, cid=1, action="send")) == ("send",)
+        assert record_events(BlockRecord(time=0.0, process="p", blocked=True)) == ("block",)
+        assert record_events(BlockRecord(time=0.0, process="p", blocked=False)) == ("resume",)

@@ -1,0 +1,102 @@
+"""Analyzer benchmark: full-pipeline lint latency on real manifests.
+
+A development-time linter earns its keep only if it is fast enough to
+run on every save and in every CI job.  This benchmark times the full
+SA1xx–SA4xx pipeline (tolerant scan → well-formedness → compiled-mask
+satisfiability → safe-space/SAG analysis → contract checks) on:
+
+* the paper's §5 video manifest (7 components, 17 actions);
+* the seeded-defect fixture (every diagnostic code fires);
+* a synthetic wide spec at the SA3xx enumeration cap boundary.
+
+Headline numbers land in ``benchmarks/BENCH_lint.json``.  The assertions
+pin behaviour (diagnostic counts), not wall-clock — timings are recorded
+for trajectory tracking, never gated on shared CI runners.
+"""
+
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro.lint import CODES, lint_text
+from repro.manifest import video_manifest_text
+
+LINT_JSON = Path(__file__).with_name("BENCH_lint.json")
+FIXTURE = Path(__file__).resolve().parent.parent / (
+    "tests/lint/fixtures/defective.manifest"
+)
+
+
+def wide_manifest(components: int = 18) -> str:
+    """A chain-invariant spec near the SA3xx enumeration cap."""
+    lines = ["[components]"]
+    names = [f"C{i}" for i in range(components)]
+    for index, name in enumerate(names):
+        lines.append(f"{name} @ p{index % 3}")
+    lines.append("[invariants]")
+    lines.append(f"root : {names[0]}")
+    for left, right in zip(names, names[1:]):
+        lines.append(f"chain_{right} : {right} -> {left}")
+    lines.append("[actions]")
+    for index, name in enumerate(names[1:], start=1):
+        lines.append(f"grow{index} : +{name} @ 1")
+        lines.append(f"shrink{index} : -{name} @ 1")
+    lines.append("[configurations]")
+    lines.append(f"seed = {names[0]}")
+    lines.append(f"full = {', '.join(names)}")
+    return "\n".join(lines) + "\n"
+
+
+def test_lint_video_manifest(benchmark):
+    text = video_manifest_text()
+    result = benchmark.pedantic(
+        lambda: lint_text(text, path="video.manifest"), rounds=20, iterations=1
+    )
+    assert not result.errors
+    stats = benchmark.stats.stats
+    report(
+        "lint latency: video manifest",
+        f"mean {stats.mean * 1e3:.2f} ms over {len(result)} diagnostics",
+        data={
+            "mean_ms": round(stats.mean * 1e3, 3),
+            "diagnostics": len(result),
+        },
+        json_path=LINT_JSON,
+    )
+
+
+def test_lint_defective_fixture(benchmark):
+    text = FIXTURE.read_text(encoding="utf-8")
+    result = benchmark.pedantic(
+        lambda: lint_text(text, path="defective.manifest"),
+        rounds=20,
+        iterations=1,
+    )
+    assert set(result.codes()) == set(CODES)
+    stats = benchmark.stats.stats
+    report(
+        "lint latency: defective fixture (all 23 codes)",
+        f"mean {stats.mean * 1e3:.2f} ms over {len(result)} diagnostics",
+        data={
+            "mean_ms": round(stats.mean * 1e3, 3),
+            "diagnostics": len(result),
+        },
+        json_path=LINT_JSON,
+    )
+
+
+def test_lint_wide_manifest(benchmark):
+    text = wide_manifest()
+    result = benchmark.pedantic(
+        lambda: lint_text(text, path="wide.manifest"), rounds=5, iterations=1
+    )
+    assert not result.errors
+    stats = benchmark.stats.stats
+    report(
+        "lint latency: 18-component chain (2^18 safe-space sweep)",
+        f"mean {stats.mean * 1e3:.2f} ms over {len(result)} diagnostics",
+        data={
+            "mean_ms": round(stats.mean * 1e3, 3),
+            "diagnostics": len(result),
+        },
+        json_path=LINT_JSON,
+    )

@@ -81,7 +81,7 @@ def main() -> None:
             ),
         ]
     )
-    engine.attach_to(cluster, period=20.0)
+    engine.attach_to_bus(cluster)
 
     # -- the environment: loss spikes at t=150, heals at t=600 -----------------------
     cluster.sim.schedule(150.0, lambda: loss.set(0.18))

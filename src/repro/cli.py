@@ -2,7 +2,10 @@
 
 Usage (``python -m repro <command> ...``):
 
-* ``check MANIFEST`` — validate a manifest; print the model summary.
+* ``check MANIFEST`` — validate a manifest (the analyzer's SA1xx
+  well-formedness gate); print the model summary.
+* ``lint MANIFEST...`` — full static analysis (SA1xx–SA4xx) with
+  ``--format text|json|sarif`` and a ``--fail-on`` severity gate.
 * ``safe-configs MANIFEST`` — enumerate the safe configuration set (Table 1).
 * ``plan MANIFEST --from SRC --to DST [--k N] [--method dijkstra|lazy|collaborative]``
   — compute the Minimum Adaptation Path (Figure 4's result).
@@ -54,6 +57,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser("check", help="validate a manifest")
     _add_manifest(check)
+
+    lint = commands.add_parser(
+        "lint", help="static analysis: diagnose adaptation-spec defects"
+    )
+    lint.add_argument(
+        "manifests", nargs="+", metavar="manifest",
+        help="manifest file(s) to analyze",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning", "note"), default="error",
+        help="lowest severity that makes the exit code non-zero "
+             "(default: error)",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also report analysis stages that were skipped and why",
+    )
 
     safe = commands.add_parser("safe-configs", help="enumerate safe configurations")
     _add_manifest(safe)
@@ -132,7 +156,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def cmd_lint(args, out) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        LintReport,
+        Severity,
+        lint_text,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+
+    merged = LintReport()
+    for name in args.manifests:
+        text = Path(name).read_text(encoding="utf-8")
+        merged.extend(lint_text(text, path=name))
+    merged.sort()
+    if args.format == "json":
+        print(render_json(merged), file=out)
+    elif args.format == "sarif":
+        print(render_sarif(merged), file=out)
+    else:
+        print(render_text(merged, verbose=args.verbose), file=out)
+    return 1 if merged.fails(Severity.from_label(args.fail_on)) else 0
+
+
 def cmd_check(args, out) -> int:
+    # `check` is the well-formedness (SA1xx) gate of the analyzer: every
+    # defect is reported at once, then the usual model summary prints.
+    from pathlib import Path
+
+    from repro.lint import lint_text
+
+    text = Path(args.manifest).read_text(encoding="utf-8")
+    report = lint_text(text, path=args.manifest)
+    shape_errors = [
+        d for d in report.errors if d.code.startswith("SA1")
+    ]
+    if shape_errors:
+        listing = "\n".join(d.render() for d in shape_errors)
+        raise ReproError(f"manifest is ill-formed:\n{listing}")
     manifest = load_path(args.manifest)
     print(f"components: {len(manifest.universe)} "
           f"on {len(manifest.universe.processes())} process(es)", file=out)
@@ -369,6 +433,7 @@ def cmd_example_manifest(args, out) -> int:
 
 _COMMANDS = {
     "check": cmd_check,
+    "lint": cmd_lint,
     "safe-configs": cmd_safe_configs,
     "plan": cmd_plan,
     "sag": cmd_sag,

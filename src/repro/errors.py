@@ -23,12 +23,21 @@ class ParseError(ExpressionError):
     Attributes:
         text: the offending source text.
         position: character offset of the failure, or ``None``.
+        span: source location (:class:`repro.span.Span`) when the failure
+            came from a manifest file, or ``None``.
     """
 
-    def __init__(self, message: str, text: str = "", position: "int | None" = None):
+    def __init__(
+        self,
+        message: str,
+        text: str = "",
+        position: "int | None" = None,
+        span=None,
+    ):
         super().__init__(message)
         self.text = text
         self.position = position
+        self.span = span
 
     def __str__(self) -> str:  # pragma: no cover - formatting helper
         base = super().__str__()

@@ -1,0 +1,87 @@
+"""Development-time static analyzer for adaptation specs (``repro lint``).
+
+The analyzer takes a manifest (or an in-memory :class:`~repro.manifest.
+SystemManifest`) and emits structured :class:`~repro.lint.diagnostics.
+Diagnostic` findings with stable ``SAxxx`` codes, source spans, and
+related locations — renderable as compiler-style text, JSON, or SARIF.
+
+Public API:
+
+* :func:`lint_text` / :func:`lint_path` — analyze manifest source; the
+  tolerant scanner keeps going past defects, so one run reports them all.
+* :func:`lint_system` — analyze an in-memory ``P`` (semantic stages only;
+  well-formedness is enforced by the constructors).
+* :func:`lint_source` — analyze an already-scanned
+  :class:`~repro.manifest.ManifestSource`.
+
+See ``DESIGN.md`` §10 for the full code table and pipeline description.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.lint.checks import (
+    MAX_ENUM_COMPONENTS,
+    MAX_SAT_ATOMS,
+    action_arcs,
+    analyze_source,
+    analyze_system,
+    jointly_satisfiable,
+    truth_profile,
+)
+from repro.lint.diagnostics import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    Related,
+    Severity,
+    describe_code,
+)
+from repro.lint.render import render_json, render_sarif, render_text
+from repro.manifest import ManifestSource, SystemManifest, scan
+
+
+def lint_source(source: ManifestSource) -> LintReport:
+    """Run the analyzer over an already-scanned manifest."""
+    return analyze_source(source)
+
+
+def lint_text(text: str, path: "str | None" = None) -> LintReport:
+    """Analyze manifest source text (tolerant: reports every defect)."""
+    return analyze_source(scan(text, path=path, strict=False))
+
+
+def lint_path(path: Union[str, Path]) -> LintReport:
+    """Analyze a manifest file on disk."""
+    return lint_text(Path(path).read_text(encoding="utf-8"), path=str(path))
+
+
+def lint_system(manifest: SystemManifest) -> LintReport:
+    """Analyze an in-memory system model (semantic stages SA2xx–SA4xx)."""
+    return analyze_system(manifest)
+
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "MAX_ENUM_COMPONENTS",
+    "MAX_SAT_ATOMS",
+    "Related",
+    "Severity",
+    "action_arcs",
+    "analyze_source",
+    "analyze_system",
+    "describe_code",
+    "jointly_satisfiable",
+    "lint_path",
+    "lint_source",
+    "lint_system",
+    "lint_text",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "truth_profile",
+]

@@ -1,0 +1,825 @@
+"""The adaptation-spec analyzers behind ``repro lint`` (SA1xx–SA4xx).
+
+The pipeline mirrors the paper's development-time analysis phase:
+
+1. **SA1xx (well-formedness)** runs over the raw scan entries
+   (:class:`repro.manifest.ManifestSource`) so *every* defect is reported,
+   not just the first; defective entries are dropped and analysis
+   continues on the valid remainder (linter-style recovery).
+2. **SA2xx (invariant semantics)** decides per-invariant satisfiability
+   and tautology by enumerating the invariant's own atoms on the compiled
+   bitmask closure (:mod:`repro.expr.compile`) — exponential only in the
+   invariant's fan-in, never in the universe.  Unsatisfiable invariants
+   and the second half of mutually-unsatisfiable pairs are excluded from
+   the downstream model so the structural checks still run.
+3. **SA3xx (action/SAG analysis)** enumerates the safe space and the
+   per-action arc sets on integer masks (same fast path as the planner):
+   dead and dominated actions, zero costs, missing replace inverses, weak
+   connectivity of the Safe Adaptation Graph, and reachability between
+   the manifest's named configurations (Hufflen-style reconfiguration
+   path checking, arXiv:1703.07036).
+4. **SA4xx (runtime contracts)** vets the declared CCS language shape for
+   online enforceability, flags globally blocking actions, and reports
+   blast radii via :mod:`repro.core.analysis`.
+
+The AST evaluator remains the semantic source of truth: the hypothesis
+suite in ``tests/lint`` pins every mask-based verdict (unsatisfiable
+invariant, dead action) to brute-force AST enumeration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.actions import AdaptiveAction, MaskedAction
+from repro.core.analysis import blast_radius, invariants_at_risk
+from repro.core.invariants import Invariant, InvariantSet
+from repro.core.model import Component, ComponentUniverse, Configuration
+from repro.errors import ActionError, ParseError
+from repro.expr.ast import Expr
+from repro.expr.compile import compile_conjunction
+from repro.expr.parser import parse
+from repro.lint.diagnostics import LintReport, Related, Severity
+from repro.manifest import (
+    CCSEntry,
+    ManifestSource,
+    SystemManifest,
+    _parse_operation,
+)
+from repro.span import Span
+
+#: Enumerating a truth table is capped at this many variable bits —
+#: beyond it the check is skipped (recorded in ``report.skipped``).
+MAX_SAT_ATOMS = 16
+#: Safe-space enumeration (SA3xx) is capped at this many components.
+MAX_ENUM_COMPONENTS = 22
+
+
+@dataclass
+class _InvariantItem:
+    invariant: Invariant
+    span: Span
+    #: excluded from the downstream model (unsat / conflicting pair)
+    dropped: bool = False
+
+
+@dataclass
+class _ActionItem:
+    action: AdaptiveAction
+    span: Span
+
+
+@dataclass
+class _ConfigItem:
+    name: str
+    configuration: Configuration
+    span: Span
+
+
+@dataclass
+class _Model:
+    """What survives SA1xx: the analyzable part of the spec."""
+
+    universe: ComponentUniverse
+    invariants: List[_InvariantItem] = field(default_factory=list)
+    actions: List[_ActionItem] = field(default_factory=list)
+    configurations: List[_ConfigItem] = field(default_factory=list)
+    ccs: List[CCSEntry] = field(default_factory=list)
+    sections: Dict[str, Span] = field(default_factory=dict)
+
+    def section_span(self, name: str) -> Span:
+        return self.sections.get(name, Span(1, 1))
+
+    def kept_invariants(self) -> InvariantSet:
+        return InvariantSet(
+            [item.invariant for item in self.invariants if not item.dropped]
+        )
+
+
+# -- satisfiability primitives (exposed for the property tests) ------------------
+
+
+def truth_profile(
+    expr: Expr, universe: ComponentUniverse
+) -> Optional[Tuple[bool, bool]]:
+    """``(satisfiable, tautology)`` of *expr* over the universe.
+
+    Enumerates only the expression's own atoms on the compiled mask
+    closure: atoms outside the universe are constant-false (a component
+    that can never be present), so the table over in-universe atoms is
+    exact.  Returns ``None`` when the fan-in exceeds :data:`MAX_SAT_ATOMS`.
+    """
+    return _profile_conjunction((expr,), universe)
+
+
+def jointly_satisfiable(
+    left: Expr, right: Expr, universe: ComponentUniverse
+) -> Optional[bool]:
+    """Whether two expressions can hold in one configuration (or ``None``)."""
+    profile = _profile_conjunction((left, right), universe)
+    return None if profile is None else profile[0]
+
+
+def _profile_conjunction(
+    exprs: Sequence[Expr], universe: ComponentUniverse
+) -> Optional[Tuple[bool, bool]]:
+    atoms: Set[str] = set()
+    for expr in exprs:
+        atoms |= expr.atoms() & universe.names
+    names = sorted(atoms)
+    if len(names) > MAX_SAT_ATOMS:
+        return None
+    bits = [universe.bit_of(name) for name in names]
+    fn = compile_conjunction(exprs, universe.atom_bits)
+    satisfiable = False
+    tautology = True
+    for combo in range(1 << len(bits)):
+        mask = 0
+        for index, bit in enumerate(bits):
+            if combo & (1 << index):
+                mask |= bit
+        if fn(mask):
+            satisfiable = True
+        else:
+            tautology = False
+        if satisfiable and not tautology:
+            break
+    return satisfiable, tautology
+
+
+def action_arcs(
+    safe_masks: Sequence[int],
+    safe_set: FrozenSet[int],
+    masked: MaskedAction,
+) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+    """``(applicable_count, safe arcs)`` of one action over the safe space.
+
+    An arc is a ``(source_mask, target_mask)`` pair with both endpoints
+    safe — exactly the SAG arcs this action would label.
+    """
+    applicable = 0
+    arcs: List[Tuple[int, int]] = []
+    required = masked.required
+    forbidden = masked.forbidden
+    clear = masked.clear
+    set_bits = masked.set_bits
+    for mask in safe_masks:
+        if (mask & required) == required and not (mask & forbidden):
+            applicable += 1
+            result = (mask & ~clear) | set_bits
+            if result in safe_set:
+                arcs.append((mask, result))
+    return applicable, tuple(arcs)
+
+
+# -- stage 1: well-formedness (SA1xx) -------------------------------------------
+
+
+def _collect(
+    source: ManifestSource, report: LintReport
+) -> Optional[_Model]:
+    path = source.path
+    for issue in source.issues:
+        # Strict-mode messages carry a "line N:" prefix for bare
+        # exceptions; the diagnostic span already says where.
+        message = re.sub(r"^line \d+: ", "", issue.message)
+        report.add("SA100", message, issue.span, path)
+
+    seen: Dict[str, Span] = {}
+    components: List[Component] = []
+    for entry in source.components:
+        if entry.name in seen:
+            report.add(
+                "SA105",
+                f"duplicate component {entry.name!r}",
+                entry.span,
+                path,
+                related=[Related("first declared here", seen[entry.name])],
+            )
+            continue
+        seen[entry.name] = entry.span
+        components.append(
+            Component(entry.name, process=entry.process, description=entry.description)
+        )
+    if not components:
+        report.add(
+            "SA100",
+            "manifest has no [components]",
+            source.section_span("components"),
+            path,
+        )
+        return None
+    model = _Model(
+        universe=ComponentUniverse(components), sections=dict(source.sections)
+    )
+
+    for inv_entry in source.invariants:
+        try:
+            expr = parse(inv_entry.expr_text)
+        except ParseError as exc:
+            span = inv_entry.expr_span
+            if exc.position:
+                span = Span(
+                    span.line,
+                    span.column + exc.position,
+                    span.line,
+                    span.end_column,
+                )
+            report.add(
+                "SA100",
+                f"bad invariant expression {inv_entry.expr_text!r}: "
+                f"{exc.args[0] if exc.args else exc}",
+                span,
+                path,
+            )
+            continue
+        invariant = Invariant(expr, name=inv_entry.name)
+        unknown = sorted(invariant.atoms() - model.universe.names)
+        if unknown:
+            report.add(
+                "SA101",
+                f"invariant {invariant.name!r} mentions unknown "
+                f"component(s) {', '.join(unknown)}",
+                inv_entry.expr_span,
+                path,
+            )
+            continue
+        model.invariants.append(_InvariantItem(invariant, inv_entry.span))
+
+    action_spans: Dict[str, Span] = {}
+    for act_entry in source.actions:
+        try:
+            removes, adds = _parse_operation(
+                act_entry.operation, act_entry.span.line, act_entry.span
+            )
+        except ParseError as exc:
+            message = re.sub(r"^line \d+: ", "", exc.args[0] if exc.args else str(exc))
+            report.add("SA100", message, act_entry.span, path)
+            continue
+        try:
+            cost = float(act_entry.cost_text)
+        except ValueError:
+            report.add(
+                "SA100",
+                f"action {act_entry.action_id!r} has a bad cost "
+                f"{act_entry.cost_text!r}",
+                act_entry.span,
+                path,
+            )
+            continue
+        if act_entry.action_id in action_spans:
+            report.add(
+                "SA106",
+                f"duplicate action id {act_entry.action_id!r}",
+                act_entry.span,
+                path,
+                related=[
+                    Related("first declared here", action_spans[act_entry.action_id])
+                ],
+            )
+            continue
+        unknown = sorted((removes | adds) - model.universe.names)
+        if unknown:
+            report.add(
+                "SA102",
+                f"action {act_entry.action_id!r} uses unknown "
+                f"component(s) {', '.join(unknown)}",
+                act_entry.span,
+                path,
+            )
+            continue
+        try:
+            action = AdaptiveAction(
+                act_entry.action_id, removes, adds, cost, act_entry.description
+            )
+        except ActionError as exc:
+            report.add(
+                "SA100", f"ill-formed action: {exc}", act_entry.span, path
+            )
+            continue
+        action_spans[act_entry.action_id] = act_entry.span
+        model.actions.append(_ActionItem(action, act_entry.span))
+
+    config_index: Dict[str, int] = {}
+    named: Dict[str, Configuration] = {}
+    for cfg_entry in source.configurations:
+        value = cfg_entry.value
+        if value in named:
+            resolved = named[value]
+        elif _looks_like_bits(value):
+            if len(value) != len(model.universe):
+                report.add(
+                    "SA103",
+                    f"configuration {cfg_entry.name!r}: bit vector {value!r} "
+                    f"has width {len(value)}, universe has "
+                    f"{len(model.universe)} component(s)",
+                    cfg_entry.value_span,
+                    path,
+                )
+                continue
+            resolved = model.universe.from_bits(value)
+        else:
+            members = [p.strip() for p in value.split(",") if p.strip()]
+            unknown = sorted(set(members) - model.universe.names)
+            if unknown:
+                report.add(
+                    "SA104",
+                    f"configuration {cfg_entry.name!r} references unknown "
+                    f"component(s) {', '.join(unknown)}",
+                    cfg_entry.value_span,
+                    path,
+                )
+                continue
+            resolved = Configuration(members)
+        if cfg_entry.name in config_index:
+            previous = model.configurations[config_index[cfg_entry.name]]
+            report.add(
+                "SA107",
+                f"duplicate configuration name {cfg_entry.name!r} "
+                "(this later value is the one used)",
+                cfg_entry.span,
+                path,
+                related=[Related("first defined here", previous.span)],
+            )
+            model.configurations[config_index[cfg_entry.name]] = _ConfigItem(
+                cfg_entry.name, resolved, cfg_entry.span
+            )
+            named[cfg_entry.name] = resolved
+            continue
+        config_index[cfg_entry.name] = len(model.configurations)
+        model.configurations.append(
+            _ConfigItem(cfg_entry.name, resolved, cfg_entry.span)
+        )
+        named[cfg_entry.name] = resolved
+
+    model.ccs = list(source.ccs)
+
+    # SA108: components no invariant constrains and no action touches can
+    # never participate in (or gate) an adaptation — dead weight that
+    # doubles the safe space per component.
+    if model.invariants or model.actions:
+        referenced: Set[str] = set()
+        for item in model.invariants:
+            referenced |= item.invariant.atoms()
+        for act_item in model.actions:
+            referenced |= act_item.action.touched
+        for name in model.universe.order:
+            if name not in referenced:
+                report.add(
+                    "SA108",
+                    f"component {name!r} is not constrained by any invariant "
+                    "nor touched by any action",
+                    seen[name],
+                    path,
+                )
+    return model
+
+
+def _looks_like_bits(value: str) -> bool:
+    return bool(value) and all(ch in "01" for ch in value)
+
+
+# -- stage 2: invariant semantics (SA2xx) ---------------------------------------
+
+
+def _check_invariants(model: _Model, report: LintReport, path: Optional[str]) -> None:
+    universe = model.universe
+    for item in model.invariants:
+        profile = truth_profile(item.invariant.expr, universe)
+        if profile is None:
+            report.skipped.append(
+                f"SA201/SA202 skipped for {item.invariant.name!r}: "
+                f"more than {MAX_SAT_ATOMS} atoms"
+            )
+            continue
+        satisfiable, tautology = profile
+        if not satisfiable:
+            item.dropped = True
+            report.add(
+                "SA202",
+                f"invariant {item.invariant.name!r} is unsatisfiable: no "
+                "configuration can ever be safe while it is declared "
+                "(excluded from further analysis)",
+                item.span,
+                path,
+            )
+        elif tautology:
+            report.add(
+                "SA201",
+                f"invariant {item.invariant.name!r} is a tautology: it holds "
+                "in every configuration and constrains nothing",
+                item.span,
+                path,
+            )
+
+    # Pairwise conflicts among individually-satisfiable invariants: both
+    # hold somewhere, but never together — the safe space is empty even
+    # though every line looks reasonable on its own.  Only overlapping
+    # atom sets can conflict (disjoint expressions compose freely).
+    alive = [item for item in model.invariants if not item.dropped]
+    for i, first in enumerate(alive):
+        if first.dropped:
+            continue
+        for second in alive[i + 1:]:
+            if second.dropped:
+                continue
+            if not (first.invariant.atoms() & second.invariant.atoms()):
+                continue
+            verdict = jointly_satisfiable(
+                first.invariant.expr, second.invariant.expr, model.universe
+            )
+            if verdict is False:
+                second.dropped = True
+                report.add(
+                    "SA203",
+                    f"invariants {first.invariant.name!r} and "
+                    f"{second.invariant.name!r} are mutually unsatisfiable — "
+                    "together they empty the safe space (the second is "
+                    "excluded from further analysis)",
+                    second.span,
+                    path,
+                    related=[Related("conflicts with this invariant", first.span)],
+                )
+
+    if model.actions:
+        touched: Set[str] = set()
+        for act_item in model.actions:
+            touched |= act_item.action.touched
+        for item in model.invariants:
+            if item.dropped:
+                continue
+            atoms = item.invariant.atoms() & model.universe.names
+            if atoms and not (atoms & touched):
+                report.add(
+                    "SA204",
+                    f"invariant {item.invariant.name!r} mentions only "
+                    "components no action touches: adaptation can never "
+                    "violate (or be constrained by) it",
+                    item.span,
+                    path,
+                )
+
+
+# -- stage 3: action/SAG analysis (SA3xx) ---------------------------------------
+
+
+def _check_actions(model: _Model, report: LintReport, path: Optional[str]) -> None:
+    from repro.core.space import SafeConfigurationSpace
+
+    universe = model.universe
+    if len(universe) > MAX_ENUM_COMPONENTS:
+        report.skipped.append(
+            f"SA3xx skipped: {len(universe)} components exceed the "
+            f"{MAX_ENUM_COMPONENTS}-component enumeration cap"
+        )
+        return
+    space = SafeConfigurationSpace(universe, model.kept_invariants())
+    safe_masks = space.enumerate_masks()
+    if not safe_masks:
+        report.add(
+            "SA203",
+            "the invariant conjunction admits no safe configuration at all "
+            "(empty safe space); structural analysis skipped",
+            model.section_span("invariants"),
+            path,
+        )
+        report.skipped.append("SA3xx skipped: empty safe space")
+        return
+    safe_set = frozenset(safe_masks)
+    bits = universe.atom_bits
+
+    arcs_by_action: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+    for item in model.actions:
+        action = item.action
+        applicable, arcs = action_arcs(safe_masks, safe_set, MaskedAction(action, bits))
+        arcs_by_action[action.action_id] = arcs
+        if not arcs:
+            if applicable == 0:
+                detail = "it is never applicable from any safe configuration"
+            else:
+                detail = (
+                    f"it is applicable from {applicable} safe "
+                    "configuration(s) but every result violates the invariants"
+                )
+            report.add(
+                "SA301",
+                f"dead action {action.action_id!r}: {detail}",
+                item.span,
+                path,
+            )
+        if action.cost == 0:
+            report.add(
+                "SA303",
+                f"action {action.action_id!r} has zero cost: minimum-path "
+                "ties become ambiguous and free cycles enter the SAG",
+                item.span,
+                path,
+            )
+
+    for item in model.actions:
+        arcs = arcs_by_action[item.action.action_id]
+        if not arcs:
+            continue  # dead actions already reported
+        arc_set = set(arcs)
+        for other in model.actions:
+            if other is item:
+                continue
+            if other.action.cost >= item.action.cost:
+                continue
+            if arc_set <= set(arcs_by_action[other.action.action_id]):
+                report.add(
+                    "SA302",
+                    f"action {item.action.action_id!r} is dominated: "
+                    f"{other.action.action_id!r} realizes every one of its "
+                    f"safe arcs at cost {other.action.cost:g} < "
+                    f"{item.action.cost:g}",
+                    item.span,
+                    path,
+                    related=[Related("dominating action", other.span)],
+                )
+                break
+
+    # Asymmetric replaces: §4.4 rollback re-routes through the library —
+    # a replace with no declared inverse leaves only synthesized undo
+    # actions (which the planner cannot route through).
+    deltas = {
+        (item.action.removes, item.action.adds) for item in model.actions
+    }
+    for item in model.actions:
+        action = item.action
+        if not (action.removes and action.adds):
+            continue
+        if len(action.removes) != 1 or len(action.adds) != 1:
+            continue
+        if (action.adds, action.removes) not in deltas:
+            report.add(
+                "SA304",
+                f"replace {action.action_id!r} "
+                f"({action.operation_text()}) has no inverse replace in the "
+                "library: once committed, planned rollback cannot route back",
+                item.span,
+                path,
+            )
+
+    _check_connectivity(model, report, path, safe_masks, arcs_by_action)
+    _check_named_pairs(model, report, path, space, arcs_by_action)
+
+
+def _check_connectivity(
+    model: _Model,
+    report: LintReport,
+    path: Optional[str],
+    safe_masks: Sequence[int],
+    arcs_by_action: Dict[str, Tuple[Tuple[int, int], ...]],
+) -> None:
+    parent: Dict[int, int] = {mask: mask for mask in safe_masks}
+
+    def find(mask: int) -> int:
+        root = mask
+        while parent[root] != root:
+            root = parent[root]
+        while parent[mask] != root:
+            parent[mask], mask = root, parent[mask]
+        return root
+
+    for arcs in arcs_by_action.values():
+        for src, dst in arcs:
+            parent[find(src)] = find(dst)
+
+    groups: Dict[int, List[int]] = {}
+    for mask in safe_masks:
+        groups.setdefault(find(mask), []).append(mask)
+    if len(groups) <= 1:
+        return
+    ordered = sorted(groups.values(), key=lambda g: (-len(g), min(g)))
+    sizes = ", ".join(str(len(group)) for group in ordered)
+    sample = model.universe.from_mask(min(ordered[-1]))
+    report.add(
+        "SA305",
+        f"the Safe Adaptation Graph is disconnected: {len(groups)} "
+        f"component group(s) of sizes {sizes}; e.g. "
+        f"{model.universe.to_bits(sample)} {sample.label()} cannot reach "
+        "the rest",
+        model.section_span("actions"),
+        path,
+    )
+
+
+def _check_named_pairs(
+    model: _Model,
+    report: LintReport,
+    path: Optional[str],
+    space,
+    arcs_by_action: Dict[str, Tuple[Tuple[int, int], ...]],
+) -> None:
+    universe = model.universe
+    adjacency: Dict[int, Set[int]] = {}
+    for arcs in arcs_by_action.values():
+        for src, dst in arcs:
+            adjacency.setdefault(src, set()).add(dst)
+
+    def reachable(start: int) -> Set[int]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    endpoints: List[Tuple[_ConfigItem, int]] = []
+    for item in model.configurations:
+        try:
+            mask = universe.mask_of(item.configuration)
+        except Exception:
+            continue
+        if not space.is_safe_mask(mask):
+            report.add(
+                "SA205",
+                f"named configuration {item.name!r} violates the invariants: "
+                f"{model.kept_invariants().explain(item.configuration)}",
+                item.span,
+                path,
+            )
+            continue
+        endpoints.append((item, mask))
+
+    reach_cache: Dict[int, Set[int]] = {}
+    for index, (first, first_mask) in enumerate(endpoints):
+        for second, second_mask in endpoints[index + 1:]:
+            if first_mask == second_mask:
+                continue
+            if first_mask not in reach_cache:
+                reach_cache[first_mask] = reachable(first_mask)
+            if second_mask not in reach_cache:
+                reach_cache[second_mask] = reachable(second_mask)
+            forward = second_mask in reach_cache[first_mask]
+            backward = first_mask in reach_cache[second_mask]
+            if not forward and not backward:
+                report.add(
+                    "SA306",
+                    f"no safe adaptation path exists between configurations "
+                    f"{first.name!r} and {second.name!r} in either direction",
+                    second.span,
+                    path,
+                    related=[Related("the other endpoint", first.span)],
+                )
+            elif not forward or not backward:
+                src, dst = (second, first) if forward else (first, second)
+                report.add(
+                    "SA306",
+                    f"configuration {dst.name!r} is unreachable from "
+                    f"{src.name!r} (one-way: only the reverse direction has "
+                    "a safe path)",
+                    dst.span,
+                    path,
+                    related=[Related("unreachable from here", src.span)],
+                    severity=Severity.NOTE,
+                )
+
+
+# -- stage 4: runtime contracts (SA4xx) -----------------------------------------
+
+
+def _check_contracts(model: _Model, report: LintReport, path: Optional[str]) -> None:
+    for index, entry in enumerate(model.ccs):
+        for other in model.ccs[index + 1:]:
+            if entry.actions == other.actions:
+                report.add(
+                    "SA401",
+                    f"ccs sequence {other.label or other.actions!r} duplicates "
+                    f"an earlier allowed sequence",
+                    other.span,
+                    path,
+                    related=[Related("first allowed here", entry.span)],
+                )
+            elif entry.actions == other.actions[: len(entry.actions)]:
+                report.add(
+                    "SA401",
+                    f"ccs sequence {entry.label or entry.actions!r} is a "
+                    f"proper prefix of {other.label or other.actions!r}: a "
+                    '"complete" verdict is never final, so online '
+                    "enforcement cannot trust it",
+                    entry.span,
+                    path,
+                    related=[Related("extended by this sequence", other.span)],
+                )
+            elif other.actions == entry.actions[: len(other.actions)]:
+                report.add(
+                    "SA401",
+                    f"ccs sequence {other.label or other.actions!r} is a "
+                    f"proper prefix of {entry.label or entry.actions!r}: a "
+                    '"complete" verdict is never final, so online '
+                    "enforcement cannot trust it",
+                    other.span,
+                    path,
+                    related=[Related("extended by this sequence", entry.span)],
+                )
+
+    universe = model.universe
+    all_processes = frozenset(universe.processes())
+    invariants = model.kept_invariants()
+    for item in model.actions:
+        action = item.action
+        participants = action.participants(universe)
+        if len(all_processes) > 1 and participants == all_processes:
+            report.add(
+                "SA402",
+                f"action {action.action_id!r} touches components on every "
+                f"process ({', '.join(sorted(participants))}): realizing it "
+                "blocks the whole system at once, so no process stays "
+                "available during the adaptation",
+                item.span,
+                path,
+            )
+        radius = blast_radius(universe, invariants, action)
+        beyond = radius - participants
+        if beyond:
+            at_risk = invariants_at_risk(invariants, action)
+            report.add(
+                "SA403",
+                f"action {action.action_id!r} has a blast radius beyond its "
+                f"participants: processes {', '.join(sorted(beyond))} host "
+                f"components coupled through {len(at_risk)} at-risk "
+                "invariant(s) and must be watched during realization",
+                item.span,
+                path,
+            )
+
+
+# -- entry points ---------------------------------------------------------------
+
+
+def analyze_source(source: ManifestSource) -> LintReport:
+    """Run the full SA1xx–SA4xx pipeline over a scanned manifest."""
+    report = LintReport()
+    model = _collect(source, report)
+    if model is not None:
+        path = source.path
+        _check_invariants(model, report, path)
+        _check_actions(model, report, path)
+        _check_contracts(model, report, path)
+    report.sort()
+    return report
+
+
+def analyze_system(
+    manifest: SystemManifest, path: Optional[str] = None
+) -> LintReport:
+    """Analyze an in-memory ``P`` (semantic stages SA2xx–SA4xx + SA108).
+
+    Well-formedness is enforced by the constructors for in-memory models;
+    spans come from ``manifest.spans`` when the manifest was parsed from
+    a file, and default to line 1 otherwise.
+    """
+    report = LintReport()
+    spans = manifest.spans
+    path = path if path is not None else spans.path
+    model = _Model(universe=manifest.universe, sections=dict(spans.sections))
+    invariant_spans = spans.invariants or ()
+    for index, invariant in enumerate(manifest.invariants):
+        span = (
+            invariant_spans[index]
+            if index < len(invariant_spans)
+            else Span(1, 1)
+        )
+        model.invariants.append(_InvariantItem(invariant, span))
+    for action in manifest.actions:
+        model.actions.append(
+            _ActionItem(action, spans.actions.get(action.action_id, Span(1, 1)))
+        )
+    for name, configuration in manifest.configurations.items():
+        model.configurations.append(
+            _ConfigItem(
+                name, configuration, spans.configurations.get(name, Span(1, 1))
+            )
+        )
+    if manifest.ccs is not None:
+        model.ccs = [
+            CCSEntry(label=f"seg{index}", actions=sequence, span=Span(1, 1))
+            for index, sequence in enumerate(manifest.ccs.allowed)
+        ]
+    if model.invariants or model.actions:
+        referenced: Set[str] = set()
+        for item in model.invariants:
+            referenced |= item.invariant.atoms()
+        for act_item in model.actions:
+            referenced |= act_item.action.touched
+        for name in model.universe.order:
+            if name not in referenced:
+                report.add(
+                    "SA108",
+                    f"component {name!r} is not constrained by any invariant "
+                    "nor touched by any action",
+                    spans.components.get(name, Span(1, 1)),
+                    path,
+                )
+    _check_invariants(model, report, path)
+    _check_actions(model, report, path)
+    _check_contracts(model, report, path)
+    report.sort()
+    return report

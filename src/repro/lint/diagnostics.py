@@ -1,0 +1,196 @@
+"""Diagnostic model for the adaptation-spec static analyzer.
+
+A :class:`Diagnostic` is one finding: a stable code (``SA101``), a
+severity, a message, and a source :class:`~repro.span.Span` pointing into
+the manifest, optionally with related locations (the other half of a
+conflicting pair, the first declaration shadowed by a duplicate, ...).
+
+The code space mirrors a real linter's:
+
+* **SA1xx** — well-formedness of the spec text (unknown/duplicate names,
+  bit-vector width, syntax);
+* **SA2xx** — invariant semantics (tautology, unsatisfiability, empty
+  safe space, adaptation-decoupled invariants);
+* **SA3xx** — action and Safe Adaptation Graph analysis (dead or
+  dominated actions, costs, connectivity, unreachable endpoints);
+* **SA4xx** — runtime-contract checks (CCS language shape, global
+  blocking, blast radius).
+
+Codes are append-only: a released code never changes meaning, so CI
+suppressions (``--fail-on``) and SARIF baselines stay stable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.span import Span
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so thresholds compare with ``>=``."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {label!r}") from None
+
+
+@dataclass(frozen=True)
+class Related:
+    """A secondary location attached to a diagnostic."""
+
+    message: str
+    span: Span
+    path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span
+    path: Optional[str] = None
+    related: Tuple[Related, ...] = ()
+
+    def location(self) -> str:
+        return self.span.label(self.path)
+
+    def render(self) -> str:
+        """The canonical single-finding text rendering."""
+        lines = [
+            f"{self.location()}: {self.code} {self.severity.label}: {self.message}"
+        ]
+        for rel in self.related:
+            lines.append(f"    {rel.span.label(rel.path or self.path)}: {rel.message}")
+        return "\n".join(lines)
+
+
+#: Registry of every diagnostic code: default severity + one-line summary.
+#: This table is the source for ``--explain``, the SARIF rule metadata,
+#: and the DESIGN.md code table.
+CODES: Dict[str, Tuple[Severity, str]] = {
+    "SA100": (Severity.ERROR, "manifest syntax error"),
+    "SA101": (Severity.ERROR, "invariant mentions an unknown component"),
+    "SA102": (Severity.ERROR, "action uses an unknown component"),
+    "SA103": (Severity.ERROR, "configuration bit vector has the wrong width"),
+    "SA104": (Severity.ERROR, "configuration references an unknown component"),
+    "SA105": (Severity.ERROR, "duplicate component declaration"),
+    "SA106": (Severity.ERROR, "duplicate action id"),
+    "SA107": (Severity.WARNING, "duplicate configuration name"),
+    "SA108": (Severity.NOTE, "component unused by every invariant and action"),
+    "SA201": (Severity.WARNING, "invariant is a tautology (vacuous constraint)"),
+    "SA202": (Severity.ERROR, "invariant is unsatisfiable"),
+    "SA203": (Severity.ERROR, "invariants admit no safe configuration (empty safe space)"),
+    "SA204": (Severity.NOTE, "invariant atoms never co-occur with any action's touched set"),
+    "SA205": (Severity.WARNING, "named configuration violates the invariants"),
+    "SA301": (Severity.WARNING, "dead action: no safe-to-safe firing exists"),
+    "SA302": (Severity.WARNING, "dominated action: another action covers the same arcs strictly cheaper"),
+    "SA303": (Severity.WARNING, "zero-cost action makes minimum-path ties ambiguous"),
+    "SA304": (Severity.NOTE, "replace action has no inverse in the library"),
+    "SA305": (Severity.WARNING, "Safe Adaptation Graph is disconnected"),
+    "SA306": (Severity.WARNING, "no safe adaptation path between named configurations"),
+    "SA401": (Severity.WARNING, "CCS allowed sequence is a proper prefix of another (completion verdicts not final)"),
+    "SA402": (Severity.WARNING, "action blocks every process at once (no global safe state can host it)"),
+    "SA403": (Severity.NOTE, "action's blast radius reaches processes beyond its participants"),
+}
+
+
+def describe_code(code: str) -> str:
+    """One-line description of a diagnostic code (for docs and SARIF)."""
+    severity, summary = CODES[code]
+    return f"{code} ({severity.label}): {summary}"
+
+
+@dataclass
+class LintReport:
+    """All diagnostics produced by one analyzer run, plus run metadata."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: analysis stages skipped and why (e.g. empty safe space)
+    skipped: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        span: Span,
+        path: Optional[str] = None,
+        related: Iterable[Related] = (),
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        if code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {code!r}")
+        diagnostic = Diagnostic(
+            code=code,
+            severity=severity if severity is not None else CODES[code][0],
+            message=message,
+            span=span,
+            path=path,
+            related=tuple(related),
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.skipped.extend(other.skipped)
+
+    def sort(self) -> None:
+        """Deterministic order: by file, then line, column, code."""
+        self.diagnostics.sort(
+            key=lambda d: (d.path or "", d.span.line, d.span.column, d.code)
+        )
+
+    # -- queries -----------------------------------------------------------------
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def by_severity(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def notes(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.NOTE)
+
+    def fails(self, threshold: Severity) -> bool:
+        """True iff any diagnostic is at or above *threshold*."""
+        return any(d.severity >= threshold for d in self.diagnostics)
+
+    def summary(self) -> str:
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.notes)} note(s)"
+        )
+        if not self.diagnostics:
+            return "clean: 0 diagnostics"
+        return counts

@@ -3,8 +3,9 @@
 The paper's analysis phase (§4.1) has developers prepare
 ``P = (S, I, T, R, A)``.  A manifest captures the declarative parts —
 components with their host processes, dependency invariants, adaptive
-actions with costs, and named configurations — in a plain-text format, so
-a system can be planned and simulated without writing Python:
+actions with costs, named configurations, and (optionally) the critical
+communication segments — in a plain-text format, so a system can be
+planned, simulated, and statically analyzed without writing Python:
 
 .. code-block:: text
 
@@ -28,8 +29,24 @@ a system can be planned and simulated without writing Python:
     source = 0100101                # bit vector over [components] order
     target = D3, D5, E2             # or an explicit member list
 
+    [ccs]
+    packet : encode send receive decode   # one allowed atomic sequence
+
 ``loads``/``dumps`` round-trip; the CLI (``python -m repro``) consumes
 manifests directly.
+
+Parsing is two-stage so the static analyzer can see *all* defects:
+
+* :func:`scan` tokenizes the sections into raw entries, each carrying a
+  :class:`~repro.span.Span` (line/column provenance).  In strict mode it
+  raises :class:`ParseError` at the first syntax problem; in tolerant
+  mode (used by ``repro lint``) syntax problems are collected as
+  :class:`SyntaxIssue` records and scanning continues.
+* :func:`build` turns a scan into a :class:`SystemManifest`, raising
+  :class:`ParseError` — now always with a line number and span — on the
+  first semantic problem (unknown component, bad bit vector, ...).
+
+:func:`loads` is ``build(scan(text))``, exactly as before.
 """
 
 from __future__ import annotations
@@ -38,14 +55,20 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.ccs import CCSSpec
 from repro.core.actions import ActionLibrary, AdaptiveAction
 from repro.core.invariants import Invariant, InvariantSet
 from repro.core.model import Component, ComponentUniverse, Configuration
 from repro.core.planner import AdaptationPlanner
-from repro.errors import ParseError
+from repro.errors import (
+    ConfigurationError,
+    ParseError,
+    UnknownComponentError,
+)
 from repro.expr.ast import to_text
+from repro.span import Span
 
-_SECTIONS = ("components", "invariants", "actions", "configurations")
+_SECTIONS = ("components", "invariants", "actions", "configurations", "ccs")
 
 _COMPONENT_RE = re.compile(
     r"^(?P<name>[A-Za-z_][\w.\-]*)\s*(?:@\s*(?P<process>[\w.\-]+))?"
@@ -61,6 +84,97 @@ _REPLACE_RE = re.compile(
 )
 
 
+# -- scan-stage entries (raw text + provenance) ---------------------------------
+
+
+@dataclass(frozen=True)
+class ComponentEntry:
+    """One ``[components]`` line as scanned."""
+
+    name: str
+    process: str
+    description: str
+    span: Span
+
+
+@dataclass(frozen=True)
+class InvariantEntry:
+    """One ``[invariants]`` line as scanned (expression still text)."""
+
+    name: str
+    expr_text: str
+    span: Span
+    expr_span: Span
+
+
+@dataclass(frozen=True)
+class ActionEntry:
+    """One ``[actions]`` line as scanned (operation still text)."""
+
+    action_id: str
+    operation: str
+    cost_text: str
+    description: str
+    span: Span
+
+
+@dataclass(frozen=True)
+class ConfigEntry:
+    """One ``[configurations]`` line as scanned (value still text)."""
+
+    name: str
+    value: str
+    span: Span
+    value_span: Span
+
+
+@dataclass(frozen=True)
+class CCSEntry:
+    """One ``[ccs]`` line: a named allowed atomic-action sequence."""
+
+    label: str
+    actions: Tuple[str, ...]
+    span: Span
+
+
+@dataclass(frozen=True)
+class SyntaxIssue:
+    """A syntax problem recorded during tolerant scanning."""
+
+    message: str
+    span: Span
+
+
+@dataclass
+class ManifestSource:
+    """The scan result: raw entries with spans, before semantic checks."""
+
+    path: Optional[str] = None
+    components: List[ComponentEntry] = field(default_factory=list)
+    invariants: List[InvariantEntry] = field(default_factory=list)
+    actions: List[ActionEntry] = field(default_factory=list)
+    configurations: List[ConfigEntry] = field(default_factory=list)
+    ccs: List[CCSEntry] = field(default_factory=list)
+    issues: List[SyntaxIssue] = field(default_factory=list)
+    sections: Dict[str, Span] = field(default_factory=dict)
+
+    def section_span(self, name: str) -> Span:
+        """Span of a section header (line 1 when the section is absent)."""
+        return self.sections.get(name, Span(1, 1))
+
+
+@dataclass
+class ManifestSpans:
+    """Provenance side-table attached to a parsed :class:`SystemManifest`."""
+
+    path: Optional[str] = None
+    components: Dict[str, Span] = field(default_factory=dict)
+    invariants: Tuple[Span, ...] = ()
+    actions: Dict[str, Span] = field(default_factory=dict)
+    configurations: Dict[str, Span] = field(default_factory=dict)
+    sections: Dict[str, Span] = field(default_factory=dict)
+
+
 @dataclass
 class SystemManifest:
     """A parsed manifest: the declarative analysis-phase model."""
@@ -69,6 +183,8 @@ class SystemManifest:
     invariants: InvariantSet
     actions: ActionLibrary
     configurations: Dict[str, Configuration] = field(default_factory=dict)
+    ccs: Optional[CCSSpec] = None
+    spans: ManifestSpans = field(default_factory=ManifestSpans)
 
     def planner(self) -> AdaptationPlanner:
         return AdaptationPlanner(self.universe, self.invariants, self.actions)
@@ -92,7 +208,9 @@ def _strip_comment(line: str) -> str:
     return line if index < 0 else line[:index]
 
 
-def _parse_operation(text: str, line_no: int) -> Tuple[frozenset, frozenset]:
+def _parse_operation(
+    text: str, line_no: int, span: Optional[Span] = None
+) -> Tuple[frozenset, frozenset]:
     text = text.strip()
     if text.startswith("+"):
         names = [part.strip() for part in text[1:].split(",")]
@@ -103,7 +221,8 @@ def _parse_operation(text: str, line_no: int) -> Tuple[frozenset, frozenset]:
     match = _REPLACE_RE.match(text)
     if match is None:
         raise ParseError(
-            f"line {line_no}: cannot parse action operation {text!r}"
+            f"line {line_no}: cannot parse action operation {text!r}",
+            span=span or Span(line_no),
         )
     removes_raw = match.group("removes_group") or match.group("removes_one")
     adds_raw = match.group("adds_group") or match.group("adds_one")
@@ -112,99 +231,236 @@ def _parse_operation(text: str, line_no: int) -> Tuple[frozenset, frozenset]:
     return removes, adds
 
 
-def loads(text: str) -> SystemManifest:
-    """Parse a manifest string.  Raises :class:`ParseError` on bad input."""
-    components: List[Component] = []
-    invariant_entries: List[Tuple[str, str]] = []
-    action_entries: List[Tuple[str, str, float, str, int]] = []
-    config_entries: List[Tuple[str, str]] = []
+def scan(
+    text: str, path: Optional[str] = None, strict: bool = True
+) -> ManifestSource:
+    """Stage 1: split a manifest into raw entries with source spans.
+
+    In strict mode the first syntax problem raises :class:`ParseError`
+    (with a span); in tolerant mode problems are appended to
+    ``source.issues`` and scanning continues with the next line — the
+    behavior ``repro lint`` needs to report *every* defect at once.
+    """
+    source = ManifestSource(path=path)
     section: Optional[str] = None
+
+    def problem(message: str, span: Span) -> None:
+        if strict:
+            raise ParseError(message, span=span)
+        source.issues.append(SyntaxIssue(message, span))
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = _strip_comment(raw).strip()
         if not line:
             continue
+        span = Span.of_fragment(line_no, raw, line)
         if line.startswith("[") and line.endswith("]"):
-            section = line[1:-1].strip().lower()
-            if section not in _SECTIONS:
-                raise ParseError(f"line {line_no}: unknown section [{section}]")
+            name = line[1:-1].strip().lower()
+            if name not in _SECTIONS:
+                problem(f"line {line_no}: unknown section [{name}]", span)
+                section = None  # skip lines until a known section opens
+                continue
+            section = name
+            source.sections.setdefault(section, span)
             continue
         if section is None:
-            raise ParseError(f"line {line_no}: content before any [section]")
+            problem(f"line {line_no}: content before any [section]", span)
+            continue
         if section == "components":
             match = _COMPONENT_RE.match(line)
             if match is None:
-                raise ParseError(f"line {line_no}: bad component {line!r}")
-            components.append(
-                Component(
-                    match.group("name"),
+                problem(f"line {line_no}: bad component {line!r}", span)
+                continue
+            source.components.append(
+                ComponentEntry(
+                    name=match.group("name"),
                     process=match.group("process") or "local",
                     description=(match.group("description") or "").strip(),
+                    span=Span.of_fragment(line_no, raw, match.group("name")),
                 )
             )
         elif section == "invariants":
             if ":" in line:
                 name, _, expr_text = line.partition(":")
-                invariant_entries.append((name.strip(), expr_text.strip()))
+                name = name.strip()
+                expr_text = expr_text.strip()
             else:
-                invariant_entries.append(("", line))
+                name, expr_text = "", line
+            if not expr_text:
+                problem(
+                    f"line {line_no}: invariant {name!r} has no expression",
+                    span,
+                )
+                continue
+            source.invariants.append(
+                InvariantEntry(
+                    name=name,
+                    expr_text=expr_text,
+                    span=span,
+                    expr_span=Span.of_fragment(line_no, raw, expr_text),
+                )
+            )
         elif section == "actions":
             match = _ACTION_RE.match(line)
             if match is None:
-                raise ParseError(f"line {line_no}: bad action {line!r}")
-            action_entries.append(
-                (
-                    match.group("id"),
-                    match.group("operation"),
-                    float(match.group("cost")),
-                    (match.group("description") or "").strip(),
-                    line_no,
+                problem(f"line {line_no}: bad action {line!r}", span)
+                continue
+            source.actions.append(
+                ActionEntry(
+                    action_id=match.group("id"),
+                    operation=match.group("operation"),
+                    cost_text=match.group("cost"),
+                    description=(match.group("description") or "").strip(),
+                    span=span,
                 )
             )
         elif section == "configurations":
             name, eq, value = line.partition("=")
             if not eq:
-                raise ParseError(
-                    f"line {line_no}: configurations need 'name = value'"
+                problem(
+                    f"line {line_no}: configurations need 'name = value'", span
                 )
-            config_entries.append((name.strip(), value.strip()))
+                continue
+            source.configurations.append(
+                ConfigEntry(
+                    name=name.strip(),
+                    value=value.strip(),
+                    span=span,
+                    value_span=Span.of_fragment(line_no, raw, value.strip()),
+                )
+            )
+        elif section == "ccs":
+            label, colon, seq_text = line.partition(":")
+            if not colon:
+                label, seq_text = "", line
+            actions = tuple(
+                part for part in re.split(r"[,\s]+", seq_text.strip()) if part
+            )
+            if not actions:
+                problem(
+                    f"line {line_no}: ccs entry needs at least one atomic action",
+                    span,
+                )
+                continue
+            source.ccs.append(
+                CCSEntry(label=label.strip(), actions=actions, span=span)
+            )
+    return source
 
-    if not components:
-        raise ParseError("manifest has no [components]")
+
+def build(source: ManifestSource) -> SystemManifest:
+    """Stage 2: semantic construction; raises :class:`ParseError` on defects.
+
+    Every error message carries the offending line number (and the raised
+    exception a :class:`Span`) — including invariant and configuration
+    entries, which previously reported no location at all.
+    """
+    if source.issues:
+        issue = source.issues[0]
+        raise ParseError(issue.message, span=issue.span)
+    if not source.components:
+        raise ParseError(
+            "manifest has no [components]", span=source.section_span("components")
+        )
+    spans = ManifestSpans(path=source.path, sections=dict(source.sections))
+    seen: Dict[str, Span] = {}
+    components: List[Component] = []
+    for entry in source.components:
+        if entry.name in seen:
+            raise ParseError(
+                f"line {entry.span.line}: duplicate component {entry.name!r} "
+                f"(first declared on line {seen[entry.name].line})",
+                span=entry.span,
+            )
+        seen[entry.name] = entry.span
+        components.append(
+            Component(entry.name, process=entry.process, description=entry.description)
+        )
     universe = ComponentUniverse(components)
+    spans.components = seen
 
-    invariants = InvariantSet(
-        [Invariant(expr_text, name=name) for name, expr_text in invariant_entries]
-    )
-    for invariant in invariants:
+    invariants_out: List[Invariant] = []
+    invariant_spans: List[Span] = []
+    for inv_entry in source.invariants:
+        try:
+            invariant = Invariant(inv_entry.expr_text, name=inv_entry.name)
+        except ParseError as exc:
+            raise ParseError(
+                f"line {inv_entry.span.line}: bad invariant expression "
+                f"{inv_entry.expr_text!r}: {exc}",
+                span=inv_entry.expr_span,
+            ) from exc
         unknown = invariant.atoms() - universe.names
         if unknown:
             raise ParseError(
-                f"invariant {invariant.name!r} mentions unknown components "
-                f"{sorted(unknown)}"
+                f"line {inv_entry.span.line}: invariant {invariant.name!r} "
+                f"mentions unknown components {sorted(unknown)}",
+                span=inv_entry.expr_span,
             )
+        invariants_out.append(invariant)
+        invariant_spans.append(inv_entry.span)
+    invariants = InvariantSet(invariants_out)
+    spans.invariants = tuple(invariant_spans)
 
     actions = ActionLibrary()
-    for action_id, operation, cost, description, line_no in action_entries:
-        removes, adds = _parse_operation(operation, line_no)
+    for act_entry in source.actions:
+        line_no = act_entry.span.line
+        removes, adds = _parse_operation(act_entry.operation, line_no, act_entry.span)
+        try:
+            cost = float(act_entry.cost_text)
+        except ValueError:
+            raise ParseError(
+                f"line {line_no}: action {act_entry.action_id} has a bad "
+                f"cost {act_entry.cost_text!r}",
+                span=act_entry.span,
+            ) from None
         unknown = (removes | adds) - universe.names
         if unknown:
             raise ParseError(
-                f"line {line_no}: action {action_id} uses unknown components "
-                f"{sorted(unknown)}"
+                f"line {line_no}: action {act_entry.action_id} uses unknown "
+                f"components {sorted(unknown)}",
+                span=act_entry.span,
             )
-        actions.add(AdaptiveAction(action_id, removes, adds, cost, description))
+        if act_entry.action_id in actions:
+            raise ParseError(
+                f"line {line_no}: duplicate action id {act_entry.action_id!r}",
+                span=act_entry.span,
+            )
+        actions.add(
+            AdaptiveAction(
+                act_entry.action_id, removes, adds, cost, act_entry.description
+            )
+        )
+        spans.actions[act_entry.action_id] = act_entry.span
 
-    manifest = SystemManifest(universe, invariants, actions)
-    for name, value in config_entries:
-        manifest.configurations[name] = manifest.resolve_configuration(value)
+    ccs: Optional[CCSSpec] = None
+    if source.ccs:
+        ccs = CCSSpec([entry.actions for entry in source.ccs], name="manifest")
+
+    manifest = SystemManifest(universe, invariants, actions, ccs=ccs, spans=spans)
+    for cfg_entry in source.configurations:
+        try:
+            resolved = manifest.resolve_configuration(cfg_entry.value)
+        except (ConfigurationError, UnknownComponentError) as exc:
+            raise ParseError(
+                f"line {cfg_entry.span.line}: bad configuration "
+                f"{cfg_entry.name!r}: {exc}",
+                span=cfg_entry.value_span,
+            ) from exc
+        manifest.configurations[cfg_entry.name] = resolved
+        spans.configurations[cfg_entry.name] = cfg_entry.span
     return manifest
+
+
+def loads(text: str, path: Optional[str] = None) -> SystemManifest:
+    """Parse a manifest string.  Raises :class:`ParseError` on bad input."""
+    return build(scan(text, path=path, strict=True))
 
 
 def load_path(path) -> SystemManifest:
     """Parse a manifest file."""
     with open(path, "r", encoding="utf-8") as handle:
-        return loads(handle.read())
+        return loads(handle.read(), path=str(path))
 
 
 def dumps(manifest: SystemManifest) -> str:
@@ -233,6 +489,11 @@ def dumps(manifest: SystemManifest) -> str:
         lines.append("[configurations]")
         for name, config in manifest.configurations.items():
             lines.append(f"{name} = {manifest.universe.to_bits(config)}")
+    if manifest.ccs is not None:
+        lines.append("")
+        lines.append("[ccs]")
+        for index, sequence in enumerate(manifest.ccs.allowed):
+            lines.append(f"seg{index} : {' '.join(sequence)}")
     lines.append("")
     return "\n".join(lines)
 

@@ -1,0 +1,66 @@
+"""Source spans: where a parsed entity came from in its manifest.
+
+The development-time analyzer (:mod:`repro.lint`) reports diagnostics
+against manifest files the way a compiler does — ``file:line:column`` —
+so editors and CI annotators (SARIF) can point at the offending entity.
+The manifest parser threads a :class:`Span` through every parsed entity;
+everything else in the library treats spans as opaque provenance.
+
+Lines and columns are 1-based; ``end_column`` points one past the last
+character (the SARIF/LSP half-open convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of a source file (1-based lines and columns)."""
+
+    line: int
+    column: int = 1
+    end_line: int = 0
+    end_column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line <= 0:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_column <= 0:
+            object.__setattr__(self, "end_column", self.column)
+
+    @classmethod
+    def of_fragment(cls, line_no: int, raw_line: str, fragment: str) -> "Span":
+        """Span of *fragment* inside *raw_line* (falls back to the content).
+
+        Used by the manifest scanner: given the raw source line and the
+        matched entity text, locate the entity so diagnostics underline
+        the name rather than the whole line.
+        """
+        if fragment:
+            index = raw_line.find(fragment)
+            if index >= 0:
+                return cls(line_no, index + 1, line_no, index + 1 + len(fragment))
+        return cls.of_content(line_no, raw_line)
+
+    @classmethod
+    def of_content(cls, line_no: int, raw_line: str) -> "Span":
+        """Span of the non-blank content of *raw_line*."""
+        stripped = raw_line.strip()
+        if not stripped:
+            return cls(line_no, 1, line_no, max(1, len(raw_line) + 1))
+        start = raw_line.index(stripped[0]) + 1
+        return cls(line_no, start, line_no, start + len(stripped))
+
+    def shifted(self, columns: int) -> "Span":
+        """A copy moved right by *columns* (expression-offset reporting)."""
+        return Span(
+            self.line, self.column + columns, self.end_line, self.end_column
+        )
+
+    def label(self, path: Optional[str] = None) -> str:
+        """Render as ``path:line:column`` (path omitted when unknown)."""
+        prefix = f"{path}:" if path else ""
+        return f"{prefix}{self.line}:{self.column}"

@@ -1,0 +1,38 @@
+"""Golden-output tests: the fixture's text/JSON/SARIF renderings are frozen.
+
+Regenerate after an intentional output change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/lint/test_golden.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_text, render_json, render_sarif, render_text
+
+FIXTURE = Path("tests/lint/fixtures/defective.manifest")
+GOLDEN = Path("tests/lint/golden")
+
+RENDERERS = {
+    "defective.txt": lambda report: render_text(report, verbose=True),
+    "defective.json": render_json,
+    "defective.sarif": render_sarif,
+}
+
+
+@pytest.mark.parametrize("name", sorted(RENDERERS))
+def test_golden(name):
+    report = lint_text(
+        FIXTURE.read_text(encoding="utf-8"), path=FIXTURE.as_posix()
+    )
+    rendered = RENDERERS[name](report) + "\n"
+    golden_path = GOLDEN / name
+    if os.environ.get("REGEN_GOLDEN"):
+        golden_path.write_text(rendered, encoding="utf-8")
+    expected = golden_path.read_text(encoding="utf-8")
+    assert rendered == expected, (
+        f"{name} drifted from its golden output; rerun with REGEN_GOLDEN=1 "
+        "if the change is intentional"
+    )

@@ -1,0 +1,102 @@
+"""Property tests: analyzer verdicts ≡ brute-force AST enumeration.
+
+The analyzer decides everything on compiled bitmasks; the AST evaluator
+is the semantic source of truth.  On random universes, invariants, and
+actions these tests pin:
+
+* :func:`repro.lint.truth_profile` (satisfiable/tautology) to exhaustive
+  ``Expr.evaluate`` over every subset of the universe;
+* :func:`repro.lint.jointly_satisfiable` to the same enumeration of the
+  conjunction;
+* the SA301 dead-action verdict (``action_arcs``) to an AST-level sweep
+  of every safe configuration through ``AdaptiveAction.apply``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import AdaptiveAction, MaskedAction
+from repro.core.invariants import InvariantSet
+from repro.core.model import ComponentUniverse
+from repro.core.space import SafeConfigurationSpace
+from repro.expr.ast import FALSE, TRUE, And, Atom, Implies, Not, OneOf, Or, Xor
+from repro.lint import action_arcs, jointly_satisfiable, truth_profile
+
+NAMES = ("A", "B", "C", "D", "E")
+UNIVERSE = ComponentUniverse.from_names(NAMES)
+
+ATOMS = st.sampled_from(NAMES).map(Atom)
+EXPRESSIONS = st.recursive(
+    st.one_of(ATOMS, st.sampled_from((TRUE, FALSE))),
+    lambda children: st.one_of(
+        children.map(Not),
+        st.lists(children, min_size=2, max_size=3).map(lambda ops: And(tuple(ops))),
+        st.lists(children, min_size=2, max_size=3).map(lambda ops: Or(tuple(ops))),
+        st.lists(children, min_size=2, max_size=3).map(lambda ops: Xor(tuple(ops))),
+        st.lists(children, min_size=2, max_size=3).map(lambda ops: OneOf(tuple(ops))),
+        st.tuples(children, children).map(lambda ab: Implies(ab[0], ab[1])),
+    ),
+    max_leaves=12,
+)
+
+
+def every_subset():
+    for mask in range(1 << len(NAMES)):
+        yield frozenset(
+            name for index, name in enumerate(NAMES) if mask & (1 << index)
+        )
+
+
+@given(expr=EXPRESSIONS)
+@settings(max_examples=200)
+def test_truth_profile_matches_brute_force(expr):
+    verdicts = [expr.evaluate(subset) for subset in every_subset()]
+    assert truth_profile(expr, UNIVERSE) == (any(verdicts), all(verdicts))
+
+
+@given(left=EXPRESSIONS, right=EXPRESSIONS)
+@settings(max_examples=200)
+def test_joint_satisfiability_matches_brute_force(left, right):
+    brute = any(
+        left.evaluate(subset) and right.evaluate(subset)
+        for subset in every_subset()
+    )
+    assert jointly_satisfiable(left, right, UNIVERSE) == brute
+
+
+DELTAS = st.tuples(
+    st.frozensets(st.sampled_from(NAMES), max_size=2),
+    st.frozensets(st.sampled_from(NAMES), max_size=2),
+).filter(lambda ra: (ra[0] or ra[1]) and not (ra[0] & ra[1]))
+
+
+@given(expr=EXPRESSIONS, delta=DELTAS)
+@settings(max_examples=200)
+def test_dead_action_verdict_matches_ast_sweep(expr, delta):
+    removes, adds = delta
+    invariants = InvariantSet.of(expr)
+    action = AdaptiveAction("X", removes, adds, cost=1.0)
+    space = SafeConfigurationSpace(UNIVERSE, invariants)
+    safe_masks = space.enumerate_masks()
+    applicable, arcs = action_arcs(
+        safe_masks, frozenset(safe_masks), MaskedAction(action, UNIVERSE.atom_bits)
+    )
+
+    # Brute force on the AST side: walk every safe subset through the
+    # set-level action semantics.
+    brute_applicable = 0
+    brute_arcs = set()
+    for subset in every_subset():
+        if not invariants.all_hold(subset):
+            continue
+        config = UNIVERSE.configuration(*sorted(subset))
+        if action.is_applicable(config):
+            brute_applicable += 1
+            result = action.apply(config)
+            if invariants.all_hold(result.members):
+                brute_arcs.add(
+                    (UNIVERSE.mask_of(config), UNIVERSE.mask_of(result))
+                )
+    assert applicable == brute_applicable
+    assert set(arcs) == brute_arcs
+    # The SA301 verdict itself: dead iff no safe-to-safe firing.
+    assert (not arcs) == (not brute_arcs)

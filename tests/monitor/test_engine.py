@@ -1,5 +1,7 @@
 """Unit + integration tests for the decision engine."""
 
+import warnings
+
 import pytest
 
 from repro.apps.video import build_video_cluster
@@ -78,6 +80,28 @@ class TestEvaluate:
         engine = DecisionEngine([make_rule("r", sensor, Configuration(["X"]))])
         engine.evaluate(0.0, Configuration(["Y"]), lambda t: None)
         assert len(engine.decisions) == 1
+
+
+class TestDeprecation:
+    def test_attach_to_warns_exactly_once(self):
+        """One attach = one DeprecationWarning, and only at attach time.
+
+        The warning must not repeat on every polling tick — callers fix
+        the one call site it points at (stacklevel=2), not a log flood.
+        """
+        cluster = build_video_cluster(seed=6)
+        sensor = GaugeSensor("threat", 0.0)
+        engine = DecisionEngine([make_rule("r", sensor, paper_target())])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.attach_to(cluster, period=10.0)
+            cluster.sim.run(until=100.0)  # several ticks: still one warning
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "attach_to_bus" in str(deprecations[0].message)
+        assert deprecations[0].filename == __file__
 
 
 class TestOnCluster:

@@ -188,6 +188,67 @@ class TestTraceCheck:
         assert "UNSAFE" in output
 
 
+class TestLint:
+    FIXTURE = "tests/lint/fixtures/defective.manifest"
+
+    def test_defective_fixture_fails_gate(self):
+        code, output = run_cli("lint", self.FIXTURE, "--fail-on", "error")
+        assert code == 1
+        assert "SA105" in output and "SA403" in output
+
+    def test_examples_pass_error_gate(self):
+        code, output = run_cli(
+            "lint", "examples/video.manifest", "examples/pipeline.manifest",
+            "--fail-on", "error",
+        )
+        assert code == 0
+        assert "0 error(s)" in output
+
+    def test_fail_on_note_tightens_gate(self):
+        code, _ = run_cli(
+            "lint", "examples/pipeline.manifest", "--fail-on", "note"
+        )
+        assert code == 1
+
+    def test_json_format(self):
+        import json
+
+        code, output = run_cli("lint", self.FIXTURE, "--format", "json")
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["summary"]["errors"] > 0
+
+    def test_sarif_format(self):
+        import json
+
+        code, output = run_cli("lint", self.FIXTURE, "--format", "sarif")
+        assert code == 1
+        assert json.loads(output)["version"] == "2.1.0"
+
+    def test_missing_file(self):
+        code, _ = run_cli("lint", "/nonexistent/x.manifest")
+        assert code == 2
+
+    def test_multiple_files_merge(self):
+        code, output = run_cli(
+            "lint", self.FIXTURE, "examples/pipeline.manifest"
+        )
+        assert code == 1
+        assert "defective.manifest" in output
+        assert "pipeline.manifest" in output
+
+    def test_check_reports_all_shape_errors_at_once(self, tmp_path, capsys):
+        bad = tmp_path / "bad.manifest"
+        bad.write_text(
+            "[components]\nA\nA\n\n[invariants]\nghost : B\n",
+            encoding="utf-8",
+        )
+        code, _ = run_cli("check", str(bad))
+        assert code == 2
+        stderr = capsys.readouterr().err
+        assert "SA105" in stderr and "SA101" in stderr
+
+
 class TestExampleManifest:
     def test_round_trips_through_check(self, tmp_path):
         code, text = run_cli("example-manifest")

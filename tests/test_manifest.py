@@ -111,6 +111,71 @@ class TestErrors:
         assert fragment in str(excinfo.value)
 
 
+class TestSpans:
+    """Parsed entities carry file positions; parse errors point at them."""
+
+    def test_component_spans(self):
+        manifest = loads(MINIMAL)
+        spans = manifest.spans
+        assert spans.components["A"].line == 3  # MINIMAL opens with a newline
+        assert spans.components["B2"].line == 5
+
+    def test_invariant_and_action_spans(self):
+        manifest = loads(MINIMAL)
+        spans = manifest.spans
+        assert [s.line for s in spans.invariants] == [8, 9, 10]
+        assert spans.actions["swap"].line == 13
+        assert spans.configurations["goal"].line == 20
+
+    def test_section_spans(self):
+        manifest = loads(MINIMAL)
+        assert manifest.spans.sections["components"].line == 2
+        assert manifest.spans.sections["configurations"].line == 18
+
+    @pytest.mark.parametrize(
+        "text,line",
+        [
+            # bad invariant expression: previously reported with no location
+            ("[components]\nA\n[invariants]\nbad : A &\n", 4),
+            # bad configuration value: ditto
+            ("[components]\nA\n[configurations]\nc = A, NOPE\n", 4),
+            ("[components]\nA\n[configurations]\nc = 0101\n", 4),
+            # action errors already carried a line; they keep it
+            ("[components]\nA\n[actions]\nx : ?? @ 1\n", 4),
+        ],
+    )
+    def test_parse_errors_carry_line_and_span(self, text, line):
+        with pytest.raises(ParseError) as excinfo:
+            loads(text)
+        assert f"line {line}" in str(excinfo.value)
+        assert excinfo.value.span is not None
+        assert excinfo.value.span.line == line
+
+    def test_duplicate_component_cites_first_declaration(self):
+        with pytest.raises(ParseError) as excinfo:
+            loads("[components]\nA\nA\n")
+        assert "line 3" in str(excinfo.value)
+        assert "line 2" in str(excinfo.value)
+
+
+class TestCCSSection:
+    WITH_CCS = MINIMAL + "\n[ccs]\nseg0 : swap unswap\nseg1 : unswap\n"
+
+    def test_ccs_parsed(self):
+        manifest = loads(self.WITH_CCS)
+        assert manifest.ccs is not None
+        assert manifest.ccs.allowed == (("swap", "unswap"), ("unswap",))
+
+    def test_ccs_round_trips(self):
+        manifest = loads(self.WITH_CCS)
+        again = loads(dumps(manifest))
+        assert again.ccs is not None
+        assert again.ccs.allowed == manifest.ccs.allowed
+
+    def test_no_ccs_section_means_none(self):
+        assert loads(MINIMAL).ccs is None
+
+
 class TestRoundTrip:
     def test_minimal_round_trips(self):
         manifest = loads(MINIMAL)

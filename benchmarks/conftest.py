@@ -22,14 +22,26 @@ import pytest
 PLANNING_JSON = Path(__file__).with_name("BENCH_planning.json")
 
 
-def report(title: str, text: str, data=None, json_path: Path = None) -> None:
+def report(
+    title: str, text: str, data=None, json_path: Path = None, throughput=None
+) -> None:
     """Print a regenerated table so it is visible even under capture.
 
     When *data* (any JSON-serializable value) is given, it is also merged
     into ``BENCH_planning.json`` under *title* — the machine-readable perf
     record future PRs diff against.
+
+    *throughput*, if given, is a ``(count, seconds)`` pair; a derived
+    plans/sec line is appended to the banner and (when *data* is a dict)
+    a ``plans_per_sec`` column is merged into the recorded JSON.
     """
     banner = f"\n=== {title} ===\n{text}\n"
+    if throughput is not None:
+        count, seconds = throughput
+        rate = count / seconds if seconds > 0 else float("inf")
+        banner += f"throughput: {count} in {seconds:.3f}s = {rate:,.0f} plans/sec\n"
+        if isinstance(data, dict):
+            data = {**data, "plans_per_sec": round(rate, 1)}
     sys.stderr.write(banner)
     sys.stderr.flush()
     if data is not None:

@@ -40,10 +40,10 @@ def _add_manifest(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("manifest", help="path to a system manifest file")
 
 
-def _add_endpoints(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--from", dest="source", required=True,
+def _add_endpoints(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    parser.add_argument("--from", dest="source", required=required,
                         help="source configuration (name, bits, or members)")
-    parser.add_argument("--to", dest="target", required=True,
+    parser.add_argument("--to", dest="target", required=required,
                         help="target configuration (name, bits, or members)")
 
 
@@ -78,18 +78,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="also report analysis stages that were skipped and why",
     )
+    lint.add_argument(
+        "--max-enum-components", type=int, default=None, metavar="N",
+        help="override the SA3xx safe-space enumeration cap "
+             "(skips emit an SA307 note)",
+    )
+    lint.add_argument(
+        "--enum-workers", type=int, default=None, metavar="N",
+        help="enumerate the safe space on N worker processes",
+    )
 
     safe = commands.add_parser("safe-configs", help="enumerate safe configurations")
     _add_manifest(safe)
 
     plan = commands.add_parser("plan", help="compute the Minimum Adaptation Path")
     _add_manifest(plan)
-    _add_endpoints(plan)
+    _add_endpoints(plan, required=False)
     plan.add_argument("--k", type=int, default=1,
                       help="also list the k best alternate plans")
     plan.add_argument(
         "--method", choices=("dijkstra", "lazy", "collaborative"),
         default="dijkstra", help="planning algorithm (default: dijkstra)",
+    )
+    plan.add_argument(
+        "--batch", metavar="FILE",
+        help="plan many requests from FILE (one 'SRC -> DST' per line; "
+             "'-' reads stdin) through a shared PlanningService",
+    )
+    plan.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="enumerate the safe space on N worker processes",
     )
 
     sag = commands.add_parser("sag", help="emit the SAG as Graphviz DOT")
@@ -171,7 +189,14 @@ def cmd_lint(args, out) -> int:
     merged = LintReport()
     for name in args.manifests:
         text = Path(name).read_text(encoding="utf-8")
-        merged.extend(lint_text(text, path=name))
+        merged.extend(
+            lint_text(
+                text,
+                path=name,
+                max_enum_components=args.max_enum_components,
+                workers=args.enum_workers,
+            )
+        )
     merged.sort()
     if args.format == "json":
         print(render_json(merged), file=out)
@@ -222,7 +247,87 @@ def cmd_safe_configs(args, out) -> int:
     return 0
 
 
+def _parse_batch_lines(lines, manifest):
+    """Parse batch request lines into (source, target) configuration pairs.
+
+    Accepted per line: ``SRC -> DST`` or two whitespace-separated specs;
+    blank lines and ``#`` comments are skipped.
+    """
+    pairs = []
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" in line:
+            left, _, right = line.partition("->")
+            left, right = left.strip(), right.strip()
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ReproError(
+                    f"batch line {lineno}: expected 'SRC -> DST', got {raw!r}"
+                )
+            left, right = parts
+        pairs.append(
+            (
+                manifest.resolve_configuration(left),
+                manifest.resolve_configuration(right),
+            )
+        )
+    return pairs
+
+
+def cmd_plan_batch(args, out) -> int:
+    import time
+
+    from repro.serve import PlanningService
+
+    manifest = load_path(args.manifest)
+    if args.batch == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        from pathlib import Path
+
+        lines = Path(args.batch).read_text(encoding="utf-8").splitlines()
+    pairs = _parse_batch_lines(lines, manifest)
+    if not pairs:
+        raise ReproError(f"batch file {args.batch} contains no requests")
+    service = PlanningService(workers=args.workers)
+    started = time.perf_counter()
+    plans = service.plan_many(
+        manifest.universe, manifest.invariants, manifest.actions, pairs
+    )
+    elapsed = time.perf_counter() - started
+    reachable = 0
+    for (source, target), plan in zip(pairs, plans):
+        if plan is None:
+            print(
+                f"{source.label()} -> {target.label()}: NO SAFE PATH", file=out
+            )
+        else:
+            reachable += 1
+            print(
+                f"{source.label()} -> {target.label()}: "
+                f"{' -> '.join(plan.action_ids) or '(empty)'} "
+                f"[cost {plan.total_cost:g}]",
+                file=out,
+            )
+    rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"planned {len(pairs)} request(s) ({reachable} reachable) "
+        f"in {elapsed * 1000:.1f} ms ({rate:,.0f} plans/sec)",
+        file=out,
+    )
+    return 0 if reachable == len(pairs) else 1
+
+
 def cmd_plan(args, out) -> int:
+    if args.batch:
+        if args.source or args.target:
+            raise ReproError("--batch and --from/--to are mutually exclusive")
+        return cmd_plan_batch(args, out)
+    if not (args.source and args.target):
+        raise ReproError("plan requires --from and --to (or --batch FILE)")
     manifest = load_path(args.manifest)
     planner = manifest.planner()
     source = manifest.resolve_configuration(args.source)

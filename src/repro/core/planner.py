@@ -13,6 +13,7 @@ The :class:`AdaptationPlanner` performs the three setup steps on demand:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -23,7 +24,8 @@ from repro.core.model import ComponentUniverse, Configuration
 from repro.core.sag import SafeAdaptationGraph
 from repro.core.space import SafeConfigurationSpace
 from repro.errors import NoSafePathError
-from repro.graphs import k_shortest_paths, lazy_astar, shortest_path
+from repro.graphs import lazy_astar
+from repro.graphs.csr import ShortestPathTree, k_shortest_paths_csr
 from repro.graphs.dijkstra import Path
 
 
@@ -96,16 +98,22 @@ class AdaptationPlanner:
     memo, then served from the plan cache on repetition.
     """
 
+    #: default bound on cached shortest-path trees (one per distinct source)
+    SPT_CACHE_SIZE = 64
+
     def __init__(
         self,
         universe: ComponentUniverse,
         invariants: InvariantSet,
         actions: ActionLibrary,
+        workers: Optional[int] = None,
+        spt_cache_size: int = SPT_CACHE_SIZE,
     ):
         self.universe = universe
         self.invariants = invariants
         self.actions = actions
-        self.space = SafeConfigurationSpace(universe, invariants)
+        self.space = SafeConfigurationSpace(universe, invariants, workers=workers)
+        self.spt_cache_size = max(1, spt_cache_size)
         self._sag: Optional[SafeAdaptationGraph] = None
         self._plan_cache: Dict[
             Tuple[Configuration, Configuration], Optional[AdaptationPlan]
@@ -113,12 +121,24 @@ class AdaptationPlanner:
         self._plan_k_cache: Dict[
             Tuple[Configuration, Configuration, int], Tuple[AdaptationPlan, ...]
         ] = {}
+        # LRU of shortest-path trees keyed by source configuration.  One
+        # tree amortizes every (source, *) query — batched plan_many
+        # groups, and the §4.4 replan cascade whose source shifts along
+        # the failing path while targets repeat.
+        self._spt_cache: "OrderedDict[Configuration, ShortestPathTree]" = OrderedDict()
 
     def reset_caches(self) -> None:
-        """Drop the cached SAG and plans (after mutating the action library)."""
+        """Drop every derived cache (after mutating the action library).
+
+        Clears the SAG (and with it the compiled CSR view), the per-pair
+        plan caches, and the shortest-path-tree LRU — all of them are
+        derived from the action library, so any of them could otherwise
+        serve a path using an action that no longer exists.
+        """
         self._sag = None
         self._plan_cache.clear()
         self._plan_k_cache.clear()
+        self._spt_cache.clear()
 
     # -- setup steps -------------------------------------------------------------
     @property
@@ -153,12 +173,34 @@ class AdaptationPlanner:
         )
 
     # -- planning entry points -----------------------------------------------------
-    def plan(self, source: Configuration, target: Configuration) -> AdaptationPlan:
-        """The Minimum Adaptation Path (Dijkstra over the full SAG).
+    def _spt_for(self, source: Configuration) -> ShortestPathTree:
+        """The shortest-path tree rooted at *source* (LRU-cached)."""
+        cache = self._spt_cache
+        tree = cache.get(source)
+        if tree is not None:
+            cache.move_to_end(source)
+            return tree
+        tree = self.sag.csr.shortest_path_tree(source)
+        cache[source] = tree
+        while len(cache) > self.spt_cache_size:
+            cache.popitem(last=False)
+        return tree
 
-        Results are cached per ``(source, target)`` — the §4.4 cascade
-        re-requests the same routes while retrying/rolling back and gets
-        the memoized plan instead of a fresh graph search.
+    def _plan_uncached(
+        self, source: Configuration, target: Configuration
+    ) -> Optional[AdaptationPlan]:
+        path = self._spt_for(source).path_to(target)
+        return None if path is None else self._plan_from_path(path)
+
+    def plan(self, source: Configuration, target: Configuration) -> AdaptationPlan:
+        """The Minimum Adaptation Path (Dijkstra over the compiled SAG).
+
+        The search runs on the CSR view's shortest-path tree for *source*,
+        so every further query sharing that source — other targets in a
+        batch, the §4.4 cascade re-entering while retrying/rolling back —
+        extracts its path in O(path length).  Results are additionally
+        cached per ``(source, target)``; a cached ``None`` records that
+        the target is unreachable (distinct from an absent entry).
 
         Raises:
             UnsafeConfigurationError: source or target violates invariants.
@@ -169,8 +211,7 @@ class AdaptationPlanner:
         if key in self._plan_cache:
             plan = self._plan_cache[key]
         else:
-            path = shortest_path(self.sag.graph, source, target)
-            plan = None if path is None else self._plan_from_path(path)
+            plan = self._plan_uncached(source, target)
             self._plan_cache[key] = plan
         if plan is None:
             raise NoSafePathError(
@@ -178,20 +219,76 @@ class AdaptationPlanner:
             )
         return plan
 
+    def peek_plan(
+        self, source: Configuration, target: Configuration
+    ) -> Tuple[bool, Optional[AdaptationPlan]]:
+        """Warm-cache read: ``(hit, plan)`` without planning or validation.
+
+        A single dict lookup — safe to call without holding any lock (the
+        plan cache only ever grows between :meth:`reset_caches` calls).
+        ``(True, None)`` means the pair was planned before and found
+        unreachable; ``(False, None)`` means it was never planned.
+        """
+        key = (source, target)
+        if key in self._plan_cache:
+            return True, self._plan_cache[key]
+        return False, None
+
+    def plan_many(
+        self, pairs: Sequence[Tuple[Configuration, Configuration]]
+    ) -> List[Optional[AdaptationPlan]]:
+        """Batched MAP solving: one result per request, input order kept.
+
+        Requests are grouped by source and answered off one shortest-path
+        tree per distinct source, so a batch of R requests over S distinct
+        sources costs S Dijkstra runs instead of R.  Unlike :meth:`plan`,
+        an unreachable pair yields ``None`` in its slot rather than
+        raising — a batch should not die on one bad request.  Endpoint
+        safety is still enforced (unsafe endpoints raise, as they indicate
+        a malformed request rather than a mere absence of a path).
+
+        Every result is written through to the per-pair plan cache, so a
+        later :meth:`plan`/:meth:`peek_plan` on any pair in the batch is a
+        dict hit.
+        """
+        results: List[Optional[AdaptationPlan]] = [None] * len(pairs)
+        by_source: Dict[Configuration, List[int]] = {}
+        for i, (source, target) in enumerate(pairs):
+            self._validate_endpoints(source, target)
+            key = (source, target)
+            if key in self._plan_cache:
+                results[i] = self._plan_cache[key]
+            else:
+                by_source.setdefault(source, []).append(i)
+        for source, indices in by_source.items():
+            tree = self._spt_for(source)
+            for i in indices:
+                target = pairs[i][1]
+                key = (source, target)
+                if key in self._plan_cache:  # duplicate pair earlier in batch
+                    results[i] = self._plan_cache[key]
+                    continue
+                path = tree.path_to(target)
+                plan = None if path is None else self._plan_from_path(path)
+                self._plan_cache[key] = plan
+                results[i] = plan
+        return results
+
     def plan_k(
         self, source: Configuration, target: Configuration, k: int
     ) -> List[AdaptationPlan]:
         """Up to *k* minimum-cost plans in non-decreasing cost order (Yen).
 
         Plan 2 is the paper's "second minimum adaptation path" used when a
-        step fails and the manager re-routes.  Cached per
+        step fails and the manager re-routes.  Runs Yen over the CSR view
+        (banned-set spur queries, no per-spur graph copies); cached per
         ``(source, target, k)`` for the same reason as :meth:`plan`.
         """
         self._validate_endpoints(source, target)
         key = (source, target, k)
         cached = self._plan_k_cache.get(key)
         if cached is None:
-            paths = k_shortest_paths(self.sag.graph, source, target, k)
+            paths = k_shortest_paths_csr(self.sag.csr, source, target, k)
             cached = tuple(self._plan_from_path(path) for path in paths)
             self._plan_k_cache[key] = cached
         return list(cached)

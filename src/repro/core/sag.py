@@ -15,7 +15,7 @@ from repro.core.actions import ActionLibrary, AdaptiveAction
 from repro.core.model import Configuration
 from repro.core.space import SafeConfigurationSpace
 from repro.errors import UnknownComponentError
-from repro.graphs import Digraph
+from repro.graphs import CSRGraph, Digraph
 
 
 class SafeAdaptationGraph:
@@ -24,6 +24,7 @@ class SafeAdaptationGraph:
     def __init__(self, graph: Digraph, actions: ActionLibrary):
         self._graph = graph
         self._actions = actions
+        self._csr: Optional[CSRGraph] = None
 
     @classmethod
     def build(
@@ -99,6 +100,18 @@ class SafeAdaptationGraph:
     @property
     def graph(self) -> Digraph:
         return self._graph
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The graph compiled to CSR arrays (built once, then cached).
+
+        The SAG is frozen after :meth:`build`, so the compiled view never
+        goes stale; planners drop the whole SAG (and this view with it)
+        when the spec changes.
+        """
+        if self._csr is None:
+            self._csr = CSRGraph.from_digraph(self._graph)
+        return self._csr
 
     @property
     def actions(self) -> ActionLibrary:

@@ -29,12 +29,61 @@ from repro.core.model import ComponentUniverse, Configuration
 from repro.errors import UnknownComponentError, UnsafeConfigurationError
 
 
-class SafeConfigurationSpace:
-    """All safe configurations of a universe under an invariant set."""
+#: below this many components a process pool costs more than it saves
+MIN_PARALLEL_COMPONENTS = 12
 
-    def __init__(self, universe: ComponentUniverse, invariants: InvariantSet):
+
+def _parallel_enumerate_worker(
+    payload: Tuple[
+        Tuple[Tuple[str, str], ...],  # (name, process) per component, in order
+        Tuple[str, ...],  # invariant source texts, in order
+        Tuple[str, ...],  # prefix component names present in this partition
+        Tuple[str, ...],  # free (non-prefix) component names
+    ],
+) -> Tuple[Tuple[int, ...], Dict[int, bool]]:
+    """Enumerate one mask-space partition in a worker process.
+
+    The payload carries only primitives — component ``(name, process)``
+    pairs and invariant source texts — because :class:`Expr`,
+    :class:`Invariant`, and :class:`Configuration` are deliberately
+    unpicklable (immutable slots classes).  The spec is rebuilt here via
+    the parser, which round-trips exactly, so the worker's safety
+    semantics are identical to the parent's.  Returns the partition's
+    safe masks (ascending) plus the worker's safety memo for merging.
+    """
+    from repro.core.model import Component
+
+    component_specs, invariant_texts, prefix_present, free_names = payload
+    universe = ComponentUniverse(
+        [Component(name, process) for name, process in component_specs]
+    )
+    invariants = InvariantSet.of(*invariant_texts)
+    space = SafeConfigurationSpace(universe, invariants)
+    base = Configuration(prefix_present)
+    configs = space.enumerate_restricted(base, free_names)
+    masks = tuple(universe.mask_of(config) for config in configs)
+    return masks, space.safe_memo
+
+
+class SafeConfigurationSpace:
+    """All safe configurations of a universe under an invariant set.
+
+    With ``workers=N`` (N > 1), the full enumeration partitions the mask
+    space on the high bits of the component prefix and fans the
+    partitions out across a process pool — see
+    :meth:`_enumerate_parallel`.  Restricted enumeration and membership
+    queries are unaffected by the option.
+    """
+
+    def __init__(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        workers: Optional[int] = None,
+    ):
         self.universe = universe
         self.invariants = invariants
+        self.workers = workers
         self._cache: Optional[Tuple[Configuration, ...]] = None
         self._safe_memo: Dict[int, bool] = {}
         self._compiled: Optional[Callable[[int], bool]] = None
@@ -115,7 +164,14 @@ class SafeConfigurationSpace:
         oracle.
         """
         if self._cache is None:
-            self._cache = self.enumerate_backtracking()
+            if (
+                self.workers is not None
+                and self.workers > 1
+                and len(self.universe) >= MIN_PARALLEL_COMPONENTS
+            ):
+                self._cache = self._enumerate_parallel(self.workers)
+            else:
+                self._cache = self.enumerate_backtracking()
         return self._cache
 
     def enumerate_masks(self) -> Tuple[int, ...]:
@@ -244,6 +300,71 @@ class SafeConfigurationSpace:
 
         recurse(0, 0, 0)
         return tuple(out)
+
+    def _enumerate_parallel(self, workers: int) -> Tuple[Configuration, ...]:
+        """Full enumeration fanned out over a process pool.
+
+        The mask space is partitioned on the first *k* components of the
+        universe order — the **high** bits of the bit-vector encoding — so
+        partition index order equals ascending mask order and the
+        concatenated results come out exactly as
+        :meth:`enumerate_backtracking` would produce them.  The parent
+        root-prunes partitions whose prefix assignment already falsifies
+        an invariant under three-valued evaluation (those contain no safe
+        configuration), then ships each surviving partition to a worker as
+        a primitives-only payload.  Worker safety memos are merged into
+        the shared memo on join, so SAG construction after a parallel
+        enumeration is exactly as warm as after a serial one.
+
+        Any pool failure (a platform without usable multiprocessing, a
+        spec that cannot round-trip) falls back to the serial enumerator
+        — the option is a go-faster knob, never a behavior change.
+        """
+        universe = self.universe
+        order = universe.order
+        n = len(order)
+        # 2x oversubscription smooths uneven partition sizes; the prefix
+        # must leave at least one free component for the workers to vary.
+        k = 1
+        while (1 << k) < 2 * workers and k < min(8, n - 1):
+            k += 1
+        prefix = order[:k]
+        free = order[k:]
+        prefix_full = universe.mask_of_names(prefix)
+        partial_fns = self._compiled_partial_fns()
+        payloads = []
+        component_specs = tuple(
+            (name, universe.component(name).process) for name in order
+        )
+        from repro.expr.ast import to_text
+
+        invariant_texts = tuple(to_text(inv.expr) for inv in self.invariants)
+        for value in range(1 << k):
+            present = tuple(
+                prefix[i] for i in range(k) if value & (1 << (k - 1 - i))
+            )
+            present0 = universe.mask_of_names(present)
+            if any(fn(present0, prefix_full) is False for fn in partial_fns):
+                continue  # the whole partition is provably unsafe
+            payloads.append((component_specs, invariant_texts, present, free))
+        try:
+            import concurrent.futures
+
+            out: List[Configuration] = []
+            from_mask = universe.from_mask
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                # executor.map preserves submission order == ascending
+                # prefix order == global ascending mask order
+                for masks, memo in pool.map(
+                    _parallel_enumerate_worker, payloads, chunksize=1
+                ):
+                    self._safe_memo.update(memo)
+                    out.extend(from_mask(mask) for mask in masks)
+            return tuple(out)
+        except Exception:
+            return self.enumerate_backtracking()
 
     def count(self) -> int:
         return len(self.enumerate())

@@ -292,11 +292,23 @@ def resolve_replan(
     if request.current == destination:
         empty = AdaptationPlan(request.current, destination, (), 0.0)
         return machine.on_new_plan(empty)
+    failed = set(request.failed_edges)
+    # Warm fast path: the MAP equals plan_k[0], so when the single best
+    # plan avoids every failed edge the full Yen sweep is unnecessary —
+    # and with a PlanningService-shared planner, plan() is usually a
+    # cache/SPT hit while plan_k pays k spur searches.
+    try:
+        best = planner.plan(request.current, destination)
+    except (NoSafePathError, UnsafeConfigurationError):
+        return machine.on_no_plan()
+    if all(
+        (step.source, step.action.action_id) not in failed for step in best.steps
+    ):
+        return machine.on_new_plan(best)
     try:
         candidates = planner.plan_k(request.current, destination, replan_k)
     except (NoSafePathError, UnsafeConfigurationError):
         return machine.on_no_plan()
-    failed = set(request.failed_edges)
     for plan in candidates:
         if all(
             (step.source, step.action.action_id) not in failed

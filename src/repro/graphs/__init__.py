@@ -15,6 +15,12 @@ from repro.graphs.digraph import Digraph, Edge
 from repro.graphs.dijkstra import Path, dijkstra, shortest_path
 from repro.graphs.yen import k_shortest_paths
 from repro.graphs.astar import astar_path, lazy_astar
+from repro.graphs.csr import (
+    CSRGraph,
+    ShortestPathTree,
+    bidirectional_shortest_path,
+    k_shortest_paths_csr,
+)
 
 __all__ = [
     "Digraph",
@@ -25,4 +31,8 @@ __all__ = [
     "k_shortest_paths",
     "astar_path",
     "lazy_astar",
+    "CSRGraph",
+    "ShortestPathTree",
+    "bidirectional_shortest_path",
+    "k_shortest_paths_csr",
 ]

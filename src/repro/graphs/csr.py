@@ -1,0 +1,509 @@
+"""CSR-compiled graph kernel: the amortized query engine over a frozen graph.
+
+A :class:`Digraph` answers one shortest-path query fine, but serving many
+``(source, target)`` requests against one Safe Adaptation Graph pays dict
+hashing and node interning on every call.  :class:`CSRGraph` compiles a
+*frozen* digraph once into int-indexed compressed-sparse-row arrays —
+``offsets``/``targets``/``weights`` plus a reverse CSR for inbound edges —
+so every search runs on machine scalars and array indexing.
+
+Kernels provided:
+
+* :func:`csr_dijkstra` — scalar-heap Dijkstra over node indices, with the
+  **same deterministic tie-break** as :func:`repro.graphs.dijkstra.dijkstra`
+  (cost, then hop count, then relaxation order): the property suite pins
+  distances *and* predecessor paths to the dict-graph reference.
+* :meth:`CSRGraph.shortest_path_tree` — a single-source shortest-path
+  *tree* (:class:`ShortestPathTree`); each subsequent ``path_to(target)``
+  is O(path length).  This is what makes batched multi-source MAP solving
+  amortized: one tree serves every request that shares its source.
+* :func:`bidirectional_shortest_path` — point-to-point search expanding
+  forward and reverse frontiers alternately; settles roughly the union of
+  two half-radius balls instead of one full ball.  Costs match Dijkstra
+  exactly; the concrete path may differ between equal-cost optima.
+* :func:`k_shortest_paths_csr` — Yen's algorithm with per-query edge/node
+  ban sets instead of pruned graph copies; output is identical to
+  :func:`repro.graphs.yen.k_shortest_paths`.
+
+Optional ``banned_nodes``/``banned_edges`` sets on the Dijkstra kernel
+subtract vertices and ``(source, label)`` arcs without copying the graph —
+the CSR replacement for :meth:`Digraph.subgraph_without`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import (
+    AbstractSet,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from repro.graphs.digraph import Digraph, Edge
+from repro.graphs.dijkstra import Path
+
+N = TypeVar("N", bound=Hashable)
+L = TypeVar("L", bound=Hashable)
+
+_INF = float("inf")
+
+
+class CSRGraph(Generic[N, L]):
+    """A frozen digraph compiled to compressed-sparse-row arrays.
+
+    Node objects are interned once at compile time; all kernels run over
+    dense int indices.  Per-source edge order preserves the digraph's
+    insertion order, which is what keeps every tie-break bit-identical to
+    the dict-graph algorithms.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index_of",
+        "offsets",
+        "targets",
+        "weights",
+        "edge_objects",
+        "roffsets",
+        "redges",
+        "_label_cache",
+    )
+
+    def __init__(
+        self,
+        nodes: Tuple[N, ...],
+        index_of: Dict[N, int],
+        offsets: array,
+        targets: array,
+        weights: array,
+        edge_objects: Tuple[Edge[N, L], ...],
+    ):
+        self.nodes = nodes
+        self.index_of = index_of
+        self.offsets = offsets
+        self.targets = targets
+        self.weights = weights
+        self.edge_objects = edge_objects
+        # reverse CSR: for each node, the ids of its inbound edges
+        n = len(nodes)
+        indegree = array("q", bytes(8 * (n + 1)))
+        for edge_id in range(len(edge_objects)):
+            indegree[targets[edge_id] + 1] += 1
+        roffsets = array("q", indegree)
+        for i in range(1, n + 1):
+            roffsets[i] += roffsets[i - 1]
+        redges = array("q", bytes(8 * len(edge_objects)))
+        cursor = array("q", roffsets[:n])
+        for source_index in range(n):
+            for edge_id in range(offsets[source_index], offsets[source_index + 1]):
+                slot = cursor[targets[edge_id]]
+                redges[slot] = edge_id
+                cursor[targets[edge_id]] += 1
+        self.roffsets = roffsets
+        self.redges = redges
+        self._label_cache: Dict[Tuple[int, L], Tuple[int, ...]] = {}
+
+    @classmethod
+    def from_digraph(cls, graph: Digraph[N, L]) -> "CSRGraph[N, L]":
+        """Compile *graph*; node indices follow its insertion order."""
+        nodes = tuple(graph.nodes())
+        index_of = {node: i for i, node in enumerate(nodes)}
+        offsets = array("q", [0])
+        targets = array("q")
+        weights = array("d")
+        edge_objects: List[Edge[N, L]] = []
+        for node in nodes:
+            for edge in graph.adjacency(node):
+                targets.append(index_of[edge.target])
+                weights.append(edge.weight)
+                edge_objects.append(edge)
+            offsets.append(len(edge_objects))
+        return cls(nodes, index_of, offsets, targets, weights, tuple(edge_objects))
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edge_objects)
+
+    def __contains__(self, node: N) -> bool:
+        return node in self.index_of
+
+    def edge_source_index(self, edge_id: int) -> int:
+        return self.index_of[self.edge_objects[edge_id].source]
+
+    def edges_labelled(self, source_index: int, label: L) -> Tuple[int, ...]:
+        """Ids of the parallel arcs from *source_index* carrying *label*.
+
+        Cached: Yen bans the same ``(source, label)`` pairs across many
+        spur queries.
+        """
+        key = (source_index, label)
+        cached = self._label_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                edge_id
+                for edge_id in range(
+                    self.offsets[source_index], self.offsets[source_index + 1]
+                )
+                if self.edge_objects[edge_id].label == label
+            )
+            self._label_cache[key] = cached
+        return cached
+
+    # -- query front ends --------------------------------------------------------
+    def shortest_path_tree(self, source: N) -> "ShortestPathTree[N, L]":
+        """Single-source shortest-path tree rooted at *source*."""
+        source_index = self.index_of[source]
+        dist, hops, pred = csr_dijkstra(self, source_index)
+        return ShortestPathTree(self, source_index, dist, hops, pred)
+
+    def shortest_path(self, source: N, target: N) -> Optional[Path[N, L]]:
+        """Point-to-point query with early termination at *target*.
+
+        Identical output to :func:`repro.graphs.dijkstra.shortest_path`
+        on the uncompiled graph.
+        """
+        source_index = self.index_of[source]
+        target_index = self.index_of[target]
+        if source_index == target_index:
+            return Path(nodes=(source,), edges=(), cost=0.0)
+        dist, _, pred = csr_dijkstra(self, source_index, target=target_index)
+        return reconstruct_path(self, source_index, target_index, dist, pred)
+
+
+def csr_dijkstra(
+    csr: CSRGraph[N, L],
+    source_index: int,
+    target: Optional[int] = None,
+    banned_nodes: Optional[AbstractSet[int]] = None,
+    banned_edges: Optional[AbstractSet[int]] = None,
+) -> Tuple[List[float], List[int], List[int]]:
+    """Scalar-heap Dijkstra over node indices.
+
+    Returns ``(dist, hops, pred)`` arrays indexed by node: minimal cost
+    (``inf`` if unreached), hop count of the chosen minimal path, and the
+    edge id of its final edge (-1 at the source and unreached nodes).
+
+    The relaxation rule replicates :func:`repro.graphs.dijkstra.dijkstra`
+    exactly — prefer lower cost, then fewer hops, then earlier relaxation
+    order — so predecessor trees match the dict-graph reference node for
+    node.  *banned_nodes*/*banned_edges* subtract vertices and edge ids
+    without touching the arrays (Yen's spur queries).
+    """
+    n = csr.node_count
+    dist = [_INF] * n
+    hops = [0] * n
+    pred = [-1] * n
+    settled = bytearray(n)
+    offsets = csr.offsets
+    targets = csr.targets
+    weights = csr.weights
+    dist[source_index] = 0.0
+    counter = 0
+    heap: list = [(0.0, 0, counter, source_index)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        cost, nhops, _, index = pop(heap)
+        if settled[index]:
+            continue
+        settled[index] = 1
+        if target is not None and index == target:
+            break
+        for edge_id in range(offsets[index], offsets[index + 1]):
+            if banned_edges is not None and edge_id in banned_edges:
+                continue
+            neighbour = targets[edge_id]
+            if settled[neighbour]:
+                continue
+            if banned_nodes is not None and neighbour in banned_nodes:
+                continue
+            candidate = cost + weights[edge_id]
+            candidate_hops = nhops + 1
+            best = dist[neighbour]
+            if candidate < best or (
+                candidate == best and candidate_hops < hops[neighbour]
+            ):
+                dist[neighbour] = candidate
+                hops[neighbour] = candidate_hops
+                pred[neighbour] = edge_id
+                counter += 1
+                push(heap, (candidate, candidate_hops, counter, neighbour))
+    return dist, hops, pred
+
+
+def reconstruct_path(
+    csr: CSRGraph[N, L],
+    source_index: int,
+    target_index: int,
+    dist: Sequence[float],
+    pred: Sequence[int],
+) -> Optional[Path[N, L]]:
+    """Walk the predecessor array back from *target_index* (or ``None``)."""
+    if dist[target_index] == _INF:
+        return None
+    if source_index == target_index:
+        return Path(nodes=(csr.nodes[source_index],), edges=(), cost=0.0)
+    edges: List[Edge[N, L]] = []
+    index = target_index
+    while index != source_index:
+        edge_id = pred[index]
+        edge = csr.edge_objects[edge_id]
+        edges.append(edge)
+        index = csr.edge_source_index(edge_id)
+    edges.reverse()
+    nodes = (csr.nodes[source_index],) + tuple(edge.target for edge in edges)
+    return Path(nodes=nodes, edges=tuple(edges), cost=dist[target_index])
+
+
+class ShortestPathTree(Generic[N, L]):
+    """A frozen single-source Dijkstra result; path extraction is O(|path|).
+
+    One tree answers every ``(source, *)`` request — the unit of
+    amortization behind :meth:`AdaptationPlanner.plan_many
+    <repro.core.planner.AdaptationPlanner.plan_many>` and the §4.4 replan
+    cascade.
+    """
+
+    __slots__ = ("csr", "source_index", "dist", "hops", "pred")
+
+    def __init__(
+        self,
+        csr: CSRGraph[N, L],
+        source_index: int,
+        dist: List[float],
+        hops: List[int],
+        pred: List[int],
+    ):
+        self.csr = csr
+        self.source_index = source_index
+        self.dist = dist
+        self.hops = hops
+        self.pred = pred
+
+    @property
+    def source(self) -> N:
+        return self.csr.nodes[self.source_index]
+
+    def distance_to(self, node: N) -> Optional[float]:
+        """Minimal cost to *node*, or ``None`` if unreachable."""
+        value = self.dist[self.csr.index_of[node]]
+        return None if value == _INF else value
+
+    def path_to(self, node: N) -> Optional[Path[N, L]]:
+        """The minimum-cost path to *node* (``None`` if unreachable).
+
+        Matches :func:`repro.graphs.dijkstra.shortest_path` from the
+        tree's source — same cost, same nodes, same edge tie-breaks.
+        """
+        return reconstruct_path(
+            self.csr, self.source_index, self.csr.index_of[node], self.dist, self.pred
+        )
+
+    def reachable(self) -> Dict[N, float]:
+        """All reachable nodes with their minimal costs."""
+        return {
+            node: value
+            for node, value in zip(self.csr.nodes, self.dist)
+            if value != _INF
+        }
+
+
+def bidirectional_shortest_path(
+    csr: CSRGraph[N, L], source: N, target: N
+) -> Optional[Path[N, L]]:
+    """Point-to-point search meeting in the middle.
+
+    Expands the smaller of the forward frontier (over the CSR) and the
+    reverse frontier (over the reverse CSR) until their radii cover the
+    best known connection.  The returned cost always equals plain
+    Dijkstra's; among equal-cost optima the concrete path is chosen by
+    (cost, total hops) at the meeting node, which may legitimately differ
+    from the forward-search tie-break.
+    """
+    source_index = csr.index_of[source]
+    target_index = csr.index_of[target]
+    if source_index == target_index:
+        return Path(nodes=(source,), edges=(), cost=0.0)
+    n = csr.node_count
+    offsets, targets, weights = csr.offsets, csr.targets, csr.weights
+    roffsets, redges = csr.roffsets, csr.redges
+    edge_source_index = csr.edge_source_index
+
+    dist_f = [_INF] * n
+    dist_b = [_INF] * n
+    hops_f = [0] * n
+    hops_b = [0] * n
+    pred_f = [-1] * n
+    pred_b = [-1] * n
+    settled_f = bytearray(n)
+    settled_b = bytearray(n)
+    dist_f[source_index] = 0.0
+    dist_b[target_index] = 0.0
+    heap_f: list = [(0.0, 0, 0, source_index)]
+    heap_b: list = [(0.0, 0, 0, target_index)]
+    counters = [0, 0]
+    best_cost = _INF
+    best_hops = 0
+    meet = -1
+
+    def consider(node: int) -> None:
+        nonlocal best_cost, best_hops, meet
+        df, db = dist_f[node], dist_b[node]
+        if df == _INF or db == _INF:
+            return
+        total = df + db
+        total_hops = hops_f[node] + hops_b[node]
+        if total < best_cost or (total == best_cost and total_hops < best_hops):
+            best_cost = total
+            best_hops = total_hops
+            meet = node
+
+    while heap_f and heap_b:
+        # The search is complete once the two radii cover the best
+        # connection: no unsettled node can improve on best_cost.
+        if heap_f[0][0] + heap_b[0][0] >= best_cost:
+            break
+        forward = heap_f[0][0] <= heap_b[0][0]
+        heap = heap_f if forward else heap_b
+        settled = settled_f if forward else settled_b
+        dist = dist_f if forward else dist_b
+        hops = hops_f if forward else hops_b
+        pred = pred_f if forward else pred_b
+        cost, nhops, _, index = heapq.heappop(heap)
+        if settled[index]:
+            continue
+        settled[index] = 1
+        consider(index)
+        if forward:
+            edge_range = range(offsets[index], offsets[index + 1])
+        else:
+            edge_range = (
+                redges[slot] for slot in range(roffsets[index], roffsets[index + 1])
+            )
+        for edge_id in edge_range:
+            neighbour = targets[edge_id] if forward else edge_source_index(edge_id)
+            if settled[neighbour]:
+                continue
+            candidate = cost + weights[edge_id]
+            candidate_hops = nhops + 1
+            if candidate < dist[neighbour] or (
+                candidate == dist[neighbour] and candidate_hops < hops[neighbour]
+            ):
+                dist[neighbour] = candidate
+                hops[neighbour] = candidate_hops
+                pred[neighbour] = edge_id
+                side = 0 if forward else 1
+                counters[side] += 1
+                heapq.heappush(
+                    heap, (candidate, candidate_hops, counters[side], neighbour)
+                )
+                consider(neighbour)
+
+    if meet < 0:
+        return None
+    forward_half = reconstruct_path(csr, source_index, meet, dist_f, pred_f)
+    assert forward_half is not None
+    edges = list(forward_half.edges)
+    index = meet
+    while index != target_index:
+        edge_id = pred_b[index]
+        edge = csr.edge_objects[edge_id]
+        edges.append(edge)
+        index = csr.index_of[edge.target]
+    nodes = (csr.nodes[source_index],) + tuple(edge.target for edge in edges)
+    return Path(nodes=nodes, edges=tuple(edges), cost=best_cost)
+
+
+def _banned_shortest_path(
+    csr: CSRGraph[N, L],
+    source_index: int,
+    target_index: int,
+    banned_nodes: AbstractSet[int],
+    banned_edges: AbstractSet[int],
+) -> Optional[Path[N, L]]:
+    if source_index == target_index:
+        return Path(nodes=(csr.nodes[source_index],), edges=(), cost=0.0)
+    dist, _, pred = csr_dijkstra(
+        csr,
+        source_index,
+        target=target_index,
+        banned_nodes=banned_nodes,
+        banned_edges=banned_edges,
+    )
+    return reconstruct_path(csr, source_index, target_index, dist, pred)
+
+
+def k_shortest_paths_csr(
+    csr: CSRGraph[N, L], source: N, target: N, k: int
+) -> List[Path[N, L]]:
+    """Yen's k shortest loopless paths over the compiled graph.
+
+    Mirrors :func:`repro.graphs.yen.k_shortest_paths` candidate for
+    candidate — spur queries run banned-set Dijkstra on the shared CSR
+    arrays instead of materializing pruned :class:`Digraph` copies, so
+    the output (paths, costs, order) is identical while each spur query
+    skips the full graph copy.
+    """
+    if k <= 0:
+        return []
+    source_index = csr.index_of[source]
+    target_index = csr.index_of[target]
+    first = csr.shortest_path(source, target)
+    if first is None:
+        return []
+    found: List[Path[N, L]] = [first]
+    seen: Set[Tuple] = {(first.nodes, first.labels)}
+    candidates: List[Tuple[float, int, Path[N, L]]] = []
+    order = 0
+
+    while len(found) < k:
+        prev = found[-1]
+        for i in range(len(prev.edges)):
+            spur_index = csr.index_of[prev.nodes[i]]
+            root_edges = prev.edges[:i]
+            root_cost = sum(edge.weight for edge in root_edges)
+            banned_edges: Set[int] = set()
+            for path in found:
+                if path.nodes[: i + 1] == prev.nodes[: i + 1] and len(path.edges) > i:
+                    banned_edges.update(
+                        csr.edges_labelled(
+                            csr.index_of[path.edges[i].source], path.edges[i].label
+                        )
+                    )
+            banned_nodes = {csr.index_of[node] for node in prev.nodes[:i]}
+            if spur_index in banned_nodes or target_index in banned_nodes:
+                continue
+            spur = _banned_shortest_path(
+                csr, spur_index, target_index, banned_nodes, banned_edges
+            )
+            if spur is None:
+                continue
+            total = Path(
+                nodes=prev.nodes[:i] + spur.nodes,
+                edges=root_edges + spur.edges,
+                cost=root_cost + spur.cost,
+            )
+            key = (total.nodes, total.labels)
+            if key not in seen:
+                seen.add(key)
+                candidates.append((total.cost, order, total))
+                order += 1
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        _, _, best = candidates.pop(0)
+        found.append(best)
+    return found

@@ -69,7 +69,14 @@ class Digraph(Generic[N, L]):
         return node in self._nodes
 
     def nodes(self) -> Iterator[N]:
-        return iter(self._nodes)
+        """Nodes in insertion order.
+
+        Deterministic iteration matters: :class:`repro.graphs.csr.CSRGraph`
+        derives its int node indexing from this order, and identical
+        indexing across runs is what keeps compiled-kernel tie-breaks
+        reproducible.
+        """
+        return iter(self._adjacency)
 
     def edges(self) -> Iterator[Edge[N, L]]:
         for out_edges in self._adjacency.values():

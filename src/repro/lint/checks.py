@@ -53,8 +53,11 @@ from repro.span import Span
 #: Enumerating a truth table is capped at this many variable bits —
 #: beyond it the check is skipped (recorded in ``report.skipped``).
 MAX_SAT_ATOMS = 16
-#: Safe-space enumeration (SA3xx) is capped at this many components.
-MAX_ENUM_COMPONENTS = 22
+#: Default cap on safe-space enumeration (SA3xx).  Overridable per run
+#: (``max_enum_components=``); a skip now emits an explicit SA307 note
+#: besides the ``report.skipped`` line.  Raised from 22 since the
+#: enumeration can run on a process pool (``workers=``).
+MAX_ENUM_COMPONENTS = 24
 
 
 @dataclass
@@ -465,17 +468,34 @@ def _check_invariants(model: _Model, report: LintReport, path: Optional[str]) ->
 # -- stage 3: action/SAG analysis (SA3xx) ---------------------------------------
 
 
-def _check_actions(model: _Model, report: LintReport, path: Optional[str]) -> None:
+def _check_actions(
+    model: _Model,
+    report: LintReport,
+    path: Optional[str],
+    max_enum_components: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> None:
     from repro.core.space import SafeConfigurationSpace
 
+    cap = MAX_ENUM_COMPONENTS if max_enum_components is None else max_enum_components
     universe = model.universe
-    if len(universe) > MAX_ENUM_COMPONENTS:
-        report.skipped.append(
+    if len(universe) > cap:
+        message = (
             f"SA3xx skipped: {len(universe)} components exceed the "
-            f"{MAX_ENUM_COMPONENTS}-component enumeration cap"
+            f"{cap}-component enumeration cap"
+        )
+        report.skipped.append(message)
+        report.add(
+            "SA307",
+            f"safe-space analysis (SA301–SA306) skipped: {len(universe)} "
+            f"components exceed the {cap}-component enumeration cap; raise "
+            "it with --max-enum-components (enumeration can run in "
+            "parallel via --enum-workers)",
+            model.section_span("components"),
+            path,
         )
         return
-    space = SafeConfigurationSpace(universe, model.kept_invariants())
+    space = SafeConfigurationSpace(universe, model.kept_invariants(), workers=workers)
     safe_masks = space.enumerate_masks()
     if not safe_masks:
         report.add(
@@ -754,21 +774,40 @@ def _check_contracts(model: _Model, report: LintReport, path: Optional[str]) -> 
 # -- entry points ---------------------------------------------------------------
 
 
-def analyze_source(source: ManifestSource) -> LintReport:
-    """Run the full SA1xx–SA4xx pipeline over a scanned manifest."""
+def analyze_source(
+    source: ManifestSource,
+    max_enum_components: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> LintReport:
+    """Run the full SA1xx–SA4xx pipeline over a scanned manifest.
+
+    Args:
+        max_enum_components: per-run override of the SA3xx enumeration
+            cap (``None`` uses :data:`MAX_ENUM_COMPONENTS`).
+        workers: process-pool size for the safe-space enumeration.
+    """
     report = LintReport()
     model = _collect(source, report)
     if model is not None:
         path = source.path
         _check_invariants(model, report, path)
-        _check_actions(model, report, path)
+        _check_actions(
+            model,
+            report,
+            path,
+            max_enum_components=max_enum_components,
+            workers=workers,
+        )
         _check_contracts(model, report, path)
     report.sort()
     return report
 
 
 def analyze_system(
-    manifest: SystemManifest, path: Optional[str] = None
+    manifest: SystemManifest,
+    path: Optional[str] = None,
+    max_enum_components: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> LintReport:
     """Analyze an in-memory ``P`` (semantic stages SA2xx–SA4xx + SA108).
 
@@ -819,7 +858,13 @@ def analyze_system(
                     path,
                 )
     _check_invariants(model, report, path)
-    _check_actions(model, report, path)
+    _check_actions(
+        model,
+        report,
+        path,
+        max_enum_components=max_enum_components,
+        workers=workers,
+    )
     _check_contracts(model, report, path)
     report.sort()
     return report

@@ -56,9 +56,12 @@ class LiveAdaptationSystem:
         replan_k: int = 8,
         manager_id: str = "manager",
         bus=None,
+        planner: Optional[AdaptationPlanner] = None,
     ):
         self.universe = universe
-        self.planner = AdaptationPlanner(universe, invariants, actions)
+        # An injected planner (e.g. a PlanningService-shared one) brings
+        # its warm space/SAG/SPT caches with it.
+        self.planner = planner or AdaptationPlanner(universe, invariants, actions)
         self.planner.space.require_safe(initial_config, role="initial configuration")
         self.transport = InMemoryTransport()
         # Bus publication happens under the trace lock, so observers see

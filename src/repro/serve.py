@@ -1,0 +1,211 @@
+"""PlanningService: a thread-safe, amortizing front end over planners.
+
+The ROADMAP north star is serving heavy adaptation-request traffic: many
+concurrent ``(source, target)`` requests against the *same* compiled
+``(S, I, T, A)`` spec.  Building a fresh :class:`AdaptationPlanner` per
+request re-derives the safe space, the SAG, and every shortest path from
+scratch; the service instead keys one shared planner per spec by a
+**content hash** of the spec itself — so two callers handing in equal
+specs (even separately constructed objects) land on the same warm
+space + SAG + shortest-path-tree caches.
+
+Concurrency model (lock-per-spec, lock-free warm reads):
+
+* the service-level registry lock is held only to look up / create a
+  spec entry — never while planning;
+* each spec entry owns an ``RLock`` serializing *cold* work (safe-space
+  enumeration, SAG build, Dijkstra) for that spec only — concurrent
+  traffic against different specs never contends;
+* warm reads bypass the lock entirely: a planned pair is served from
+  :meth:`AdaptationPlanner.peek_plan`, a single dict lookup that is safe
+  under the GIL because plan caches only ever grow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.actions import ActionLibrary
+from repro.core.invariants import InvariantSet
+from repro.core.model import ComponentUniverse, Configuration
+from repro.core.planner import AdaptationPlan, AdaptationPlanner
+from repro.errors import NoSafePathError
+from repro.expr.ast import to_text
+
+
+def spec_digest(
+    universe: ComponentUniverse,
+    invariants: InvariantSet,
+    actions: ActionLibrary,
+) -> str:
+    """Content hash of a compiled ``(S, I, A)`` spec.
+
+    Canonical JSON over declaration-ordered primitives: component
+    ``(name, process)`` pairs, invariant source texts, and action deltas.
+    Declaration order is semantic (it fixes bit positions and tie-breaks),
+    so it is part of the key — two specs differing only in component
+    order plan over different bit encodings and must not share caches.
+    """
+    doc = {
+        "components": [
+            (name, universe.component(name).process) for name in universe.order
+        ],
+        "invariants": [to_text(inv.expr) for inv in invariants],
+        "actions": [
+            (
+                action.action_id,
+                sorted(action.removes),
+                sorted(action.adds),
+                action.cost,
+            )
+            for action in actions
+        ],
+    }
+    blob = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ServiceStats:
+    """Counters for one service (snapshot; see :meth:`PlanningService.stats`)."""
+
+    specs: int
+    warm_hits: int
+    cold_plans: int
+
+
+class _SpecEntry:
+    """One spec's shared planner plus its cold-path lock and counters."""
+
+    __slots__ = ("planner", "lock", "warm_hits", "cold_plans")
+
+    def __init__(self, planner: AdaptationPlanner):
+        self.planner = planner
+        self.lock = threading.RLock()
+        self.warm_hits = 0
+        self.cold_plans = 0
+
+
+class PlanningService:
+    """Shared planning front end for many callers over many specs.
+
+    Args:
+        workers: forwarded to each planner's
+            :class:`~repro.core.space.SafeConfigurationSpace` for parallel
+            safe-space enumeration.
+        spt_cache_size: per-planner bound on cached shortest-path trees.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        spt_cache_size: int = AdaptationPlanner.SPT_CACHE_SIZE,
+    ):
+        self.workers = workers
+        self.spt_cache_size = spt_cache_size
+        self._registry_lock = threading.Lock()
+        self._specs: Dict[str, _SpecEntry] = {}
+
+    # -- spec registry -----------------------------------------------------------
+    def _entry_for(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+    ) -> _SpecEntry:
+        digest = spec_digest(universe, invariants, actions)
+        entry = self._specs.get(digest)  # lock-free fast path (dict read)
+        if entry is not None:
+            return entry
+        with self._registry_lock:
+            entry = self._specs.get(digest)
+            if entry is None:
+                entry = _SpecEntry(
+                    AdaptationPlanner(
+                        universe,
+                        invariants,
+                        actions,
+                        workers=self.workers,
+                        spt_cache_size=self.spt_cache_size,
+                    )
+                )
+                self._specs[digest] = entry
+        return entry
+
+    def planner_for(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+    ) -> AdaptationPlanner:
+        """The shared planner for this spec (created on first use).
+
+        Callers holding a planner directly (e.g. a manager runtime) get
+        the warm caches but bypass the service's cold-path lock — fine
+        for a single-threaded runtime loop, not for concurrent callers.
+        """
+        return self._entry_for(universe, invariants, actions).planner
+
+    # -- planning ----------------------------------------------------------------
+    def plan(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+        source: Configuration,
+        target: Configuration,
+    ) -> AdaptationPlan:
+        """One MAP request against the shared spec caches.
+
+        Warm pairs return without taking any lock; cold pairs serialize
+        on the spec's lock (one Dijkstra, then every waiter reads the
+        fresh cache entry).
+
+        Raises like :meth:`AdaptationPlanner.plan` (unsafe endpoints,
+        unreachable target).
+        """
+        entry = self._entry_for(universe, invariants, actions)
+        hit, plan = entry.planner.peek_plan(source, target)
+        if hit:
+            entry.warm_hits += 1
+            if plan is None:
+                raise NoSafePathError(
+                    f"no safe adaptation path from {source.label()} "
+                    f"to {target.label()}"
+                )
+            return plan
+        with entry.lock:
+            entry.cold_plans += 1
+            return entry.planner.plan(source, target)
+
+    def plan_many(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+        pairs: Sequence[Tuple[Configuration, Configuration]],
+    ) -> List[Optional[AdaptationPlan]]:
+        """Batched MAP solving against the shared spec caches.
+
+        Semantics follow :meth:`AdaptationPlanner.plan_many`: one result
+        per request in input order, ``None`` for unreachable pairs.
+        """
+        entry = self._entry_for(universe, invariants, actions)
+        with entry.lock:
+            entry.cold_plans += len(pairs)
+            return entry.planner.plan_many(pairs)
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Aggregate counters across every registered spec."""
+        with self._registry_lock:
+            entries = list(self._specs.values())
+        return ServiceStats(
+            specs=len(entries),
+            warm_hits=sum(e.warm_hits for e in entries),
+            cold_plans=sum(e.cold_plans for e in entries),
+        )

@@ -180,6 +180,7 @@ class AdaptationCluster:
         default_loss: Optional[LossModel] = None,
         replan_k: int = 8,
         bus=None,
+        planner: Optional[AdaptationPlanner] = None,
     ):
         self.universe = universe
         self.invariants = invariants
@@ -189,7 +190,10 @@ class AdaptationCluster:
         # With an observation bus, every record any host appends is
         # published at emission time (streaming checking/enforcement).
         self.trace = Trace(bus=bus)
-        self.planner = AdaptationPlanner(universe, invariants, actions)
+        # An injected planner (e.g. a PlanningService-shared one) brings
+        # its warm space/SAG/SPT caches; by default each cluster owns a
+        # private planner, as before.
+        self.planner = planner or AdaptationPlanner(universe, invariants, actions)
         self.planner.space.require_safe(initial_config, role="initial configuration")
         apps = dict(apps or {})
         self.hosts: Dict[str, ProcessHost] = {}

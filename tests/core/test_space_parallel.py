@@ -1,0 +1,47 @@
+"""Parallel safe-space enumeration: identical results, merged memos."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.workloads import random_system, replicated_video_system
+from repro.core.space import MIN_PARALLEL_COMPONENTS, SafeConfigurationSpace
+
+
+def test_parallel_equals_serial_on_replicated_video():
+    system = replicated_video_system(2)  # 14 components
+    assert len(system.universe) >= MIN_PARALLEL_COMPONENTS
+    serial = SafeConfigurationSpace(system.universe, system.invariants)
+    parallel = SafeConfigurationSpace(system.universe, system.invariants, workers=2)
+    assert parallel.enumerate() == serial.enumerate()
+    assert parallel.enumerate_masks() == serial.enumerate_masks()
+
+
+def test_parallel_merges_worker_memos():
+    system = replicated_video_system(2)
+    parallel = SafeConfigurationSpace(system.universe, system.invariants, workers=2)
+    parallel.enumerate()
+    memo = parallel.safe_memo
+    assert memo
+    reference = SafeConfigurationSpace(system.universe, system.invariants)
+    for mask, verdict in memo.items():
+        assert reference.is_safe_mask(mask) == verdict
+    # the merged memo covers every safe configuration
+    for mask in parallel.enumerate_masks():
+        assert memo[mask] is True
+
+
+def test_small_universe_stays_serial(universe, invariants):
+    space = SafeConfigurationSpace(universe, invariants, workers=4)
+    assert len(universe) < MIN_PARALLEL_COMPONENTS
+    reference = SafeConfigurationSpace(universe, invariants)
+    assert space.enumerate() == reference.enumerate()
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=10, deadline=None)
+def test_parallel_equals_serial_on_random_systems(seed):
+    system = random_system(
+        seed, n_components=MIN_PARALLEL_COMPONENTS, n_invariants=4, n_actions=8
+    )
+    serial = SafeConfigurationSpace(system.universe, system.invariants)
+    parallel = SafeConfigurationSpace(system.universe, system.invariants, workers=2)
+    assert parallel.enumerate() == serial.enumerate()

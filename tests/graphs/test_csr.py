@@ -1,0 +1,136 @@
+"""CSR kernel vs the dict-graph reference: exact pinning, tie-breaks included.
+
+The CSR kernels are only allowed to be *faster* — every distance, every
+path, and every deterministic tie-break must match
+:func:`repro.graphs.dijkstra.dijkstra` / :func:`shortest_path` /
+:func:`repro.graphs.yen.k_shortest_paths` bit for bit.  Bidirectional
+search is the one exception: its cost always matches, but among
+equal-cost optima it may pick a different concrete path (its tie-break
+runs at the meeting node, not along the forward frontier), so it is
+pinned on cost + structural validity.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Digraph, dijkstra, k_shortest_paths, shortest_path
+from repro.graphs.csr import (
+    CSRGraph,
+    bidirectional_shortest_path,
+    k_shortest_paths_csr,
+)
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    edge_count = draw(st.integers(min_value=1, max_value=20))
+    edges = []
+    for index in range(edge_count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(st.integers(min_value=0, max_value=10))
+        edges.append((u, v, float(w), f"e{index}"))
+    return n, edges
+
+
+def build(n, edges):
+    graph = Digraph()
+    for node in range(n):
+        graph.add_node(node)
+    for u, v, w, label in edges:
+        graph.add_edge(u, v, label, w)
+    return graph
+
+
+@given(random_digraphs())
+@settings(max_examples=80, deadline=None)
+def test_spt_distances_match_dict_dijkstra(case):
+    n, edges = case
+    graph = build(n, edges)
+    csr = CSRGraph.from_digraph(graph)
+    for source in range(n):
+        dist, _ = dijkstra(graph, source)
+        assert csr.shortest_path_tree(source).reachable() == dist
+
+
+@given(random_digraphs())
+@settings(max_examples=80, deadline=None)
+def test_spt_and_point_to_point_paths_match_exactly(case):
+    """Same nodes, same edge objects, same tie-breaks — not just costs."""
+    n, edges = case
+    graph = build(n, edges)
+    csr = CSRGraph.from_digraph(graph)
+    for source in range(n):
+        tree = csr.shortest_path_tree(source)
+        for target in range(n):
+            expected = shortest_path(graph, source, target)
+            assert tree.path_to(target) == expected
+            assert csr.shortest_path(source, target) == expected
+
+
+@given(random_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_bidirectional_matches_on_cost_and_validity(case):
+    n, edges = case
+    graph = build(n, edges)
+    csr = CSRGraph.from_digraph(graph)
+    for source in range(n):
+        for target in range(n):
+            expected = shortest_path(graph, source, target)
+            got = bidirectional_shortest_path(csr, source, target)
+            if expected is None:
+                assert got is None
+                continue
+            assert got is not None
+            assert got.cost == expected.cost
+            assert got.nodes[0] == source and got.nodes[-1] == target
+            assert got.cost == pytest.approx(sum(e.weight for e in got.edges))
+            for edge, (u, v) in zip(got.edges, zip(got.nodes, got.nodes[1:])):
+                assert (edge.source, edge.target) == (u, v)
+
+
+@given(random_digraphs(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_csr_yen_identical_to_dict_yen(case, k):
+    n, edges = case
+    graph = build(n, edges)
+    csr = CSRGraph.from_digraph(graph)
+    assert k_shortest_paths_csr(csr, 0, n - 1, k) == k_shortest_paths(
+        graph, 0, n - 1, k
+    )
+
+
+@given(random_digraphs())
+@settings(max_examples=40, deadline=None)
+def test_reverse_csr_mirrors_forward_edges(case):
+    n, edges = case
+    csr = CSRGraph.from_digraph(build(n, edges))
+    inbound = {node: [] for node in range(n)}
+    for edge_id, edge in enumerate(csr.edge_objects):
+        inbound[edge.target].append(edge_id)
+    for node in range(n):
+        index = csr.index_of[node]
+        got = sorted(
+            csr.redges[slot]
+            for slot in range(csr.roffsets[index], csr.roffsets[index + 1])
+        )
+        assert got == sorted(inbound[node])
+
+
+def test_zero_length_and_unreachable_paths():
+    graph = Digraph()
+    graph.add_node("a")
+    graph.add_node("b")
+    graph.add_edge("a", "b", "ab", 1.0)
+    csr = CSRGraph.from_digraph(graph)
+    zero = csr.shortest_path("a", "a")
+    assert zero is not None and zero.cost == 0.0 and zero.edges == ()
+    assert csr.shortest_path("b", "a") is None
+    assert bidirectional_shortest_path(csr, "b", "a") is None
+    tree = csr.shortest_path_tree("b")
+    assert tree.path_to("a") is None
+    assert tree.distance_to("a") is None
+    assert tree.distance_to("b") == 0.0

@@ -88,7 +88,11 @@ class TestFixtureCoverage:
         return lint_path(FIXTURE)
 
     def test_every_code_fires(self, report):
-        assert set(report.codes()) == set(CODES)
+        # SA307 (safe-space analysis skipped) is mutually exclusive with
+        # the SA301–SA306 findings in a single report by construction —
+        # it fires only when those checks do NOT run.  It is covered by
+        # TestEnumerationCap below.
+        assert set(report.codes()) == set(CODES) - {"SA307"}
 
     def test_exit_fails_on_error(self, report):
         assert report.fails(Severity.ERROR)
@@ -187,6 +191,48 @@ class TestInMemorySystem:
         lines = text.splitlines()
         for diagnostic in report:
             assert 1 <= diagnostic.span.line <= len(lines)
+
+
+class TestEnumerationCap:
+    """The configurable SA3xx cap and its explicit SA307 skip note."""
+
+    def test_default_cap_runs_sa3xx_on_video(self):
+        report = lint_text(video_manifest_text())
+        assert codes_of(report, "SA301")  # safe-space analysis ran
+        assert not codes_of(report, "SA307")
+
+    def test_low_cap_skips_sa3xx_with_explicit_note(self):
+        report = lint_text(video_manifest_text(), max_enum_components=3)
+        assert not codes_of(report, "SA301")
+        (note,) = codes_of(report, "SA307")
+        assert note.severity is Severity.NOTE
+        assert "7 components" in note.message
+        assert "3-component" in note.message
+        # the legacy skip line is kept alongside the diagnostic
+        assert any("SA3xx skipped" in reason for reason in report.skipped)
+
+    def test_raised_cap_reenables_sa3xx(self):
+        low = lint_text(video_manifest_text(), max_enum_components=6)
+        assert codes_of(low, "SA307")
+        raised = lint_text(video_manifest_text(), max_enum_components=7)
+        assert not codes_of(raised, "SA307")
+        assert codes_of(raised, "SA301")
+
+    def test_lint_system_honours_cap(self):
+        manifest = loads(video_manifest_text())
+        report = lint_system(manifest, max_enum_components=2)
+        assert codes_of(report, "SA307")
+        assert not codes_of(report, "SA301")
+
+    def test_default_cap_value(self):
+        from repro.lint import MAX_ENUM_COMPONENTS
+
+        assert MAX_ENUM_COMPONENTS == 24  # raised with parallel enumeration
+
+    def test_workers_option_changes_nothing_semantically(self):
+        serial = lint_text(video_manifest_text())
+        parallel = lint_text(video_manifest_text(), workers=2)
+        assert sorted(d.code for d in serial) == sorted(d.code for d in parallel)
 
 
 class TestRenderers:

@@ -1,0 +1,172 @@
+"""PlanningService: spec keying, warm sharing, thread safety, CLI batch."""
+
+import io
+import threading
+
+import pytest
+
+from repro.apps.video.system import (
+    paper_source,
+    paper_target,
+    video_actions,
+    video_invariants,
+    video_universe,
+)
+from repro.cli import main
+from repro.errors import NoSafePathError
+from repro.manifest import video_manifest_text
+from repro.serve import PlanningService, spec_digest
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def video_spec():
+    return video_universe(), video_invariants(), video_actions()
+
+
+class TestSpecDigest:
+    def test_equal_specs_share_a_digest(self, video_spec):
+        again = (video_universe(), video_invariants(), video_actions())
+        assert spec_digest(*video_spec) == spec_digest(*again)
+
+    def test_digest_is_sensitive_to_every_part(self, video_spec):
+        universe, invariants, actions = video_spec
+        base = spec_digest(universe, invariants, actions)
+        fewer_invariants = type(invariants)(list(invariants)[:-1])
+        assert spec_digest(universe, fewer_invariants, actions) != base
+        fewer_actions = type(actions)(list(actions)[:-1])
+        assert spec_digest(universe, invariants, fewer_actions) != base
+
+    def test_component_order_is_semantic(self, video_spec):
+        from repro.core.model import Component, ComponentUniverse
+
+        universe, invariants, actions = video_spec
+        reordered = ComponentUniverse(
+            [
+                Component(name, universe.component(name).process)
+                for name in reversed(universe.order)
+            ]
+        )
+        assert spec_digest(reordered, invariants, actions) != spec_digest(
+            universe, invariants, actions
+        )
+
+
+class TestPlanningService:
+    def test_equal_specs_share_one_planner(self, video_spec):
+        service = PlanningService()
+        first = service.planner_for(*video_spec)
+        again = service.planner_for(
+            video_universe(), video_invariants(), video_actions()
+        )
+        assert first is again
+        assert service.stats().specs == 1
+
+    def test_plan_matches_direct_planner(self, video_spec):
+        universe, invariants, actions = video_spec
+        service = PlanningService()
+        source, target = paper_source(universe), paper_target(universe)
+        plan = service.plan(universe, invariants, actions, source, target)
+        assert plan.total_cost == 50.0
+        # second call is a warm hit serving the identical object
+        assert service.plan(universe, invariants, actions, source, target) is plan
+        stats = service.stats()
+        assert stats.warm_hits >= 1 and stats.cold_plans >= 1
+
+    def test_unreachable_raises_warm_and_cold(self, video_spec):
+        universe, invariants, actions = video_spec
+        service = PlanningService()
+        source, target = paper_source(universe), paper_target(universe)
+        with pytest.raises(NoSafePathError):
+            service.plan(universe, invariants, actions, target, source)
+        # now cached as unreachable; the warm path must raise too
+        with pytest.raises(NoSafePathError):
+            service.plan(universe, invariants, actions, target, source)
+
+    def test_plan_many_through_service(self, video_spec):
+        universe, invariants, actions = video_spec
+        service = PlanningService()
+        source, target = paper_source(universe), paper_target(universe)
+        plans = service.plan_many(
+            universe, invariants, actions, [(source, target), (target, source)]
+        )
+        assert plans[0] is not None and plans[0].total_cost == 50.0
+        assert plans[1] is None  # the video SAG is one-way
+
+    def test_concurrent_callers_agree(self, video_spec):
+        universe, invariants, actions = video_spec
+        service = PlanningService()
+        source, target = paper_source(universe), paper_target(universe)
+        results, errors = [], []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    plan = service.plan(
+                        universe, invariants, actions, source, target
+                    )
+                    results.append(plan.action_ids)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(results)) == 1  # every caller saw the same MAP
+        assert service.stats().specs == 1
+
+
+class TestCliBatch:
+    @pytest.fixture
+    def manifest_path(self, tmp_path):
+        path = tmp_path / "video.manifest"
+        path.write_text(video_manifest_text(), encoding="utf-8")
+        return str(path)
+
+    def test_plan_batch_file(self, manifest_path, tmp_path):
+        batch = tmp_path / "requests.txt"
+        batch.write_text(
+            "# the paper's request, three spellings\n"
+            "source -> target\n"
+            "0100101 -> 1010010\n"
+            "D1,D4,E1 1010010\n",
+            encoding="utf-8",
+        )
+        code, output = run_cli("plan", manifest_path, "--batch", str(batch))
+        assert code == 0
+        assert output.count("[cost 50]") == 3
+        assert "planned 3 request(s) (3 reachable)" in output
+        assert "plans/sec" in output
+
+    def test_plan_batch_reports_unreachable(self, manifest_path, tmp_path):
+        batch = tmp_path / "requests.txt"
+        batch.write_text("target -> source\n", encoding="utf-8")
+        code, output = run_cli("plan", manifest_path, "--batch", str(batch))
+        assert code == 1
+        assert "NO SAFE PATH" in output
+
+    def test_plan_batch_conflicts_with_endpoints(self, manifest_path, tmp_path):
+        batch = tmp_path / "requests.txt"
+        batch.write_text("source -> target\n", encoding="utf-8")
+        code, _ = run_cli(
+            "plan", manifest_path, "--batch", str(batch), "--from", "source"
+        )
+        assert code == 2
+
+    def test_plan_still_requires_endpoints_without_batch(self, manifest_path):
+        code, _ = run_cli("plan", manifest_path)
+        assert code == 2
+
+    def test_plan_batch_rejects_malformed_line(self, manifest_path, tmp_path):
+        batch = tmp_path / "requests.txt"
+        batch.write_text("source target extra\n", encoding="utf-8")
+        code, _ = run_cli("plan", manifest_path, "--batch", str(batch))
+        assert code == 2

@@ -29,7 +29,7 @@ from repro.core.actions import ActionLibrary, AdaptiveAction
 from repro.core.invariants import DependencyInvariant, Invariant, InvariantSet
 from repro.core.model import Component, ComponentUniverse, Configuration
 from repro.expr import Atom, Expr, exactly_one
-from repro.expr.ast import And, Implies, Not, Or
+from repro.expr.ast import And, Implies, Not, Or, Xor
 
 
 @dataclass
@@ -117,6 +117,69 @@ def replicated_video_system(n_groups: int) -> RandomSystem:
         actions=ActionLibrary(actions),
         source=Configuration(source_members),
         target=Configuration(target_members),
+    )
+
+
+def enumeration_stress_system(
+    n_components: int,
+    n_constraints: Optional[int] = None,
+    arity: int = 5,
+    seed: int = 7,
+) -> RandomSystem:
+    """A universe adversarial for the three-valued backtracking pruner.
+
+    Every invariant is an :class:`Xor` whose final atom sits in the last
+    few components of the universe order: under three-valued evaluation
+    an xor stays *undetermined* until its last atom is decided, so the
+    enumerator must traverse the full prefix tree before any branch can
+    be pruned — per-node invariant work is high, the safe set collapses
+    only at the bottom (each xor halves it, so output stays small), and
+    partitions on the high-bit prefix carry near-identical work.  That
+    shape is exactly what the parallel enumeration benchmarks need:
+    serial cost grows with ``2^n`` while the result (and hence the
+    serial merge in the parent) stays a few thousand masks.
+
+    ``source``/``target`` are the all-absent/all-present placeholder
+    configurations — enumeration benchmarks do not plan over this
+    system.
+    """
+    if n_components < 8:
+        raise ValueError("stress universes need at least 8 components")
+    rng = random.Random(seed)
+    n = n_components
+    if n_constraints is None:
+        n_constraints = n // 2
+    names = [f"X{i:02d}" for i in range(n)]
+    universe = ComponentUniverse.from_names(
+        names, {name: f"p{i % 4}" for i, name in enumerate(names)}
+    )
+    tail = max(2, n // 5)
+    invariants: List[Invariant] = []
+    for index in range(n_constraints):
+        last = names[n - 1 - (index % tail)]
+        body = rng.sample(names[: n - tail], arity - 1)
+        invariants.append(
+            Invariant(
+                Xor(tuple(Atom(name) for name in (*body, last))),
+                name=f"xor{index}",
+            )
+        )
+    actions = ActionLibrary(
+        [
+            AdaptiveAction.insert(f"I{i}", name, float(1 + i % 5))
+            for i, name in enumerate(names)
+        ]
+        + [
+            AdaptiveAction.remove(f"D{i}", name, float(1 + i % 5))
+            for i, name in enumerate(names)
+        ]
+    )
+    return RandomSystem(
+        universe=universe,
+        invariants=InvariantSet(invariants),
+        actions=actions,
+        source=Configuration([]),
+        target=Configuration(names),
     )
 
 

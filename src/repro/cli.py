@@ -7,8 +7,10 @@ Usage (``python -m repro <command> ...``):
 * ``lint MANIFEST...`` — full static analysis (SA1xx–SA4xx) with
   ``--format text|json|sarif`` and a ``--fail-on`` severity gate.
 * ``safe-configs MANIFEST`` — enumerate the safe configuration set (Table 1).
-* ``plan MANIFEST --from SRC --to DST [--k N] [--method dijkstra|lazy|collaborative]``
-  — compute the Minimum Adaptation Path (Figure 4's result).
+* ``plan MANIFEST --from SRC --to DST [--k N] [--lazy]
+  [--method auto|dijkstra|lazy|collaborative]`` — compute the Minimum
+  Adaptation Path (Figure 4's result); ``auto`` picks the lazy frontier
+  search above the enumeration cap.
 * ``sag MANIFEST [--highlight-map --from SRC --to DST]`` — emit Graphviz
   DOT of the Safe Adaptation Graph (Figure 4 itself).
 * ``simulate MANIFEST --from SRC --to DST [--backend sim|live|aio]
@@ -32,6 +34,7 @@ import sys
 from typing import List, Optional
 
 from repro.bench import format_table
+from repro.core.planner import LAZY_PLAN_COMPONENTS
 from repro.errors import ReproError
 from repro.manifest import SystemManifest, load_path, video_manifest_text
 
@@ -97,8 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--k", type=int, default=1,
                       help="also list the k best alternate plans")
     plan.add_argument(
-        "--method", choices=("dijkstra", "lazy", "collaborative"),
-        default="dijkstra", help="planning algorithm (default: dijkstra)",
+        "--method", choices=("auto", "dijkstra", "lazy", "collaborative"),
+        default="auto",
+        help="planning algorithm (default: auto — eager Dijkstra within "
+             "the enumeration cap, lazy frontier search above it)",
+    )
+    plan.add_argument(
+        "--lazy", action="store_true",
+        help="force the lazy frontier search (never materializes the "
+             "safe space; shorthand for --method lazy)",
     )
     plan.add_argument(
         "--batch", metavar="FILE",
@@ -332,9 +342,20 @@ def cmd_plan(args, out) -> int:
     planner = manifest.planner()
     source = manifest.resolve_configuration(args.source)
     target = manifest.resolve_configuration(args.target)
-    if args.method == "lazy":
-        plan = planner.plan_lazy(source, target)
-    elif args.method == "collaborative":
+    method = "lazy" if args.lazy else args.method
+    oversized = len(manifest.universe) > LAZY_PLAN_COMPONENTS
+    if method == "auto":
+        # above the cap the eager 2^n pipeline is off the table
+        method = "lazy" if oversized else "dijkstra"
+    if args.k > 1 and oversized:
+        raise ReproError(
+            f"--k alternates need the eager SAG, which is capped at "
+            f"{LAZY_PLAN_COMPONENTS} components "
+            f"(manifest has {len(manifest.universe)})"
+        )
+    if method == "lazy":
+        plan = planner.lazy_plan(source, target)
+    elif method == "collaborative":
         plan = planner.plan_collaborative(source, target)
     else:
         plan = planner.plan(source, target)

@@ -25,9 +25,18 @@ from repro.core.invariants import (
     StructuralInvariant,
 )
 from repro.core.actions import ActionKind, ActionLibrary, AdaptiveAction
-from repro.core.space import SafeConfigurationSpace
-from repro.core.sag import SafeAdaptationGraph
-from repro.core.planner import AdaptationPlan, AdaptationPlanner, PlanStep
+from repro.core.space import (
+    EnumerationStats,
+    LazySafeSpace,
+    SafeConfigurationSpace,
+)
+from repro.core.sag import LazySAG, SafeAdaptationGraph
+from repro.core.planner import (
+    LAZY_PLAN_COMPONENTS,
+    AdaptationPlan,
+    AdaptationPlanner,
+    PlanStep,
+)
 from repro.core.collaborative import collaborative_sets
 
 __all__ = [
@@ -42,9 +51,13 @@ __all__ = [
     "AdaptiveAction",
     "ActionLibrary",
     "SafeConfigurationSpace",
+    "LazySafeSpace",
+    "EnumerationStats",
     "SafeAdaptationGraph",
+    "LazySAG",
     "AdaptationPlanner",
     "AdaptationPlan",
     "PlanStep",
+    "LAZY_PLAN_COMPONENTS",
     "collaborative_sets",
 ]

@@ -21,12 +21,18 @@ from repro.core.actions import ActionLibrary, AdaptiveAction
 from repro.core.collaborative import collaborative_sets, project_invariants
 from repro.core.invariants import InvariantSet
 from repro.core.model import ComponentUniverse, Configuration
-from repro.core.sag import SafeAdaptationGraph
+from repro.core.sag import LazySAG, SafeAdaptationGraph
 from repro.core.space import SafeConfigurationSpace
 from repro.errors import NoSafePathError
 from repro.graphs import lazy_astar
 from repro.graphs.csr import ShortestPathTree, k_shortest_paths_csr
 from repro.graphs.dijkstra import Path
+
+
+#: above this many components the eager 2^n enumeration is off the table
+#: by default — the service and CLI route requests to :meth:`lazy_plan`
+#: (the lint pipeline applies the same cap to its safe-space checks)
+LAZY_PLAN_COMPONENTS = 24
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,7 @@ class AdaptationPlanner:
         self.space = SafeConfigurationSpace(universe, invariants, workers=workers)
         self.spt_cache_size = max(1, spt_cache_size)
         self._sag: Optional[SafeAdaptationGraph] = None
+        self._lazy_sag: Optional[LazySAG] = None
         self._plan_cache: Dict[
             Tuple[Configuration, Configuration], Optional[AdaptationPlan]
         ] = {}
@@ -130,12 +137,14 @@ class AdaptationPlanner:
     def reset_caches(self) -> None:
         """Drop every derived cache (after mutating the action library).
 
-        Clears the SAG (and with it the compiled CSR view), the per-pair
-        plan caches, and the shortest-path-tree LRU — all of them are
-        derived from the action library, so any of them could otherwise
-        serve a path using an action that no longer exists.
+        Clears the SAG (and with it the compiled CSR view), the lazy
+        successor generator, the per-pair plan caches, and the
+        shortest-path-tree LRU — all of them are derived from the action
+        library, so any of them could otherwise serve a path using an
+        action that no longer exists.
         """
         self._sag = None
+        self._lazy_sag = None
         self._plan_cache.clear()
         self._plan_k_cache.clear()
         self._spt_cache.clear()
@@ -147,6 +156,13 @@ class AdaptationPlanner:
         if self._sag is None:
             self._sag = SafeAdaptationGraph.build(self.space, self.actions)
         return self._sag
+
+    @property
+    def lazy_sag(self) -> LazySAG:
+        """The implicit-SAG successor generator (built on first use)."""
+        if self._lazy_sag is None:
+            self._lazy_sag = LazySAG(self.space, self.actions)
+        return self._lazy_sag
 
     def _validate_endpoints(self, source: Configuration, target: Configuration) -> None:
         self.universe.validate_members(source.members)
@@ -293,6 +309,136 @@ class AdaptationPlanner:
             self._plan_k_cache[key] = cached
         return list(cached)
 
+    def _plan_from_mask_path(
+        self, source: Configuration, target: Configuration, path: Path
+    ) -> AdaptationPlan:
+        """Decode a mask-level search result back into an AdaptationPlan."""
+        universe = self.universe
+        configs: List[Configuration] = [source]
+        for mask in path.nodes[1:-1]:
+            configs.append(universe.from_mask(mask))
+        if len(path.nodes) > 1:
+            configs.append(target)
+        steps = []
+        for index, edge in enumerate(path.edges):
+            steps.append(
+                PlanStep(
+                    index=index,
+                    action=self.actions.get(edge.label),
+                    source=configs[index],
+                    target=configs[index + 1],
+                )
+            )
+        return AdaptationPlan(
+            source=source,
+            target=target,
+            steps=tuple(steps),
+            total_cost=path.cost,
+        )
+
+    def lazy_plan(
+        self,
+        source: Configuration,
+        target: Configuration,
+        max_expansions: Optional[int] = None,
+    ) -> AdaptationPlan:
+        """The exact MAP by frontier search — no safe space, no SAG (§7).
+
+        Point-query counterpart of :meth:`plan` for universes too large
+        to enumerate: it explores the *implicit* SAG through
+        :class:`~repro.core.sag.LazySAG` and returns a plan **identical
+        — path, cost, and tie-break — to the eager CSR path** wherever
+        both are defined, without ever materializing the safe space.
+        Two phases over the shared successor generator:
+
+        1. an A* probe with the admissible mask-distance heuristic
+           ``ceil(|Δ| / max_flip) · min_cost`` establishes the optimal
+           cost ``D`` (or proves the target unreachable) while the
+           heuristic funnels expansion toward the target;
+        2. a zero-heuristic replay with ``cost_bound=D`` re-runs the
+           relaxation sequence exactly as the eager solver would —
+           same successor order, same ``(cost, hops, counter)``
+           tie-breaking — with the bound trimming the frontier beyond
+           the goal (see :func:`repro.graphs.astar.lazy_astar` for why
+           the bound cannot perturb the result).
+
+        Phase 2 never re-pays phase 1's safety checks: both phases pull
+        adjacency from the same per-mask cache.  Results are written
+        through to the shared plan cache, so a later :meth:`plan` or
+        :meth:`peek_plan` on the pair is a warm dict hit (and vice
+        versa: a pair already planned eagerly returns here without any
+        search).
+
+        Raises:
+            UnsafeConfigurationError: source or target violates invariants.
+            NoSafePathError: target unreachable through safe
+                configurations, or *max_expansions* exhausted (budget
+                exhaustion is never cached as unreachable).
+        """
+        self._validate_endpoints(source, target)
+        key = (source, target)
+        if key in self._plan_cache:
+            cached = self._plan_cache[key]
+            if cached is None:
+                raise NoSafePathError(
+                    f"no safe adaptation path from {source.label()} "
+                    f"to {target.label()}"
+                )
+            return cached
+        universe = self.universe
+        lazy = self.lazy_sag
+        source_mask = universe.mask_of(source)
+        target_mask = universe.mask_of(target)
+        maskable = [
+            action
+            for action, masked in zip(
+                self.actions, self.actions.compiled_for(universe)
+            )
+            if masked is not None
+        ]
+        if maskable:
+            max_flip = max(len(action.touched) for action in maskable)
+            min_cost = min(action.cost for action in maskable)
+        else:
+            max_flip, min_cost = 1, 0.0
+
+        def heuristic(mask: int) -> float:
+            delta = (mask ^ target_mask).bit_count()
+            if delta == 0:
+                return 0.0
+            return math.ceil(delta / max_flip) * min_cost
+
+        probe = lazy_astar(
+            source_mask, target_mask, lazy.successors, heuristic, max_expansions
+        )
+        if probe is None:
+            if max_expansions is not None:
+                raise NoSafePathError(
+                    f"no safe adaptation path from {source.label()} to "
+                    f"{target.label()} within {max_expansions} expansions"
+                )
+            self._plan_cache[key] = None
+            raise NoSafePathError(
+                f"no safe adaptation path from {source.label()} "
+                f"to {target.label()}"
+            )
+        exact = lazy_astar(
+            source_mask,
+            target_mask,
+            lazy.successors,
+            lambda mask: 0.0,
+            max_expansions,
+            cost_bound=probe.cost,
+        )
+        if exact is None:  # only reachable with an expansion budget set
+            raise NoSafePathError(
+                f"no safe adaptation path from {source.label()} to "
+                f"{target.label()} within {max_expansions} expansions"
+            )
+        plan = self._plan_from_mask_path(source, target, exact)
+        self._plan_cache[key] = plan
+        return plan
+
     def plan_lazy(
         self,
         source: Configuration,
@@ -386,28 +532,7 @@ class AdaptationPlanner:
             raise NoSafePathError(
                 f"no safe adaptation path from {source.label()} to {target.label()}"
             )
-        # decode the mask path back into configurations
-        configs: List[Configuration] = [source]
-        for mask in path.nodes[1:-1]:
-            configs.append(universe.from_mask(mask))
-        if len(path.nodes) > 1:
-            configs.append(target)
-        steps = []
-        for index, edge in enumerate(path.edges):
-            steps.append(
-                PlanStep(
-                    index=index,
-                    action=self.actions.get(edge.label),
-                    source=configs[index],
-                    target=configs[index + 1],
-                )
-            )
-        return AdaptationPlan(
-            source=source,
-            target=target,
-            steps=tuple(steps),
-            total_cost=path.cost,
-        )
+        return self._plan_from_mask_path(source, target, path)
 
     def plan_collaborative(
         self, source: Configuration, target: Configuration

@@ -18,6 +18,65 @@ from repro.errors import UnknownComponentError
 from repro.graphs import CSRGraph, Digraph
 
 
+class LazySAG:
+    """Frontier successor generator over the *implicit* SAG (§7).
+
+    Expands ``(config, action)`` neighbors incrementally: for a safe
+    mask, :meth:`successors` yields the ``(action_id, cost, next_mask)``
+    arcs that :meth:`SafeAdaptationGraph.build` would insert for that
+    vertex — same arcs, same action-library order — without ever
+    enumerating the safe space or materializing the graph.  A search
+    driven by this generator therefore relaxes edges in exactly the
+    sequence the eager CSR solver does, which is what makes
+    :meth:`AdaptationPlanner.lazy_plan
+    <repro.core.planner.AdaptationPlanner.lazy_plan>`'s tie-breaking
+    provably identical to the eager path.
+
+    Actions touching components outside the universe are skipped up
+    front, exactly as the eager build skips them (their result always
+    leaves the universe, so they can never connect two vertices).
+
+    Per-mask adjacency is cached: the A* probe and the exact replay in
+    ``lazy_plan`` pay the applicability/safety checks once per frontier
+    node, and repeated point queries against the same spec stay warm.
+    *space* may be an eager :class:`SafeConfigurationSpace` or a
+    :class:`~repro.core.space.LazySafeSpace` — anything with a
+    ``universe`` and a memoized ``is_safe_mask``.
+    """
+
+    def __init__(self, space, actions: ActionLibrary):
+        self._space = space
+        self._actions = actions
+        self.universe = space.universe
+        self._arc_specs = tuple(
+            (action.action_id, action.cost, masked)
+            for masked, action in zip(actions.compiled_for(self.universe), actions)
+            if masked is not None
+        )
+        self._adjacency: Dict[int, Tuple[Tuple[str, float, int], ...]] = {}
+
+    @property
+    def expanded_nodes(self) -> int:
+        """Distinct masks whose adjacency has been generated so far."""
+        return len(self._adjacency)
+
+    def successors(self, mask: int) -> Tuple[Tuple[str, float, int], ...]:
+        """Outgoing arcs of *mask*, in SAG edge-insertion order (cached)."""
+        cached = self._adjacency.get(mask)
+        if cached is None:
+            is_safe_mask = self._space.is_safe_mask
+            arcs = []
+            for action_id, cost, masked in self._arc_specs:
+                required = masked.required
+                if (mask & required) == required and not (mask & masked.forbidden):
+                    result = (mask & ~masked.clear) | masked.set_bits
+                    if is_safe_mask(result):
+                        arcs.append((action_id, cost, result))
+            cached = tuple(arcs)
+            self._adjacency[mask] = cached
+        return cached
+
+
 class SafeAdaptationGraph:
     """SAG over safe configurations with adaptive-action labelled arcs."""
 

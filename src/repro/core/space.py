@@ -22,6 +22,10 @@ still serves configurations containing components outside the universe.
 
 from __future__ import annotations
 
+import os
+import pickle
+import warnings
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.invariants import InvariantSet
@@ -32,37 +36,95 @@ from repro.errors import UnknownComponentError, UnsafeConfigurationError
 #: below this many components a process pool costs more than it saves
 MIN_PARALLEL_COMPONENTS = 12
 
+#: below this many estimated backtracking nodes (surviving partitions times
+#: the free-suffix subtree size) pool spin-up dominates; stay serial
+MIN_PARALLEL_MASK_NODES = 1 << 18
 
-def _parallel_enumerate_worker(
-    payload: Tuple[
-        Tuple[Tuple[str, str], ...],  # (name, process) per component, in order
-        Tuple[str, ...],  # invariant source texts, in order
-        Tuple[str, ...],  # prefix component names present in this partition
-        Tuple[str, ...],  # free (non-prefix) component names
-    ],
-) -> Tuple[Tuple[int, ...], Dict[int, bool]]:
-    """Enumerate one mask-space partition in a worker process.
+#: task-queue chunks per worker — idle workers steal the next chunk, so
+#: oversubscription is what evens out skewed partition sizes
+PARALLEL_OVERSUBSCRIPTION = 8
 
-    The payload carries only primitives — component ``(name, process)``
-    pairs and invariant source texts — because :class:`Expr`,
-    :class:`Invariant`, and :class:`Configuration` are deliberately
-    unpicklable (immutable slots classes).  The spec is rebuilt here via
-    the parser, which round-trips exactly, so the worker's safety
-    semantics are identical to the parent's.  Returns the partition's
-    safe masks (ascending) plus the worker's safety memo for merging.
+
+def _cpu_count() -> int:
+    """Usable CPU count (module-level hook so tests can simulate hosts)."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class EnumerationStats:
+    """How the last :meth:`SafeConfigurationSpace.enumerate` actually ran.
+
+    ``reason`` records why the mode was chosen — in particular why a
+    parallel request fell back to serial (clamped workers, small universe,
+    root-pruned partitions, pool failure) — so benches and operators can
+    tell a genuine parallel win from a silent fallback.
     """
+
+    mode: str  # "serial" | "parallel"
+    requested_workers: Optional[int]
+    effective_workers: int
+    reason: str
+    partitions: int = 0  # surviving prefix partitions (parallel planning)
+    chunks: int = 0  # tasks submitted to the shared queue (parallel)
+    safe_count: int = 0
+
+
+# Per-worker spec state, built once per process by the pool initializer.
+_WORKER_SPACE: Optional["SafeConfigurationSpace"] = None
+_WORKER_PREFIX_BITS: Tuple[int, ...] = ()
+_WORKER_FREE: Tuple[str, ...] = ()
+
+
+def _parallel_worker_init(payload: bytes) -> None:
+    """Build the worker's spec once per process from a pre-pickled blob.
+
+    The blob carries only primitives — component ``(name, process)``
+    pairs, invariant source texts, and the partition prefix width —
+    because :class:`Expr`, :class:`Invariant`, and :class:`Configuration`
+    are deliberately unpicklable (immutable slots classes).  The spec is
+    rebuilt here via the parser, which round-trips exactly, so the
+    worker's safety semantics are identical to the parent's.  Paying the
+    rebuild once per *worker* instead of once per *task* is the warm-up
+    amortization that PR 5's per-partition payloads lacked; after this,
+    each task ships a few small integers.
+    """
+    global _WORKER_SPACE, _WORKER_PREFIX_BITS, _WORKER_FREE
     from repro.core.model import Component
 
-    component_specs, invariant_texts, prefix_present, free_names = payload
+    component_specs, invariant_texts, k = pickle.loads(payload)
     universe = ComponentUniverse(
         [Component(name, process) for name, process in component_specs]
     )
     invariants = InvariantSet.of(*invariant_texts)
-    space = SafeConfigurationSpace(universe, invariants)
-    base = Configuration(prefix_present)
-    configs = space.enumerate_restricted(base, free_names)
-    masks = tuple(universe.mask_of(config) for config in configs)
-    return masks, space.safe_memo
+    _WORKER_SPACE = SafeConfigurationSpace(universe, invariants)
+    order = universe.order
+    _WORKER_PREFIX_BITS = tuple(universe.bit_of(name) for name in order[:k])
+    _WORKER_FREE = order[k:]
+
+
+def _parallel_enumerate_chunk(
+    chunk: Tuple[int, Tuple[int, ...]],
+) -> Tuple[int, Tuple[int, ...]]:
+    """Enumerate one chunk of prefix partitions in a warm worker.
+
+    ``chunk`` is ``(chunk_index, prefix_values)``; each value fixes the
+    presence of the first *k* components (the high bits), and the worker
+    backtracks over the free suffix.  Returns the chunk's safe masks in
+    ascending order so the parent can concatenate chunks by index.
+    """
+    index, values = chunk
+    space = _WORKER_SPACE
+    assert space is not None, "worker initializer did not run"
+    prefix_bits = _WORKER_PREFIX_BITS
+    k = len(prefix_bits)
+    masks: List[int] = []
+    for value in values:
+        present0 = 0
+        for i in range(k):
+            if value & (1 << (k - 1 - i)):
+                present0 |= prefix_bits[i]
+        masks.extend(space._restricted_masks(present0, _WORKER_FREE))
+    return index, tuple(masks)
 
 
 class SafeConfigurationSpace:
@@ -88,6 +150,8 @@ class SafeConfigurationSpace:
         self._safe_memo: Dict[int, bool] = {}
         self._compiled: Optional[Callable[[int], bool]] = None
         self._compiled_partial: Optional[Tuple[Callable, ...]] = None
+        #: how the last full enumeration ran (None until one happens)
+        self.last_enumeration_stats: Optional[EnumerationStats] = None
 
     # -- compiled fast path ------------------------------------------------------
     @property
@@ -164,15 +228,53 @@ class SafeConfigurationSpace:
         oracle.
         """
         if self._cache is None:
-            if (
-                self.workers is not None
-                and self.workers > 1
-                and len(self.universe) >= MIN_PARALLEL_COMPONENTS
-            ):
-                self._cache = self._enumerate_parallel(self.workers)
-            else:
-                self._cache = self.enumerate_backtracking()
+            self._cache = self._enumerate_with_stats()
         return self._cache
+
+    def _enumerate_serial(self, reason: str) -> Tuple[Configuration, ...]:
+        """Serial enumeration, recording *reason* on the stats attribute."""
+        result = self.enumerate_backtracking()
+        self.last_enumeration_stats = EnumerationStats(
+            mode="serial",
+            requested_workers=self.workers,
+            effective_workers=1,
+            reason=reason,
+            safe_count=len(result),
+        )
+        return result
+
+    def _enumerate_with_stats(self) -> Tuple[Configuration, ...]:
+        """Pick serial vs parallel and record the decision.
+
+        ``workers=1`` is exactly serial by contract (no pool spin-up);
+        requests beyond :func:`_cpu_count` clamp with a warning — extra
+        processes on a saturated host only add scheduling overhead.
+        """
+        requested = self.workers
+        n = len(self.universe)
+        if requested is None:
+            return self._enumerate_serial("serial: no workers requested")
+        if requested <= 1:
+            return self._enumerate_serial("serial: workers=1 is serial by contract")
+        if n < MIN_PARALLEL_COMPONENTS:
+            return self._enumerate_serial(
+                f"serial: {n} components below the "
+                f"{MIN_PARALLEL_COMPONENTS}-component parallel floor"
+            )
+        cpus = _cpu_count()
+        effective = min(requested, cpus)
+        if effective < requested:
+            warnings.warn(
+                f"workers={requested} exceeds cpu_count={cpus}; "
+                f"clamping to {effective}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        if effective <= 1:
+            return self._enumerate_serial(
+                f"serial: workers={requested} clamped to 1 (cpu_count={cpus})"
+            )
+        return self._enumerate_parallel(effective)
 
     def enumerate_masks(self) -> Tuple[int, ...]:
         """Masks of :meth:`enumerate`'s result, in the same order."""
@@ -201,29 +303,49 @@ class SafeConfigurationSpace:
             # keep the exhaustive set-based sweep for that corner.
             return self._enumerate_restricted_setwise(frozen, free)
         universe = self.universe
-        bit_of = universe.bit_of
         present0 = universe.mask_of_names(frozen)
-        free_bits = tuple(bit_of(name) for name in free)
+        from_mask = universe.from_mask
+        out = [from_mask(mask) for mask in self._restricted_masks(present0, free)]
+        # free components may interleave with frozen ones in universe
+        # order, so recursion order is not globally ascending — re-sort
+        out.sort(key=universe.to_bits)
+        return tuple(out)
+
+    def _restricted_masks(
+        self, present0: int, free: Tuple[str, ...]
+    ) -> List[int]:
+        """Safe masks varying only *free* bits over the frozen *present0*.
+
+        The masks-only core of :meth:`enumerate_restricted`, shared with
+        the parallel workers (which never materialize
+        :class:`Configuration` objects — the parent interns them once
+        after the merge).  Leaf masks are recorded in the shared safety
+        memo.  Output follows recursion order: ascending whenever the
+        free components form a suffix of the universe order.
+        """
+        universe = self.universe
+        free_bits = tuple(universe.bit_of(name) for name in free)
         # everything outside the free components is decided up front
         decided0 = universe.full_mask ^ universe.mask_of_names(free)
         # invariants not touching a free component are fully decided at
         # the root; reject the whole restriction in one pass if any fails
         for expr in self._compiled_partial_fns():
             if expr(present0, decided0) is False:
-                return ()
+                return []
         schedule = self._check_schedule(free)
-        out: List[Configuration] = []
-        from_mask = universe.from_mask
+        memo = self._safe_memo
+        out: List[int] = []
+        n = len(free_bits)
 
         def recurse(index: int, present: int, decided: int) -> None:
-            if index == len(free_bits):
-                if self.is_safe_mask(present):
-                    out.append(from_mask(present))
+            if index == n:
+                memo[present] = True
+                out.append(present)
                 return
             bit = free_bits[index]
             decided |= bit
             checks = schedule[index]
-            # '0' branch first, then '1' (final order is re-sorted below)
+            # '0' branch first, then '1' — ascending within the free bits
             for candidate in (present, present | bit):
                 for expr in checks:
                     if expr(candidate, decided) is False:
@@ -232,8 +354,7 @@ class SafeConfigurationSpace:
                     recurse(index + 1, candidate, decided)
 
         recurse(0, present0, decided0)
-        out.sort(key=self.universe.to_bits)
-        return tuple(out)
+        return out
 
     def _enumerate_restricted_setwise(
         self, frozen: FrozenSet[str], free: Tuple[str, ...]
@@ -302,7 +423,7 @@ class SafeConfigurationSpace:
         return tuple(out)
 
     def _enumerate_parallel(self, workers: int) -> Tuple[Configuration, ...]:
-        """Full enumeration fanned out over a process pool.
+        """Full enumeration via chunked work-stealing over a process pool.
 
         The mask space is partitioned on the first *k* components of the
         universe order — the **high** bits of the bit-vector encoding — so
@@ -311,60 +432,129 @@ class SafeConfigurationSpace:
         :meth:`enumerate_backtracking` would produce them.  The parent
         root-prunes partitions whose prefix assignment already falsifies
         an invariant under three-valued evaluation (those contain no safe
-        configuration), then ships each surviving partition to a worker as
-        a primitives-only payload.  Worker safety memos are merged into
-        the shared memo on join, so SAG construction after a parallel
-        enumeration is exactly as warm as after a serial one.
+        configuration), estimates the remaining search-tree size, and
+        stays serial when pool spin-up would dominate.
+
+        The pool layout fixes PR 5's 4-5x parallel *slowdown*:
+
+        * the spec ships **once per worker** as a pre-pickled bytes blob
+          via the pool initializer (warm-up amortization), not once per
+          partition;
+        * surviving partitions are split into many small chunks on a
+          shared task queue — idle workers steal the next chunk, so a
+          skewed partition no longer serializes the whole sweep behind
+          one static assignment;
+        * workers return bare safe masks (ints) only; the parent interns
+          :class:`Configuration` objects and records the True verdicts
+          in the shared memo, so SAG construction after a parallel
+          enumeration is exactly as warm as after a serial one.
 
         Any pool failure (a platform without usable multiprocessing, a
         spec that cannot round-trip) falls back to the serial enumerator
-        — the option is a go-faster knob, never a behavior change.
+        and records why — the option is a go-faster knob, never a
+        behavior change.
         """
         universe = self.universe
         order = universe.order
         n = len(order)
-        # 2x oversubscription smooths uneven partition sizes; the prefix
-        # must leave at least one free component for the workers to vary.
+        target_tasks = workers * PARALLEL_OVERSUBSCRIPTION
+        # the prefix must leave at least one free component to vary
         k = 1
-        while (1 << k) < 2 * workers and k < min(8, n - 1):
+        while (1 << k) < target_tasks and k < min(12, n - 1):
             k += 1
         prefix = order[:k]
         free = order[k:]
+        prefix_bits = tuple(universe.bit_of(name) for name in prefix)
         prefix_full = universe.mask_of_names(prefix)
         partial_fns = self._compiled_partial_fns()
-        payloads = []
+        surviving: List[int] = []
+        for value in range(1 << k):
+            present0 = 0
+            for i in range(k):
+                if value & (1 << (k - 1 - i)):
+                    present0 |= prefix_bits[i]
+            if any(fn(present0, prefix_full) is False for fn in partial_fns):
+                continue  # the whole partition is provably unsafe
+            surviving.append(value)
+        if not surviving:
+            return self._enumerate_serial(
+                "serial: every prefix partition root-pruned"
+            )
+        estimated = len(surviving) << (n - k)
+        if estimated < MIN_PARALLEL_MASK_NODES:
+            return self._enumerate_serial(
+                f"serial: ~{estimated} estimated search nodes below the "
+                f"parallel threshold ({MIN_PARALLEL_MASK_NODES})"
+            )
+        chunk_size = max(1, len(surviving) // target_tasks)
+        chunks = [
+            (index, tuple(surviving[lo : lo + chunk_size]))
+            for index, lo in enumerate(range(0, len(surviving), chunk_size))
+        ]
         component_specs = tuple(
             (name, universe.component(name).process) for name in order
         )
         from repro.expr.ast import to_text
 
         invariant_texts = tuple(to_text(inv.expr) for inv in self.invariants)
-        for value in range(1 << k):
-            present = tuple(
-                prefix[i] for i in range(k) if value & (1 << (k - 1 - i))
-            )
-            present0 = universe.mask_of_names(present)
-            if any(fn(present0, prefix_full) is False for fn in partial_fns):
-                continue  # the whole partition is provably unsafe
-            payloads.append((component_specs, invariant_texts, present, free))
+        payload = pickle.dumps(
+            (component_specs, invariant_texts, k),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         try:
             import concurrent.futures
 
-            out: List[Configuration] = []
-            from_mask = universe.from_mask
+            results: List[Optional[Tuple[int, ...]]] = [None] * len(chunks)
             with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
+                max_workers=workers,
+                initializer=_parallel_worker_init,
+                initargs=(payload,),
             ) as pool:
-                # executor.map preserves submission order == ascending
-                # prefix order == global ascending mask order
-                for masks, memo in pool.map(
-                    _parallel_enumerate_worker, payloads, chunksize=1
-                ):
-                    self._safe_memo.update(memo)
-                    out.extend(from_mask(mask) for mask in masks)
-            return tuple(out)
-        except Exception:
-            return self.enumerate_backtracking()
+                futures = [
+                    pool.submit(_parallel_enumerate_chunk, chunk)
+                    for chunk in chunks
+                ]
+                for future in concurrent.futures.as_completed(futures):
+                    index, masks = future.result()
+                    results[index] = masks
+        except Exception as exc:
+            return self._enumerate_serial(
+                f"serial: pool failure ({exc.__class__.__name__}: {exc})"
+            )
+        memo = self._safe_memo
+        from_mask = universe.from_mask
+        out: List[Configuration] = []
+        # chunk index order == ascending prefix order == ascending masks
+        for masks in results:
+            assert masks is not None
+            for mask in masks:
+                memo[mask] = True
+                out.append(from_mask(mask))
+        self.last_enumeration_stats = EnumerationStats(
+            mode="parallel",
+            requested_workers=self.workers,
+            effective_workers=workers,
+            reason=f"parallel: {len(chunks)} chunks stolen from "
+            f"{len(surviving)} surviving partitions",
+            partitions=len(surviving),
+            chunks=len(chunks),
+            safe_count=len(out),
+        )
+        return tuple(out)
+
+    def lazy_view(self) -> "LazySafeSpace":
+        """A point-query view sharing this space's memo and compiled closure.
+
+        Verdicts computed by either side are visible to the other, so a
+        lazy search warmed by an earlier eager enumeration (or vice
+        versa) never re-evaluates an invariant conjunction.
+        """
+        return LazySafeSpace(
+            self.universe,
+            self.invariants,
+            memo=self._safe_memo,
+            compiled=self._compiled_mask_fn(),
+        )
 
     def count(self) -> int:
         return len(self.enumerate())
@@ -381,6 +571,85 @@ class SafeConfigurationSpace:
 
     def __len__(self) -> int:
         return self.count()
+
+    def __contains__(self, config: Configuration) -> bool:
+        return self.is_safe(config)
+
+
+class LazySafeSpace:
+    """Answers "is this mask safe?" memoized and on demand — never 2^n.
+
+    The frontier-planning counterpart of :class:`SafeConfigurationSpace`:
+    it exposes the same membership interface but deliberately has **no**
+    ``enumerate`` — holding one is a static guarantee that the
+    exponential sweep cannot happen on this code path (the paper's §7
+    barrier).  Safety verdicts run on the compiled bitmask closure and
+    are memoized per mask; construct via
+    :meth:`SafeConfigurationSpace.lazy_view` to share the memo with an
+    eager space, or directly from ``(universe, invariants)`` when no
+    eager space should ever exist (oversized specs).
+
+    ``point_queries`` / ``memo_hits`` counters are exposed for benches
+    and the service layer to report cache effectiveness.
+    """
+
+    __slots__ = (
+        "universe",
+        "invariants",
+        "_safe_memo",
+        "_compiled",
+        "point_queries",
+        "memo_hits",
+    )
+
+    def __init__(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        memo: Optional[Dict[int, bool]] = None,
+        compiled: Optional[Callable[[int], bool]] = None,
+    ):
+        self.universe = universe
+        self.invariants = invariants
+        self._safe_memo: Dict[int, bool] = memo if memo is not None else {}
+        self._compiled = compiled
+        self.point_queries = 0
+        self.memo_hits = 0
+
+    @property
+    def safe_memo(self) -> Dict[int, bool]:
+        """The shared mask -> verdict memo table (exposed for reuse)."""
+        return self._safe_memo
+
+    def is_safe_mask(self, mask: int) -> bool:
+        """Memoized safety verdict for an integer presence mask."""
+        self.point_queries += 1
+        verdict = self._safe_memo.get(mask)
+        if verdict is None:
+            if self._compiled is None:
+                self._compiled = self.invariants.compile_mask(
+                    self.universe.atom_bits
+                )
+            verdict = self._compiled(mask)
+            self._safe_memo[mask] = verdict
+        else:
+            self.memo_hits += 1
+        return verdict
+
+    def is_safe(self, config: Configuration) -> bool:
+        """True iff *config* is a safe configuration (paper §3.1)."""
+        try:
+            mask = self.universe.mask_of(config)
+        except UnknownComponentError:
+            return self.invariants.all_hold(config)
+        return self.is_safe_mask(mask)
+
+    def require_safe(self, config: Configuration, role: str = "configuration") -> None:
+        """Raise :class:`UnsafeConfigurationError` with an explanation if unsafe."""
+        if not self.is_safe(config):
+            raise UnsafeConfigurationError(
+                f"{role} is unsafe: {self.invariants.explain(config)}"
+            )
 
     def __contains__(self, config: Configuration) -> bool:
         return self.is_safe(config)

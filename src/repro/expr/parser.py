@@ -28,7 +28,7 @@ from repro.expr.ast import And, Atom, Expr, FALSE, Implies, Not, OneOf, Or, TRUE
 _TOKEN_RE = re.compile(
     r"\s*(?:(?P<arrow>->|=>)"
     r"|(?P<op>[&|^!(),])"
-    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*))"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.\-@]*))"
 )
 
 _WORD_OPS = {

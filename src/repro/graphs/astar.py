@@ -50,6 +50,8 @@ def lazy_astar(
     successors: SuccessorFn,
     heuristic: HeuristicFn,
     max_expansions: Optional[int] = None,
+    *,
+    cost_bound: Optional[float] = None,
 ) -> Optional[Path[N, L]]:
     """A* over an *implicit* graph defined by a successor function.
 
@@ -61,11 +63,28 @@ def lazy_astar(
         heuristic: admissible estimate of remaining cost to *target*.
         max_expansions: optional safety valve; when exceeded the search
             gives up and returns ``None``.
+        cost_bound: optional known upper bound on the optimal cost.
+            Relaxations whose tentative cost exceeds it (beyond a small
+            relative float slack) are dropped.  This cannot change the
+            result when the bound is correct: a node reached only above
+            the bound would settle strictly after the target in the
+            unbounded run, so neither its heap entry nor its tentative
+            ``(g, hops)`` state can influence any relaxation that happens
+            before the target settles — the search prefix, and with it
+            the returned path, its cost, *and* its tie-breaking, are
+            identical.  The bound only trims the frontier fan-out beyond
+            the goal ellipse (used by the exact lazy replay in
+            :meth:`~repro.core.planner.AdaptationPlanner.lazy_plan`).
 
     Returns:
         An optimal :class:`Path`, or ``None`` if *target* is unreachable
         (or the expansion budget ran out).
     """
+    bound: Optional[float] = None
+    if cost_bound is not None:
+        # relative slack absorbs summation-order float drift in the
+        # externally computed bound without ever rejecting an equal cost
+        bound = cost_bound + 1e-9 * (1.0 + abs(cost_bound))
     g_score: Dict[N, float] = {source: 0.0}
     hops: Dict[N, int] = {source: 0}
     came_from: Dict[N, Edge[N, L]] = {}
@@ -89,6 +108,8 @@ def lazy_astar(
             if nxt in settled:
                 continue
             tentative = g_score[node] + weight
+            if bound is not None and tentative > bound:
+                continue
             best = g_score.get(nxt)
             if best is None or tentative < best or (
                 tentative == best and nhops + 1 < hops[nxt]

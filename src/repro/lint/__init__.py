@@ -51,8 +51,9 @@ def lint_source(
     """Run the analyzer over an already-scanned manifest.
 
     *max_enum_components* overrides the SA3xx safe-space enumeration cap
-    for this run (skips emit an SA307 note); *workers* enumerates the
-    safe space on a process pool.
+    for this run (above it SA301/SA302/SA305 skip with an SA307 note
+    while SA205/SA306 fall back to lazy frontier search); *workers*
+    enumerates the safe space on a process pool.
     """
     return analyze_source(
         source, max_enum_components=max_enum_components, workers=workers

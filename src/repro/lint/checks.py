@@ -479,21 +479,29 @@ def _check_actions(
 
     cap = MAX_ENUM_COMPONENTS if max_enum_components is None else max_enum_components
     universe = model.universe
+    # SA303/SA304 need only the action library — they run regardless of
+    # universe size, so their findings survive past the enumeration cap.
+    _check_library_actions(model, report, path)
     if len(universe) > cap:
         message = (
             f"SA3xx skipped: {len(universe)} components exceed the "
-            f"{cap}-component enumeration cap"
+            f"{cap}-component enumeration cap (SA301/SA302/SA305 only; "
+            "named-configuration checks ran lazily)"
         )
         report.skipped.append(message)
         report.add(
             "SA307",
-            f"safe-space analysis (SA301–SA306) skipped: {len(universe)} "
-            f"components exceed the {cap}-component enumeration cap; raise "
-            "it with --max-enum-components (enumeration can run in "
-            "parallel via --enum-workers)",
+            f"full safe-space analysis (SA301/SA302/SA305) skipped: "
+            f"{len(universe)} components exceed the {cap}-component "
+            "enumeration cap; named-configuration safety (SA205) and "
+            "reachability (SA306) were checked by lazy frontier search "
+            "instead — raise the cap with --max-enum-components to run "
+            "the full analysis (enumeration can run in parallel via "
+            "--enum-workers)",
             model.section_span("components"),
             path,
         )
+        _check_named_pairs_lazy(model, report, path)
         return
     space = SafeConfigurationSpace(universe, model.kept_invariants(), workers=workers)
     safe_masks = space.enumerate_masks()
@@ -529,14 +537,6 @@ def _check_actions(
                 item.span,
                 path,
             )
-        if action.cost == 0:
-            report.add(
-                "SA303",
-                f"action {action.action_id!r} has zero cost: minimum-path "
-                "ties become ambiguous and free cycles enter the SAG",
-                item.span,
-                path,
-            )
 
     for item in model.actions:
         arcs = arcs_by_action[item.action.action_id]
@@ -561,6 +561,25 @@ def _check_actions(
                 )
                 break
 
+    _check_connectivity(model, report, path, safe_masks, arcs_by_action)
+    _check_named_pairs(model, report, path, space, arcs_by_action)
+
+
+def _check_library_actions(
+    model: _Model, report: LintReport, path: Optional[str]
+) -> None:
+    """SA303/SA304: action-library-only checks (no safe space needed)."""
+    for item in model.actions:
+        if item.action.cost == 0:
+            report.add(
+                "SA303",
+                f"action {item.action.action_id!r} has zero cost: "
+                "minimum-path ties become ambiguous and free cycles enter "
+                "the SAG",
+                item.span,
+                path,
+            )
+
     # Asymmetric replaces: §4.4 rollback re-routes through the library —
     # a replace with no declared inverse leaves only synthesized undo
     # actions (which the planner cannot route through).
@@ -582,9 +601,6 @@ def _check_actions(
                 item.span,
                 path,
             )
-
-    _check_connectivity(model, report, path, safe_masks, arcs_by_action)
-    _check_named_pairs(model, report, path, space, arcs_by_action)
 
 
 def _check_connectivity(
@@ -689,6 +705,120 @@ def _check_named_pairs(
                     related=[Related("the other endpoint", first.span)],
                 )
             elif not forward or not backward:
+                src, dst = (second, first) if forward else (first, second)
+                report.add(
+                    "SA306",
+                    f"configuration {dst.name!r} is unreachable from "
+                    f"{src.name!r} (one-way: only the reverse direction has "
+                    "a safe path)",
+                    dst.span,
+                    path,
+                    related=[Related("unreachable from here", src.span)],
+                    severity=Severity.NOTE,
+                )
+
+
+#: node budget for one lazy reachability search above the enumeration
+#: cap; an exhausted search is *inconclusive* (recorded in
+#: ``report.skipped``), never a finding
+LAZY_REACH_EXPANSIONS = 20_000
+
+
+def _check_named_pairs_lazy(
+    model: _Model, report: LintReport, path: Optional[str]
+) -> None:
+    """SA205/SA306 for universes too large to enumerate.
+
+    Named-configuration safety is a point query against the compiled
+    invariant closure; pairwise reachability is a budget-bounded BFS
+    over the implicit SAG (:class:`~repro.core.sag.LazySAG`).  Verdicts
+    are tri-state: a search that finds the other endpoint proves
+    reachability, a search that exhausts the reachable component
+    without finding it proves unreachability, and a search that runs
+    out of budget proves nothing — the pair is recorded as skipped
+    rather than misreported.
+    """
+    from repro.core.actions import ActionLibrary
+    from repro.core.sag import LazySAG
+    from repro.core.space import LazySafeSpace
+
+    universe = model.universe
+    invariants = model.kept_invariants()
+    space = LazySafeSpace(universe, invariants)
+    lazy = LazySAG(space, ActionLibrary(item.action for item in model.actions))
+
+    endpoints: List[Tuple[_ConfigItem, int]] = []
+    for item in model.configurations:
+        try:
+            mask = universe.mask_of(item.configuration)
+        except Exception:
+            continue
+        if not space.is_safe_mask(mask):
+            report.add(
+                "SA205",
+                f"named configuration {item.name!r} violates the invariants: "
+                f"{invariants.explain(item.configuration)}",
+                item.span,
+                path,
+            )
+            continue
+        endpoints.append((item, mask))
+
+    # (reached set, search complete?) per start mask
+    reach_cache: Dict[int, Tuple[Set[int], bool]] = {}
+
+    def reachable(start: int) -> Tuple[Set[int], bool]:
+        cached = reach_cache.get(start)
+        if cached is None:
+            seen = {start}
+            frontier = [start]
+            budget = LAZY_REACH_EXPANSIONS
+            complete = True
+            while frontier:
+                if budget <= 0:
+                    complete = False
+                    break
+                budget -= 1
+                node = frontier.pop()
+                for _action_id, _cost, nxt in lazy.successors(node):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            cached = (seen, complete)
+            reach_cache[start] = cached
+        return cached
+
+    def verdict(start: int, goal: int) -> Optional[bool]:
+        seen, complete = reachable(start)
+        if goal in seen:
+            return True
+        return False if complete else None
+
+    for index, (first, first_mask) in enumerate(endpoints):
+        for second, second_mask in endpoints[index + 1:]:
+            if first_mask == second_mask:
+                continue
+            forward = verdict(first_mask, second_mask)
+            backward = verdict(second_mask, first_mask)
+            if forward is True and backward is True:
+                continue
+            if forward is None or backward is None:
+                report.skipped.append(
+                    f"SA306 inconclusive for {first.name!r} <-> "
+                    f"{second.name!r}: lazy reachability budget "
+                    f"({LAZY_REACH_EXPANSIONS} nodes) exhausted"
+                )
+                continue
+            if not forward and not backward:
+                report.add(
+                    "SA306",
+                    f"no safe adaptation path exists between configurations "
+                    f"{first.name!r} and {second.name!r} in either direction",
+                    second.span,
+                    path,
+                    related=[Related("the other endpoint", first.span)],
+                )
+            else:
                 src, dst = (second, first) if forward else (first, second)
                 report.add(
                     "SA306",

@@ -105,7 +105,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SA304": (Severity.NOTE, "replace action has no inverse in the library"),
     "SA305": (Severity.WARNING, "Safe Adaptation Graph is disconnected"),
     "SA306": (Severity.WARNING, "no safe adaptation path between named configurations"),
-    "SA307": (Severity.NOTE, "safe-space analysis skipped: component count exceeds the enumeration cap"),
+    "SA307": (Severity.NOTE, "full safe-space analysis skipped: component count exceeds the enumeration cap (named-pair checks ran lazily)"),
     "SA401": (Severity.WARNING, "CCS allowed sequence is a proper prefix of another (completion verdicts not final)"),
     "SA402": (Severity.WARNING, "action blocks every process at once (no global safe state can host it)"),
     "SA403": (Severity.NOTE, "action's blast radius reaches processes beyond its participants"),

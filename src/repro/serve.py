@@ -32,7 +32,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.actions import ActionLibrary
 from repro.core.invariants import InvariantSet
 from repro.core.model import ComponentUniverse, Configuration
-from repro.core.planner import AdaptationPlan, AdaptationPlanner
+from repro.core.planner import (
+    LAZY_PLAN_COMPONENTS,
+    AdaptationPlan,
+    AdaptationPlanner,
+)
 from repro.errors import NoSafePathError
 from repro.expr.ast import to_text
 
@@ -76,18 +80,20 @@ class ServiceStats:
     specs: int
     warm_hits: int
     cold_plans: int
+    lazy_plans: int = 0
 
 
 class _SpecEntry:
     """One spec's shared planner plus its cold-path lock and counters."""
 
-    __slots__ = ("planner", "lock", "warm_hits", "cold_plans")
+    __slots__ = ("planner", "lock", "warm_hits", "cold_plans", "lazy_plans")
 
     def __init__(self, planner: AdaptationPlanner):
         self.planner = planner
         self.lock = threading.RLock()
         self.warm_hits = 0
         self.cold_plans = 0
+        self.lazy_plans = 0
 
 
 class PlanningService:
@@ -98,15 +104,24 @@ class PlanningService:
             :class:`~repro.core.space.SafeConfigurationSpace` for parallel
             safe-space enumeration.
         spt_cache_size: per-planner bound on cached shortest-path trees.
+        lazy_components: specs with more components than this are planned
+            through :meth:`AdaptationPlanner.lazy_plan` — the frontier
+            search that never materializes the safe space or the SAG —
+            instead of the eager CSR pipeline.  ``None`` disables the
+            routing (every spec plans eagerly, 2^n be damned).  Lazy
+            results land in the same per-pair plan cache, so warm reads
+            stay lock-free regardless of which path planned the pair.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         spt_cache_size: int = AdaptationPlanner.SPT_CACHE_SIZE,
+        lazy_components: Optional[int] = LAZY_PLAN_COMPONENTS,
     ):
         self.workers = workers
         self.spt_cache_size = spt_cache_size
+        self.lazy_components = lazy_components
         self._registry_lock = threading.Lock()
         self._specs: Dict[str, _SpecEntry] = {}
 
@@ -179,8 +194,18 @@ class PlanningService:
                 )
             return plan
         with entry.lock:
+            if self._oversized(universe):
+                entry.lazy_plans += 1
+                return entry.planner.lazy_plan(source, target)
             entry.cold_plans += 1
             return entry.planner.plan(source, target)
+
+    def _oversized(self, universe: ComponentUniverse) -> bool:
+        """True when the spec must be routed to the lazy frontier path."""
+        return (
+            self.lazy_components is not None
+            and len(universe) > self.lazy_components
+        )
 
     def plan_many(
         self,
@@ -193,9 +218,20 @@ class PlanningService:
 
         Semantics follow :meth:`AdaptationPlanner.plan_many`: one result
         per request in input order, ``None`` for unreachable pairs.
+        Oversized specs answer each pair via the lazy frontier search
+        (unsafe endpoints still raise; unreachable pairs yield ``None``).
         """
         entry = self._entry_for(universe, invariants, actions)
         with entry.lock:
+            if self._oversized(universe):
+                entry.lazy_plans += len(pairs)
+                results: List[Optional[AdaptationPlan]] = []
+                for source, target in pairs:
+                    try:
+                        results.append(entry.planner.lazy_plan(source, target))
+                    except NoSafePathError:
+                        results.append(None)
+                return results
             entry.cold_plans += len(pairs)
             return entry.planner.plan_many(pairs)
 
@@ -208,4 +244,5 @@ class PlanningService:
             specs=len(entries),
             warm_hits=sum(e.warm_hits for e in entries),
             cold_plans=sum(e.cold_plans for e in entries),
+            lazy_plans=sum(e.lazy_plans for e in entries),
         )

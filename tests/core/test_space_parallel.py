@@ -1,8 +1,16 @@
 """Parallel safe-space enumeration: identical results, merged memos."""
 
+import warnings
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.bench.workloads import random_system, replicated_video_system
+import repro.core.space as space_mod
+from repro.bench.workloads import (
+    enumeration_stress_system,
+    random_system,
+    replicated_video_system,
+)
 from repro.core.space import MIN_PARALLEL_COMPONENTS, SafeConfigurationSpace
 
 
@@ -45,3 +53,90 @@ def test_parallel_equals_serial_on_random_systems(seed):
     serial = SafeConfigurationSpace(system.universe, system.invariants)
     parallel = SafeConfigurationSpace(system.universe, system.invariants, workers=2)
     assert parallel.enumerate() == serial.enumerate()
+
+
+# --- worker edge cases and enumeration stats --------------------------------
+
+
+def _force_pool(monkeypatch, cpus=4):
+    """Pretend the host has *cpus* cores and disable the auto-serial floor."""
+    monkeypatch.setattr(space_mod, "_cpu_count", lambda: cpus)
+    monkeypatch.setattr(space_mod, "MIN_PARALLEL_MASK_NODES", 1)
+
+
+def test_workers_one_is_exactly_serial(monkeypatch):
+    """workers=1 must take the serial path — no pool, no pickling."""
+    _force_pool(monkeypatch)  # even with cores available
+
+    def boom(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("workers=1 must not touch the process pool")
+
+    monkeypatch.setattr(space_mod, "_parallel_worker_init", boom)
+    system = replicated_video_system(2)
+    space = SafeConfigurationSpace(system.universe, system.invariants, workers=1)
+    reference = SafeConfigurationSpace(system.universe, system.invariants)
+    assert space.enumerate() == reference.enumerate()
+    stats = space.last_enumeration_stats
+    assert stats.mode == "serial"
+    assert stats.reason == "serial: workers=1 is serial by contract"
+    assert stats.effective_workers == 1
+
+
+def test_workers_above_cpu_count_clamp_and_warn(monkeypatch):
+    monkeypatch.setattr(space_mod, "_cpu_count", lambda: 1)
+    system = replicated_video_system(2)
+    space = SafeConfigurationSpace(system.universe, system.invariants, workers=8)
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        space.enumerate()
+    stats = space.last_enumeration_stats
+    assert stats.mode == "serial"
+    assert stats.requested_workers == 8
+    assert stats.effective_workers == 1
+    assert "clamped to 1" in stats.reason
+
+
+def test_auto_serial_below_node_threshold(monkeypatch):
+    monkeypatch.setattr(space_mod, "_cpu_count", lambda: 4)
+    system = replicated_video_system(2)  # ~16k estimated nodes << 2^18
+    space = SafeConfigurationSpace(system.universe, system.invariants, workers=4)
+    space.enumerate()
+    stats = space.last_enumeration_stats
+    assert stats.mode == "serial"
+    assert "below the parallel threshold" in stats.reason
+
+
+def test_forced_pool_equals_serial_with_stats(monkeypatch):
+    """Real pool run (clamp disabled): identical output, parallel stats."""
+    _force_pool(monkeypatch)
+    system = enumeration_stress_system(14)
+    serial = SafeConfigurationSpace(system.universe, system.invariants)
+    parallel = SafeConfigurationSpace(
+        system.universe, system.invariants, workers=4
+    )
+    assert parallel.enumerate() == serial.enumerate()
+    stats = parallel.last_enumeration_stats
+    assert stats.mode == "parallel"
+    assert stats.chunks >= 1
+    assert stats.partitions >= stats.chunks
+    assert stats.safe_count == len(serial.enumerate())
+    assert "chunks stolen" in stats.reason
+    # merged worker memo marks every safe mask
+    for mask in parallel.enumerate_masks():
+        assert parallel.safe_memo[mask] is True
+
+
+def test_serial_fallback_reason_recorded_without_workers():
+    system = replicated_video_system(2)
+    space = SafeConfigurationSpace(system.universe, system.invariants)
+    space.enumerate()
+    assert space.last_enumeration_stats.reason == "serial: no workers requested"
+
+
+def test_small_universe_fallback_reason(universe, invariants):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        space = SafeConfigurationSpace(universe, invariants, workers=4)
+        space.enumerate()
+    stats = space.last_enumeration_stats
+    assert stats.mode == "serial"
+    assert "parallelism" in stats.reason or "components" in stats.reason

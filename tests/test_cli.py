@@ -258,3 +258,59 @@ class TestExampleManifest:
         code, output = run_cli("check", str(path))
         assert code == 0
         assert "safe configurations: 8" in output
+
+
+class TestLazyPlanCLI:
+    """--lazy / --method and the automatic routing above the lazy cap."""
+
+    @pytest.fixture
+    def fleet_path(self):
+        from pathlib import Path
+
+        return str(Path(__file__).parent.parent / "examples" / "fleet30.manifest")
+
+    def test_lazy_flag_matches_dijkstra(self, manifest_path):
+        code, lazy_out = run_cli(
+            "plan", manifest_path, "--from", "source", "--to", "target", "--lazy"
+        )
+        assert code == 0
+        _, eager_out = run_cli(
+            "plan", manifest_path, "--from", "source", "--to", "target",
+            "--method", "dijkstra",
+        )
+        assert lazy_out == eager_out  # identical plan, identical rendering
+        assert "cost 50" in lazy_out
+
+    def test_method_lazy_spelling(self, manifest_path):
+        code, output = run_cli(
+            "plan", manifest_path, "--from", "source", "--to", "target",
+            "--method", "lazy",
+        )
+        assert code == 0
+        assert "cost 50" in output
+
+    def test_oversized_manifest_routes_to_lazy_automatically(self, fleet_path):
+        code, output = run_cli(
+            "plan", fleet_path, "--from", "baseline", "--to", "canary"
+        )
+        assert code == 0
+        assert "cost 25, 2 steps" in output
+
+    def test_oversized_rejects_k_best(self, fleet_path):
+        code, _ = run_cli(
+            "plan", fleet_path, "--from", "baseline", "--to", "canary", "--k", "2"
+        )
+        assert code == 2
+
+    def test_lazy_reports_unreachable(self, manifest_path, capsys):
+        # the one-way video SAG: target cannot reach source
+        code, _ = run_cli(
+            "plan", manifest_path, "--from", "target", "--to", "source", "--lazy"
+        )
+        assert code == 2
+        assert "no safe adaptation path" in capsys.readouterr().err
+
+    def test_oversized_manifest_lints_clean(self, fleet_path):
+        code, output = run_cli("lint", fleet_path, "--fail-on", "error")
+        assert code == 0
+        assert "SA307" in output

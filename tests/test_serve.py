@@ -170,3 +170,74 @@ class TestCliBatch:
         batch.write_text("source target extra\n", encoding="utf-8")
         code, _ = run_cli("plan", manifest_path, "--batch", str(batch))
         assert code == 2
+
+
+class TestLazyRouting:
+    """Oversized specs route to the lazy frontier planner automatically."""
+
+    @pytest.fixture
+    def big_system(self):
+        from repro.bench.workloads import replicated_video_system
+
+        return replicated_video_system(4)  # 28 components > LAZY_PLAN_COMPONENTS
+
+    def test_oversized_spec_uses_lazy_plan(self, big_system):
+        service = PlanningService()
+        plan = service.plan(
+            big_system.universe,
+            big_system.invariants,
+            big_system.actions,
+            big_system.source,
+            big_system.target,
+        )
+        assert plan.total_cost == 200.0
+        stats = service.stats()
+        assert stats.lazy_plans == 1
+        # the eager space was never materialized for this spec
+        planner = service.planner_for(
+            big_system.universe, big_system.invariants, big_system.actions
+        )
+        assert planner._sag is None
+        assert planner.space._cache is None
+
+    def test_oversized_warm_hit_still_served_from_cache(self, big_system):
+        service = PlanningService()
+        args = (
+            big_system.universe,
+            big_system.invariants,
+            big_system.actions,
+            big_system.source,
+            big_system.target,
+        )
+        first = service.plan(*args)
+        assert service.plan(*args) is first
+        stats = service.stats()
+        assert stats.lazy_plans == 1 and stats.warm_hits == 1
+
+    def test_oversized_plan_many_maps_unreachable_to_none(self, big_system):
+        service = PlanningService()
+        pairs = [
+            (big_system.source, big_system.target),
+            (big_system.target, big_system.source),  # one-way SAG: unreachable
+        ]
+        results = service.plan_many(
+            big_system.universe, big_system.invariants, big_system.actions, pairs
+        )
+        assert results[0] is not None and results[0].total_cost == 200.0
+        assert results[1] is None
+        assert service.stats().lazy_plans == 2
+
+    def test_threshold_is_configurable(self, video_spec):
+        universe, invariants, actions = video_spec
+        service = PlanningService(lazy_components=3)  # 7-component spec is "big"
+        source, target = paper_source(universe), paper_target(universe)
+        plan = service.plan(universe, invariants, actions, source, target)
+        assert plan.total_cost == 50.0
+        assert service.stats().lazy_plans == 1
+
+    def test_lazy_routing_disabled_with_none(self, video_spec):
+        universe, invariants, actions = video_spec
+        service = PlanningService(lazy_components=None)
+        source, target = paper_source(universe), paper_target(universe)
+        service.plan(universe, invariants, actions, source, target)
+        assert service.stats().lazy_plans == 0

@@ -1,0 +1,178 @@
+"""Experiment T1 — the compiled property IR and path-quantified checking.
+
+Two claims behind the `repro.ltl` refactor, recorded into
+``BENCH_ltl_paths.json``:
+
+* **compiled vs AST monitor** — evaluating one ptLTL formula over a long
+  step stream through :class:`repro.ltl.CompiledProperty` (a couple of
+  int ops per slot, state in one int) must be ≥ 5x the per-step AST walk
+  of :class:`repro.ltl.PTLTLMonitor` (dict allocation plus a method call
+  per subformula) — gated below;
+* **path-check latency** — one :func:`repro.ltl.verify_paths` query as a
+  function of the quantification width *k* (eager CSR Yen on the paper's
+  7-component video system) and of universe size (lazy frontier Yen on
+  replicated video universes, where the eager safe space is never
+  materialized).
+
+Timing is manual (``time.perf_counter`` best-of), so the assertions hold
+under ``--benchmark-disable`` in CI's bench smoke; one
+``benchmark.pedantic`` round registers each test with the plugin.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro.bench import format_table, replicated_video_system
+from repro.core.planner import AdaptationPlanner
+from repro.ltl import (
+    CompiledProperty,
+    PTLTLMonitor,
+    parse_property,
+    verify_paths,
+)
+
+LTL_PATHS_JSON = Path(__file__).with_name("BENCH_ltl_paths.json")
+
+STREAM_STEPS = 4_000
+BEST_OF = 3
+
+#: every operator, shared subterms, and a configuration-level atom —
+#: the shape manifest properties actually take
+FORMULA_TEXT = (
+    "historically({one_of(C0, C1, C2)})"
+    " & (C3 -> once(C4))"
+    " & since(!C5, C6)"
+    " & (previously(C7) | historically(C8 -> once(C9)))"
+)
+
+NAMES = tuple(f"C{i}" for i in range(10))
+BITS = {name: 1 << i for i, name in enumerate(NAMES)}
+
+
+def _stream():
+    """A deterministic pseudo-random step stream (no RNG dependency)."""
+    state = 0x2545F4914F6CDD1D
+    masks = []
+    for _ in range(STREAM_STEPS):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        masks.append((state >> 32) & ((1 << len(NAMES)) - 1))
+    events = [
+        frozenset(name for name in NAMES if mask & BITS[name]) for mask in masks
+    ]
+    return masks, events
+
+
+def _best_of(fn, rounds=BEST_OF):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_compiled_monitor_speedup(benchmark):
+    formula = parse_property(FORMULA_TEXT)
+    compiled = CompiledProperty(formula, BITS)
+    masks, events = _stream()
+
+    ast_s, ast_values = _best_of(lambda: PTLTLMonitor(formula).run(events))
+    compiled_s, compiled_values = _best_of(lambda: compiled.run(masks))
+    benchmark.pedantic(lambda: compiled.run(masks), rounds=1, iterations=1)
+
+    # identical verdicts at every step before any speed claim
+    assert compiled_values == ast_values
+
+    speedup = ast_s / compiled_s
+    ast_rate = STREAM_STEPS / ast_s
+    compiled_rate = STREAM_STEPS / compiled_s
+    rows = [
+        ("AST monitor (PTLTLMonitor)", f"{ast_rate:,.0f}", "1.0x"),
+        ("compiled IR (CompiledProperty)", f"{compiled_rate:,.0f}",
+         f"{speedup:.1f}x"),
+    ]
+    report(
+        f"T1 — compiled vs AST property evaluation, {STREAM_STEPS} steps",
+        format_table(["evaluator", "steps/sec", "speedup"], rows),
+        data={
+            "steps": STREAM_STEPS,
+            "slots": len(compiled._program),
+            "ast_steps_per_sec": round(ast_rate, 1),
+            "compiled_steps_per_sec": round(compiled_rate, 1),
+            "speedup": round(speedup, 2),
+        },
+        json_path=LTL_PATHS_JSON,
+    )
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 5.0, (
+        f"compiled evaluation only {speedup:.1f}x over the AST monitor"
+    )
+
+
+def test_path_check_latency(benchmark):
+    data = {}
+    rows = []
+
+    # eager: latency vs quantification width on the paper's video system
+    from repro.apps.video.system import (
+        paper_source,
+        paper_target,
+        video_actions,
+        video_invariants,
+        video_universe,
+    )
+
+    universe = video_universe()
+    planner = AdaptationPlanner(universe, video_invariants(), video_actions())
+    source, target = paper_source(universe), paper_target(universe)
+    phi = parse_property("historically({one_of(E1, E2)})")
+    compiled = CompiledProperty(phi, universe.atom_bits)
+    for k in (2, 8, 16):
+        seconds, verdict = _best_of(
+            lambda k=k: verify_paths(
+                planner, source, target, phi, k=k, lazy=False, compiled=compiled
+            )
+        )
+        assert verdict.holds is True and verdict.mode == "eager"
+        rows.append((f"eager, video (7 comps), k={k}",
+                     f"{seconds * 1e3:.2f}", str(verdict.paths_checked)))
+        data[f"eager_video_k{k}_ms"] = round(seconds * 1e3, 3)
+
+    # lazy: latency vs universe size, eager space never materialized
+    last_query = None
+    for groups in (2, 3, 4):
+        system = replicated_video_system(groups)
+        lazy_planner = AdaptationPlanner(
+            system.universe, system.invariants, system.actions
+        )
+        lazy_phi = parse_property("historically({one_of(E1@g0, E2@g0)})")
+        lazy_compiled = CompiledProperty(lazy_phi, system.universe.atom_bits)
+
+        def query(planner=lazy_planner, phi=lazy_phi, compiled=lazy_compiled,
+                  s=system.source, t=system.target):
+            return verify_paths(
+                planner, s, t, phi, k=2, lazy=True, compiled=compiled,
+                max_expansions=60_000,
+            )
+
+        seconds, verdict = _best_of(query)
+        assert verdict.holds is True and verdict.mode == "lazy"
+        assert verdict.complete
+        assert lazy_planner._sag is None
+        assert lazy_planner.space._cache is None
+        rows.append((f"lazy, video x{groups} ({len(system.universe)} comps), k=2",
+                     f"{seconds * 1e3:.2f}", str(verdict.paths_checked)))
+        data[f"lazy_{len(system.universe)}comps_k2_ms"] = round(seconds * 1e3, 3)
+        last_query = query
+
+    benchmark.pedantic(last_query, rounds=1, iterations=1)
+    report(
+        "T1 — verify_paths latency vs k and universe size",
+        format_table(["query", "latency (ms)", "paths checked"], rows),
+        data=data,
+        json_path=LTL_PATHS_JSON,
+    )

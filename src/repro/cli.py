@@ -18,8 +18,16 @@ Usage (``python -m repro <command> ...``):
   realization phase on the chosen execution backend (discrete-event
   simulator, threaded live runtime, or asyncio) and check the execution
   against the paper's safety definition.
-* ``trace check FILE --manifest MANIFEST`` — run the safety checker
-  offline on a persisted ``--save-trace`` JSONL file.
+* ``verify-paths MANIFEST --from SRC --to DST --property NAME
+  [--quantifier all|exists] [--k N]`` — path-quantified temporal
+  verification: decide whether the named ``[properties]`` formula holds
+  at every committed configuration along every (or some) k-best safe
+  adaptation path; exits 0 when proven, 1 on a violation (with the
+  minimized counterexample), 3 when inconclusive under the lazy budget.
+* ``trace check FILE --manifest MANIFEST [--ltl NAME]`` — run the safety
+  checker offline on a persisted ``--save-trace`` JSONL file; with
+  ``--ltl``, also check the named ``[properties]`` formula against the
+  trace's committed configurations (constant memory).
 * ``example-manifest`` — print the §5 video system as a manifest.
 
 ``SRC``/``DST`` may be a configuration name from the manifest's
@@ -158,6 +166,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the event log live as records are "
                                "emitted (streaming sink)")
 
+    verify = commands.add_parser(
+        "verify-paths",
+        help="path-quantified temporal verification over the SAG",
+    )
+    _add_manifest(verify)
+    _add_endpoints(verify)
+    verify.add_argument(
+        "--property", dest="prop", required=True, metavar="NAME",
+        help="name of a [properties] entry from the manifest",
+    )
+    verify.add_argument(
+        "--quantifier", choices=("all", "exists"), default="all",
+        help="'all': φ must hold along every k-best path; "
+             "'exists': some k-best path suffices (default: all)",
+    )
+    verify.add_argument(
+        "--k", type=int, default=None, metavar="N",
+        help="width of the quantified path set (default: 8)",
+    )
+    verify.add_argument(
+        "--lazy", action="store_true",
+        help="force the budget-bounded frontier enumeration (default: "
+             "automatic above the enumeration cap)",
+    )
+    verify.add_argument(
+        "--max-expansions", type=int, default=None, metavar="N",
+        help="node budget for the lazy enumeration (exhaustion yields "
+             "an inconclusive verdict, exit code 3)",
+    )
+
     trace = commands.add_parser("trace", help="inspect persisted execution traces")
     trace_commands = trace.add_subparsers(dest="trace_command", required=True)
     trace_check = trace_commands.add_parser(
@@ -176,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_check.add_argument(
         "--metrics", action="store_true",
         help="also print rolling execution counters for the trace",
+    )
+    trace_check.add_argument(
+        "--ltl", metavar="NAME", default=None,
+        help="also check the named [properties] formula at each committed "
+             "configuration of the trace (works with --stream)",
     )
 
     commands.add_parser(
@@ -505,6 +548,50 @@ def cmd_simulate(args, out) -> int:
     return 0 if (report.ok and outcome.succeeded) else 1
 
 
+class _PropertyTraceCheck:
+    """Constant-memory ptLTL check over a trace's committed configurations.
+
+    Feeds every :class:`~repro.trace.ConfigCommitted` record through the
+    compiled property — state is one int, so ``--stream`` stays
+    constant-memory — and remembers the first violating commit.
+    """
+
+    def __init__(self, name: str, compiled) -> None:
+        self.name = name
+        self.compiled = compiled
+        self.state = compiled.initial_state
+        self.commits = 0
+        self.first_violation = None  # (commit index, record)
+
+    def feed(self, record) -> None:
+        from repro.trace import ConfigCommitted
+
+        if not isinstance(record, ConfigCommitted):
+            return
+        value, self.state = self.compiled.step(
+            self.compiled.mask_of(record.configuration), self.state
+        )
+        self.commits += 1
+        if not value and self.first_violation is None:
+            self.first_violation = (self.commits, record)
+
+    def render(self, out) -> bool:
+        from repro.ltl import property_to_text
+
+        print(f"property {self.name}: {property_to_text(self.compiled.formula)}",
+              file=out)
+        if self.first_violation is None:
+            print(f"property verdict: HOLDS over {self.commits} committed "
+                  "configuration(s)", file=out)
+            return True
+        index, record = self.first_violation
+        members = ", ".join(sorted(record.configuration)) or "(empty)"
+        print(f"property verdict: VIOLATED at commit {index} of "
+              f"{self.commits} (t={record.time:g}, after "
+              f"{record.action_id or record.step_id}): {{{members}}}", file=out)
+        return False
+
+
 def cmd_trace(args, out) -> int:
     from pathlib import Path
 
@@ -517,6 +604,16 @@ def cmd_trace(args, out) -> int:
     checker = SafetyChecker(manifest.invariants, universe=manifest.universe)
     stream = checker.streaming()
     metrics = MetricsObserver() if args.metrics else None
+    ltl = None
+    if args.ltl:
+        from repro.ltl import CompiledProperty
+
+        ltl = _PropertyTraceCheck(
+            args.ltl,
+            CompiledProperty(
+                manifest.property_named(args.ltl), manifest.universe.atom_bits
+            ),
+        )
     try:
         if args.stream:
             # Constant memory: records flow file → decoder → checker one
@@ -526,6 +623,8 @@ def cmd_trace(args, out) -> int:
                     stream.feed(record)
                     if metrics is not None:
                         metrics.feed(record)
+                    if ltl is not None:
+                        ltl.feed(record)
             records = stream.records_seen
             commits = stream.configurations_checked
         else:
@@ -535,6 +634,8 @@ def cmd_trace(args, out) -> int:
                 stream.feed(record)
                 if metrics is not None:
                     metrics.feed(record)
+                if ltl is not None:
+                    ltl.feed(record)
             records = len(restored)
             commits = len(restored.committed_configurations())
     except ValueError as exc:
@@ -546,10 +647,64 @@ def cmd_trace(args, out) -> int:
     for violation in report.violations:
         print(f"  [{violation.kind}] t={violation.time:g}: {violation.detail}",
               file=out)
+    ltl_ok = True
+    if ltl is not None:
+        ltl_ok = ltl.render(out)
     if metrics is not None:
         print(file=out)
         print(metrics.finish().summary(), file=out)
-    return 0 if report.ok else 1
+    return 0 if (report.ok and ltl_ok) else 1
+
+
+def cmd_verify_paths(args, out) -> int:
+    from repro.ltl import property_to_text, verify_paths
+
+    if args.k is not None and args.k <= 0:
+        raise ReproError(f"--k must be positive, got {args.k}")
+    if args.max_expansions is not None and args.max_expansions <= 0:
+        raise ReproError(
+            f"--max-expansions must be positive, got {args.max_expansions}"
+        )
+    manifest = load_path(args.manifest)
+    phi = manifest.property_named(args.prop)
+    planner = manifest.planner()
+    source = manifest.resolve_configuration(args.source)
+    target = manifest.resolve_configuration(args.target)
+    verdict = verify_paths(
+        planner,
+        source,
+        target,
+        phi,
+        quantifier=args.quantifier,
+        k=args.k,
+        lazy=True if args.lazy else None,
+        max_expansions=args.max_expansions,
+    )
+    print(f"property {args.prop}: {property_to_text(phi)}", file=out)
+    print(
+        f"quantifier: {verdict.quantifier} over the {verdict.k} best "
+        f"path(s), {verdict.mode} enumeration",
+        file=out,
+    )
+    suffix = "" if verdict.complete else " (enumeration incomplete)"
+    print(f"paths checked: {verdict.paths_checked}{suffix}", file=out)
+    if verdict.holds is None:
+        print(f"verdict: INCONCLUSIVE — {verdict.reason}", file=out)
+        return 3
+    if verdict.holds:
+        print(f"verdict: HOLDS — {verdict.reason}", file=out)
+        if verdict.witness is not None:
+            print(file=out)
+            print("witness path:", file=out)
+            print(verdict.witness.describe(), file=out)
+        return 0
+    print(f"verdict: VIOLATED — {verdict.reason}", file=out)
+    if verdict.counterexample is not None:
+        print(file=out)
+        print("counterexample (minimized to the first violating prefix):",
+              file=out)
+        print(verdict.counterexample.describe(), file=out)
+    return 1
 
 
 def cmd_example_manifest(args, out) -> int:
@@ -565,6 +720,7 @@ _COMMANDS = {
     "sag": cmd_sag,
     "simulate": cmd_simulate,
     "trace": cmd_trace,
+    "verify-paths": cmd_verify_paths,
     "example-manifest": cmd_example_manifest,
 }
 

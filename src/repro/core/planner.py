@@ -389,25 +389,7 @@ class AdaptationPlanner:
         lazy = self.lazy_sag
         source_mask = universe.mask_of(source)
         target_mask = universe.mask_of(target)
-        maskable = [
-            action
-            for action, masked in zip(
-                self.actions, self.actions.compiled_for(universe)
-            )
-            if masked is not None
-        ]
-        if maskable:
-            max_flip = max(len(action.touched) for action in maskable)
-            min_cost = min(action.cost for action in maskable)
-        else:
-            max_flip, min_cost = 1, 0.0
-
-        def heuristic(mask: int) -> float:
-            delta = (mask ^ target_mask).bit_count()
-            if delta == 0:
-                return 0.0
-            return math.ceil(delta / max_flip) * min_cost
-
+        heuristic = self._mask_heuristic(target_mask)
         probe = lazy_astar(
             source_mask, target_mask, lazy.successors, heuristic, max_expansions
         )
@@ -438,6 +420,175 @@ class AdaptationPlanner:
         plan = self._plan_from_mask_path(source, target, exact)
         self._plan_cache[key] = plan
         return plan
+
+    def _mask_heuristic(self, target_mask: int):
+        """The admissible mask-distance heuristic toward *target_mask*:
+        ``ceil(|Δ| / max_flip) · min_cost`` over the maskable actions."""
+        maskable = [
+            action
+            for action, masked in zip(
+                self.actions, self.actions.compiled_for(self.universe)
+            )
+            if masked is not None
+        ]
+        if maskable:
+            max_flip = max(len(action.touched) for action in maskable)
+            min_cost = min(action.cost for action in maskable)
+        else:
+            max_flip, min_cost = 1, 0.0
+
+        def heuristic(mask: int) -> float:
+            delta = (mask ^ target_mask).bit_count()
+            if delta == 0:
+                return 0.0
+            return math.ceil(delta / max_flip) * min_cost
+
+        return heuristic
+
+    def _lazy_banned_shortest(
+        self,
+        source_mask: int,
+        target_mask: int,
+        banned_nodes,
+        banned_arcs,
+        heuristic,
+        budget: Optional[int],
+    ) -> Tuple[Optional[Path], bool, int]:
+        """One exact banned-set shortest-path query on the implicit SAG.
+
+        The two-phase :meth:`lazy_plan` technique under banned sets: an
+        A* probe establishes the optimal cost ``D`` (or proves the
+        target unreachable), then a zero-heuristic replay bounded by
+        ``D`` reproduces the eager banned-set Dijkstra's relaxation
+        sequence and tie-breaking exactly.  Returns
+        ``(path, exhausted, expansions_spent)`` — ``path`` is ``None``
+        when the target is unreachable *or* the budget ran out, with
+        ``exhausted`` telling the two apart.
+        """
+        if source_mask == target_mask:
+            return Path(nodes=(source_mask,), edges=(), cost=0.0), False, 0
+        successors = self.lazy_sag.banned_view(banned_nodes, banned_arcs)
+        stats: Dict[str, object] = {}
+        probe = lazy_astar(
+            source_mask, target_mask, successors, heuristic, budget, stats=stats
+        )
+        spent = int(stats.get("expansions", 0))
+        if probe is None:
+            return None, bool(stats.get("exhausted", False)), spent
+        remaining = None if budget is None else max(0, budget - spent)
+        stats = {}
+        exact = lazy_astar(
+            source_mask,
+            target_mask,
+            successors,
+            lambda mask: 0.0,
+            remaining,
+            cost_bound=probe.cost,
+            stats=stats,
+        )
+        spent += int(stats.get("expansions", 0))
+        if exact is None:  # only reachable with an expansion budget set
+            return None, True, spent
+        return exact, False, spent
+
+    def lazy_plan_k(
+        self,
+        source: Configuration,
+        target: Configuration,
+        k: int,
+        max_expansions: Optional[int] = None,
+    ) -> Tuple[List[AdaptationPlan], bool]:
+        """Up to *k* minimum-cost plans by frontier search — no SAG (§7).
+
+        Yen's loopless enumeration run entirely over the
+        :class:`~repro.core.sag.LazySAG` successor generator: the
+        candidate loop, banned node/arc sets, dedup key, and
+        ``(cost, insertion order)`` candidate ordering mirror
+        :func:`repro.graphs.csr.k_shortest_paths_csr` exactly, and every
+        spur query is the two-phase exact search of :meth:`lazy_plan` —
+        so the returned plans are **identical (paths, costs, and order)
+        to** :meth:`plan_k` wherever both are defined, without ever
+        enumerating the safe space.
+
+        Returns ``(plans, complete)``: *complete* is ``False`` when the
+        shared *max_expansions* budget ran out before the enumeration
+        could finish — the plans returned so far are still the true
+        best ones, there may just be more.  Used by
+        :func:`repro.ltl.paths.verify_paths` for budget-bounded
+        tri-state verdicts above the enumeration cap.
+        """
+        self._validate_endpoints(source, target)
+        if k <= 0:
+            return [], True
+        universe = self.universe
+        source_mask = universe.mask_of(source)
+        target_mask = universe.mask_of(target)
+        heuristic = self._mask_heuristic(target_mask)
+        remaining = max_expansions
+        first, exhausted, spent = self._lazy_banned_shortest(
+            source_mask, target_mask, frozenset(), frozenset(),
+            heuristic, remaining,
+        )
+        if remaining is not None:
+            remaining = max(0, remaining - spent)
+        if first is None:
+            if not exhausted:
+                self._plan_cache.setdefault((source, target), None)
+            return [], not exhausted
+        found: List[Path] = [first]
+        seen = {(first.nodes, first.labels)}
+        candidates: List[Tuple[float, int, Path]] = []
+        order = 0
+        complete = True
+        while len(found) < k and complete:
+            prev = found[-1]
+            for i in range(len(prev.edges)):
+                spur_mask = prev.nodes[i]
+                root_edges = prev.edges[:i]
+                root_cost = sum(edge.weight for edge in root_edges)
+                banned_arcs = set()
+                for path in found:
+                    if (
+                        path.nodes[: i + 1] == prev.nodes[: i + 1]
+                        and len(path.edges) > i
+                    ):
+                        banned_arcs.add((path.nodes[i], path.edges[i].label))
+                banned_nodes = set(prev.nodes[:i])
+                if spur_mask in banned_nodes or target_mask in banned_nodes:
+                    continue
+                spur, exhausted, spent = self._lazy_banned_shortest(
+                    spur_mask, target_mask, banned_nodes, banned_arcs,
+                    heuristic, remaining,
+                )
+                if remaining is not None:
+                    remaining = max(0, remaining - spent)
+                if spur is None:
+                    if exhausted:
+                        complete = False
+                        break
+                    continue
+                total = Path(
+                    nodes=prev.nodes[:i] + spur.nodes,
+                    edges=root_edges + spur.edges,
+                    cost=root_cost + spur.cost,
+                )
+                key = (total.nodes, total.labels)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append((total.cost, order, total))
+                    order += 1
+            if not complete or not candidates:
+                break
+            candidates.sort(key=lambda item: (item[0], item[1]))
+            _, _, best = candidates.pop(0)
+            found.append(best)
+        plans = [
+            self._plan_from_mask_path(source, target, path) for path in found
+        ]
+        # write the optimal plan through to the shared pair cache (it is
+        # exact regardless of whether the enumeration finished)
+        self._plan_cache.setdefault((source, target), plans[0])
+        return plans, complete
 
     def plan_lazy(
         self,

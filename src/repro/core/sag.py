@@ -76,6 +76,32 @@ class LazySAG:
             self._adjacency[mask] = cached
         return cached
 
+    def banned_view(self, banned_nodes, banned_arcs):
+        """A successor function skipping banned masks and banned arcs.
+
+        *banned_nodes* is a set of masks, *banned_arcs* a set of
+        ``(source_mask, action_id)`` pairs — the lazy mirror of the
+        banned node/edge-id sets Yen's spur queries pass to
+        :func:`repro.graphs.csr.k_shortest_paths_csr` (an action id
+        identifies at most one arc out of a given mask, so the pair bans
+        exactly what banning the CSR edge ids with that label does).
+        Filtering preserves the underlying arc order, so a search driven
+        by the view relaxes the surviving edges in the same sequence the
+        eager banned-set Dijkstra does; the per-mask adjacency cache is
+        shared with unfiltered traversals.
+        """
+        if not banned_nodes and not banned_arcs:
+            return self.successors
+        successors = self.successors
+
+        def view(mask: int):
+            for action_id, cost, result in successors(mask):
+                if result in banned_nodes or (mask, action_id) in banned_arcs:
+                    continue
+                yield action_id, cost, result
+
+        return view
+
 
 class SafeAdaptationGraph:
     """SAG over safe configurations with adaptive-action labelled arcs."""

@@ -52,6 +52,7 @@ def lazy_astar(
     max_expansions: Optional[int] = None,
     *,
     cost_bound: Optional[float] = None,
+    stats: Optional[Dict[str, object]] = None,
 ) -> Optional[Path[N, L]]:
     """A* over an *implicit* graph defined by a successor function.
 
@@ -63,6 +64,14 @@ def lazy_astar(
         heuristic: admissible estimate of remaining cost to *target*.
         max_expansions: optional safety valve; when exceeded the search
             gives up and returns ``None``.
+        stats: optional dict updated in place with run accounting:
+            ``"expansions"`` (nodes expanded) and ``"exhausted"`` (the
+            search gave up on *max_expansions* rather than proving the
+            target unreachable).  Callers running many budgeted searches
+            against one shared budget — the lazy Yen enumeration in
+            :meth:`~repro.core.planner.AdaptationPlanner.lazy_plan_k` —
+            need both to deduct spend and to tell "no path" from "ran
+            out", which the ``None`` return alone cannot.
         cost_bound: optional known upper bound on the optimal cost.
             Relaxations whose tentative cost exceeds it (beyond a small
             relative float slack) are dropped.  This cannot change the
@@ -92,15 +101,23 @@ def lazy_astar(
     counter = 0
     heap: List[Tuple[float, int, int, N]] = [(heuristic(source), 0, counter, source)]
     expansions = 0
+
+    def account(exhausted: bool) -> None:
+        if stats is not None:
+            stats["expansions"] = expansions
+            stats["exhausted"] = exhausted
+
     while heap:
         _, nhops, _, node = heapq.heappop(heap)
         if node in settled:
             continue
         settled.add(node)
         if node == target:
+            account(False)
             return _rebuild(source, target, came_from, g_score[target])
         expansions += 1
         if max_expansions is not None and expansions > max_expansions:
+            account(True)
             return None
         for label, weight, nxt in successors(node):
             if weight < 0:
@@ -121,6 +138,7 @@ def lazy_astar(
                 heapq.heappush(
                     heap, (tentative + heuristic(nxt), nhops + 1, counter, nxt)
                 )
+    account(False)
     return None
 
 

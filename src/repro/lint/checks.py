@@ -1,4 +1,4 @@
-"""The adaptation-spec analyzers behind ``repro lint`` (SA1xx–SA4xx).
+"""The adaptation-spec analyzers behind ``repro lint`` (SA1xx–SA5xx).
 
 The pipeline mirrors the paper's development-time analysis phase:
 
@@ -18,7 +18,13 @@ The pipeline mirrors the paper's development-time analysis phase:
    connectivity of the Safe Adaptation Graph, and reachability between
    the manifest's named configurations (Hufflen-style reconfiguration
    path checking, arXiv:1703.07036).
-4. **SA4xx (runtime contracts)** vets the declared CCS language shape for
+4. **SA5xx (temporal properties)** compiles each ``[properties]`` formula
+   (:class:`~repro.ltl.compile.CompiledProperty`) and checks it over the
+   safe space (satisfiability) and over every ordered pair of safe named
+   configurations by path-quantified verification
+   (:func:`repro.ltl.paths.verify_paths`) — eagerly below the
+   enumeration cap, by budget-bounded frontier search above it.
+5. **SA4xx (runtime contracts)** vets the declared CCS language shape for
    online enforceability, flags globally blocking actions, and reports
    blast radii via :mod:`repro.core.analysis`.
 
@@ -42,6 +48,7 @@ from repro.expr.ast import Expr
 from repro.expr.compile import compile_conjunction
 from repro.expr.parser import parse
 from repro.lint.diagnostics import LintReport, Related, Severity
+from repro.ltl.ast import PFormula, parse_property
 from repro.manifest import (
     CCSEntry,
     ManifestSource,
@@ -82,6 +89,13 @@ class _ConfigItem:
 
 
 @dataclass
+class _PropertyItem:
+    name: str
+    formula: "PFormula"
+    span: Span
+
+
+@dataclass
 class _Model:
     """What survives SA1xx: the analyzable part of the spec."""
 
@@ -90,6 +104,7 @@ class _Model:
     actions: List[_ActionItem] = field(default_factory=list)
     configurations: List[_ConfigItem] = field(default_factory=list)
     ccs: List[CCSEntry] = field(default_factory=list)
+    properties: List[_PropertyItem] = field(default_factory=list)
     sections: Dict[str, Span] = field(default_factory=dict)
 
     def section_span(self, name: str) -> Span:
@@ -358,6 +373,45 @@ def _collect(
         named[cfg_entry.name] = resolved
 
     model.ccs = list(source.ccs)
+
+    property_spans: Dict[str, Span] = {}
+    for prop_entry in source.properties:
+        try:
+            formula = parse_property(prop_entry.formula_text)
+        except ParseError as exc:
+            report.add(
+                "SA100",
+                f"bad property formula {prop_entry.formula_text!r}: "
+                f"{exc.args[0] if exc.args else exc}",
+                prop_entry.formula_span,
+                path,
+            )
+            continue
+        unknown = sorted(formula.atoms() - model.universe.names)
+        if unknown:
+            report.add(
+                "SA505",
+                f"property {prop_entry.name!r} mentions unknown "
+                f"component(s) {', '.join(unknown)}",
+                prop_entry.formula_span,
+                path,
+            )
+            continue
+        if prop_entry.name in property_spans:
+            report.add(
+                "SA100",
+                f"duplicate property {prop_entry.name!r}",
+                prop_entry.span,
+                path,
+                related=[
+                    Related("first declared here", property_spans[prop_entry.name])
+                ],
+            )
+            continue
+        property_spans[prop_entry.name] = prop_entry.span
+        model.properties.append(
+            _PropertyItem(prop_entry.name, formula, prop_entry.span)
+        )
 
     # SA108: components no invariant constrains and no action touches can
     # never participate in (or gate) an adaptation — dead weight that
@@ -832,7 +886,162 @@ def _check_named_pairs_lazy(
                 )
 
 
-# -- stage 4: runtime contracts (SA4xx) -----------------------------------------
+# -- stage 4: temporal properties (SA5xx) ---------------------------------------
+
+
+def _check_properties(
+    model: _Model,
+    report: LintReport,
+    path: Optional[str],
+    max_enum_components: Optional[int] = None,
+) -> None:
+    """Path-quantified property checks over the ``[properties]`` section.
+
+    Each property is compiled once (:class:`~repro.ltl.compile.CompiledProperty`)
+    and then checked at two granularities:
+
+    * **SA501** — single-state satisfiability: a property that holds on
+      *no* safe configuration fails every path check at the very first
+      configuration, which almost always means the formula (not the
+      paths) is wrong.  Needs the enumerated safe space, so above the
+      enumeration cap it is skipped (recorded in ``report.skipped``).
+    * **SA502/SA503** — for every ordered pair of distinct safe named
+      configurations, ``∀ k-best paths`` checking via
+      :func:`repro.ltl.paths.verify_paths`: a violation on the optimal
+      path is SA502, on a later alternate SA503 (with the minimized
+      counterexample prefix in the message).  Above the cap the check
+      runs on the lazy frontier with the default expansion budget;
+      an exhausted budget yields **SA504** (a note — inconclusive is
+      not a finding).
+
+    Properties that already fired SA501 are excluded from the path
+    checks: every path verdict would restate the same defect.
+    """
+    if not model.properties:
+        return
+    from repro.core.actions import ActionLibrary
+    from repro.core.planner import AdaptationPlanner
+    from repro.core.space import LazySafeSpace, SafeConfigurationSpace
+    from repro.ltl.compile import CompiledProperty
+    from repro.ltl.paths import DEFAULT_K, verify_paths
+
+    cap = MAX_ENUM_COMPONENTS if max_enum_components is None else max_enum_components
+    universe = model.universe
+    invariants = model.kept_invariants()
+    bits = universe.atom_bits
+    compiled = {
+        item.name: CompiledProperty(item.formula, bits)
+        for item in model.properties
+    }
+
+    lazy_mode = len(universe) > cap
+    unsatisfiable: Set[str] = set()
+    if lazy_mode:
+        report.skipped.append(
+            f"SA501 skipped: {len(universe)} components exceed the "
+            f"{cap}-component enumeration cap"
+        )
+        space = LazySafeSpace(universe, invariants)
+    else:
+        space = SafeConfigurationSpace(universe, invariants)
+        safe_masks = space.enumerate_masks()
+        if not safe_masks:
+            report.skipped.append("SA5xx skipped: empty safe space")
+            return
+        for item in model.properties:
+            holds_on = compiled[item.name].holds_on
+            if not any(holds_on(mask) for mask in safe_masks):
+                unsatisfiable.add(item.name)
+                report.add(
+                    "SA501",
+                    f"property {item.name!r} holds on none of the "
+                    f"{len(safe_masks)} safe configuration(s): every "
+                    "path-quantified check fails at its first "
+                    "configuration, so the formula itself is the defect",
+                    item.span,
+                    path,
+                )
+
+    endpoints: List[_ConfigItem] = []
+    for cfg_item in model.configurations:
+        try:
+            mask = universe.mask_of(cfg_item.configuration)
+        except Exception:
+            continue
+        if space.is_safe_mask(mask):
+            endpoints.append(cfg_item)
+
+    if len(endpoints) < 2:
+        return
+    planner = AdaptationPlanner(
+        universe,
+        invariants,
+        ActionLibrary(item.action for item in model.actions),
+    )
+    for prop in model.properties:
+        if prop.name in unsatisfiable:
+            continue
+        for src_item in endpoints:
+            for dst_item in endpoints:
+                if src_item is dst_item:
+                    continue
+                verdict = verify_paths(
+                    planner,
+                    src_item.configuration,
+                    dst_item.configuration,
+                    prop.formula,
+                    "all",
+                    DEFAULT_K,
+                    lazy=lazy_mode,
+                    compiled=compiled[prop.name],
+                )
+                if verdict.holds is None:
+                    report.add(
+                        "SA504",
+                        f"path-quantified check of property {prop.name!r} "
+                        f"from {src_item.name!r} to {dst_item.name!r} is "
+                        f"inconclusive: {verdict.reason} — raise the budget "
+                        "or check the pair with 'repro verify-paths'",
+                        prop.span,
+                        path,
+                    )
+                    continue
+                if verdict.holds:
+                    continue
+                counter = verdict.counterexample
+                prefix = ", ".join(counter.action_ids) or "<empty>"
+                related = [
+                    Related("path source", src_item.span),
+                    Related("path target", dst_item.span),
+                ]
+                if verdict.paths_checked == 1:
+                    report.add(
+                        "SA502",
+                        f"property {prop.name!r} is violated on the optimal "
+                        f"adaptation path from {src_item.name!r} to "
+                        f"{dst_item.name!r}: fails at configuration "
+                        f"{verdict.violation_index + 1} after step(s) "
+                        f"[{prefix}]",
+                        prop.span,
+                        path,
+                        related=related,
+                    )
+                else:
+                    report.add(
+                        "SA503",
+                        f"property {prop.name!r} is violated on k-best path "
+                        f"{verdict.paths_checked} (k={DEFAULT_K}) from "
+                        f"{src_item.name!r} to {dst_item.name!r}: "
+                        f"counterexample prefix [{prefix}] (cost "
+                        f"{counter.total_cost:g}) fails at configuration "
+                        f"{verdict.violation_index + 1}",
+                        prop.span,
+                        path,
+                        related=related,
+                    )
+
+
+# -- stage 5: runtime contracts (SA4xx) -----------------------------------------
 
 
 def _check_contracts(model: _Model, report: LintReport, path: Optional[str]) -> None:
@@ -928,6 +1137,9 @@ def analyze_source(
             max_enum_components=max_enum_components,
             workers=workers,
         )
+        _check_properties(
+            model, report, path, max_enum_components=max_enum_components
+        )
         _check_contracts(model, report, path)
     report.sort()
     return report
@@ -972,6 +1184,10 @@ def analyze_system(
             CCSEntry(label=f"seg{index}", actions=sequence, span=Span(1, 1))
             for index, sequence in enumerate(manifest.ccs.allowed)
         ]
+    for name, formula in manifest.properties.items():
+        model.properties.append(
+            _PropertyItem(name, formula, spans.properties.get(name, Span(1, 1)))
+        )
     if model.invariants or model.actions:
         referenced: Set[str] = set()
         for item in model.invariants:
@@ -994,6 +1210,9 @@ def analyze_system(
         path,
         max_enum_components=max_enum_components,
         workers=workers,
+    )
+    _check_properties(
+        model, report, path, max_enum_components=max_enum_components
     )
     _check_contracts(model, report, path)
     report.sort()

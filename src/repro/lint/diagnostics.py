@@ -14,7 +14,10 @@ The code space mirrors a real linter's:
 * **SA3xx** — action and Safe Adaptation Graph analysis (dead or
   dominated actions, costs, connectivity, unreachable endpoints);
 * **SA4xx** — runtime-contract checks (CCS language shape, global
-  blocking, blast radius).
+  blocking, blast radius);
+* **SA5xx** — temporal-property checks over the ``[properties]`` section
+  (unsatisfiable properties, path-quantified violations, budget-bounded
+  inconclusive results).
 
 Codes are append-only: a released code never changes meaning, so CI
 suppressions (``--fail-on``) and SARIF baselines stay stable.
@@ -109,6 +112,11 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SA401": (Severity.WARNING, "CCS allowed sequence is a proper prefix of another (completion verdicts not final)"),
     "SA402": (Severity.WARNING, "action blocks every process at once (no global safe state can host it)"),
     "SA403": (Severity.NOTE, "action's blast radius reaches processes beyond its participants"),
+    "SA501": (Severity.WARNING, "property never holds on any safe configuration"),
+    "SA502": (Severity.WARNING, "property violated on the optimal adaptation path"),
+    "SA503": (Severity.WARNING, "property violated on some k-best adaptation path"),
+    "SA504": (Severity.NOTE, "path-quantified property check inconclusive under the expansion budget"),
+    "SA505": (Severity.ERROR, "property mentions an unknown component"),
 }
 
 

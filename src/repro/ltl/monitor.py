@@ -1,4 +1,4 @@
-"""Past-time LTL runtime monitoring — the paper's §7 future work, built.
+"""ptLTL runtime monitoring — the paper's §7 future work, built.
 
     "One promising approach is to use a temporal logic formula to specify
     the set of critical communication segments of a component.  The
@@ -7,36 +7,24 @@
     fulfilled in a state, then the state can be automatically identified
     as a safe state."
 
-We implement exactly that: a small past-time LTL (ptLTL) over event
-propositions, evaluated *incrementally* in O(formula) per event (the
-standard recursive-update construction), plus a
-:class:`SafeStateMonitor` that watches a process's event stream and
-reports when the formula holds — the automatically derived local safe
-state.
+We implement exactly that: the ptLTL AST of :mod:`repro.ltl.ast`
+evaluated *incrementally* in O(formula) per event (the standard
+recursive-update construction), plus a :class:`SafeStateMonitor` that
+watches a process's event stream and reports when the formula holds —
+the automatically derived local safe state.
 
-Operators:
-
-* ``Prop(name)`` — true in a step iff the step's event set contains name;
-* boolean ``PNot`` / ``PAnd`` / ``POr`` / ``PImplies``;
-* ``Previously(f)`` — f held in the previous step (⊙, "yesterday");
-* ``Once(f)`` — f held in some step so far (⧫);
-* ``Historically(f)`` — f held in every step so far (⊡);
-* ``Since(f, g)`` — g held at some past step and f has held ever since
-  (f S g).
-
-The canonical safe-state formula for the video decoder —
-"every packet that started decoding has finished" — is provided by
-:func:`no_open_segments`, expressed as
-``Historically(start → ¬start Since' done)`` via counting; in practice a
-counter proposition is simpler and exact, so :class:`SafeStateMonitor`
-also supports *balanced* propositions (start/done pairs).
+:class:`PTLTLMonitor` walks the AST with id-keyed value dicts; it is the
+semantic source of truth that the compiled core
+(:mod:`repro.ltl.compile`) and the naive full-history reference in the
+test suite are both pinned against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.ltl.ast import PFormula
 from repro.obs import Observer
 from repro.trace import (
     AdaptationApplied,
@@ -47,133 +35,6 @@ from repro.trace import (
     RollbackRecord,
     TraceRecord,
 )
-
-
-class PFormula:
-    """Base class for past-time LTL formulas (immutable)."""
-
-    __slots__ = ()
-
-    def subformulas(self) -> Tuple["PFormula", ...]:
-        """Post-order listing (children before parents), with duplicates."""
-        out: List[PFormula] = []
-        self._collect(out)
-        return tuple(out)
-
-    def _collect(self, out: List["PFormula"]) -> None:
-        raise NotImplementedError
-
-    def _step(self, events: AbstractSet[str], now: Dict[int, bool],
-              prev: Dict[int, bool]) -> bool:
-        raise NotImplementedError
-
-
-class Prop(PFormula):
-    """Atomic proposition: the current step carries this event name."""
-
-    __slots__ = ("name",)
-
-    def __init__(self, name: str):
-        object.__setattr__(self, "name", name)
-
-    def __setattr__(self, *a):  # pragma: no cover
-        raise AttributeError("immutable")
-
-    def _collect(self, out):
-        out.append(self)
-
-    def _step(self, events, now, prev):
-        return self.name in events
-
-    def __repr__(self):
-        return f"Prop({self.name!r})"
-
-
-class _Unary(PFormula):
-    __slots__ = ("operand",)
-
-    def __init__(self, operand: PFormula):
-        object.__setattr__(self, "operand", operand)
-
-    def __setattr__(self, *a):  # pragma: no cover
-        raise AttributeError("immutable")
-
-    def _collect(self, out):
-        self.operand._collect(out)
-        out.append(self)
-
-    def __repr__(self):
-        return f"{type(self).__name__}({self.operand!r})"
-
-
-class _Binary(PFormula):
-    __slots__ = ("left", "right")
-
-    def __init__(self, left: PFormula, right: PFormula):
-        object.__setattr__(self, "left", left)
-        object.__setattr__(self, "right", right)
-
-    def __setattr__(self, *a):  # pragma: no cover
-        raise AttributeError("immutable")
-
-    def _collect(self, out):
-        self.left._collect(out)
-        self.right._collect(out)
-        out.append(self)
-
-    def __repr__(self):
-        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
-
-
-class PNot(_Unary):
-    def _step(self, events, now, prev):
-        return not now[id(self.operand)]
-
-
-class PAnd(_Binary):
-    def _step(self, events, now, prev):
-        return now[id(self.left)] and now[id(self.right)]
-
-
-class POr(_Binary):
-    def _step(self, events, now, prev):
-        return now[id(self.left)] or now[id(self.right)]
-
-
-class PImplies(_Binary):
-    def _step(self, events, now, prev):
-        return (not now[id(self.left)]) or now[id(self.right)]
-
-
-class Previously(_Unary):
-    """⊙f — f held at the previous step (false at the first step)."""
-
-    def _step(self, events, now, prev):
-        return prev.get(id(self.operand), False)
-
-
-class Once(_Unary):
-    """⧫f — f held at some step up to and including now."""
-
-    def _step(self, events, now, prev):
-        return now[id(self.operand)] or prev.get(id(self), False)
-
-
-class Historically(_Unary):
-    """⊡f — f held at every step up to and including now."""
-
-    def _step(self, events, now, prev):
-        return now[id(self.operand)] and prev.get(id(self), True)
-
-
-class Since(_Binary):
-    """f S g — g held at some past-or-present step, and f has held since
-    (strictly after that step, through now)."""
-
-    def _step(self, events, now, prev):
-        return now[id(self.right)] or (
-            now[id(self.left)] and prev.get(id(self), False)
-        )
 
 
 class PTLTLMonitor:
@@ -317,9 +178,11 @@ class TemporalObserver(Observer):
     Replaces the bespoke per-application plumbing (``MonitoredApp``
     calling ``SafeStateMonitor.observe`` by hand): subscribe one of these
     to a trace's bus and the monitor is stepped from the published record
-    stream itself, on any backend.  Wraps either a
-    :class:`SafeStateMonitor` (balanced pairs + formula; its safe-state
-    callbacks keep firing) or a bare :class:`PTLTLMonitor`.
+    stream itself, on any backend.  Wraps a :class:`SafeStateMonitor`
+    (balanced pairs + formula; its safe-state callbacks keep firing), a
+    bare :class:`PTLTLMonitor`, or a
+    :class:`~repro.ltl.compile.CompiledMonitor` (the bit-slot core —
+    anything exposing ``step(events) -> bool``).
 
     ``events`` maps each record to the step's proposition set
     (default :func:`record_events`); records mapping to no events are
@@ -329,7 +192,7 @@ class TemporalObserver(Observer):
 
     def __init__(
         self,
-        monitor: Union[SafeStateMonitor, PTLTLMonitor],
+        monitor: Union[SafeStateMonitor, PTLTLMonitor, "StepMonitor"],
         events: Callable[[TraceRecord], Iterable[str]] = record_events,
         process: Optional[str] = None,
         name: str = "temporal",
@@ -371,3 +234,10 @@ class TemporalObserver(Observer):
 
     def finish(self) -> TemporalReport:
         return self._report
+
+
+class StepMonitor:  # pragma: no cover - structural typing aid only
+    """Protocol-ish base for monitors steppable by event set (docs only)."""
+
+    def step(self, events: Iterable[str]) -> bool:
+        raise NotImplementedError

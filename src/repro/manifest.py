@@ -66,9 +66,17 @@ from repro.errors import (
     UnknownComponentError,
 )
 from repro.expr.ast import to_text
+from repro.ltl.ast import PFormula, parse_property, property_to_text
 from repro.span import Span
 
-_SECTIONS = ("components", "invariants", "actions", "configurations", "ccs")
+_SECTIONS = (
+    "components",
+    "invariants",
+    "actions",
+    "configurations",
+    "ccs",
+    "properties",
+)
 
 _COMPONENT_RE = re.compile(
     r"^(?P<name>[A-Za-z_][\w.\-]*)\s*(?:@\s*(?P<process>[\w.\-]+))?"
@@ -138,6 +146,16 @@ class CCSEntry:
 
 
 @dataclass(frozen=True)
+class PropertyEntry:
+    """One ``[properties]`` line as scanned (formula still text)."""
+
+    name: str
+    formula_text: str
+    span: Span
+    formula_span: Span
+
+
+@dataclass(frozen=True)
 class SyntaxIssue:
     """A syntax problem recorded during tolerant scanning."""
 
@@ -155,6 +173,7 @@ class ManifestSource:
     actions: List[ActionEntry] = field(default_factory=list)
     configurations: List[ConfigEntry] = field(default_factory=list)
     ccs: List[CCSEntry] = field(default_factory=list)
+    properties: List[PropertyEntry] = field(default_factory=list)
     issues: List[SyntaxIssue] = field(default_factory=list)
     sections: Dict[str, Span] = field(default_factory=dict)
 
@@ -172,6 +191,7 @@ class ManifestSpans:
     invariants: Tuple[Span, ...] = ()
     actions: Dict[str, Span] = field(default_factory=dict)
     configurations: Dict[str, Span] = field(default_factory=dict)
+    properties: Dict[str, Span] = field(default_factory=dict)
     sections: Dict[str, Span] = field(default_factory=dict)
 
 
@@ -184,10 +204,21 @@ class SystemManifest:
     actions: ActionLibrary
     configurations: Dict[str, Configuration] = field(default_factory=dict)
     ccs: Optional[CCSSpec] = None
+    properties: Dict[str, PFormula] = field(default_factory=dict)
     spans: ManifestSpans = field(default_factory=ManifestSpans)
 
     def planner(self) -> AdaptationPlanner:
         return AdaptationPlanner(self.universe, self.invariants, self.actions)
+
+    def property_named(self, name: str) -> PFormula:
+        """Look up a ``[properties]`` entry; raises with the known names."""
+        try:
+            return self.properties[name]
+        except KeyError:
+            known = ", ".join(sorted(self.properties)) or "none defined"
+            raise ConfigurationError(
+                f"unknown property {name!r} (known: {known})"
+            ) from None
 
     def resolve_configuration(self, spec: str) -> Configuration:
         """Resolve a named configuration, bit vector, or member list."""
@@ -345,6 +376,23 @@ def scan(
             source.ccs.append(
                 CCSEntry(label=label.strip(), actions=actions, span=span)
             )
+        elif section == "properties":
+            name, colon, formula_text = line.partition(":")
+            name = name.strip()
+            formula_text = formula_text.strip()
+            if not colon or not name or not formula_text:
+                problem(
+                    f"line {line_no}: properties need 'name : formula'", span
+                )
+                continue
+            source.properties.append(
+                PropertyEntry(
+                    name=name,
+                    formula_text=formula_text,
+                    span=span,
+                    formula_span=Span.of_fragment(line_no, raw, formula_text),
+                )
+            )
     return source
 
 
@@ -449,6 +497,30 @@ def build(source: ManifestSource) -> SystemManifest:
             ) from exc
         manifest.configurations[cfg_entry.name] = resolved
         spans.configurations[cfg_entry.name] = cfg_entry.span
+    for prop_entry in source.properties:
+        line_no = prop_entry.span.line
+        if prop_entry.name in manifest.properties:
+            raise ParseError(
+                f"line {line_no}: duplicate property {prop_entry.name!r}",
+                span=prop_entry.span,
+            )
+        try:
+            formula = parse_property(prop_entry.formula_text)
+        except ParseError as exc:
+            raise ParseError(
+                f"line {line_no}: bad property formula "
+                f"{prop_entry.formula_text!r}: {exc}",
+                span=prop_entry.formula_span,
+            ) from exc
+        unknown = formula.atoms() - universe.names
+        if unknown:
+            raise ParseError(
+                f"line {line_no}: property {prop_entry.name!r} mentions "
+                f"unknown components {sorted(unknown)}",
+                span=prop_entry.formula_span,
+            )
+        manifest.properties[prop_entry.name] = formula
+        spans.properties[prop_entry.name] = prop_entry.span
     return manifest
 
 
@@ -494,6 +566,11 @@ def dumps(manifest: SystemManifest) -> str:
         lines.append("[ccs]")
         for index, sequence in enumerate(manifest.ccs.allowed):
             lines.append(f"seg{index} : {' '.join(sequence)}")
+    if manifest.properties:
+        lines.append("")
+        lines.append("[properties]")
+        for name, formula in manifest.properties.items():
+            lines.append(f"{name} : {property_to_text(formula)}")
     lines.append("")
     return "\n".join(lines)
 

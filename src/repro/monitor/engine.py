@@ -9,13 +9,11 @@ Evaluation is *event-driven* (:meth:`DecisionEngine.attach_to_bus`):
 the engine evaluates when sensor data arrives (sensors notify their
 listeners on every pushed reading) and when the observation bus reports
 the manager reaching a terminal state (so a rule that tripped while an
-adaptation was in flight gets a prompt retry).  The older fixed-period
-polling (:meth:`DecisionEngine.attach_to`) is deprecated.
+adaptation was in flight gets a prompt retry).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
@@ -24,7 +22,6 @@ from repro.errors import NoSafePathError, UnsafeConfigurationError
 from repro.monitor.rules import AdaptationRule
 from repro.obs import CallbackObserver, Observer
 from repro.protocol.manager import ManagerState
-from repro.sim.cluster import AdaptationCluster
 from repro.trace import NoteRecord, TraceRecord
 
 
@@ -106,7 +103,7 @@ class DecisionEngine:
     def attach_to_bus(self, system, bus=None) -> Observer:
         """Event-driven evaluation on any backend.
 
-        Two triggers replace the deprecated polling loop:
+        Two triggers drive evaluation:
 
         * **data arrival** — every sensor referenced by a rule notifies
           the engine on each pushed reading, and the engine evaluates
@@ -152,30 +149,3 @@ class DecisionEngine:
         if bus is not None:
             bus.subscribe(observer)
         return observer
-
-    def attach_to(self, cluster: AdaptationCluster, period: float = 10.0) -> None:
-        """Schedule periodic evaluation on a simulated cluster.
-
-        .. deprecated:: PR-3
-            Polling samples sensors up to *period* late and keeps waking
-            an idle cluster; use :meth:`attach_to_bus`, which evaluates
-            exactly when sensor data arrives or the manager finishes.
-        """
-        warnings.warn(
-            "DecisionEngine.attach_to(period=...) polling is deprecated; "
-            "use attach_to_bus(cluster) for event-driven evaluation",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-
-        def tick() -> None:
-            manager = cluster.manager
-            self.evaluate(
-                cluster.sim.now,
-                manager.committed,
-                manager.request_adaptation,
-                busy=self._manager_busy(manager),
-            )
-            cluster.sim.schedule(period, tick)
-
-        cluster.sim.schedule(period, tick)

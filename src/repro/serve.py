@@ -39,6 +39,10 @@ from repro.core.planner import (
 )
 from repro.errors import NoSafePathError
 from repro.expr.ast import to_text
+from repro.ltl.ast import PFormula, property_to_text
+from repro.ltl.compile import CompiledProperty
+from repro.ltl.paths import PathVerdict, check_plan
+from repro.ltl.paths import verify_paths as _verify_paths
 
 
 def spec_digest(
@@ -81,12 +85,22 @@ class ServiceStats:
     warm_hits: int
     cold_plans: int
     lazy_plans: int = 0
+    #: path-quantified verifications served from a warm compiled property
+    verify_hits: int = 0
 
 
 class _SpecEntry:
     """One spec's shared planner plus its cold-path lock and counters."""
 
-    __slots__ = ("planner", "lock", "warm_hits", "cold_plans", "lazy_plans")
+    __slots__ = (
+        "planner",
+        "lock",
+        "warm_hits",
+        "cold_plans",
+        "lazy_plans",
+        "properties",
+        "verify_hits",
+    )
 
     def __init__(self, planner: AdaptationPlanner):
         self.planner = planner
@@ -94,6 +108,9 @@ class _SpecEntry:
         self.warm_hits = 0
         self.cold_plans = 0
         self.lazy_plans = 0
+        #: compiled-property cache, keyed by the canonical formula text
+        self.properties: Dict[str, CompiledProperty] = {}
+        self.verify_hits = 0
 
 
 class PlanningService:
@@ -235,6 +252,93 @@ class PlanningService:
             entry.cold_plans += len(pairs)
             return entry.planner.plan_many(pairs)
 
+    # -- temporal verification ---------------------------------------------------
+    def _compiled_property(
+        self, entry: _SpecEntry, phi: PFormula
+    ) -> CompiledProperty:
+        """The spec's compiled form of *phi* (compiled once, then warm).
+
+        Keyed by the canonical formula text, so structurally equal
+        formulas — even separately constructed objects — share one
+        compilation per spec digest.  Warm lookups bump ``verify_hits``.
+        """
+        key = property_to_text(phi)
+        compiled = entry.properties.get(key)  # lock-free (dict only grows)
+        if compiled is not None:
+            entry.verify_hits += 1
+            return compiled
+        with entry.lock:
+            compiled = entry.properties.get(key)
+            if compiled is None:
+                compiled = CompiledProperty(
+                    phi, entry.planner.universe.atom_bits
+                )
+                entry.properties[key] = compiled
+        return compiled
+
+    def verify_paths(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+        source: Configuration,
+        target: Configuration,
+        phi: PFormula,
+        quantifier: str = "all",
+        k: Optional[int] = None,
+        max_expansions: Optional[int] = None,
+    ) -> PathVerdict:
+        """Path-quantified verification against the shared spec caches.
+
+        Semantics of :func:`repro.ltl.paths.verify_paths`, with the
+        service's amortization on top: the property compiles once per
+        spec digest, the path enumeration reuses (and feeds) the shared
+        plan caches, and oversized specs route to the lazy frontier
+        exactly as :meth:`plan` does.
+        """
+        entry = self._entry_for(universe, invariants, actions)
+        compiled = self._compiled_property(entry, phi)
+        with entry.lock:
+            return _verify_paths(
+                entry.planner,
+                source,
+                target,
+                phi,
+                quantifier,
+                k,
+                lazy=self._oversized(universe),
+                max_expansions=max_expansions,
+                compiled=compiled,
+            )
+
+    def check_plans(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+        pairs: Sequence[Tuple[Configuration, Configuration]],
+        phi: PFormula,
+    ) -> List[Optional[Tuple[AdaptationPlan, Optional[int]]]]:
+        """Batch-check φ along the MAP of every request pair.
+
+        Plans the batch via :meth:`plan_many`, then evaluates the
+        compiled property along each resulting plan's committed
+        configurations.  One result per pair, in input order:
+        ``None`` for unreachable pairs, else ``(plan, violation)``
+        where *violation* is the index of the first committed
+        configuration falsifying φ (``None`` when the plan satisfies
+        it end to end).
+        """
+        entry = self._entry_for(universe, invariants, actions)
+        compiled = self._compiled_property(entry, phi)
+        plans = self.plan_many(universe, invariants, actions, pairs)
+        return [
+            None
+            if plan is None
+            else (plan, check_plan(compiled, entry.planner, plan))
+            for plan in plans
+        ]
+
     # -- introspection -----------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Aggregate counters across every registered spec."""
@@ -245,4 +349,5 @@ class PlanningService:
             warm_hits=sum(e.warm_hits for e in entries),
             cold_plans=sum(e.cold_plans for e in entries),
             lazy_plans=sum(e.lazy_plans for e in entries),
+            verify_hits=sum(e.verify_hits for e in entries),
         )

@@ -91,8 +91,10 @@ class TestFixtureCoverage:
         # SA307 (safe-space analysis skipped) is mutually exclusive with
         # the SA301–SA306 findings in a single report by construction —
         # it fires only when those checks do NOT run.  It is covered by
-        # TestEnumerationCap below.
-        assert set(report.codes()) == set(CODES) - {"SA307"}
+        # TestEnumerationCap below.  SA504 (inconclusive under budget)
+        # likewise fires only in lazy mode with an exhausted budget; it
+        # is covered by TestPropertyBudget.
+        assert set(report.codes()) == set(CODES) - {"SA307", "SA504"}
 
     def test_exit_fails_on_error(self, report):
         assert report.fails(Severity.ERROR)
@@ -233,6 +235,65 @@ class TestEnumerationCap:
         serial = lint_text(video_manifest_text())
         parallel = lint_text(video_manifest_text(), workers=2)
         assert sorted(d.code for d in serial) == sorted(d.code for d in parallel)
+
+
+class TestTemporalProperties:
+    """The SA5xx stage: compiled-property checks over the path set."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return lint_path(FIXTURE)
+
+    def test_unsatisfiable_property(self, report):
+        (unsat,) = codes_of(report, "SA501")
+        assert "impossible" in unsat.message
+
+    def test_optimal_path_violation(self, report):
+        (optimal,) = codes_of(report, "SA502")
+        assert "no_u" in optimal.message
+        assert "'start'" in optimal.message and "'uplift'" in optimal.message
+        assert "[free]" in optimal.message
+
+    def test_alternate_path_violation_carries_counterexample(self, report):
+        (alternate,) = codes_of(report, "SA503")
+        assert "stay_off_b1" in alternate.message
+        assert "unswap" in alternate.message  # minimized prefix
+        assert "cost 9" in alternate.message
+
+    def test_unknown_component_is_an_error(self, report):
+        (ghost,) = codes_of(report, "SA505")
+        assert ghost.severity is Severity.ERROR
+        assert "GHOST3" in ghost.message
+
+    def test_unsatisfiable_property_skips_path_checks(self, report):
+        # 'impossible' fails on every configuration of every path; only
+        # the SA501 root cause is reported, never SA502/SA503 echoes.
+        for code in ("SA502", "SA503"):
+            for diagnostic in codes_of(report, code):
+                assert "impossible" not in diagnostic.message
+
+    def test_path_checks_survive_the_enumeration_cap(self):
+        # Lazy mode: SA501 is skipped (needs the enumerated space) but
+        # the path-quantified checks still run on the frontier.
+        report = lint_path(FIXTURE, max_enum_components=3)
+        assert not codes_of(report, "SA501")
+        assert codes_of(report, "SA502")
+        assert codes_of(report, "SA503")
+        assert any("SA501 skipped" in reason for reason in report.skipped)
+
+
+class TestPropertyBudget:
+    """SA504: lazy path checks that run out of budget are inconclusive."""
+
+    def test_exhausted_budget_reports_sa504(self, monkeypatch):
+        import repro.ltl.paths as paths
+
+        monkeypatch.setattr(paths, "LAZY_VERIFY_EXPANSIONS", 1)
+        report = lint_path(FIXTURE, max_enum_components=3)
+        notes = codes_of(report, "SA504")
+        assert notes and all(n.severity is Severity.NOTE for n in notes)
+        assert not codes_of(report, "SA502")
+        assert not codes_of(report, "SA503")
 
 
 class TestRenderers:

@@ -1,0 +1,86 @@
+"""Acceptance: path-quantified queries on the 30-component fleet.
+
+The fleet30 example is above ``LAZY_PLAN_COMPONENTS``, so every query
+must be answered by the budget-bounded frontier Yen — the eager safe
+space (2^30 candidates) and the CSR SAG must never be materialized.
+"""
+
+import pytest
+
+from repro.core.planner import LAZY_PLAN_COMPONENTS
+from repro.ltl import parse_property, verify_paths
+from repro.manifest import loads
+
+MANIFEST = "examples/fleet30.manifest"
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    with open(MANIFEST, encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+@pytest.fixture(scope="module")
+def planner(manifest):
+    return manifest.planner()
+
+
+@pytest.fixture(scope="module")
+def endpoints(manifest):
+    return manifest.configurations["baseline"], manifest.configurations["canary"]
+
+
+def test_fleet_is_oversized(manifest):
+    assert len(manifest.universe) == 30 > LAZY_PLAN_COMPONENTS
+
+
+def test_holding_property_verified_lazily(planner, endpoints, manifest):
+    baseline, canary = endpoints
+    verdict = verify_paths(
+        planner, baseline, canary, manifest.property_named("service0 specified")
+    )
+    assert verdict.holds is True
+    assert verdict.mode == "lazy"
+    assert verdict.complete
+    assert verdict.paths_checked == 8
+
+
+def test_seeded_violation_returns_minimized_counterexample(
+    planner, endpoints, manifest
+):
+    baseline, canary = endpoints
+    verdict = verify_paths(
+        planner, baseline, canary, manifest.property_named("avoid_v3")
+    )
+    assert verdict.holds is False
+    assert verdict.mode == "lazy"
+    # the optimal paths (cost 25) stay on v1/v2; the violating alternate
+    # stages S0v3 via U02 — and the counterexample stops right there
+    plan = verdict.counterexample
+    assert plan is not None
+    assert len(plan.steps) == 1
+    assert plan.steps[0].action.action_id == "U02"
+    assert plan.total_cost == 10
+    assert "S0v3" in plan.configurations[-1].members
+
+
+def test_exists_finds_a_witness_avoiding_v3(planner, endpoints):
+    # ∀ fails (the U02 alternate), but ∃ succeeds: the optimal rollout
+    # itself never stages v3, and the witness is that full path
+    baseline, canary = endpoints
+    verdict = verify_paths(
+        planner, baseline, canary, parse_property("historically(!S0v3)"), "exists"
+    )
+    assert verdict.holds is True
+    assert verdict.paths_checked == 1  # the optimal path already satisfies φ
+    witness = verdict.witness
+    assert all("S0v3" not in config.members for config in witness.configurations)
+    assert witness.target == canary
+    assert witness.total_cost == 25
+
+
+def test_eager_space_never_materialized(planner):
+    # the whole module ran lazy queries against this shared planner:
+    # neither the safe-space enumeration nor the SAG may have happened
+    assert planner._sag is None
+    assert planner.space._cache is None

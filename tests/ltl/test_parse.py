@@ -1,0 +1,152 @@
+"""The ``[properties]`` text syntax: parse, render, round-trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.expr.ast import Atom, OneOf
+from repro.ltl import (
+    Historically,
+    Once,
+    PAnd,
+    PImplies,
+    PNot,
+    POr,
+    Previously,
+    Prop,
+    Since,
+    StateProp,
+    parse_property,
+    property_to_text,
+)
+
+
+class TestGrammar:
+    def test_atoms_and_booleans(self):
+        formula = parse_property("a & !b | c")
+        # '&' binds tighter than '|'
+        assert isinstance(formula, POr)
+        assert isinstance(formula.left, PAnd)
+        assert isinstance(formula.left.right, PNot)
+
+    def test_implies_is_right_associative(self):
+        formula = parse_property("a -> b -> c")
+        assert isinstance(formula, PImplies)
+        assert isinstance(formula.right, PImplies)
+        assert formula.left.name == "a"
+
+    def test_temporal_operators(self):
+        assert isinstance(parse_property("historically(a)"), Historically)
+        assert isinstance(parse_property("once(a)"), Once)
+        assert isinstance(parse_property("previously(a)"), Previously)
+        assert isinstance(parse_property("prev(a)"), Previously)
+        since = parse_property("since(a, b)")
+        assert isinstance(since, Since)
+        assert since.left.name == "a" and since.right.name == "b"
+
+    def test_keywords_only_before_parenthesis(self):
+        # components named like the operators stay usable as atoms
+        formula = parse_property("once & since")
+        assert isinstance(formula, PAnd)
+        assert formula.left.name == "once"
+        assert formula.right.name == "since"
+
+    def test_state_expression_atom(self):
+        formula = parse_property("historically({one_of(D1, D2, D3)})")
+        assert isinstance(formula.operand, StateProp)
+        assert isinstance(formula.operand.expr, OneOf)
+        assert formula.atoms() == {"D1", "D2", "D3"}
+
+    def test_atoms_mixes_props_and_state_exprs(self):
+        formula = parse_property("a -> {b & c}")
+        assert formula.atoms() == {"a", "b", "c"}
+
+    def test_parentheses_override_precedence(self):
+        formula = parse_property("a & (b | c)")
+        assert isinstance(formula, PAnd)
+        assert isinstance(formula.right, POr)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "a &",
+            "& a",
+            "historically(a",
+            "since(a)",
+            "a b",
+            "{a",
+            "a}",
+            "{ }",
+            "{one_of(}",
+            "a # b",
+        ],
+    )
+    def test_bad_input_raises_parse_error(self, text):
+        with pytest.raises(ParseError):
+            parse_property(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_property("a & & b")
+        assert excinfo.value.position == 4
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "!a",
+            "a & b & c",
+            "a | b & c",
+            "(a | b) & c",
+            "a -> b -> c",
+            "(a -> b) -> c",
+            "historically(!U)",
+            "once({one_of(B1, B2)})",
+            "since(a & b, !c)",
+            "historically({E1} -> !once({E2}))",
+        ],
+    )
+    def test_round_trip_is_structural(self, text):
+        rendered = property_to_text(parse_property(text))
+        assert property_to_text(parse_property(rendered)) == rendered
+
+    def test_right_nested_conjunction_needs_parens(self):
+        # a & (b & c) must not re-parse as the left-nested (a & b) & c
+        formula = PAnd(Prop("a"), PAnd(Prop("b"), Prop("c")))
+        rendered = property_to_text(formula)
+        assert rendered == "a & (b & c)"
+        assert repr(parse_property(rendered)) == repr(formula)
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Prop(draw(st.sampled_from(["a", "b", "c"])))
+        return StateProp(OneOf((Atom("a"), Atom(draw(st.sampled_from(["b", "c"]))))))
+    kind = draw(
+        st.sampled_from(
+            ["not", "and", "or", "implies", "prev", "once", "hist", "since"]
+        )
+    )
+    unary = {"not": PNot, "prev": Previously, "once": Once, "hist": Historically}
+    if kind in unary:
+        return unary[kind](draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return {"and": PAnd, "or": POr, "implies": PImplies, "since": Since}[kind](
+        left, right
+    )
+
+
+@given(formulas())
+@settings(max_examples=200, deadline=None)
+def test_random_formulas_round_trip(formula):
+    rendered = property_to_text(formula)
+    assert repr(parse_property(rendered)) == repr(formula)

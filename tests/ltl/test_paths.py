@@ -1,0 +1,202 @@
+"""Path-quantified verification over the SAG (``repro.ltl.paths``).
+
+Eager semantics run on the paper's §5 video system (fixtures from
+``tests/conftest.py``); the lazy frontier mode is pinned against the
+eager mode — exact k-best parity on the video system, verdict parity on
+random universes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import ActionLibrary, AdaptiveAction
+from repro.core.invariants import InvariantSet
+from repro.core.model import ComponentUniverse, Configuration
+from repro.core.planner import AdaptationPlanner
+from repro.ltl import DEFAULT_K, parse_property, verify_paths
+
+HOLDS = parse_property("historically({one_of(E1, E2)})")
+NO_E2 = parse_property("historically(!E2)")
+
+
+class TestAllQuantifier:
+    def test_invariant_clause_holds_on_every_path(self, planner, source, target):
+        verdict = verify_paths(planner, source, target, HOLDS)
+        assert verdict.holds is True
+        assert verdict.mode == "eager"
+        assert verdict.complete
+        assert verdict.k == DEFAULT_K
+        assert verdict.paths_checked == len(planner.plan_k(source, target, DEFAULT_K))
+        assert verdict.counterexample is None
+
+    def test_violation_early_exits_on_the_first_bad_path(
+        self, planner, source, target
+    ):
+        # the target itself carries E2, so path 1 already refutes ∀
+        verdict = verify_paths(planner, source, target, NO_E2)
+        assert verdict.holds is False
+        assert verdict.paths_checked == 1
+        assert "path 1" in verdict.reason
+
+    def test_counterexample_is_minimized_to_first_violating_prefix(
+        self, planner, source, target
+    ):
+        verdict = verify_paths(planner, source, target, NO_E2)
+        plan = verdict.counterexample
+        assert plan is not None
+        assert len(plan.steps) == verdict.violation_index
+        # the prefix ends exactly at the first violating configuration
+        assert "E2" in plan.configurations[-1].members
+        for config in plan.configurations[:-1]:
+            assert "E2" not in config.members
+        assert plan.total_cost == sum(step.action.cost for step in plan.steps)
+
+    def test_property_violated_at_source_minimizes_to_zero_steps(
+        self, planner, source, target
+    ):
+        verdict = verify_paths(planner, source, target, parse_property("!E1"))
+        assert verdict.holds is False
+        assert verdict.violation_index == 0
+        assert verdict.counterexample.steps == ()
+        assert verdict.counterexample.total_cost == 0
+
+
+class TestExistsQuantifier:
+    def test_witness_short_circuits(self, planner, source, target):
+        verdict = verify_paths(planner, source, target, HOLDS, "exists")
+        assert verdict.holds is True
+        assert verdict.paths_checked == 1
+        assert verdict.witness is not None
+        assert verdict.counterexample is None
+
+    def test_no_witness_checks_the_whole_set(self, planner, source, target):
+        verdict = verify_paths(planner, source, target, NO_E2, "exists")
+        assert verdict.holds is False
+        assert verdict.witness is None
+        assert verdict.paths_checked == len(planner.plan_k(source, target, DEFAULT_K))
+
+
+class TestNoPath:
+    def test_all_holds_vacuously(self, planner, source, target):
+        # the video SAG is one-way: nothing routes back to the source
+        verdict = verify_paths(planner, target, source, HOLDS)
+        assert verdict.holds is True
+        assert verdict.paths_checked == 0
+        assert "vacuously" in verdict.reason
+
+    def test_exists_is_false(self, planner, source, target):
+        verdict = verify_paths(planner, target, source, HOLDS, "exists")
+        assert verdict.holds is False
+        assert verdict.paths_checked == 0
+
+
+class TestValidation:
+    def test_bad_quantifier(self, planner, source, target):
+        with pytest.raises(ValueError):
+            verify_paths(planner, source, target, HOLDS, "some")
+
+    def test_non_positive_k(self, planner, source, target):
+        with pytest.raises(ValueError):
+            verify_paths(planner, source, target, HOLDS, k=0)
+
+
+class TestLazyMode:
+    def test_lazy_plan_k_matches_eager_yen_exactly(self, planner, source, target):
+        eager = planner.plan_k(source, target, DEFAULT_K)
+        lazy_planner = AdaptationPlanner(
+            planner.universe, planner.invariants, planner.actions
+        )
+        lazy, complete = lazy_planner.lazy_plan_k(source, target, DEFAULT_K)
+        assert complete
+        assert [p.total_cost for p in lazy] == [p.total_cost for p in eager]
+        assert [
+            [s.action.action_id for s in p.steps] for p in lazy
+        ] == [[s.action.action_id for s in p.steps] for p in eager]
+        assert lazy_planner._sag is None  # never built the eager graph
+
+    @pytest.mark.parametrize("phi", [HOLDS, NO_E2])
+    @pytest.mark.parametrize("quantifier", ["all", "exists"])
+    def test_verdict_parity_on_video(self, planner, source, target, phi, quantifier):
+        eager = verify_paths(planner, source, target, phi, quantifier, lazy=False)
+        lazy = verify_paths(planner, source, target, phi, quantifier, lazy=True)
+        assert lazy.holds == eager.holds
+        assert lazy.paths_checked == eager.paths_checked
+        assert lazy.mode == "lazy" and eager.mode == "eager"
+        if eager.counterexample is not None:
+            assert lazy.counterexample.total_cost == eager.counterexample.total_cost
+
+    def test_exhausted_budget_is_inconclusive(self, planner, source, target):
+        verdict = verify_paths(
+            planner, source, target, HOLDS, lazy=True, max_expansions=1
+        )
+        assert verdict.holds is None
+        assert not verdict.complete
+        assert "inconclusive" in verdict.reason
+
+
+def toggle_library(names):
+    actions = []
+    for index, name in enumerate(names):
+        cost = 1.0 + index  # distinct costs keep tie-breaks interesting
+        actions.append(
+            AdaptiveAction(f"add-{name}", frozenset(), frozenset({name}), cost)
+        )
+        actions.append(
+            AdaptiveAction(f"del-{name}", frozenset({name}), frozenset(), cost)
+        )
+    return ActionLibrary(actions)
+
+
+PROPERTIES = tuple(
+    parse_property(text)
+    for text in (
+        "historically(!C0)",
+        "once(C1)",
+        "historically({one_of(C0, C1)})",
+        "C2 -> once(C0)",
+        "historically(since(!C0, C1) -> !C2)",
+    )
+)
+
+
+@given(
+    size=st.integers(min_value=3, max_value=6),
+    source_bits=st.integers(min_value=0),
+    target_bits=st.integers(min_value=0),
+    phi=st.sampled_from(PROPERTIES),
+    quantifier=st.sampled_from(["all", "exists"]),
+    k=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_lazy_and_eager_verdicts_agree(
+    size, source_bits, target_bits, phi, quantifier, k
+):
+    """On unconstrained universes the frontier Yen must equal CSR Yen."""
+    names = [f"C{i}" for i in range(size)]
+    universe = ComponentUniverse.from_names(names)
+    library = toggle_library(names)
+    invariants = InvariantSet([])
+    source = Configuration(
+        [name for i, name in enumerate(names) if (source_bits >> i) & 1]
+    )
+    target = Configuration(
+        [name for i, name in enumerate(names) if (target_bits >> i) & 1]
+    )
+    eager = verify_paths(
+        AdaptationPlanner(universe, invariants, library),
+        source, target, phi, quantifier, k, lazy=False,
+    )
+    lazy = verify_paths(
+        AdaptationPlanner(universe, invariants, library),
+        source, target, phi, quantifier, k, lazy=True,
+    )
+    assert lazy.holds == eager.holds
+    assert lazy.paths_checked == eager.paths_checked
+    assert lazy.complete
+    if eager.counterexample is None:
+        assert lazy.counterexample is None
+    else:
+        assert lazy.counterexample.total_cost == eager.counterexample.total_cost
+        assert lazy.violation_index == eager.violation_index
+    if eager.witness is not None:
+        assert lazy.witness.total_cost == eager.witness.total_cost

@@ -1,7 +1,5 @@
 """Unit + integration tests for the decision engine."""
 
-import warnings
-
 import pytest
 
 from repro.apps.video import build_video_cluster
@@ -82,37 +80,19 @@ class TestEvaluate:
         assert len(engine.decisions) == 1
 
 
-class TestDeprecation:
-    def test_attach_to_warns_exactly_once(self):
-        """One attach = one DeprecationWarning, and only at attach time.
-
-        The warning must not repeat on every polling tick — callers fix
-        the one call site it points at (stacklevel=2), not a log flood.
-        """
-        cluster = build_video_cluster(seed=6)
-        sensor = GaugeSensor("threat", 0.0)
-        engine = DecisionEngine([make_rule("r", sensor, paper_target())])
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine.attach_to(cluster, period=10.0)
-            cluster.sim.run(until=100.0)  # several ticks: still one warning
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "attach_to_bus" in str(deprecations[0].message)
-        assert deprecations[0].filename == __file__
-
-
 class TestOnCluster:
     def test_threat_rise_triggers_hardening(self):
-        """End-to-end RAPIDware loop: monitor → decide → safely adapt."""
+        """End-to-end RAPIDware loop: monitor → decide → safely adapt.
+
+        No observation bus here: the tripping sensor reading alone must
+        drive the evaluation (``attach_to_bus`` falls back to
+        sensor-driven triggers when the cluster publishes no bus).
+        """
         cluster = build_video_cluster(seed=6)
         threat = GaugeSensor("threat", 0.0)
         rule = make_rule("harden-to-128", threat, paper_target(), cooldown=50.0)
         engine = DecisionEngine([rule])
-        with pytest.deprecated_call():
-            engine.attach_to(cluster, period=10.0)
+        engine.attach_to_bus(cluster)
         cluster.sim.schedule(35.0, lambda: threat.set(0.9))
         cluster.sim.run(until=300.0)
         assert cluster.manager.outcome is not None

@@ -314,3 +314,117 @@ class TestLazyPlanCLI:
         code, output = run_cli("lint", fleet_path, "--fail-on", "error")
         assert code == 0
         assert "SA307" in output
+
+
+PROPERTIES_SECTION = """
+[properties]
+encoder specified : historically({one_of(E1, E2)})
+no_e2 : historically(!E2)
+"""
+
+
+@pytest.fixture
+def property_manifest(tmp_path):
+    path = tmp_path / "props.manifest"
+    path.write_text(video_manifest_text() + PROPERTIES_SECTION, encoding="utf-8")
+    return str(path)
+
+
+class TestVerifyPaths:
+    def test_holding_property_exits_zero(self, property_manifest):
+        code, output = run_cli(
+            "verify-paths", property_manifest, "--from", "source", "--to", "target",
+            "--property", "encoder specified",
+        )
+        assert code == 0
+        assert "HOLDS" in output
+        assert "eager enumeration" in output
+
+    def test_violated_property_exits_one_with_counterexample(
+        self, property_manifest
+    ):
+        code, output = run_cli(
+            "verify-paths", property_manifest, "--from", "source", "--to", "target",
+            "--property", "no_e2",
+        )
+        assert code == 1
+        assert "VIOLATED" in output
+        assert "counterexample (minimized to the first violating prefix)" in output
+
+    def test_exists_quantifier(self, property_manifest):
+        code, output = run_cli(
+            "verify-paths", property_manifest, "--from", "source", "--to", "target",
+            "--property", "encoder specified", "--quantifier", "exists",
+        )
+        assert code == 0
+        assert "HOLDS" in output
+
+    def test_lazy_budget_exhaustion_exits_three(self, property_manifest):
+        code, output = run_cli(
+            "verify-paths", property_manifest, "--from", "source", "--to", "target",
+            "--property", "encoder specified", "--lazy", "--max-expansions", "1",
+        )
+        assert code == 3
+        assert "INCONCLUSIVE" in output
+
+    def test_unknown_property_is_an_error(self, property_manifest):
+        code, _ = run_cli(
+            "verify-paths", property_manifest, "--from", "source", "--to", "target",
+            "--property", "nope",
+        )
+        assert code == 2
+
+    def test_bad_k_is_an_error(self, property_manifest):
+        code, _ = run_cli(
+            "verify-paths", property_manifest, "--from", "source", "--to", "target",
+            "--property", "no_e2", "--k", "0",
+        )
+        assert code == 2
+
+
+class TestTraceCheckLtl:
+    @pytest.fixture
+    def trace_file(self, property_manifest, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code, _ = run_cli(
+            "simulate", property_manifest, "--from", "source", "--to", "target",
+            "--save-trace", str(path),
+        )
+        assert code == 0
+        return str(path)
+
+    def test_holding_property(self, property_manifest, trace_file):
+        code, output = run_cli(
+            "trace", "check", trace_file, "--manifest", property_manifest,
+            "--ltl", "encoder specified",
+        )
+        assert code == 0
+        assert "property verdict: HOLDS" in output
+
+    def test_violated_property_names_the_commit(
+        self, property_manifest, trace_file
+    ):
+        code, output = run_cli(
+            "trace", "check", trace_file, "--manifest", property_manifest,
+            "--ltl", "no_e2",
+        )
+        assert code == 1
+        assert "property verdict: VIOLATED at commit" in output
+
+    def test_streaming_agrees_with_eager(self, property_manifest, trace_file):
+        eager = run_cli(
+            "trace", "check", trace_file, "--manifest", property_manifest,
+            "--ltl", "no_e2",
+        )
+        streamed = run_cli(
+            "trace", "check", trace_file, "--manifest", property_manifest,
+            "--ltl", "no_e2", "--stream",
+        )
+        assert streamed == eager
+
+    def test_unknown_property_is_an_error(self, property_manifest, trace_file):
+        code, _ = run_cli(
+            "trace", "check", trace_file, "--manifest", property_manifest,
+            "--ltl", "nope",
+        )
+        assert code == 2

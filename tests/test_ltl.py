@@ -3,6 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.expr.ast import And as EAnd
+from repro.expr.ast import Atom, Not as ENot, OneOf, Or as EOr
 from repro.ltl import (
     BalancedPair,
     Historically,
@@ -16,6 +18,8 @@ from repro.ltl import (
     Prop,
     SafeStateMonitor,
     Since,
+    StateProp,
+    compile_property,
     no_open_segments,
 )
 
@@ -86,11 +90,24 @@ class TestMonitorMechanics:
         assert run(formula, [{"a"}, set()]) == [True, True]
 
 
+_STATE_EXPRS = (
+    OneOf((Atom("a"), Atom("b"))),
+    EAnd((Atom("a"), ENot(Atom("c")))),
+    EOr((Atom("b"), Atom("c"))),
+)
+
+
 @st.composite
 def formulas(draw, depth=3):
     if depth == 0 or draw(st.booleans()):
-        return Prop(draw(st.sampled_from(["a", "b", "c"])))
-    kind = draw(st.sampled_from(["not", "and", "or", "prev", "once", "hist", "since"]))
+        if draw(st.booleans()):
+            return Prop(draw(st.sampled_from(["a", "b", "c"])))
+        return StateProp(draw(st.sampled_from(_STATE_EXPRS)))
+    kind = draw(
+        st.sampled_from(
+            ["not", "and", "or", "implies", "prev", "once", "hist", "since"]
+        )
+    )
     if kind == "not":
         return PNot(draw(formulas(depth=depth - 1)))
     if kind == "prev":
@@ -101,13 +118,17 @@ def formulas(draw, depth=3):
         return Historically(draw(formulas(depth=depth - 1)))
     left = draw(formulas(depth=depth - 1))
     right = draw(formulas(depth=depth - 1))
-    return {"and": PAnd, "or": POr, "since": Since}[kind](left, right)
+    return {"and": PAnd, "or": POr, "implies": PImplies, "since": Since}[kind](
+        left, right
+    )
 
 
 def reference_eval(formula, trace, index):
     """Non-incremental semantics, as the oracle."""
     if isinstance(formula, Prop):
         return formula.name in trace[index]
+    if isinstance(formula, StateProp):
+        return formula.expr.evaluate(trace[index])
     if isinstance(formula, PNot):
         return not reference_eval(formula.operand, trace, index)
     if isinstance(formula, PAnd):
@@ -148,6 +169,20 @@ def test_incremental_matches_reference_semantics(formula, trace):
     incremental = PTLTLMonitor(formula).run(trace)
     reference = [reference_eval(formula, trace, i) for i in range(len(trace))]
     assert incremental == reference
+
+
+@given(
+    formulas(),
+    st.lists(st.sets(st.sampled_from(["a", "b", "c"])), min_size=1, max_size=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_compiled_matches_reference_semantics(formula, trace):
+    """The bit-slot program agrees with the O(n²) full-history oracle."""
+    compiled = compile_property(formula)
+    reference = [reference_eval(formula, trace, i) for i in range(len(trace))]
+    assert compiled.monitor().run(trace) == reference
+    # and the stateless step API over pre-encoded masks agrees too
+    assert compiled.run([compiled.mask_of(events) for events in trace]) == reference
 
 
 class TestSafeStateMonitor:

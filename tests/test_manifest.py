@@ -205,3 +205,66 @@ class TestRoundTrip:
         target = tmp_path / "sys.manifest"
         target.write_text(MINIMAL, encoding="utf-8")
         assert "A" in load_path(target).universe
+
+
+class TestPropertiesSection:
+    WITH_PROPERTIES = MINIMAL + """
+[properties]
+no_b2 : historically(!B2)
+liveness : {one_of(B1, B2)} -> once(A)
+"""
+
+    def test_properties_parse_into_formulas(self):
+        from repro.ltl import Historically, PImplies
+
+        manifest = loads(self.WITH_PROPERTIES)
+        assert set(manifest.properties) == {"no_b2", "liveness"}
+        assert isinstance(manifest.properties["no_b2"], Historically)
+        assert isinstance(manifest.properties["liveness"], PImplies)
+
+    def test_property_named_lookup(self):
+        from repro.errors import ConfigurationError
+
+        manifest = loads(self.WITH_PROPERTIES)
+        assert manifest.property_named("no_b2") is manifest.properties["no_b2"]
+        with pytest.raises(ConfigurationError) as excinfo:
+            manifest.property_named("nope")
+        assert "liveness" in str(excinfo.value)  # known names are listed
+
+    def test_properties_round_trip(self):
+        from repro.ltl import property_to_text
+
+        manifest = loads(self.WITH_PROPERTIES)
+        again = loads(dumps(manifest))
+        assert {
+            name: property_to_text(phi) for name, phi in again.properties.items()
+        } == {
+            name: property_to_text(phi)
+            for name, phi in manifest.properties.items()
+        }
+
+    def test_properties_spans_recorded(self):
+        manifest = loads(self.WITH_PROPERTIES)
+        lines = self.WITH_PROPERTIES.splitlines()
+        for name, span in manifest.spans.properties.items():
+            assert lines[span.line - 1].startswith(name)
+
+    def test_duplicate_property_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            loads(MINIMAL + "\n[properties]\np : A\np : !A\n")
+
+    def test_bad_formula_rejected_with_line(self):
+        with pytest.raises(ParseError):
+            loads(MINIMAL + "\n[properties]\nbroken : A & (\n")
+
+    def test_unknown_atom_rejected(self):
+        with pytest.raises(ParseError, match="GHOST"):
+            loads(MINIMAL + "\n[properties]\nghostly : once(GHOST)\n")
+
+    def test_entry_requires_name_and_formula(self):
+        with pytest.raises(ParseError):
+            loads(MINIMAL + "\n[properties]\njust a formula\n")
+
+    def test_empty_section_is_fine(self):
+        manifest = loads(MINIMAL + "\n[properties]\n")
+        assert manifest.properties == {}

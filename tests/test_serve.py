@@ -241,3 +241,77 @@ class TestLazyRouting:
         source, target = paper_source(universe), paper_target(universe)
         service.plan(universe, invariants, actions, source, target)
         assert service.stats().lazy_plans == 0
+
+
+class TestTemporalVerification:
+    """Path-quantified checks through the service's amortizing caches."""
+
+    def test_verify_matches_direct_call(self, video_spec):
+        from repro.core.planner import AdaptationPlanner
+        from repro.ltl import parse_property, verify_paths
+
+        universe, invariants, actions = video_spec
+        service = PlanningService()
+        source, target = paper_source(universe), paper_target(universe)
+        phi = parse_property("historically({one_of(E1, E2)})")
+        via_service = service.verify_paths(
+            universe, invariants, actions, source, target, phi
+        )
+        direct = verify_paths(
+            AdaptationPlanner(universe, invariants, actions),
+            source, target, phi, lazy=False,
+        )
+        assert via_service.holds is direct.holds is True
+        assert via_service.paths_checked == direct.paths_checked
+        assert via_service.mode == "eager"
+
+    def test_structurally_equal_formulas_share_one_compilation(self, video_spec):
+        from repro.ltl import parse_property
+
+        universe, invariants, actions = video_spec
+        service = PlanningService()
+        source, target = paper_source(universe), paper_target(universe)
+        for _ in range(3):  # separately parsed objects, same structure
+            service.verify_paths(
+                universe, invariants, actions, source, target,
+                parse_property("historically(!E2)"),
+            )
+        stats = service.stats()
+        assert stats.verify_hits == 2  # first call compiles, the rest are warm
+
+    def test_oversized_spec_verifies_lazily(self):
+        from repro.bench.workloads import replicated_video_system
+        from repro.ltl import parse_property
+
+        big = replicated_video_system(4)
+        service = PlanningService()
+        verdict = service.verify_paths(
+            big.universe, big.invariants, big.actions,
+            big.source, big.target,
+            parse_property("historically({one_of(E1@g0, E2@g0)})"),
+            k=2, max_expansions=60_000,
+        )
+        assert verdict.holds is True
+        assert verdict.mode == "lazy"
+        planner = service.planner_for(big.universe, big.invariants, big.actions)
+        assert planner._sag is None and planner.space._cache is None
+
+    def test_check_plans_batch(self, video_spec):
+        from repro.ltl import parse_property
+
+        universe, invariants, actions = video_spec
+        service = PlanningService()
+        source, target = paper_source(universe), paper_target(universe)
+        results = service.check_plans(
+            universe, invariants, actions,
+            [(source, target), (target, source)],
+            parse_property("historically(!E2)"),
+        )
+        plan, violation = results[0]
+        assert plan.total_cost == 50.0
+        # the reported index is the first E2-bearing committed configuration
+        expected = next(
+            i for i, c in enumerate(plan.configurations) if "E2" in c.members
+        )
+        assert violation == expected
+        assert results[1] is None  # unreachable pair

@@ -1,0 +1,219 @@
+"""Experiment S1 — the HTTP/JSON adaptation service under load.
+
+PR 8 puts the sans-io control plane behind an asyncio HTTP front end;
+this benchmark drives that server exactly the way a fleet manager would
+— persistent connections, JSON bodies, repeated MAP requests — and
+records the service-level numbers the ROADMAP cares about:
+
+* **warm** throughput and latency at 1 / 64 / 512 concurrent
+  connections: the same ``(source, target)`` request answered from the
+  control plane's wire cache (one dict probe per request, straight off
+  the event loop);
+* **cold** throughput at 64 connections: every request a distinct
+  never-planned pair, so each one pays request decoding, dispatch on the
+  executor, a planner run, and wire-cache population.
+
+Rows land in ``BENCH_http_service.json``.  Required shape: warm
+throughput at 64 connections sustains ≥ 5,000 plans/sec on one core,
+and the p99 warm latency at 64 connections stays under 100 ms.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro.manifest import loads, video_manifest_text
+from repro.serve import (
+    ControlPlane,
+    RegisterSpecRequest,
+    ServerThread,
+)
+
+HTTP_JSON = Path(__file__).with_name("BENCH_http_service.json")
+
+CONCURRENCY_LEVELS = (1, 64, 512)
+WARM_REQUESTS = {1: 3000, 64: 8000, 512: 8000}
+COLD_CONCURRENCY = 64
+WARM_TARGET_PLANS_PER_SEC = 5000.0
+WARM_TARGET_P99_MS = 100.0
+
+
+def _request_bytes(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return (
+        b"POST /v1/plan HTTP/1.1\r\n"
+        b"Host: bench\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+        b"\r\n" + body
+    )
+
+
+async def _worker(host, port, requests, latencies):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for wire in requests:
+            start = time.perf_counter()
+            writer.write(wire)
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            length = 0
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            body = await reader.readexactly(length)
+            latencies.append(time.perf_counter() - start)
+            assert body.startswith(b'{"')
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _drive(address, request_list, concurrency):
+    """Closed-loop load: *concurrency* connections splitting the list."""
+    host, port = address
+    shares = [request_list[i::concurrency] for i in range(concurrency)]
+    latencies: list = []
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(_worker(host, port, share, latencies) for share in shares if share)
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, latencies
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _row(count, elapsed, latencies):
+    return {
+        "requests": count,
+        "seconds": round(elapsed, 3),
+        "plans_per_sec": round(count / elapsed, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def _cold_manifest(groups: int) -> str:
+    """*groups* independent A/B component pairs: 3^groups safe configs.
+
+    Per group the invariant is ``A | B`` and four unit-cost actions move
+    between {A}, {B}, and {A, B}, so every ordered pair of safe configs
+    is a distinct reachable planning problem — a dense cold workload.
+    """
+    components, invariants, actions = [], [], []
+    for g in range(groups):
+        components += [f"A{g} @ host{g}", f"B{g} @ host{g}"]
+        invariants.append(f": A{g} | B{g}")
+        actions += [
+            f"INA{g} : +A{g} @ 1",
+            f"OUTA{g} : -A{g} @ 1",
+            f"INB{g} : +B{g} @ 1",
+            f"OUTB{g} : -B{g} @ 1",
+        ]
+    return (
+        "[components]\n" + "\n".join(components)
+        + "\n\n[invariants]\n" + "\n".join(invariants)
+        + "\n\n[actions]\n" + "\n".join(actions) + "\n"
+    )
+
+
+def _cold_pairs(manifest, total):
+    """*total* distinct ordered safe-config pairs as bit-vector strings."""
+    from repro.core.planner import AdaptationPlanner
+
+    space = AdaptationPlanner(
+        manifest.universe, manifest.invariants, manifest.actions
+    ).space
+    bits = [manifest.universe.to_bits(c) for c in space.enumerate()]
+    pairs = []
+    for i, source in enumerate(bits):
+        for j, target in enumerate(bits):
+            if i != j:
+                pairs.append((source, target))
+    # every pair beyond the first appearance would be warm, so cap at
+    # the distinct count
+    return pairs[: min(total, len(pairs))]
+
+
+def test_http_service_throughput_and_latency():
+    text = video_manifest_text()
+    control = ControlPlane()
+    digest = control.dispatch(RegisterSpecRequest(manifest=text)).digest
+
+    warm_wire = _request_bytes(
+        {"spec": digest, "source": "source", "target": "target"}
+    )
+    results: dict = {"warm": {}, "cold": {}}
+    with ServerThread(
+        control,
+        host="127.0.0.1",
+        port=0,
+        max_inflight=64,
+        queue_limit=4096,
+    ) as server:
+        # prime the wire cache so every measured warm request is a hit
+        asyncio.run(_drive(server.address, [warm_wire], 1))
+
+        for concurrency in CONCURRENCY_LEVELS:
+            count = WARM_REQUESTS[concurrency]
+            elapsed, latencies = asyncio.run(
+                _drive(server.address, [warm_wire] * count, concurrency)
+            )
+            results["warm"][str(concurrency)] = _row(
+                count, elapsed, latencies
+            )
+
+        cold_text = _cold_manifest(groups=4)
+        cold_digest = control.dispatch(
+            RegisterSpecRequest(manifest=cold_text)
+        ).digest
+        pairs = _cold_pairs(loads(cold_text), 4000)
+        cold_wires = [
+            _request_bytes({"spec": cold_digest, "source": a, "target": b})
+            for a, b in pairs
+        ]
+        elapsed, latencies = asyncio.run(
+            _drive(server.address, cold_wires, COLD_CONCURRENCY)
+        )
+        results["cold"][str(COLD_CONCURRENCY)] = _row(
+            len(cold_wires), elapsed, latencies
+        )
+        results["server"] = server._server.server_stats()  # noqa: SLF001
+
+    rows = ["mode  conns  plans/sec      p50 ms   p99 ms"]
+    for mode in ("warm", "cold"):
+        for conns, row in sorted(
+            results[mode].items(), key=lambda kv: int(kv[0])
+        ):
+            rows.append(
+                f"{mode:<5} {conns:>5}  {row['plans_per_sec']:>10,.0f}  "
+                f"{row['p50_ms']:>8.3f} {row['p99_ms']:>8.3f}"
+            )
+    warm64 = results["warm"]["64"]
+    report(
+        "http_service",
+        "\n".join(rows),
+        data=results,
+        json_path=HTTP_JSON,
+        throughput=(warm64["requests"], warm64["seconds"]),
+    )
+
+    assert warm64["plans_per_sec"] >= WARM_TARGET_PLANS_PER_SEC, (
+        f"warm HTTP throughput at 64 connections fell to "
+        f"{warm64['plans_per_sec']:,.0f} plans/sec "
+        f"(target {WARM_TARGET_PLANS_PER_SEC:,.0f})"
+    )
+    assert warm64["p99_ms"] <= WARM_TARGET_P99_MS
+    assert results["server"]["rejected_overload"] == 0

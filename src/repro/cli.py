@@ -28,7 +28,16 @@ Usage (``python -m repro <command> ...``):
   checker offline on a persisted ``--save-trace`` JSONL file; with
   ``--ltl``, also check the named ``[properties]`` formula against the
   trace's committed configurations (constant memory).
+* ``serve MANIFEST... [--host --port --workers --max-inflight]`` —
+  serve the control plane over HTTP/JSON (asyncio, stdlib-only) with
+  admission control, per-request deadlines, and digest-sharded worker
+  processes; SIGINT/SIGTERM drain in-flight requests before exit.
 * ``example-manifest`` — print the §5 video system as a manifest.
+
+``plan``, ``verify-paths``, and ``trace check`` accept ``--json`` to
+print the structured control-plane envelope instead of text — the very
+same bytes (pretty-printed) the HTTP server answers, because both go
+through :meth:`repro.serve.ControlPlane.dispatch`.
 
 ``SRC``/``DST`` may be a configuration name from the manifest's
 ``[configurations]`` section, a bit vector, or a comma-separated member
@@ -42,9 +51,8 @@ import sys
 from typing import List, Optional
 
 from repro.bench import format_table
-from repro.core.planner import LAZY_PLAN_COMPONENTS
 from repro.errors import ReproError
-from repro.manifest import SystemManifest, load_path, video_manifest_text
+from repro.manifest import load_path, video_manifest_text
 
 
 def _add_manifest(parser: argparse.ArgumentParser) -> None:
@@ -127,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="enumerate the safe space on N worker processes",
     )
+    plan.add_argument(
+        "--json", action="store_true",
+        help="print the control-plane response envelope as JSON",
+    )
+    plan.add_argument(
+        "--stats", action="store_true",
+        help="print planning-service counters as JSON (alone: just "
+             "register the manifest; with --from/--to: plan first)",
+    )
 
     sag = commands.add_parser("sag", help="emit the SAG as Graphviz DOT")
     _add_manifest(sag)
@@ -195,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="node budget for the lazy enumeration (exhaustion yields "
              "an inconclusive verdict, exit code 3)",
     )
+    verify.add_argument(
+        "--json", action="store_true",
+        help="print the control-plane response envelope as JSON",
+    )
 
     trace = commands.add_parser("trace", help="inspect persisted execution traces")
     trace_commands = trace.add_subparsers(dest="trace_command", required=True)
@@ -220,6 +241,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also check the named [properties] formula at each committed "
              "configuration of the trace (works with --stream)",
     )
+    trace_check.add_argument(
+        "--json", action="store_true",
+        help="print the control-plane response envelope as JSON",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the control plane over HTTP/JSON (asyncio, stdlib-only)",
+    )
+    serve.add_argument(
+        "manifests", nargs="*", metavar="manifest",
+        help="manifest file(s) to preload into the spec registry",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks a free port (default: 8080)")
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes sharing the listening socket; specs shard "
+             "across them by digest (default: 1)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="concurrent dispatches before requests queue (default: 64)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="queued requests beyond --max-inflight before the server "
+             "answers 429 (default: --max-inflight)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline; expired requests answer 504 "
+             "(default: none; override per request with X-Deadline-Ms)",
+    )
+    serve.add_argument(
+        "--spec-cache", type=int, default=64, metavar="N",
+        help="LRU bound on registered specs (default: 64)",
+    )
+    serve.add_argument(
+        "--enum-workers", type=int, default=None, metavar="N",
+        help="enumerate each spec's safe space on N worker processes",
+    )
 
     commands.add_parser(
         "example-manifest", help="print the paper's video system as a manifest"
@@ -227,37 +292,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch_or_raise(control, request):
+    """Dispatch through the control plane; envelopes become ReproError.
+
+    Keeps the CLI's text-mode contract (``error: <message>`` on stderr,
+    exit code 2) while guaranteeing the answer itself came through the
+    exact same :meth:`ControlPlane.dispatch` the HTTP server uses.
+    """
+    from repro.serve import ErrorEnvelope
+
+    response = control.dispatch(request)
+    if isinstance(response, ErrorEnvelope):
+        raise ReproError(response.message)
+    return response
+
+
 def cmd_lint(args, out) -> int:
     from pathlib import Path
 
-    from repro.lint import (
-        LintReport,
-        Severity,
-        lint_text,
-        render_json,
-        render_sarif,
-        render_text,
-    )
+    from repro.serve import ControlPlane, LintRequest
 
-    merged = LintReport()
-    for name in args.manifests:
-        text = Path(name).read_text(encoding="utf-8")
-        merged.extend(
-            lint_text(
-                text,
-                path=name,
-                max_enum_components=args.max_enum_components,
-                workers=args.enum_workers,
-            )
-        )
-    merged.sort()
-    if args.format == "json":
-        print(render_json(merged), file=out)
-    elif args.format == "sarif":
-        print(render_sarif(merged), file=out)
-    else:
-        print(render_text(merged, verbose=args.verbose), file=out)
-    return 1 if merged.fails(Severity.from_label(args.fail_on)) else 0
+    sources = tuple(
+        (name, Path(name).read_text(encoding="utf-8"))
+        for name in args.manifests
+    )
+    response = _dispatch_or_raise(
+        ControlPlane(),
+        LintRequest(
+            sources=sources,
+            format=args.format,
+            fail_on=args.fail_on,
+            verbose=args.verbose,
+            max_enum_components=args.max_enum_components,
+            workers=args.enum_workers,
+        ),
+    )
+    print(response.rendered, file=out)
+    return 1 if response.failed else 0
 
 
 def cmd_check(args, out) -> int:
@@ -300,11 +371,12 @@ def cmd_safe_configs(args, out) -> int:
     return 0
 
 
-def _parse_batch_lines(lines, manifest):
-    """Parse batch request lines into (source, target) configuration pairs.
+def _parse_batch_lines(lines):
+    """Parse batch request lines into (source, target) spec-string pairs.
 
     Accepted per line: ``SRC -> DST`` or two whitespace-separated specs;
-    blank lines and ``#`` comments are skipped.
+    blank lines and ``#`` comments are skipped.  Resolution against the
+    manifest happens inside the control plane.
     """
     pairs = []
     for lineno, raw in enumerate(lines, 1):
@@ -321,97 +393,115 @@ def _parse_batch_lines(lines, manifest):
                     f"batch line {lineno}: expected 'SRC -> DST', got {raw!r}"
                 )
             left, right = parts
-        pairs.append(
-            (
-                manifest.resolve_configuration(left),
-                manifest.resolve_configuration(right),
-            )
-        )
+        pairs.append((left, right))
     return pairs
 
 
-def cmd_plan_batch(args, out) -> int:
+def cmd_plan_batch(args, control, manifest_text, out) -> int:
     import time
 
-    from repro.serve import PlanningService
+    from repro.serve import PlanBatchRequest
 
-    manifest = load_path(args.manifest)
     if args.batch == "-":
         lines = sys.stdin.read().splitlines()
     else:
         from pathlib import Path
 
         lines = Path(args.batch).read_text(encoding="utf-8").splitlines()
-    pairs = _parse_batch_lines(lines, manifest)
+    pairs = _parse_batch_lines(lines)
     if not pairs:
         raise ReproError(f"batch file {args.batch} contains no requests")
-    service = PlanningService(workers=args.workers)
+    request = PlanBatchRequest(pairs=tuple(pairs), manifest=manifest_text)
+    if args.json:
+        from repro.serve import ErrorEnvelope, to_json
+
+        response = control.dispatch(request)
+        print(to_json(response), file=out)
+        if isinstance(response, ErrorEnvelope):
+            return 2
+        return 0 if response.reachable == len(pairs) else 1
     started = time.perf_counter()
-    plans = service.plan_many(
-        manifest.universe, manifest.invariants, manifest.actions, pairs
-    )
+    response = _dispatch_or_raise(control, request)
     elapsed = time.perf_counter() - started
-    reachable = 0
-    for (source, target), plan in zip(pairs, plans):
-        if plan is None:
-            print(
-                f"{source.label()} -> {target.label()}: NO SAFE PATH", file=out
-            )
+    for item in response.results:
+        if not item.reachable:
+            print(f"{item.source} -> {item.target}: NO SAFE PATH", file=out)
         else:
-            reachable += 1
             print(
-                f"{source.label()} -> {target.label()}: "
-                f"{' -> '.join(plan.action_ids) or '(empty)'} "
-                f"[cost {plan.total_cost:g}]",
+                f"{item.source} -> {item.target}: "
+                f"{' -> '.join(item.actions) or '(empty)'} "
+                f"[cost {item.cost:g}]",
                 file=out,
             )
     rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
     print(
-        f"planned {len(pairs)} request(s) ({reachable} reachable) "
+        f"planned {len(pairs)} request(s) ({response.reachable} reachable) "
         f"in {elapsed * 1000:.1f} ms ({rate:,.0f} plans/sec)",
         file=out,
     )
-    return 0 if reachable == len(pairs) else 1
+    return 0 if response.reachable == len(pairs) else 1
+
+
+def _print_stats(control, out) -> None:
+    from repro.serve import StatsRequest, to_json
+
+    print(to_json(_dispatch_or_raise(control, StatsRequest())), file=out)
 
 
 def cmd_plan(args, out) -> int:
+    from pathlib import Path
+
+    from repro.serve import (
+        ControlPlane,
+        ErrorEnvelope,
+        PlanRequest,
+        PlanningService,
+        RegisterSpecRequest,
+        to_json,
+    )
+
+    control = ControlPlane(service=PlanningService(workers=args.workers))
+    manifest_text = Path(args.manifest).read_text(encoding="utf-8")
     if args.batch:
         if args.source or args.target:
             raise ReproError("--batch and --from/--to are mutually exclusive")
-        return cmd_plan_batch(args, out)
+        return cmd_plan_batch(args, control, manifest_text, out)
     if not (args.source and args.target):
+        if args.stats:
+            # stats-only mode: register the manifest, dump the counters
+            _dispatch_or_raise(
+                control, RegisterSpecRequest(manifest=manifest_text)
+            )
+            _print_stats(control, out)
+            return 0
         raise ReproError("plan requires --from and --to (or --batch FILE)")
-    manifest = load_path(args.manifest)
-    planner = manifest.planner()
-    source = manifest.resolve_configuration(args.source)
-    target = manifest.resolve_configuration(args.target)
-    method = "lazy" if args.lazy else args.method
-    oversized = len(manifest.universe) > LAZY_PLAN_COMPONENTS
-    if method == "auto":
-        # above the cap the eager 2^n pipeline is off the table
-        method = "lazy" if oversized else "dijkstra"
-    if args.k > 1 and oversized:
-        raise ReproError(
-            f"--k alternates need the eager SAG, which is capped at "
-            f"{LAZY_PLAN_COMPONENTS} components "
-            f"(manifest has {len(manifest.universe)})"
-        )
-    if method == "lazy":
-        plan = planner.lazy_plan(source, target)
-    elif method == "collaborative":
-        plan = planner.plan_collaborative(source, target)
-    else:
-        plan = planner.plan(source, target)
-    print(plan.describe(), file=out)
+    request = PlanRequest(
+        source=args.source,
+        target=args.target,
+        manifest=manifest_text,
+        k=max(args.k, 1),
+        method="lazy" if args.lazy else args.method,
+    )
+    if args.json:
+        response = control.dispatch(request)
+        print(to_json(response), file=out)
+        if args.stats:
+            _print_stats(control, out)
+        return 2 if isinstance(response, ErrorEnvelope) else 0
+    response = _dispatch_or_raise(control, request)
+    print(response.plan.describe(), file=out)
     if args.k > 1:
         print(file=out)
         print(f"{args.k} best plans:", file=out)
-        for index, alternate in enumerate(planner.plan_k(source, target, args.k), 1):
+        for index, (actions, cost) in enumerate(response.alternates, 1):
             print(
-                f"  {index}. {' -> '.join(alternate.action_ids) or '(empty)'} "
-                f"[cost {alternate.total_cost:g}]",
+                f"  {index}. {' -> '.join(actions) or '(empty)'} "
+                f"[cost {cost:g}]",
                 file=out,
             )
+    if args.stats:
+        print(file=out)
+        _print_stats(control, out)
     return 0
 
 
@@ -548,139 +638,82 @@ def cmd_simulate(args, out) -> int:
     return 0 if (report.ok and outcome.succeeded) else 1
 
 
-class _PropertyTraceCheck:
-    """Constant-memory ptLTL check over a trace's committed configurations.
-
-    Feeds every :class:`~repro.trace.ConfigCommitted` record through the
-    compiled property — state is one int, so ``--stream`` stays
-    constant-memory — and remembers the first violating commit.
-    """
-
-    def __init__(self, name: str, compiled) -> None:
-        self.name = name
-        self.compiled = compiled
-        self.state = compiled.initial_state
-        self.commits = 0
-        self.first_violation = None  # (commit index, record)
-
-    def feed(self, record) -> None:
-        from repro.trace import ConfigCommitted
-
-        if not isinstance(record, ConfigCommitted):
-            return
-        value, self.state = self.compiled.step(
-            self.compiled.mask_of(record.configuration), self.state
-        )
-        self.commits += 1
-        if not value and self.first_violation is None:
-            self.first_violation = (self.commits, record)
-
-    def render(self, out) -> bool:
-        from repro.ltl import property_to_text
-
-        print(f"property {self.name}: {property_to_text(self.compiled.formula)}",
-              file=out)
-        if self.first_violation is None:
-            print(f"property verdict: HOLDS over {self.commits} committed "
-                  "configuration(s)", file=out)
-            return True
-        index, record = self.first_violation
-        members = ", ".join(sorted(record.configuration)) or "(empty)"
-        print(f"property verdict: VIOLATED at commit {index} of "
-              f"{self.commits} (t={record.time:g}, after "
-              f"{record.action_id or record.step_id}): {{{members}}}", file=out)
-        return False
-
-
 def cmd_trace(args, out) -> int:
     from pathlib import Path
 
-    from repro.obs import MetricsObserver
-    from repro.safety import SafetyChecker
-    from repro.trace import Trace, iter_jsonl
+    from repro.serve import ControlPlane, ErrorEnvelope, TraceCheckRequest, to_json
 
     # only one sub-command today: `trace check`
-    manifest = load_path(args.manifest)
-    checker = SafetyChecker(manifest.invariants, universe=manifest.universe)
-    stream = checker.streaming()
-    metrics = MetricsObserver() if args.metrics else None
-    ltl = None
-    if args.ltl:
-        from repro.ltl import CompiledProperty
-
-        ltl = _PropertyTraceCheck(
-            args.ltl,
-            CompiledProperty(
-                manifest.property_named(args.ltl), manifest.universe.atom_bits
-            ),
-        )
-    try:
-        if args.stream:
-            # Constant memory: records flow file → decoder → checker one
-            # at a time; the trace is never materialized.
-            with open(args.tracefile, encoding="utf-8") as handle:
-                for record in iter_jsonl(handle):
-                    stream.feed(record)
-                    if metrics is not None:
-                        metrics.feed(record)
-                    if ltl is not None:
-                        ltl.feed(record)
-            records = stream.records_seen
-            commits = stream.configurations_checked
+    request = TraceCheckRequest(
+        trace_path=args.tracefile,
+        ltl=args.ltl,
+        metrics=args.metrics,
+        stream=args.stream,
+        manifest=Path(args.manifest).read_text(encoding="utf-8"),
+    )
+    control = ControlPlane()
+    if args.json:
+        response = control.dispatch(request)
+        print(to_json(response), file=out)
+        if isinstance(response, ErrorEnvelope):
+            return 2
+        return 0 if response.ok else 1
+    result = _dispatch_or_raise(control, request)
+    print(f"records: {result.records}", file=out)
+    print(f"committed configurations: {result.commits}", file=out)
+    print(f"safety: {result.safety_summary}", file=out)
+    for violation in result.violations:
+        print(f"  [{violation.kind_label}] t={violation.time:g}: "
+              f"{violation.detail}", file=out)
+    prop = result.property_check
+    if prop is not None:
+        print(f"property {prop.name}: {prop.formula}", file=out)
+        if prop.holds:
+            print(f"property verdict: HOLDS over {prop.commits} committed "
+                  "configuration(s)", file=out)
         else:
-            text = Path(args.tracefile).read_text(encoding="utf-8")
-            restored = Trace.from_jsonl(text)
-            for record in restored:
-                stream.feed(record)
-                if metrics is not None:
-                    metrics.feed(record)
-                if ltl is not None:
-                    ltl.feed(record)
-            records = len(restored)
-            commits = len(restored.committed_configurations())
-    except ValueError as exc:
-        raise ReproError(f"malformed trace file {args.tracefile}: {exc}") from exc
-    report = stream.finish()
-    print(f"records: {records}", file=out)
-    print(f"committed configurations: {commits}", file=out)
-    print(f"safety: {report.summary()}", file=out)
-    for violation in report.violations:
-        print(f"  [{violation.kind}] t={violation.time:g}: {violation.detail}",
-              file=out)
-    ltl_ok = True
-    if ltl is not None:
-        ltl_ok = ltl.render(out)
-    if metrics is not None:
+            members = ", ".join(prop.violation_members) or "(empty)"
+            print(f"property verdict: VIOLATED at commit "
+                  f"{prop.violation_commit} of {prop.commits} "
+                  f"(t={prop.violation_time:g}, after "
+                  f"{prop.violation_after}): {{{members}}}", file=out)
+    if result.metrics_summary is not None:
         print(file=out)
-        print(metrics.finish().summary(), file=out)
-    return 0 if (report.ok and ltl_ok) else 1
+        print(result.metrics_summary, file=out)
+    return 0 if result.ok else 1
 
 
 def cmd_verify_paths(args, out) -> int:
-    from repro.ltl import property_to_text, verify_paths
+    from pathlib import Path
 
-    if args.k is not None and args.k <= 0:
-        raise ReproError(f"--k must be positive, got {args.k}")
-    if args.max_expansions is not None and args.max_expansions <= 0:
-        raise ReproError(
-            f"--max-expansions must be positive, got {args.max_expansions}"
-        )
-    manifest = load_path(args.manifest)
-    phi = manifest.property_named(args.prop)
-    planner = manifest.planner()
-    source = manifest.resolve_configuration(args.source)
-    target = manifest.resolve_configuration(args.target)
-    verdict = verify_paths(
-        planner,
-        source,
-        target,
-        phi,
+    from repro.serve import (
+        ControlPlane,
+        ErrorEnvelope,
+        VerifyPathsRequest,
+        to_json,
+    )
+
+    request = VerifyPathsRequest(
+        source=args.source,
+        target=args.target,
+        property_name=args.prop,
         quantifier=args.quantifier,
         k=args.k,
         lazy=True if args.lazy else None,
         max_expansions=args.max_expansions,
+        manifest=Path(args.manifest).read_text(encoding="utf-8"),
     )
-    print(f"property {args.prop}: {property_to_text(phi)}", file=out)
+    control = ControlPlane()
+    if args.json:
+        response = control.dispatch(request)
+        print(to_json(response), file=out)
+        if isinstance(response, ErrorEnvelope):
+            return 2
+        if response.holds is None:
+            return 3
+        return 0 if response.holds else 1
+    verdict = _dispatch_or_raise(control, request)
+    print(f"property {args.prop}: {verdict.formula}", file=out)
     print(
         f"quantifier: {verdict.quantifier} over the {verdict.k} best "
         f"path(s), {verdict.mode} enumeration",
@@ -707,6 +740,23 @@ def cmd_verify_paths(args, out) -> int:
     return 1
 
 
+def cmd_serve(args, out) -> int:
+    from repro.serve.http import run_server
+
+    return run_server(
+        manifests=args.manifests,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline_ms,
+        max_specs=args.spec_cache,
+        enum_workers=args.enum_workers,
+        out=out,
+    )
+
+
 def cmd_example_manifest(args, out) -> int:
     print(video_manifest_text(), file=out)
     return 0
@@ -721,6 +771,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "trace": cmd_trace,
     "verify-paths": cmd_verify_paths,
+    "serve": cmd_serve,
     "example-manifest": cmd_example_manifest,
 }
 

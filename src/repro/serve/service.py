@@ -18,7 +18,17 @@ Concurrency model (lock-per-spec, lock-free warm reads):
   traffic against different specs never contends;
 * warm reads bypass the lock entirely: a planned pair is served from
   :meth:`AdaptationPlanner.peek_plan`, a single dict lookup that is safe
-  under the GIL because plan caches only ever grow.
+  under the GIL because plan caches only ever grow;
+* counters are bumped (and snapshotted) under a dedicated per-entry
+  ``stats_lock`` so accounting is **exact** under concurrency: every
+  request is counted exactly once as warm, cold, or lazy, and
+  :meth:`stats` returns a consistent snapshot rather than a torn read.
+
+The service is also addressable **by digest** (:meth:`register`,
+:meth:`plan_digest`, :meth:`evict`, ...) so network front ends — the
+:class:`~repro.serve.control.ControlPlane` and its HTTP adapter — can
+resolve a spec once at registration time and skip re-hashing the spec
+on every request.
 """
 
 from __future__ import annotations
@@ -77,6 +87,13 @@ def spec_digest(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def no_safe_path_message(source: Configuration, target: Configuration) -> str:
+    """The one message every unreachable-pair error carries (wire-pinned)."""
+    return (
+        f"no safe adaptation path from {source.label()} to {target.label()}"
+    )
+
+
 @dataclass
 class ServiceStats:
     """Counters for one service (snapshot; see :meth:`PlanningService.stats`)."""
@@ -87,6 +104,13 @@ class ServiceStats:
     lazy_plans: int = 0
     #: path-quantified verifications served from a warm compiled property
     verify_hits: int = 0
+    #: spec entries dropped via :meth:`PlanningService.evict`
+    evictions: int = 0
+
+
+#: methods :meth:`PlanningService.plan_digest` understands; ``auto`` routes
+#: by universe size exactly as the in-process service always has
+PLAN_METHODS = ("auto", "dijkstra", "lazy", "collaborative")
 
 
 class _SpecEntry:
@@ -95,6 +119,7 @@ class _SpecEntry:
     __slots__ = (
         "planner",
         "lock",
+        "stats_lock",
         "warm_hits",
         "cold_plans",
         "lazy_plans",
@@ -104,13 +129,31 @@ class _SpecEntry:
 
     def __init__(self, planner: AdaptationPlanner):
         self.planner = planner
+        #: serializes cold work (enumeration, SAG build, Dijkstra)
         self.lock = threading.RLock()
+        #: guards the counters only — held for nanoseconds, never while planning
+        self.stats_lock = threading.Lock()
         self.warm_hits = 0
         self.cold_plans = 0
         self.lazy_plans = 0
         #: compiled-property cache, keyed by the canonical formula text
         self.properties: Dict[str, CompiledProperty] = {}
         self.verify_hits = 0
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        with self.stats_lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> Dict[str, int]:
+        """All counters read atomically (consistent under concurrent bumps)."""
+        with self.stats_lock:
+            return {
+                "warm_hits": self.warm_hits,
+                "cold_plans": self.cold_plans,
+                "lazy_plans": self.lazy_plans,
+                "verify_hits": self.verify_hits,
+                "properties": len(self.properties),
+            }
 
 
 class PlanningService:
@@ -141,15 +184,48 @@ class PlanningService:
         self.lazy_components = lazy_components
         self._registry_lock = threading.Lock()
         self._specs: Dict[str, _SpecEntry] = {}
+        self._evictions = 0
 
     # -- spec registry -----------------------------------------------------------
-    def _entry_for(
+    def register(
         self,
         universe: ComponentUniverse,
         invariants: InvariantSet,
         actions: ActionLibrary,
-    ) -> _SpecEntry:
+    ) -> str:
+        """Ensure a spec entry exists; returns its content digest.
+
+        Idempotent: registering an equal spec again lands on the same
+        warm entry.  Front ends keep the digest and address every later
+        request through the ``*_digest`` methods, skipping the per-call
+        spec hashing the object-keyed methods pay.
+        """
         digest = spec_digest(universe, invariants, actions)
+        self._ensure_entry(digest, universe, invariants, actions)
+        return digest
+
+    def has_spec(self, digest: str) -> bool:
+        return digest in self._specs
+
+    def digests(self) -> Tuple[str, ...]:
+        with self._registry_lock:
+            return tuple(self._specs)
+
+    def evict(self, digest: str) -> bool:
+        """Drop a spec entry (and its warm caches); True when it existed."""
+        with self._registry_lock:
+            existed = self._specs.pop(digest, None) is not None
+            if existed:
+                self._evictions += 1
+        return existed
+
+    def _ensure_entry(
+        self,
+        digest: str,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+    ) -> _SpecEntry:
         entry = self._specs.get(digest)  # lock-free fast path (dict read)
         if entry is not None:
             return entry
@@ -166,6 +242,25 @@ class PlanningService:
                     )
                 )
                 self._specs[digest] = entry
+        return entry
+
+    def _entry_for(
+        self,
+        universe: ComponentUniverse,
+        invariants: InvariantSet,
+        actions: ActionLibrary,
+    ) -> _SpecEntry:
+        return self._ensure_entry(
+            spec_digest(universe, invariants, actions),
+            universe,
+            invariants,
+            actions,
+        )
+
+    def _entry(self, digest: str) -> _SpecEntry:
+        entry = self._specs.get(digest)
+        if entry is None:
+            raise KeyError(f"unknown spec digest {digest!r}")
         return entry
 
     def planner_for(
@@ -201,21 +296,74 @@ class PlanningService:
         unreachable target).
         """
         entry = self._entry_for(universe, invariants, actions)
+        return self._plan_entry(entry, source, target)
+
+    def plan_digest(
+        self,
+        digest: str,
+        source: Configuration,
+        target: Configuration,
+        method: str = "auto",
+    ) -> AdaptationPlan:
+        """:meth:`plan` addressed by digest (``KeyError`` when unknown).
+
+        *method* ``auto`` routes by universe size; ``dijkstra``, ``lazy``,
+        and ``collaborative`` force the respective planner entry point
+        (all land in the shared per-pair plan cache).
+        """
+        if method not in PLAN_METHODS:
+            raise ValueError(
+                f"method must be one of {PLAN_METHODS}, got {method!r}"
+            )
+        return self._plan_entry(self._entry(digest), source, target, method)
+
+    def _plan_entry(
+        self,
+        entry: _SpecEntry,
+        source: Configuration,
+        target: Configuration,
+        method: str = "auto",
+    ) -> AdaptationPlan:
         hit, plan = entry.planner.peek_plan(source, target)
         if hit:
-            entry.warm_hits += 1
+            entry.count("warm_hits")
             if plan is None:
-                raise NoSafePathError(
-                    f"no safe adaptation path from {source.label()} "
-                    f"to {target.label()}"
-                )
+                raise NoSafePathError(no_safe_path_message(source, target))
             return plan
         with entry.lock:
-            if self._oversized(universe):
-                entry.lazy_plans += 1
+            # Re-peek under the lock: a concurrent caller may have planned
+            # this exact pair while we waited.  Without this, two racing
+            # cold requests would both count (and plan) cold — the
+            # accounting hammer test pins exactness.
+            hit, plan = entry.planner.peek_plan(source, target)
+            if hit:
+                entry.count("warm_hits")
+                if plan is None:
+                    raise NoSafePathError(no_safe_path_message(source, target))
+                return plan
+            if method == "lazy" or (
+                method == "auto" and self._oversized(entry.planner.universe)
+            ):
+                entry.count("lazy_plans")
                 return entry.planner.lazy_plan(source, target)
-            entry.cold_plans += 1
+            entry.count("cold_plans")
+            if method == "collaborative":
+                return entry.planner.plan_collaborative(source, target)
             return entry.planner.plan(source, target)
+
+    def count_warm_hit(self, digest: str) -> bool:
+        """Credit one warm hit to *digest*; False when the spec is gone.
+
+        For front-end wire caches that answer repeated requests from
+        precomputed bytes: the response bypasses the planner, but the
+        traffic still shows up in the spec's warm statistics — and a
+        ``False`` return tells the cache its spec was evicted.
+        """
+        entry = self._specs.get(digest)
+        if entry is None:
+            return False
+        entry.count("warm_hits")
+        return True
 
     def _oversized(self, universe: ComponentUniverse) -> bool:
         """True when the spec must be routed to the lazy frontier path."""
@@ -239,9 +387,24 @@ class PlanningService:
         (unsafe endpoints still raise; unreachable pairs yield ``None``).
         """
         entry = self._entry_for(universe, invariants, actions)
+        return self._plan_many_entry(entry, pairs)
+
+    def plan_many_digest(
+        self,
+        digest: str,
+        pairs: Sequence[Tuple[Configuration, Configuration]],
+    ) -> List[Optional[AdaptationPlan]]:
+        """:meth:`plan_many` addressed by digest (``KeyError`` when unknown)."""
+        return self._plan_many_entry(self._entry(digest), pairs)
+
+    def _plan_many_entry(
+        self,
+        entry: _SpecEntry,
+        pairs: Sequence[Tuple[Configuration, Configuration]],
+    ) -> List[Optional[AdaptationPlan]]:
         with entry.lock:
-            if self._oversized(universe):
-                entry.lazy_plans += len(pairs)
+            if self._oversized(entry.planner.universe):
+                entry.count("lazy_plans", len(pairs))
                 results: List[Optional[AdaptationPlan]] = []
                 for source, target in pairs:
                     try:
@@ -249,8 +412,31 @@ class PlanningService:
                     except NoSafePathError:
                         results.append(None)
                 return results
-            entry.cold_plans += len(pairs)
+            entry.count("cold_plans", len(pairs))
             return entry.planner.plan_many(pairs)
+
+    def plan_k_digest(
+        self,
+        digest: str,
+        source: Configuration,
+        target: Configuration,
+        k: int,
+    ) -> List[AdaptationPlan]:
+        """The k best alternates for a pair, by digest.
+
+        Eager-only (the k-shortest enumeration needs the materialized
+        SAG): oversized specs raise :class:`ValueError` carrying the
+        explanation the CLI shows.
+        """
+        entry = self._entry(digest)
+        if self._oversized(entry.planner.universe):
+            raise ValueError(
+                f"k-best alternates need the eager SAG, which is capped at "
+                f"{self.lazy_components} components "
+                f"(spec has {len(entry.planner.universe)})"
+            )
+        with entry.lock:
+            return list(entry.planner.plan_k(source, target, k))
 
     # -- temporal verification ---------------------------------------------------
     def _compiled_property(
@@ -265,7 +451,7 @@ class PlanningService:
         key = property_to_text(phi)
         compiled = entry.properties.get(key)  # lock-free (dict only grows)
         if compiled is not None:
-            entry.verify_hits += 1
+            entry.count("verify_hits")
             return compiled
         with entry.lock:
             compiled = entry.properties.get(key)
@@ -275,6 +461,12 @@ class PlanningService:
                 )
                 entry.properties[key] = compiled
         return compiled
+
+    def compiled_property_digest(
+        self, digest: str, phi: PFormula
+    ) -> CompiledProperty:
+        """Per-digest compiled-property cache (``KeyError`` when unknown)."""
+        return self._compiled_property(self._entry(digest), phi)
 
     def verify_paths(
         self,
@@ -287,6 +479,7 @@ class PlanningService:
         quantifier: str = "all",
         k: Optional[int] = None,
         max_expansions: Optional[int] = None,
+        lazy: Optional[bool] = None,
     ) -> PathVerdict:
         """Path-quantified verification against the shared spec caches.
 
@@ -294,10 +487,50 @@ class PlanningService:
         service's amortization on top: the property compiles once per
         spec digest, the path enumeration reuses (and feeds) the shared
         plan caches, and oversized specs route to the lazy frontier
-        exactly as :meth:`plan` does.
+        exactly as :meth:`plan` does (*lazy* forces either mode).
         """
         entry = self._entry_for(universe, invariants, actions)
+        return self._verify_entry(
+            entry, source, target, phi, quantifier, k, max_expansions, lazy
+        )
+
+    def verify_paths_digest(
+        self,
+        digest: str,
+        source: Configuration,
+        target: Configuration,
+        phi: PFormula,
+        quantifier: str = "all",
+        k: Optional[int] = None,
+        max_expansions: Optional[int] = None,
+        lazy: Optional[bool] = None,
+    ) -> PathVerdict:
+        """:meth:`verify_paths` addressed by digest (``KeyError`` when unknown)."""
+        return self._verify_entry(
+            self._entry(digest),
+            source,
+            target,
+            phi,
+            quantifier,
+            k,
+            max_expansions,
+            lazy,
+        )
+
+    def _verify_entry(
+        self,
+        entry: _SpecEntry,
+        source: Configuration,
+        target: Configuration,
+        phi: PFormula,
+        quantifier: str,
+        k: Optional[int],
+        max_expansions: Optional[int],
+        lazy: Optional[bool],
+    ) -> PathVerdict:
         compiled = self._compiled_property(entry, phi)
+        if lazy is None:
+            lazy = self._oversized(entry.planner.universe)
         with entry.lock:
             return _verify_paths(
                 entry.planner,
@@ -306,7 +539,7 @@ class PlanningService:
                 phi,
                 quantifier,
                 k,
-                lazy=self._oversized(universe),
+                lazy=lazy,
                 max_expansions=max_expansions,
                 compiled=compiled,
             )
@@ -331,7 +564,7 @@ class PlanningService:
         """
         entry = self._entry_for(universe, invariants, actions)
         compiled = self._compiled_property(entry, phi)
-        plans = self.plan_many(universe, invariants, actions, pairs)
+        plans = self._plan_many_entry(entry, pairs)
         return [
             None
             if plan is None
@@ -341,13 +574,32 @@ class PlanningService:
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> ServiceStats:
-        """Aggregate counters across every registered spec."""
+        """Aggregate counters across every registered spec.
+
+        Consistent under concurrent mutation: the entry list is copied
+        under the registry lock, then each entry's counters are read
+        atomically under its ``stats_lock`` — no torn warm/cold reads.
+        """
         with self._registry_lock:
             entries = list(self._specs.values())
+            evictions = self._evictions
+        snapshots = [entry.snapshot() for entry in entries]
         return ServiceStats(
             specs=len(entries),
-            warm_hits=sum(e.warm_hits for e in entries),
-            cold_plans=sum(e.cold_plans for e in entries),
-            lazy_plans=sum(e.lazy_plans for e in entries),
-            verify_hits=sum(e.verify_hits for e in entries),
+            warm_hits=sum(s["warm_hits"] for s in snapshots),
+            cold_plans=sum(s["cold_plans"] for s in snapshots),
+            lazy_plans=sum(s["lazy_plans"] for s in snapshots),
+            verify_hits=sum(s["verify_hits"] for s in snapshots),
+            evictions=evictions,
         )
+
+    def spec_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-spec counter snapshots keyed by digest (each consistent)."""
+        with self._registry_lock:
+            items = list(self._specs.items())
+        out: Dict[str, Dict[str, int]] = {}
+        for digest, entry in items:
+            snap = entry.snapshot()
+            snap["components"] = len(entry.planner.universe)
+            out[digest] = snap
+        return out

@@ -1,0 +1,141 @@
+"""SpecRegistry: LRU bound, sharding, service sync."""
+
+import pytest
+
+from repro.serve import PlanningService, SpecRegistry
+
+
+def manifest_with_n_components(n):
+    lines = ["[components]"]
+    lines += [f"C{i} @ host" for i in range(n)]
+    lines += ["", "[invariants]", ": C0", "", "[configurations]",
+              "base = " + "1" * n]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture
+def registry():
+    return SpecRegistry(PlanningService(), max_specs=3)
+
+
+class TestLRUBound:
+    def test_register_past_bound_evicts_least_recently_used(self, registry):
+        digests = []
+        for n in range(2, 6):
+            record, created = registry.register(manifest_with_n_components(n))
+            assert created is True
+            digests.append(record.digest)
+        assert len(registry) == 3
+        assert digests[0] not in registry
+        assert all(d in registry for d in digests[1:])
+
+    def test_eviction_drops_the_service_entry_too(self, registry):
+        first, _ = registry.register(manifest_with_n_components(2))
+        for n in range(3, 6):
+            registry.register(manifest_with_n_components(n))
+        assert not registry.service.has_spec(first.digest)
+        assert registry.service.stats().evictions == 1
+
+    def test_get_refreshes_lru_order(self, registry):
+        first, _ = registry.register(manifest_with_n_components(2))
+        second, _ = registry.register(manifest_with_n_components(3))
+        registry.get(first.digest)
+        registry.register(manifest_with_n_components(4))
+        registry.register(manifest_with_n_components(5))
+        assert first.digest in registry
+        assert second.digest not in registry
+
+    def test_reregister_is_idempotent_and_refreshes(self, registry):
+        first, created = registry.register(manifest_with_n_components(2))
+        again, created_again = registry.register(
+            manifest_with_n_components(2)
+        )
+        assert created and not created_again
+        assert again is first
+        assert len(registry) == 1
+
+    def test_max_specs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpecRegistry(PlanningService(), max_specs=0)
+
+
+class TestLookup:
+    def test_get_unknown_raises_keyerror_with_digest(self, registry):
+        with pytest.raises(KeyError, match="unknown spec digest 'beef'"):
+            registry.get("beef")
+
+    def test_peek_is_lru_neutral(self, registry):
+        first, _ = registry.register(manifest_with_n_components(2))
+        registry.register(manifest_with_n_components(3))
+        assert registry.peek(first.digest) is first
+        assert registry.peek("nope") is None
+        # peek must not have refreshed: first is still the LRU victim
+        registry.register(manifest_with_n_components(4))
+        registry.register(manifest_with_n_components(5))
+        assert first.digest not in registry
+
+    def test_evict_returns_whether_anything_existed(self, registry):
+        record, _ = registry.register(manifest_with_n_components(2))
+        assert registry.evict(record.digest) is True
+        assert registry.evict(record.digest) is False
+        assert not registry.service.has_spec(record.digest)
+
+
+class TestSharding:
+    def test_owns_partitions_the_digest_space(self):
+        service = PlanningService()
+        total = 4
+        shards = [
+            SpecRegistry(service, shard=(i, total)) for i in range(total)
+        ]
+        digests = [f"{v:08x}{'0' * 56}" for v in range(64)]
+        for digest in digests:
+            owners = [s.owns(digest) for s in shards]
+            assert sum(owners) == 1
+            assert owners[int(digest[:8], 16) % total]
+
+    def test_unsharded_registry_owns_everything(self, registry):
+        assert registry.owns("0" * 64)
+        assert registry.owns("f" * 64)
+
+    def test_foreign_specs_are_transient_and_evicted_first(self):
+        text = manifest_with_n_components(2)
+        probe = SpecRegistry(PlanningService(), max_specs=8)
+        digest, _ = probe.register(text)
+        index = int(digest.digest[:8], 16) % 2
+        foreign = (index + 1) % 2
+
+        registry = SpecRegistry(
+            PlanningService(), max_specs=2, shard=(foreign, 2)
+        )
+        record, _ = registry.register(text)
+        assert record.transient is True
+        # two owned specs push the transient one out first, even though
+        # it is not the least recently used
+        owned = []
+        for n in (3, 4, 5):
+            rec, _ = registry.register(manifest_with_n_components(n))
+            if not rec.transient:
+                owned.append(rec)
+            if record.digest not in registry:
+                break
+        assert record.digest not in registry
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(ValueError):
+            SpecRegistry(PlanningService(), shard=(2, 2))
+
+
+class TestDescribe:
+    def test_describe_merges_manifest_facts_with_counters(self, registry):
+        record, _ = registry.register(manifest_with_n_components(2))
+        source = registry.get(record.digest).manifest.resolve_configuration(
+            "base"
+        )
+        registry.service.plan_digest(record.digest, source, source)
+        (doc,) = registry.describe()
+        assert doc["digest"] == record.digest
+        assert doc["components"] == 2
+        assert doc["configurations"] == ["base"]
+        assert doc["owned"] is True
+        assert doc["cold_plans"] == 1

@@ -2,18 +2,23 @@
 
 A development-time linter earns its keep only if it is fast enough to
 run on every save and in every CI job.  This benchmark times the full
-SA1xx–SA4xx pipeline (tolerant scan → well-formedness → compiled-mask
-satisfiability → safe-space/SAG analysis → contract checks) on:
+SA1xx–SA6xx pipeline (tolerant scan → well-formedness → compiled-mask
+satisfiability → safe-space/SAG analysis → interference pair sweep →
+contract checks) on:
 
 * the paper's §5 video manifest (7 components, 17 actions);
-* the seeded-defect fixture (every diagnostic code fires);
+* the seeded-defect fixture (every enumerable diagnostic code fires);
 * a synthetic wide spec at the SA3xx enumeration cap boundary.
 
-Headline numbers land in ``benchmarks/BENCH_lint.json``.  The assertions
-pin behaviour (diagnostic counts), not wall-clock — timings are recorded
-for trajectory tracking, never gated on shared CI runners.
+It also isolates the SA6xx interference stage's share of the wide run,
+and measures the control plane's warm lint cache against a cold
+dispatch — the one gated number (warm ≥ 10x cold): the warm path is a
+dict probe returning precomputed bytes, so a miss of that factor means
+the fast lane is broken, not that the runner is slow.  Headline numbers
+land in ``benchmarks/BENCH_lint.json``.
 """
 
+import time
 from pathlib import Path
 
 from benchmarks.conftest import report
@@ -71,7 +76,12 @@ def test_lint_defective_fixture(benchmark):
         rounds=20,
         iterations=1,
     )
-    assert set(result.codes()) == set(CODES) - {"SA307", "SA504"}
+    # SA307/SA504/SA605 need the cap or an exhausted budget; SA601/SA603
+    # need racing pairs that share a safe source, which the fixture's
+    # invariant web forbids — examples/racing.manifest covers those.
+    assert set(result.codes()) == set(CODES) - {
+        "SA307", "SA504", "SA601", "SA603", "SA605"
+    }
     stats = benchmark.stats.stats
     report(
         "lint latency: defective fixture (every enumerable code)",
@@ -99,4 +109,87 @@ def test_lint_wide_manifest(benchmark):
             "diagnostics": len(result),
         },
         json_path=LINT_JSON,
+    )
+
+
+def _mean_seconds(fn, rounds: int = 5) -> float:
+    fn()  # warm caches and imports outside the timed window
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds
+
+
+def test_interference_stage_share():
+    """SA6xx pair-sweep time, isolated by differencing the pipeline.
+
+    The wide chain has 34 actions (561 unordered pairs) over 19 safe
+    configurations — a dense pair×source workload.  Stage time is the
+    full pipeline minus the same pipeline with the interference stage
+    stubbed out; recorded for trajectory, not gated.
+    """
+    import repro.lint.checks as checks_mod
+
+    text = wide_manifest()
+    full_s = _mean_seconds(lambda: lint_text(text, path="wide.manifest"))
+    original = checks_mod.check_interference
+    checks_mod.check_interference = lambda *args, **kwargs: None
+    try:
+        rest_s = _mean_seconds(lambda: lint_text(text, path="wide.manifest"))
+    finally:
+        checks_mod.check_interference = original
+    stage_ms = max(0.0, (full_s - rest_s) * 1e3)
+    share = stage_ms / (full_s * 1e3) if full_s else 0.0
+    report(
+        "lint SA6xx interference stage: 34 actions x 19 safe sources",
+        f"stage {stage_ms:.2f} ms of {full_s * 1e3:.2f} ms total "
+        f"({share:.0%})",
+        data={
+            "stage_ms": round(stage_ms, 3),
+            "pipeline_ms": round(full_s * 1e3, 3),
+            "share": round(share, 3),
+        },
+        json_path=LINT_JSON,
+    )
+
+
+def test_warm_lint_cache_speedup():
+    """Warm ``/v1/lint`` wire bytes vs a cold dispatch — gated ≥ 10x.
+
+    The warm path is a canonical-key dict probe over precomputed bytes;
+    the cold path re-runs the analyzer and re-renders.  The 10x floor is
+    intentionally far below the real gap (typically 100x+) so the gate
+    only trips when the fast lane stops being hit at all.
+    """
+    from repro.serve import ControlPlane, to_wire
+    from repro.serve.api import lint_request_from_json
+
+    control = ControlPlane()
+    payload = {"manifest": video_manifest_text()}
+
+    cold_s = _mean_seconds(
+        lambda: control.dispatch(lint_request_from_json(payload)), rounds=10
+    )
+    response = control.dispatch(lint_request_from_json(payload))
+    wire = to_wire(response)
+    control.lint_wire_store(payload, response, wire)
+
+    assert control.lint_wire_fast(payload) == wire
+    warm_s = _mean_seconds(
+        lambda: control.lint_wire_fast(payload), rounds=200
+    )
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    report(
+        "warm lint cache: /v1/lint wire bytes vs cold dispatch",
+        f"cold {cold_s * 1e3:.2f} ms, warm {warm_s * 1e6:.1f} us = "
+        f"{speedup:,.0f}x",
+        data={
+            "cold_ms": round(cold_s * 1e3, 3),
+            "warm_us": round(warm_s * 1e6, 2),
+            "speedup": round(speedup, 1),
+        },
+        json_path=LINT_JSON,
+    )
+    assert speedup >= 10.0, (
+        f"warm lint cache only {speedup:.1f}x over cold dispatch"
     )

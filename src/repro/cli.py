@@ -4,8 +4,12 @@ Usage (``python -m repro <command> ...``):
 
 * ``check MANIFEST`` — validate a manifest (the analyzer's SA1xx
   well-formedness gate); print the model summary.
-* ``lint MANIFEST...`` — full static analysis (SA1xx–SA4xx) with
-  ``--format text|json|sarif`` and a ``--fail-on`` severity gate.
+* ``lint MANIFEST...`` — full static analysis (SA1xx–SA6xx, including
+  the interference checks for races between concurrent adaptations)
+  with ``--format text|json|sarif``, a ``--fail-on`` severity gate, and
+  ``--fix [--diff]`` to apply the machine-applicable repairs in place.
+  Exit code: 0 when no diagnostic at or above ``--fail-on`` remains,
+  1 otherwise, 2 on usage errors (argparse).
 * ``safe-configs MANIFEST`` — enumerate the safe configuration set (Table 1).
 * ``plan MANIFEST --from SRC --to DST [--k N] [--lazy]
   [--method auto|dijkstra|lazy|collaborative]`` — compute the Minimum
@@ -96,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--verbose", action="store_true",
         help="also report analysis stages that were skipped and why",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply the machine-applicable fixes in place (lint -> fix "
+             "-> re-lint to a fixed point), then report what remains",
+    )
+    lint.add_argument(
+        "--diff", action="store_true",
+        help="with --fix: print a unified diff of each rewritten file",
     )
     lint.add_argument(
         "--max-enum-components", type=int, default=None, metavar="N",
@@ -311,6 +324,29 @@ def cmd_lint(args, out) -> int:
     from pathlib import Path
 
     from repro.serve import ControlPlane, LintRequest
+
+    if args.diff and not args.fix:
+        raise ReproError("--diff requires --fix")
+    if args.fix:
+        from repro.lint import fix_text, unified_diff
+
+        for name in args.manifests:
+            before = Path(name).read_text(encoding="utf-8")
+            fixed, applied = fix_text(
+                before,
+                path=name,
+                max_enum_components=args.max_enum_components,
+                workers=args.enum_workers,
+            )
+            if applied and fixed != before:
+                Path(name).write_text(fixed, encoding="utf-8")
+            if args.diff:
+                diff = unified_diff(before, fixed, path=name)
+                if diff:
+                    print(diff, file=out, end="")
+            print(f"{name}: {applied} fix(es) applied", file=out)
+        # fall through: re-lint the rewritten files so the exit code
+        # reflects what --fix could not repair
 
     sources = tuple(
         (name, Path(name).read_text(encoding="utf-8"))

@@ -63,11 +63,14 @@ def collaborative_sets(
     universe: ComponentUniverse,
     invariants: InvariantSet,
     actions: ActionLibrary,
+    conflicts: Iterable[Tuple[str, str]] = (),
 ) -> Tuple[FrozenSet[str], ...]:
     """Partition the universe into collaborative sets.
 
     Returns the sets sorted by their smallest member (deterministic).
     Components mentioned by no invariant and no action form singleton sets.
+    Declared ``[conflicts]`` action pairs must serialize, so the touched
+    components of both actions in a pair are forced into one set.
     """
     uf = UnionFind(universe.names)
     for invariant in invariants:
@@ -78,6 +81,14 @@ def collaborative_sets(
         touched = sorted(action.touched & universe.names)
         for other in touched[1:]:
             uf.union(touched[0], other)
+    for first, second in conflicts:
+        joint: List[str] = []
+        for action_id in (first, second):
+            if action_id in actions:
+                touched = actions.get(action_id).touched & universe.names
+                joint.extend(sorted(touched))
+        for other in joint[1:]:
+            uf.union(joint[0], other)
     groups = uf.groups()
     groups.sort(key=lambda group: min(group))
     return tuple(groups)

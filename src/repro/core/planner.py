@@ -114,10 +114,14 @@ class AdaptationPlanner:
         actions: ActionLibrary,
         workers: Optional[int] = None,
         spt_cache_size: int = SPT_CACHE_SIZE,
+        conflicts: Tuple[Tuple[str, str], ...] = (),
     ):
         self.universe = universe
         self.invariants = invariants
         self.actions = actions
+        #: declared racing action pairs (manifest ``[conflicts]``) — kept
+        #: inside one collaborative set so they serialize under one manager
+        self.conflicts = tuple(conflicts)
         self.space = SafeConfigurationSpace(universe, invariants, workers=workers)
         self.spt_cache_size = max(1, spt_cache_size)
         self._sag: Optional[SafeAdaptationGraph] = None
@@ -697,7 +701,10 @@ class AdaptationPlanner:
         and actions never span sets — guaranteed by construction).
         """
         self._validate_endpoints(source, target)
-        groups = collaborative_sets(self.universe, self.invariants, self.actions)
+        groups = collaborative_sets(
+            self.universe, self.invariants, self.actions,
+            conflicts=self.conflicts,
+        )
         current = source
         steps: List[PlanStep] = []
         total = 0.0

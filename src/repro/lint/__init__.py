@@ -13,6 +13,9 @@ Public API:
   well-formedness is enforced by the constructors).
 * :func:`lint_source` — analyze an already-scanned
   :class:`~repro.manifest.ManifestSource`.
+* :func:`fix_text` / :func:`apply_fixes` — apply the machine-applicable
+  :class:`~repro.lint.fixes.Fix` edits attached to diagnostics
+  (``repro lint --fix``); :func:`unified_diff` renders the change.
 
 See ``DESIGN.md`` §10 for the full code table and pipeline description.
 """
@@ -39,6 +42,15 @@ from repro.lint.diagnostics import (
     Severity,
     describe_code,
 )
+from repro.lint.fixes import (
+    Edit,
+    Fix,
+    apply_edits,
+    apply_fixes,
+    fix_text,
+    unified_diff,
+)
+from repro.lint.interference import MAX_PAIR_SOURCES, check_interference
 from repro.lint.render import render_json, render_sarif, render_text
 from repro.manifest import ManifestSource, SystemManifest, scan
 
@@ -102,15 +114,22 @@ def lint_system(
 __all__ = [
     "CODES",
     "Diagnostic",
+    "Edit",
+    "Fix",
     "LintReport",
     "MAX_ENUM_COMPONENTS",
+    "MAX_PAIR_SOURCES",
     "MAX_SAT_ATOMS",
     "Related",
     "Severity",
     "action_arcs",
     "analyze_source",
     "analyze_system",
+    "apply_edits",
+    "apply_fixes",
+    "check_interference",
     "describe_code",
+    "fix_text",
     "jointly_satisfiable",
     "lint_path",
     "lint_source",
@@ -120,4 +139,5 @@ __all__ = [
     "render_sarif",
     "render_text",
     "truth_profile",
+    "unified_diff",
 ]

@@ -1,4 +1,4 @@
-"""The adaptation-spec analyzers behind ``repro lint`` (SA1xx–SA5xx).
+"""The adaptation-spec analyzers behind ``repro lint`` (SA1xx–SA6xx).
 
 The pipeline mirrors the paper's development-time analysis phase:
 
@@ -18,13 +18,19 @@ The pipeline mirrors the paper's development-time analysis phase:
    connectivity of the Safe Adaptation Graph, and reachability between
    the manifest's named configurations (Hufflen-style reconfiguration
    path checking, arXiv:1703.07036).
-4. **SA5xx (temporal properties)** compiles each ``[properties]`` formula
+4. **SA6xx (interference)** checks every unordered action pair for
+   concurrency hazards (:mod:`repro.lint.interference`): non-commuting
+   firing orders, blocking-window overlap, lost inverses, and
+   conflicting touched sets, honoring declared ``[conflicts]`` pairs —
+   over the enumerated safe space when SA3xx enumerated it, over the
+   named configurations (with an SA605 note) above the cap.
+5. **SA5xx (temporal properties)** compiles each ``[properties]`` formula
    (:class:`~repro.ltl.compile.CompiledProperty`) and checks it over the
    safe space (satisfiability) and over every ordered pair of safe named
    configurations by path-quantified verification
    (:func:`repro.ltl.paths.verify_paths`) — eagerly below the
    enumeration cap, by budget-bounded frontier search above it.
-5. **SA4xx (runtime contracts)** vets the declared CCS language shape for
+6. **SA4xx (runtime contracts)** vets the declared CCS language shape for
    online enforceability, flags globally blocking actions, and reports
    blast radii via :mod:`repro.core.analysis`.
 
@@ -48,6 +54,8 @@ from repro.expr.ast import Expr
 from repro.expr.compile import compile_conjunction
 from repro.expr.parser import parse
 from repro.lint.diagnostics import LintReport, Related, Severity
+from repro.lint.fixes import Edit, delete_line_fix
+from repro.lint.interference import check_interference
 from repro.ltl.ast import PFormula, parse_property
 from repro.manifest import (
     CCSEntry,
@@ -106,6 +114,8 @@ class _Model:
     ccs: List[CCSEntry] = field(default_factory=list)
     properties: List[_PropertyItem] = field(default_factory=list)
     sections: Dict[str, Span] = field(default_factory=dict)
+    #: declared ``[conflicts]`` pairs (sorted, deduped) — SA6xx skips them
+    conflicts: List[Tuple[str, str]] = field(default_factory=list)
 
     def section_span(self, name: str) -> Span:
         return self.sections.get(name, Span(1, 1))
@@ -215,6 +225,12 @@ def _collect(
                 entry.span,
                 path,
                 related=[Related("first declared here", seen[entry.name])],
+                fixes=[
+                    delete_line_fix(
+                        f"delete the duplicate {entry.name!r} declaration",
+                        entry.span,
+                    )
+                ],
             )
             continue
         seen[entry.name] = entry.span
@@ -296,6 +312,12 @@ def _collect(
                 related=[
                     Related("first declared here", action_spans[act_entry.action_id])
                 ],
+                fixes=[
+                    delete_line_fix(
+                        f"delete the duplicate {act_entry.action_id!r} line",
+                        act_entry.span,
+                    )
+                ],
             )
             continue
         unknown = sorted((removes | adds) - model.universe.names)
@@ -360,6 +382,13 @@ def _collect(
                 cfg_entry.span,
                 path,
                 related=[Related("first defined here", previous.span)],
+                fixes=[
+                    delete_line_fix(
+                        f"delete the shadowed first {cfg_entry.name!r} "
+                        "definition",
+                        previous.span,
+                    )
+                ],
             )
             model.configurations[config_index[cfg_entry.name]] = _ConfigItem(
                 cfg_entry.name, resolved, cfg_entry.span
@@ -379,11 +408,19 @@ def _collect(
         try:
             formula = parse_property(prop_entry.formula_text)
         except ParseError as exc:
+            span = prop_entry.formula_span
+            if exc.position:
+                span = Span(
+                    span.line,
+                    span.column + exc.position,
+                    span.line,
+                    span.end_column,
+                )
             report.add(
                 "SA100",
                 f"bad property formula {prop_entry.formula_text!r}: "
                 f"{exc.args[0] if exc.args else exc}",
-                prop_entry.formula_span,
+                span,
                 path,
             )
             continue
@@ -413,6 +450,34 @@ def _collect(
             _PropertyItem(prop_entry.name, formula, prop_entry.span)
         )
 
+    # SA606: a [conflicts] pair naming an action the library does not
+    # have (strict build() raises here; the linter reports and drops).
+    for conflict_entry in source.conflicts:
+        unknown = sorted(
+            aid for aid in conflict_entry.actions if aid not in action_spans
+        )
+        if unknown:
+            report.add(
+                "SA606",
+                f"conflicts entry names unknown action(s) "
+                f"{', '.join(repr(aid) for aid in unknown)}",
+                conflict_entry.span,
+                path,
+                fixes=[
+                    delete_line_fix(
+                        "delete the conflicts entry naming unknown actions",
+                        conflict_entry.span,
+                    )
+                ],
+            )
+            continue
+        pair = (
+            min(conflict_entry.actions),
+            max(conflict_entry.actions),
+        )
+        if pair not in model.conflicts:
+            model.conflicts.append(pair)
+
     # SA108: components no invariant constrains and no action touches can
     # never participate in (or gate) an adaptation — dead weight that
     # doubles the safe space per component.
@@ -422,15 +487,45 @@ def _collect(
             referenced |= item.invariant.atoms()
         for act_item in model.actions:
             referenced |= act_item.action.touched
-        for name in model.universe.order:
-            if name not in referenced:
-                report.add(
-                    "SA108",
-                    f"component {name!r} is not constrained by any invariant "
-                    "nor touched by any action",
-                    seen[name],
-                    path,
+        width = len(model.universe)
+        for index, name in enumerate(model.universe.order):
+            if name in referenced:
+                continue
+            # The fix drops the declaration *and* splices the component's
+            # bit out of every full-width bit-vector configuration value,
+            # so the shrunk universe does not cascade into SA103 errors.
+            splices = []
+            for cfg_entry in source.configurations:
+                value = cfg_entry.value
+                if not _looks_like_bits(value) or len(value) != width:
+                    continue
+                vspan = cfg_entry.value_span
+                splices.append(
+                    Edit(
+                        Span(
+                            vspan.line,
+                            vspan.column + index,
+                            vspan.line,
+                            vspan.column + index + 1,
+                        ),
+                        "",
+                    )
                 )
+            report.add(
+                "SA108",
+                f"component {name!r} is not constrained by any invariant "
+                "nor touched by any action",
+                seen[name],
+                path,
+                fixes=[
+                    delete_line_fix(
+                        f"delete unused component {name!r} (and its bit in "
+                        "every bit-vector configuration)",
+                        seen[name],
+                        extra=splices,
+                    )
+                ],
+            )
     return model
 
 
@@ -528,7 +623,11 @@ def _check_actions(
     path: Optional[str],
     max_enum_components: Optional[int] = None,
     workers: Optional[int] = None,
-) -> None:
+    fixes_enabled: bool = False,
+) -> Optional[Tuple[List[int], FrozenSet[int]]]:
+    """SA3xx.  Returns ``(safe_masks, safe_set)`` when the safe space was
+    enumerated (the SA6xx stage reuses it), ``None`` above the cap or on
+    an empty safe space."""
     from repro.core.space import SafeConfigurationSpace
 
     cap = MAX_ENUM_COMPONENTS if max_enum_components is None else max_enum_components
@@ -556,7 +655,7 @@ def _check_actions(
             path,
         )
         _check_named_pairs_lazy(model, report, path)
-        return
+        return None
     space = SafeConfigurationSpace(universe, model.kept_invariants(), workers=workers)
     safe_masks = space.enumerate_masks()
     if not safe_masks:
@@ -568,7 +667,7 @@ def _check_actions(
             path,
         )
         report.skipped.append("SA3xx skipped: empty safe space")
-        return
+        return None
     safe_set = frozenset(safe_masks)
     bits = universe.atom_bits
 
@@ -590,6 +689,16 @@ def _check_actions(
                 f"dead action {action.action_id!r}: {detail}",
                 item.span,
                 path,
+                fixes=(
+                    [
+                        delete_line_fix(
+                            f"delete dead action {action.action_id!r}",
+                            item.span,
+                        )
+                    ]
+                    if fixes_enabled
+                    else []
+                ),
             )
 
     for item in model.actions:
@@ -612,11 +721,23 @@ def _check_actions(
                     item.span,
                     path,
                     related=[Related("dominating action", other.span)],
+                    fixes=(
+                        [
+                            delete_line_fix(
+                                f"delete dominated action "
+                                f"{item.action.action_id!r}",
+                                item.span,
+                            )
+                        ]
+                        if fixes_enabled
+                        else []
+                    ),
                 )
                 break
 
     _check_connectivity(model, report, path, safe_masks, arcs_by_action)
     _check_named_pairs(model, report, path, space, arcs_by_action)
+    return safe_masks, safe_set
 
 
 def _check_library_actions(
@@ -1129,13 +1250,28 @@ def analyze_source(
     model = _collect(source, report)
     if model is not None:
         path = source.path
+        cap = (
+            MAX_ENUM_COMPONENTS
+            if max_enum_components is None
+            else max_enum_components
+        )
         _check_invariants(model, report, path)
-        _check_actions(
+        action_info = _check_actions(
             model,
             report,
             path,
             max_enum_components=max_enum_components,
             workers=workers,
+            fixes_enabled=True,
+        )
+        check_interference(
+            model,
+            report,
+            path,
+            action_info,
+            cap_exceeded=len(model.universe) > cap,
+            line_count=source.line_count,
+            fixes_enabled=True,
         )
         _check_properties(
             model, report, path, max_enum_components=max_enum_components
@@ -1203,13 +1339,26 @@ def analyze_system(
                     spans.components.get(name, Span(1, 1)),
                     path,
                 )
+    model.conflicts = list(manifest.conflicts)
+    cap = (
+        MAX_ENUM_COMPONENTS
+        if max_enum_components is None
+        else max_enum_components
+    )
     _check_invariants(model, report, path)
-    _check_actions(
+    action_info = _check_actions(
         model,
         report,
         path,
         max_enum_components=max_enum_components,
         workers=workers,
+    )
+    check_interference(
+        model,
+        report,
+        path,
+        action_info,
+        cap_exceeded=len(model.universe) > cap,
     )
     _check_properties(
         model, report, path, max_enum_components=max_enum_components

@@ -17,10 +17,18 @@ The code space mirrors a real linter's:
   blocking, blast radius);
 * **SA5xx** — temporal-property checks over the ``[properties]`` section
   (unsatisfiable properties, path-quantified violations, budget-bounded
-  inconclusive results).
+  inconclusive results);
+* **SA6xx** — interference between concurrent adaptive actions
+  (non-commuting firing orders, blocking-window overlap, lost-inverse
+  and conflicting-touch races, plus the declared ``[conflicts]``
+  machinery that silences a reviewed pair).
 
 Codes are append-only: a released code never changes meaning, so CI
 suppressions (``--fail-on``) and SARIF baselines stay stable.
+
+Diagnostics may carry machine-applicable :class:`~repro.lint.fixes.Fix`
+edits (``repro lint --fix``); a fix is attached only when the repair is
+mechanical and cannot change the meaning of unrelated entries.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.lint.fixes import Fix
 from repro.span import Span
 
 
@@ -70,6 +79,8 @@ class Diagnostic:
     span: Span
     path: Optional[str] = None
     related: Tuple[Related, ...] = ()
+    #: machine-applicable repairs (empty for most findings)
+    fixes: Tuple[Fix, ...] = ()
 
     def location(self) -> str:
         return self.span.label(self.path)
@@ -81,6 +92,8 @@ class Diagnostic:
         ]
         for rel in self.related:
             lines.append(f"    {rel.span.label(rel.path or self.path)}: {rel.message}")
+        for fix in self.fixes:
+            lines.append(f"    fix: {fix.description}")
         return "\n".join(lines)
 
 
@@ -117,6 +130,12 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SA503": (Severity.WARNING, "property violated on some k-best adaptation path"),
     "SA504": (Severity.NOTE, "path-quantified property check inconclusive under the expansion budget"),
     "SA505": (Severity.ERROR, "property mentions an unknown component"),
+    "SA601": (Severity.WARNING, "non-commutative action pair: concurrent firing orders reach different configurations"),
+    "SA602": (Severity.WARNING, "blocking-window overlap: concurrent pair stalls every process at once"),
+    "SA603": (Severity.WARNING, "lost-inverse race: a concurrent action breaks the pair's rollback path"),
+    "SA604": (Severity.WARNING, "conflicting-touch race: overlapping touched sets make one firing order unsafe"),
+    "SA605": (Severity.NOTE, "interference analysis restricted to named configurations above the enumeration cap"),
+    "SA606": (Severity.ERROR, "conflicts entry references an unknown action"),
 }
 
 
@@ -142,6 +161,7 @@ class LintReport:
         path: Optional[str] = None,
         related: Iterable[Related] = (),
         severity: Optional[Severity] = None,
+        fixes: Iterable[Fix] = (),
     ) -> Diagnostic:
         if code not in CODES:
             raise ValueError(f"unregistered diagnostic code {code!r}")
@@ -152,6 +172,7 @@ class LintReport:
             span=span,
             path=path,
             related=tuple(related),
+            fixes=tuple(fixes),
         )
         self.diagnostics.append(diagnostic)
         return diagnostic

@@ -14,6 +14,7 @@ import json
 from typing import Any, Dict, List, Optional
 
 from repro.lint.diagnostics import CODES, Diagnostic, LintReport, Related, Severity
+from repro.lint.fixes import Fix
 
 #: SARIF ``level`` per severity (SARIF has no "error < warning" ordering
 #: of its own; ``note`` is its mildest level).
@@ -65,6 +66,17 @@ def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, Any]:
                 "span": _span_json(rel),
             }
             for rel in diagnostic.related
+        ],
+        "fixes": [_fix_json(fix) for fix in diagnostic.fixes],
+    }
+
+
+def _fix_json(fix: Fix) -> Dict[str, Any]:
+    return {
+        "description": fix.description,
+        "edits": [
+            {"span": _span_json(edit), "replacement": edit.replacement}
+            for edit in fix.edits
         ],
     }
 
@@ -131,7 +143,37 @@ def _sarif_result(diagnostic: Diagnostic) -> Dict[str, Any]:
             }
             for rel in diagnostic.related
         ]
+    if diagnostic.fixes:
+        result["fixes"] = [
+            _sarif_fix(diagnostic.path, fix) for fix in diagnostic.fixes
+        ]
     return result
+
+
+def _sarif_fix(path: Optional[str], fix: Fix) -> Dict[str, Any]:
+    replacements = []
+    for edit in fix.edits:
+        span = edit.span
+        replacement: Dict[str, Any] = {
+            "deletedRegion": {
+                "startLine": span.line,
+                "startColumn": span.column,
+                "endLine": span.end_line,
+                "endColumn": span.end_column,
+            }
+        }
+        if edit.replacement:
+            replacement["insertedContent"] = {"text": edit.replacement}
+        replacements.append(replacement)
+    return {
+        "description": {"text": fix.description},
+        "artifactChanges": [
+            {
+                "artifactLocation": {"uri": path or "manifest"},
+                "replacements": replacements,
+            }
+        ],
+    }
 
 
 def _sarif_location(

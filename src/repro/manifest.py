@@ -76,6 +76,7 @@ _SECTIONS = (
     "configurations",
     "ccs",
     "properties",
+    "conflicts",
 )
 
 _COMPONENT_RE = re.compile(
@@ -146,6 +147,15 @@ class CCSEntry:
 
 
 @dataclass(frozen=True)
+class ConflictEntry:
+    """One ``[conflicts]`` line: a pair of actions that must serialize."""
+
+    label: str
+    actions: Tuple[str, ...]
+    span: Span
+
+
+@dataclass(frozen=True)
 class PropertyEntry:
     """One ``[properties]`` line as scanned (formula still text)."""
 
@@ -174,8 +184,11 @@ class ManifestSource:
     configurations: List[ConfigEntry] = field(default_factory=list)
     ccs: List[CCSEntry] = field(default_factory=list)
     properties: List[PropertyEntry] = field(default_factory=list)
+    conflicts: List[ConflictEntry] = field(default_factory=list)
     issues: List[SyntaxIssue] = field(default_factory=list)
     sections: Dict[str, Span] = field(default_factory=dict)
+    #: number of physical lines scanned (anchors end-of-file fix edits)
+    line_count: int = 0
 
     def section_span(self, name: str) -> Span:
         """Span of a section header (line 1 when the section is absent)."""
@@ -205,10 +218,16 @@ class SystemManifest:
     configurations: Dict[str, Configuration] = field(default_factory=dict)
     ccs: Optional[CCSSpec] = None
     properties: Dict[str, PFormula] = field(default_factory=dict)
+    #: declared racing action pairs — the planner keeps each pair inside
+    #: one collaborative set and lint stops reporting the pair as a race
+    conflicts: Tuple[Tuple[str, str], ...] = ()
     spans: ManifestSpans = field(default_factory=ManifestSpans)
 
     def planner(self) -> AdaptationPlanner:
-        return AdaptationPlanner(self.universe, self.invariants, self.actions)
+        return AdaptationPlanner(
+            self.universe, self.invariants, self.actions,
+            conflicts=self.conflicts,
+        )
 
     def property_named(self, name: str) -> PFormula:
         """Look up a ``[properties]`` entry; raises with the known names."""
@@ -273,6 +292,7 @@ def scan(
     behavior ``repro lint`` needs to report *every* defect at once.
     """
     source = ManifestSource(path=path)
+    source.line_count = text.count("\n") + (1 if text and not text.endswith("\n") else 0)
     section: Optional[str] = None
 
     def problem(message: str, span: Span) -> None:
@@ -375,6 +395,30 @@ def scan(
                 continue
             source.ccs.append(
                 CCSEntry(label=label.strip(), actions=actions, span=span)
+            )
+        elif section == "conflicts":
+            label, colon, seq_text = line.partition(":")
+            if not colon:
+                label, seq_text = "", line
+            actions = tuple(
+                part for part in re.split(r"[,\s]+", seq_text.strip()) if part
+            )
+            if len(actions) != 2:
+                problem(
+                    f"line {line_no}: conflicts entries name exactly two "
+                    f"actions, got {len(actions)}",
+                    span,
+                )
+                continue
+            if actions[0] == actions[1]:
+                problem(
+                    f"line {line_no}: conflict pair repeats action "
+                    f"{actions[0]!r}",
+                    span,
+                )
+                continue
+            source.conflicts.append(
+                ConflictEntry(label=label.strip(), actions=actions, span=span)
             )
         elif section == "properties":
             name, colon, formula_text = line.partition(":")
@@ -485,7 +529,23 @@ def build(source: ManifestSource) -> SystemManifest:
     if source.ccs:
         ccs = CCSSpec([entry.actions for entry in source.ccs], name="manifest")
 
-    manifest = SystemManifest(universe, invariants, actions, ccs=ccs, spans=spans)
+    conflicts: List[Tuple[str, str]] = []
+    for conflict_entry in source.conflicts:
+        unknown = [aid for aid in conflict_entry.actions if aid not in actions]
+        if unknown:
+            raise ParseError(
+                f"line {conflict_entry.span.line}: conflict names unknown "
+                f"action(s) {sorted(unknown)}",
+                span=conflict_entry.span,
+            )
+        first, second = sorted(conflict_entry.actions)
+        if (first, second) not in conflicts:
+            conflicts.append((first, second))
+
+    manifest = SystemManifest(
+        universe, invariants, actions, ccs=ccs,
+        conflicts=tuple(conflicts), spans=spans,
+    )
     for cfg_entry in source.configurations:
         try:
             resolved = manifest.resolve_configuration(cfg_entry.value)
@@ -507,10 +567,16 @@ def build(source: ManifestSource) -> SystemManifest:
         try:
             formula = parse_property(prop_entry.formula_text)
         except ParseError as exc:
+            span = prop_entry.formula_span
+            if exc.position:
+                span = Span(
+                    span.line, span.column + exc.position,
+                    span.line, span.end_column,
+                )
             raise ParseError(
                 f"line {line_no}: bad property formula "
                 f"{prop_entry.formula_text!r}: {exc}",
-                span=prop_entry.formula_span,
+                span=span,
             ) from exc
         unknown = formula.atoms() - universe.names
         if unknown:
@@ -571,6 +637,11 @@ def dumps(manifest: SystemManifest) -> str:
         lines.append("[properties]")
         for name, formula in manifest.properties.items():
             lines.append(f"{name} : {property_to_text(formula)}")
+    if manifest.conflicts:
+        lines.append("")
+        lines.append("[conflicts]")
+        for index, (first, second) in enumerate(manifest.conflicts):
+            lines.append(f"pair{index} : {first} {second}")
     lines.append("")
     return "\n".join(lines)
 

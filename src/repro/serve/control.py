@@ -18,7 +18,11 @@ envelope carrying the exception type and message — never a traceback.
 A warm-path **wire cache** (:meth:`plan_wire_fast`) lets the HTTP
 adapter answer repeated ``/v1/plan`` requests with precomputed response
 bytes while still counting the hit in the service's warm statistics —
-this is what carries the single-core throughput target.
+this is what carries the single-core throughput target.  Lint has the
+same fast lane (:meth:`lint_wire_fast`): repeated ``/v1/lint`` bodies
+are answered from cached bytes, keyed by the canonical request body and
+pinned to the spec digests of the (strictly loadable) sources so that
+evicting a spec drops every cached lint answer that mentioned it.
 """
 
 from __future__ import annotations
@@ -149,6 +153,11 @@ class _PropertyCheck:
 
 #: the only /v1/plan body shape the wire cache may answer
 _FAST_FIELDS = frozenset(("spec", "source", "target", "k", "method"))
+#: every /v1/lint body field (the lint wire cache keys on all of them)
+_LINT_FIELDS = frozenset((
+    "manifest", "sources", "format", "fail_on", "verbose",
+    "max_enum_components", "workers",
+))
 _FAST_CACHE_LIMIT = 4096
 
 
@@ -179,6 +188,9 @@ class ControlPlane:
         )
         #: (spec, source, target, method) → precomputed wire bytes
         self._fast_cache: Dict[Tuple[str, str, str, str], bytes] = {}
+        #: canonical /v1/lint body → (wire bytes, spec digests it depends on)
+        self._lint_cache: Dict[str, Tuple[bytes, Tuple[str, ...]]] = {}
+        self._lint_hits = 0
         self._handlers: Dict[type, Callable[[Any], Response]] = {
             RegisterSpecRequest: self._handle_register,
             EvictSpecRequest: self._handle_evict,
@@ -590,6 +602,7 @@ class ControlPlane:
                 "cold_plans": stats.cold_plans,
                 "lazy_plans": stats.lazy_plans,
                 "verify_hits": stats.verify_hits,
+                "lint_hits": self._lint_hits,
                 "evictions": stats.evictions,
             },
             specs=tuple(self.registry.describe()),
@@ -657,3 +670,82 @@ class ControlPlane:
             payload.get("method", "auto"),
         )
         self._fast_cache[key] = wire
+
+    # -- warm-path lint cache ----------------------------------------------------
+    @staticmethod
+    def _lint_key(payload: Any) -> Optional[str]:
+        """Canonical cache key for a ``/v1/lint`` body (None: uncacheable)."""
+        if not isinstance(payload, dict) or set(payload) - _LINT_FIELDS:
+            return None
+        try:
+            return json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def _lint_texts(payload: Dict[str, Any]) -> List[str]:
+        """The manifest texts a ``/v1/lint`` body carries (shape-tolerant)."""
+        texts: List[str] = []
+        if isinstance(payload.get("manifest"), str):
+            texts.append(payload["manifest"])
+        sources = payload.get("sources")
+        if isinstance(sources, list):
+            for entry in sources:
+                if isinstance(entry, str):
+                    texts.append(entry)
+                elif isinstance(entry, dict) and isinstance(
+                    entry.get("text"), str
+                ):
+                    texts.append(entry["text"])
+        return texts
+
+    def lint_wire_fast(self, payload: Any) -> Optional[bytes]:
+        """Precomputed response bytes for a warm ``/v1/lint`` body.
+
+        Lint is deterministic, so identical bodies always produce
+        identical reports — the cache answers them without re-running
+        the analyzer.  Each entry is pinned to the spec digests of the
+        sources that loaded strictly at store time; evicting any of
+        those specs (``DELETE /v1/specs/<digest>`` or registry LRU
+        pressure) invalidates the entry, so a dropped spec can never
+        keep serving stale lint bytes.
+        """
+        key = self._lint_key(payload)
+        if key is None:
+            return None
+        entry = self._lint_cache.get(key)
+        if entry is None:
+            return None
+        wire, digests = entry
+        if any(not self.service.has_spec(digest) for digest in digests):
+            self._lint_cache.pop(key, None)
+            return None
+        self._lint_hits += 1
+        return wire
+
+    def lint_wire_store(
+        self, payload: Any, response: Response, wire: bytes
+    ) -> None:
+        """Cache a just-dispatched ``/v1/lint`` answer for the fast path.
+
+        Only successful reports are eligible; error envelopes (bad
+        format, malformed body) are cheap to recompute and never enter
+        the cache.  Sources that load strictly are registered so the
+        entry's lifetime is tied to their spec digests; defective
+        sources — lint's bread and butter — contribute no digest and the
+        entry simply lives until the cache is cleared by size pressure.
+        """
+        key = self._lint_key(payload)
+        if key is None or not isinstance(response, LintResult):
+            return
+        digests: List[str] = []
+        for text in self._lint_texts(payload):
+            try:
+                record, _ = self.registry.register(text)
+            except Exception:  # noqa: BLE001 — defective manifests are fine
+                continue
+            if record.digest not in digests:
+                digests.append(record.digest)
+        if len(self._lint_cache) >= _FAST_CACHE_LIMIT:
+            self._lint_cache.clear()
+        self._lint_cache[key] = (wire, tuple(digests))

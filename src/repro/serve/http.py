@@ -325,9 +325,8 @@ class ControlPlaneHTTPServer:
                 deadline_ms,
             )
         if path == "/v1/lint" and method == "POST":
-            return await self._post_json(
-                lint_request_from_json, body, writer, keep_alive, deadline_ms
-            )
+            return await self._post_lint(body, writer, keep_alive,
+                                         deadline_ms)
         if path == "/v1/trace-check" and method == "POST":
             return await self._post_json(
                 trace_check_request_from_json, body, writer, keep_alive,
@@ -397,6 +396,38 @@ class ControlPlaneHTTPServer:
             return keep_alive  # rejected (already answered) or shutdown
         wire = to_wire(response)
         self.control.plan_wire_store(payload, response, wire)
+        self._served += 1
+        self._write(writer, response_status(response), wire,
+                    keep_alive=keep_alive)
+        return keep_alive
+
+    async def _post_lint(self, body, writer, keep_alive, deadline_ms) -> bool:
+        try:
+            payload = self._decode_json(body)
+        except RequestDecodeError as exc:
+            status, wire = _wire_error("bad-request", str(exc))
+            self._write(writer, status, wire, keep_alive=keep_alive)
+            return keep_alive
+        # warm fast lane: lint is deterministic, so a repeated body is
+        # answered from cached bytes without re-running the analyzer
+        wire = self.control.lint_wire_fast(payload)
+        if wire is not None:
+            self._fast_hits += 1
+            self._served += 1
+            self._write(writer, 200, wire, keep_alive=keep_alive)
+            return keep_alive
+        try:
+            request = lint_request_from_json(payload)
+        except RequestDecodeError as exc:
+            status, wire = _wire_error("bad-request", str(exc))
+            self._write(writer, status, wire, keep_alive=keep_alive)
+            return keep_alive
+        response = await self._dispatch(request, writer, keep_alive,
+                                        deadline_ms)
+        if response is None:
+            return keep_alive  # rejected (already answered) or shutdown
+        wire = to_wire(response)
+        self.control.lint_wire_store(payload, response, wire)
         self._served += 1
         self._write(writer, response_status(response), wire,
                     keep_alive=keep_alive)

@@ -1,0 +1,393 @@
+"""SA6xx interference checks: races between concurrent adaptive actions.
+
+Unit tests craft the smallest manifest that fires each code; the
+hypothesis suite pins the mask-based order-sensitivity verdicts against
+a brute-force AST enumeration of both firing orders over every safe
+configuration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import AdaptiveAction, MaskedAction
+from repro.core.invariants import InvariantSet
+from repro.core.model import ComponentUniverse
+from repro.core.space import SafeConfigurationSpace
+from repro.expr.ast import And, Atom, Implies, Not, OneOf, Or
+from repro.lint import lint_text
+
+
+def codes_of(report, code):
+    return [d for d in report if d.code == code]
+
+
+RACING = """\
+[components]
+FW @ edge
+CA @ core
+RX @ core
+
+[invariants]
+guarded : CA -> FW
+shielded : RX -> FW
+
+[actions]
+drop_fw : -FW @ 5
+add_fw : +FW @ 8
+drop_cache : -CA @ 5
+add_replica : +RX @ 12
+drop_replica : -RX @ 4
+
+[configurations]
+baseline = FW, CA
+hardened = FW, CA, RX
+"""
+
+
+class TestSA601OrderRace:
+    def test_one_order_commits_the_other_exits_safety(self):
+        report = lint_text(RACING)
+        [race] = [
+            d
+            for d in codes_of(report, "SA601")
+            if "'drop_cache'" in d.message
+        ]
+        # the safe order is named, the failing order explains itself
+        assert "'drop_cache', 'drop_fw' commits safely" in race.message
+        assert "exits the safe space once 'drop_fw' commits" in race.message
+        assert race.related[0].message == "races with this action"
+
+    def test_witness_is_the_minimized_common_source(self):
+        report = lint_text(RACING)
+        [race] = [
+            d
+            for d in codes_of(report, "SA601")
+            if "'drop_cache'" in d.message
+        ]
+        # {CA, FW} is the smallest safe source where both are applicable
+        assert "110 {CA,FW}" in race.message
+
+    def test_commuting_pairs_stay_silent(self):
+        report = lint_text(
+            """
+[components]
+A @ p1
+B @ p1
+
+[actions]
+on_a : +A @ 1
+on_b : +B @ 1
+"""
+        )
+        assert not codes_of(report, "SA601")
+
+    def test_declared_conflict_silences_the_pair(self):
+        report = lint_text(
+            RACING
+            + "\n[conflicts]\ncache_fw : drop_cache drop_fw\n"
+        )
+        assert not [
+            d
+            for d in codes_of(report, "SA601")
+            if "'drop_cache'" in d.message
+        ]
+
+
+class TestSA602BlockingOverlap:
+    TEXT = """\
+[components]
+A @ p1
+B @ p2
+C @ p3
+
+[actions]
+left : A -> B @ 1
+right : B -> C @ 1
+back : B -> A @ 1
+fwd : C -> B @ 1
+"""
+
+    def test_overlapping_cover_fires(self):
+        report = lint_text(self.TEXT)
+        findings = codes_of(report, "SA602")
+        assert findings
+        assert any(
+            "'left'" in d.message and "'right'" in d.message
+            and "shared: p2" in d.message
+            for d in findings
+        )
+
+    def test_single_process_manifests_cannot_fire(self):
+        report = lint_text(
+            """
+[components]
+A @ p1
+B @ p1
+
+[actions]
+swap : A -> B @ 1
+unswap : B -> A @ 1
+"""
+        )
+        assert not codes_of(report, "SA602")
+
+    def test_disjoint_participants_do_not_fire(self):
+        report = lint_text(
+            """
+[components]
+A @ p1
+B @ p2
+
+[actions]
+on_a : +A @ 1
+on_b : +B @ 1
+"""
+        )
+        assert not codes_of(report, "SA602")
+
+
+class TestSA603LostInverse:
+    def test_rollback_stranding_is_the_sharper_diagnosis(self):
+        report = lint_text(RACING)
+        strands = codes_of(report, "SA603")
+        assert len(strands) == 2
+        [drop] = [d for d in strands if "'drop_replica'" in d.message]
+        # after drop_replica commits, add_replica still restores safety;
+        # once drop_fw also commits it would land outside the safe space
+        assert "declared inverse 'add_replica'" in drop.message
+        assert "no longer viable" in drop.message
+        # SA603 replaces SA601 for the pair — not both
+        assert not [
+            d
+            for d in codes_of(report, "SA601")
+            if "'drop_replica'" in d.message and "'drop_fw'" in d.message
+        ]
+        assert any(
+            rel.message == "the stranded inverse" for rel in drop.related
+        )
+
+
+class TestSA604ConflictingTouch:
+    def test_set_clear_collision_fires_without_enumeration(self):
+        report = lint_text(
+            """
+[components]
+A @ p1
+B @ p1
+
+[actions]
+grow : +A @ 1
+migrate : A -> B @ 1
+"""
+        )
+        [race] = codes_of(report, "SA604")
+        assert "'grow'" in race.message and "'migrate'" in race.message
+        assert "A end(s) up present" in race.message
+
+    def test_mutual_inverses_are_excluded(self):
+        report = lint_text(
+            """
+[components]
+A @ p1
+B @ p1
+
+[actions]
+swap : A -> B @ 1
+unswap : B -> A @ 1
+"""
+        )
+        assert not codes_of(report, "SA604")
+
+    def test_declared_conflict_silences_the_pair(self):
+        report = lint_text(
+            """
+[components]
+A @ p1
+B @ p1
+
+[actions]
+grow : +A @ 1
+migrate : A -> B @ 1
+
+[conflicts]
+reviewed : grow migrate
+"""
+        )
+        assert not codes_of(report, "SA604")
+
+
+class TestSA605RestrictedFallback:
+    def test_above_cap_falls_back_to_named_sources(self):
+        report = lint_text(RACING, max_enum_components=2)
+        [note] = codes_of(report, "SA605")
+        assert "named safe configuration(s)" in note.message
+        assert "exceed the enumeration cap" in note.message
+        assert any(
+            "restricted to named configurations" in line
+            for line in report.skipped
+        )
+        # the named sources still witness the race: baseline = {FW, CA}
+        assert [
+            d
+            for d in codes_of(report, "SA601")
+            if "'drop_cache'" in d.message
+        ]
+
+    def test_below_cap_has_no_restriction_note(self):
+        report = lint_text(RACING)
+        assert not codes_of(report, "SA605")
+
+
+class TestSA606UnknownConflictAction:
+    def test_unknown_reference_is_an_error_with_a_fix(self):
+        report = lint_text(
+            RACING + "\n[conflicts]\nbad : drop_fw nosuch\n"
+        )
+        [error] = codes_of(report, "SA606")
+        assert "'nosuch'" in error.message
+        assert error.fixes  # delete the dangling entry
+
+    def test_known_pairs_are_clean(self):
+        report = lint_text(
+            RACING + "\n[conflicts]\nok : drop_fw drop_cache\n"
+        )
+        assert not codes_of(report, "SA606")
+
+
+# -- hypothesis: mask verdicts ≡ brute-force AST order enumeration -------------
+
+NAMES = ("A", "B", "C", "D", "E")
+PROCESSES = {"A": "p1", "B": "p1", "C": "p2", "D": "p2", "E": "p3"}
+UNIVERSE = ComponentUniverse.from_names(NAMES, processes=PROCESSES)
+
+ATOMS = st.sampled_from(NAMES).map(Atom)
+EXPRESSIONS = st.recursive(
+    ATOMS,
+    lambda children: st.one_of(
+        children.map(Not),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda ops: And(tuple(ops))
+        ),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda ops: Or(tuple(ops))
+        ),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda ops: OneOf(tuple(ops))
+        ),
+        st.tuples(children, children).map(lambda ab: Implies(ab[0], ab[1])),
+    ),
+    max_leaves=8,
+)
+
+DELTAS = st.tuples(
+    st.frozensets(st.sampled_from(NAMES), max_size=2),
+    st.frozensets(st.sampled_from(NAMES), max_size=2),
+).filter(lambda ra: (ra[0] or ra[1]) and not (ra[0] & ra[1]))
+
+
+def every_subset():
+    for mask in range(1 << len(NAMES)):
+        yield frozenset(
+            name for index, name in enumerate(NAMES) if mask & (1 << index)
+        )
+
+
+def brute_force_order(action_p, action_q, members, invariants):
+    """Fire *p* then *q* at the AST level: (completed, final members)."""
+    config = UNIVERSE.configuration(*sorted(members))
+    if not action_p.is_applicable(config):
+        return False, None
+    mid = action_p.apply(config)
+    if not invariants.all_hold(mid.members):
+        return False, None
+    if not action_q.is_applicable(mid):
+        return False, None
+    final = action_q.apply(mid)
+    if not invariants.all_hold(final.members):
+        return False, None
+    return True, frozenset(final.members)
+
+
+def mask_order(mp, mq, mask, safe_set):
+    """The engine's view of the same two-step firing."""
+    if not mp.is_applicable_mask(mask):
+        return False, None
+    mid = mp.apply_mask(mask)
+    if mid not in safe_set:
+        return False, None
+    if not mq.is_applicable_mask(mid):
+        return False, None
+    final = mq.apply_mask(mid)
+    if final not in safe_set:
+        return False, None
+    return True, final
+
+
+@given(expr=EXPRESSIONS, dx=DELTAS, dy=DELTAS)
+@settings(max_examples=150, deadline=None)
+def test_order_verdicts_match_brute_force(expr, dx, dy):
+    """Both firing orders, every safe source: mask engine ≡ AST sweep.
+
+    This is the exact loop SA601/SA603 run; if the two semantics ever
+    disagreed on completion or final configuration, the interference
+    verdicts would be unsound.
+    """
+    invariants = InvariantSet.of(expr)
+    x = AdaptiveAction("x", dx[0], dx[1], cost=1.0)
+    y = AdaptiveAction("y", dy[0], dy[1], cost=1.0)
+    mx = MaskedAction(x, UNIVERSE.atom_bits)
+    my = MaskedAction(y, UNIVERSE.atom_bits)
+    space = SafeConfigurationSpace(UNIVERSE, invariants)
+    safe_set = frozenset(space.enumerate_masks())
+
+    for members in every_subset():
+        if not invariants.all_hold(members):
+            continue
+        mask = UNIVERSE.mask_of(UNIVERSE.configuration(*sorted(members)))
+        assert mask in safe_set
+        for p, q, mp, mq in ((x, y, mx, my), (y, x, my, mx)):
+            brute_ok, brute_final = brute_force_order(
+                p, q, members, invariants
+            )
+            engine_ok, engine_final = mask_order(mp, mq, mask, safe_set)
+            assert brute_ok == engine_ok
+            if brute_ok:
+                assert engine_final == UNIVERSE.mask_of(
+                    UNIVERSE.configuration(*sorted(brute_final))
+                )
+
+
+@given(dx=DELTAS, dy=DELTAS)
+@settings(max_examples=150, deadline=None)
+def test_sa604_collision_predicts_composition_divergence(dx, dy):
+    """The SA604 algebra: set/clear collision ⟺ composed sets differ.
+
+    Also pins the theorem the docstring leans on: a colliding pair can
+    never share a source where both are applicable.
+    """
+    x = AdaptiveAction("x", dx[0], dx[1], cost=1.0)
+    y = AdaptiveAction("y", dy[0], dy[1], cost=1.0)
+    mx = MaskedAction(x, UNIVERSE.atom_bits)
+    my = MaskedAction(y, UNIVERSE.atom_bits)
+    collide = (mx.set_bits & my.clear) | (my.set_bits & mx.clear)
+    set_xy = (mx.set_bits & ~my.clear) | my.set_bits
+    set_yx = (my.set_bits & ~mx.clear) | mx.set_bits
+
+    if not collide:
+        # commuting deltas: identical composition from every start
+        assert set_xy == set_yx
+        for members in every_subset():
+            mask = UNIVERSE.mask_of(
+                UNIVERSE.configuration(*sorted(members))
+            )
+            one = my.apply_mask(mx.apply_mask(mask))
+            other = mx.apply_mask(my.apply_mask(mask))
+            assert one == other
+    else:
+        # colliding pairs are never co-applicable anywhere
+        for members in every_subset():
+            mask = UNIVERSE.mask_of(
+                UNIVERSE.configuration(*sorted(members))
+            )
+            assert not (
+                mx.is_applicable_mask(mask) and my.is_applicable_mask(mask)
+            )

@@ -20,6 +20,7 @@ from repro.manifest import loads, video_manifest_text
 from repro.span import Span
 
 FIXTURE = "tests/lint/fixtures/defective.manifest"
+RACING = "examples/racing.manifest"
 
 MINIMAL = """
 [components]
@@ -93,8 +94,14 @@ class TestFixtureCoverage:
         # it fires only when those checks do NOT run.  It is covered by
         # TestEnumerationCap below.  SA504 (inconclusive under budget)
         # likewise fires only in lazy mode with an exhausted budget; it
-        # is covered by TestPropertyBudget.
-        assert set(report.codes()) == set(CODES) - {"SA307", "SA504"}
+        # is covered by TestPropertyBudget.  SA605 (interference analysis
+        # restricted) fires only above the cap — see test_lint_lazy.
+        # SA601/SA603 need racing pairs that *share* a safe source, which
+        # the defective fixture's invariant web forbids; they fire in
+        # examples/racing.manifest, so coverage is the union of both.
+        racing = lint_path(RACING)
+        fired = set(report.codes()) | set(racing.codes())
+        assert fired == set(CODES) - {"SA307", "SA504", "SA605"}
 
     def test_exit_fails_on_error(self, report):
         assert report.fails(Severity.ERROR)
@@ -122,7 +129,7 @@ class TestFixtureCoverage:
 
     def test_dead_actions(self, report):
         dead = {d.message.split("'")[1] for d in codes_of(report, "SA301")}
-        assert dead == {"dead", "blackout"}
+        assert dead == {"dead", "blackout", "stall"}
 
     def test_unknown_names_are_listed(self, report):
         (ghost,) = codes_of(report, "SA101")
@@ -137,6 +144,18 @@ class TestFixtureCoverage:
     def test_ccs_prefix(self, report):
         (prefix,) = codes_of(report, "SA401")
         assert "seg1" in prefix.message and "seg0" in prefix.message
+
+    def test_property_parse_error_span_offsets_into_the_formula(self):
+        # [properties] parse errors carry spans like action errors do:
+        # the column points at the offending token, not at column 1
+        text = "[components]\nA @ p1\n\n[properties]\nbad : once(A &\n"
+        report = lint_text(text)
+        (broken,) = [
+            d for d in codes_of(report, "SA100") if "property" in d.message
+        ]
+        assert broken.span.line == 5
+        # "bad : " is 6 columns; the error sits inside the formula text
+        assert broken.span.column > 6
 
 
 class TestRecovery:

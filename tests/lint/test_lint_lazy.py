@@ -51,11 +51,20 @@ def fleet_manifest(
 
 def test_above_cap_emits_single_sa307_note():
     report = lint_text(fleet_manifest())
-    assert report.codes() == ("SA307",)
+    # The SA3xx space checks collapse to the single SA307 note.  The
+    # cap-proof interference checks still run: each group's chained
+    # upgrades U*a/U*b (and rollbacks R*a/R*b) race on the shared middle
+    # version (SA604), and the stateful SA601/SA603 sweep notes its
+    # fallback to named-configuration sources (SA605).
+    assert report.codes() == ("SA307", "SA604", "SA605")
     [note] = [d for d in report if d.code == "SA307"]
     assert "27 components" in note.message
     assert "lazy frontier search" in note.message
     assert any("SA3xx skipped" in line for line in report.skipped)
+    [fallback] = [d for d in report if d.code == "SA605"]
+    assert "named safe configuration" in fallback.message
+    races = [d for d in report if d.code == "SA604"]
+    assert len(races) == 18  # (U*a, U*b) and (R*a, R*b) per group
 
 
 def test_library_checks_still_run_above_cap():

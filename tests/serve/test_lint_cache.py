@@ -1,0 +1,134 @@
+"""Warm lint serving: the digest-pinned ``/v1/lint`` wire cache.
+
+Lint is deterministic, so a repeated request body can be answered from
+precomputed bytes.  The cache entry is pinned to the spec digests of
+the sources that loaded strictly at store time — evicting a spec drops
+every cached lint answer that mentioned it, mirroring the plan wire
+cache's can-never-resurrect-a-dropped-spec guarantee.
+"""
+
+import pytest
+
+from repro.serve import (
+    ControlPlane,
+    ErrorEnvelope,
+    EvictSpecRequest,
+    ServerThread,
+    StatsRequest,
+    to_wire,
+)
+from repro.serve.api import lint_request_from_json
+from tests.serve.test_http import register, request
+
+
+@pytest.fixture
+def server():
+    with ServerThread(ControlPlane(), host="127.0.0.1", port=0) as thread:
+        yield thread
+
+
+class TestLintWireCache:
+    """Sans-io semantics of lint_wire_fast / lint_wire_store."""
+
+    def _store(self, control, payload):
+        response = control.dispatch(lint_request_from_json(payload))
+        wire = to_wire(response)
+        control.lint_wire_store(payload, response, wire)
+        return wire
+
+    def test_store_then_fast_returns_the_same_bytes(self, video_text):
+        control = ControlPlane()
+        payload = {"manifest": video_text}
+        wire = self._store(control, payload)
+        assert control.lint_wire_fast(payload) == wire
+        assert control.dispatch(StatsRequest()).service["lint_hits"] == 1
+
+    def test_cold_body_misses(self, video_text):
+        control = ControlPlane()
+        assert control.lint_wire_fast({"manifest": video_text}) is None
+
+    def test_different_render_formats_cache_separately(self, video_text):
+        control = ControlPlane()
+        text = self._store(control, {"manifest": video_text})
+        sarif = self._store(
+            control, {"manifest": video_text, "format": "sarif"}
+        )
+        assert text != sarif
+        assert control.lint_wire_fast({"manifest": video_text}) == text
+        assert (
+            control.lint_wire_fast(
+                {"manifest": video_text, "format": "sarif"}
+            )
+            == sarif
+        )
+
+    def test_store_registers_the_strictly_loadable_spec(self, video_text):
+        control = ControlPlane()
+        self._store(control, {"manifest": video_text})
+        assert control.dispatch(StatsRequest()).service["specs"] == 1
+
+    def test_eviction_invalidates_the_cached_entry(self, video_text):
+        control = ControlPlane()
+        payload = {"manifest": video_text}
+        self._store(control, payload)
+        (digest,) = [
+            spec["digest"] for spec in control.registry.describe()
+        ]
+        assert control.dispatch(EvictSpecRequest(spec=digest)).evicted
+        # the entry died with its spec: no stale bytes, no hit counted
+        assert control.lint_wire_fast(payload) is None
+        assert control.dispatch(StatsRequest()).service["lint_hits"] == 0
+
+    def test_defective_sources_cache_without_a_spec_pin(self):
+        # a manifest that cannot load strictly still gets warm service —
+        # it just has no spec digest to be invalidated through
+        control = ControlPlane()
+        payload = {"manifest": "[components]\nA @ p1\nA @ p1\n"}
+        wire = self._store(control, payload)
+        assert control.dispatch(StatsRequest()).service["specs"] == 0
+        assert control.lint_wire_fast(payload) == wire
+
+    def test_error_envelopes_are_never_cached(self, video_text):
+        control = ControlPlane()
+        payload = {"manifest": video_text, "format": "nope"}
+        response = control.dispatch(lint_request_from_json(payload))
+        assert isinstance(response, ErrorEnvelope)
+        control.lint_wire_store(payload, response, to_wire(response))
+        assert control.lint_wire_fast(payload) is None
+
+    def test_unknown_fields_are_uncacheable(self, video_text):
+        control = ControlPlane()
+        payload = {"manifest": video_text, "surprise": 1}
+        response = control.dispatch(
+            lint_request_from_json({"manifest": video_text})
+        )
+        control.lint_wire_store(payload, response, to_wire(response))
+        assert control.lint_wire_fast(payload) is None
+
+
+class TestWarmLintOverHttp:
+    def test_repeated_lint_hits_the_fast_path(self, server, video_text):
+        body = {"manifest": video_text}
+        first = request(server.address, "POST", "/v1/lint", body=body)
+        second = request(server.address, "POST", "/v1/lint", body=body)
+        assert first[0] == second[0] == 200
+        assert first[1] == second[1]
+        _, stats, _ = request(server.address, "GET", "/v1/stats")
+        assert stats["result"]["server"]["fast_hits"] == 1
+        assert stats["result"]["service"]["lint_hits"] == 1
+        assert stats["result"]["server"]["served"] == 2
+
+    def test_delete_spec_invalidates_the_lint_cache(self, server, video_text):
+        digest = register(server, video_text)
+        body = {"manifest": video_text}
+        request(server.address, "POST", "/v1/lint", body=body)
+        request(server.address, "DELETE", f"/v1/specs/{digest}")
+        status, again, _ = request(
+            server.address, "POST", "/v1/lint", body=body
+        )
+        assert status == 200
+        assert again["result"]["failed"] is False
+        _, stats, _ = request(server.address, "GET", "/v1/stats")
+        # the re-lint after eviction was a cold run, not a stale hit
+        assert stats["result"]["service"]["lint_hits"] == 0
+        assert stats["result"]["server"]["fast_hits"] == 0

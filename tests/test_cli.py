@@ -237,6 +237,46 @@ class TestLint:
         assert "defective.manifest" in output
         assert "pipeline.manifest" in output
 
+    # examples/racing.manifest has warnings (SA601/SA603) and notes
+    # (SA403) but no errors — each --fail-on level flips the gate
+    # exactly where the documented exit-code contract says it should.
+    @pytest.mark.parametrize(
+        "fail_on, expected",
+        [("error", 0), ("warning", 1), ("note", 1)],
+    )
+    def test_fail_on_matrix_racing(self, fail_on, expected):
+        code, output = run_cli(
+            "lint", "examples/racing.manifest", "--fail-on", fail_on
+        )
+        assert code == expected
+        assert "SA601" in output and "SA603" in output
+        assert "0 error(s), 3 warning(s), 5 note(s)" in output
+
+    @pytest.mark.parametrize("fail_on", ["error", "warning", "note"])
+    def test_fail_on_matrix_defective(self, fail_on):
+        # errors trip the gate at every threshold
+        code, output = run_cli(
+            "lint", self.FIXTURE, "--fail-on", fail_on
+        )
+        assert code == 1
+        assert "error:" in output
+
+    @pytest.mark.parametrize("fail_on", ["error", "warning", "note"])
+    def test_fail_on_matrix_clean(self, tmp_path, fail_on):
+        clean = tmp_path / "clean.manifest"
+        clean.write_text(
+            "[components]\nB1 @ p1\nB2 @ p1\n"
+            "[invariants]\nexclusive : one_of(B1, B2)\n"
+            "[actions]\nswap : B1 -> B2 @ 1\nunswap : B2 -> B1 @ 1\n"
+            "[configurations]\nstart = B1\ngoal = B2\n",
+            encoding="utf-8",
+        )
+        code, output = run_cli(
+            "lint", str(clean), "--fail-on", fail_on
+        )
+        assert code == 0
+        assert "clean: 0 diagnostics" in output
+
     def test_check_reports_all_shape_errors_at_once(self, tmp_path, capsys):
         bad = tmp_path / "bad.manifest"
         bad.write_text(
@@ -247,6 +287,62 @@ class TestLint:
         assert code == 2
         stderr = capsys.readouterr().err
         assert "SA105" in stderr and "SA101" in stderr
+
+
+class TestLintFix:
+    RACY = (
+        "[components]\nFW @ edge\nCA @ core\n"
+        "[invariants]\nguarded : CA -> FW\n"
+        "[actions]\ndrop_fw : -FW @ 5\ndrop_cache : -CA @ 5\n"
+        "[configurations]\nbaseline = FW, CA\n"
+    )
+
+    @pytest.fixture
+    def racy_path(self, tmp_path):
+        path = tmp_path / "racy.manifest"
+        path.write_text(self.RACY, encoding="utf-8")
+        return str(path)
+
+    def test_fix_rewrites_the_file_and_clears_the_gate(self, racy_path):
+        code, _ = run_cli("lint", racy_path, "--fail-on", "warning")
+        assert code == 1
+        code, output = run_cli(
+            "lint", racy_path, "--fix", "--fail-on", "warning"
+        )
+        assert code == 0
+        assert "1 fix(es) applied" in output
+        text = open(racy_path, encoding="utf-8").read()
+        assert "[conflicts]" in text
+
+    def test_fix_is_idempotent(self, racy_path):
+        run_cli("lint", racy_path, "--fix")
+        after_first = open(racy_path, encoding="utf-8").read()
+        code, output = run_cli("lint", racy_path, "--fix")
+        assert "0 fix(es) applied" in output
+        assert open(racy_path, encoding="utf-8").read() == after_first
+
+    def test_diff_prints_the_rewrite(self, racy_path):
+        code, output = run_cli("lint", racy_path, "--fix", "--diff")
+        assert f"--- {racy_path}" in output
+        assert "+[conflicts]" in output
+        assert "+drop_cache_drop_fw : drop_cache drop_fw" in output
+
+    def test_diff_requires_fix(self, racy_path):
+        code, _ = run_cli("lint", racy_path, "--diff")
+        assert code == 2
+
+    def test_clean_files_are_left_untouched(self, tmp_path):
+        path = tmp_path / "clean.manifest"
+        original = (
+            "[components]\nA @ p1\nB @ p1\n"
+            "[actions]\nswap : A -> B @ 1\nunswap : B -> A @ 1\n"
+            "[configurations]\nstart = A\n"
+        )
+        path.write_text(original, encoding="utf-8")
+        code, output = run_cli("lint", str(path), "--fix", "--diff")
+        assert code == 0
+        assert "0 fix(es) applied" in output
+        assert open(path, encoding="utf-8").read() == original
 
 
 class TestExampleManifest:

@@ -185,6 +185,107 @@ def test_forced_pool_overhead(monkeypatch):
     )
 
 
+@pytest.mark.parametrize("n", [16, 20])
+def test_pool_reuse(monkeypatch, n):
+    """Serial vs pool-cold vs pool-warm on the same spec digest.
+
+    The first parallel enumeration of a spec pays the pool spin-up and
+    the shared-memory plane round-trip; repeating it replays the merged
+    result plane from the parent-side cache without touching the pool at
+    all.  Three honest rows per universe (clamp and auto-serial forced
+    off so the cold row exists even on small hosts); the >=5x reuse
+    *gate* lives in :func:`test_pool_reuse_gate`.
+    """
+    import repro.core.space as space_mod
+    import repro.parallel as par
+
+    monkeypatch.setattr(space_mod, "_cpu_count", lambda: max(4, os.cpu_count() or 1))
+    monkeypatch.setattr(space_mod, "MIN_PARALLEL_MASK_NODES", 1)
+    system = enumeration_stress_system(n)
+    serial, serial_s, _ = _enumerate_timed(system, None)
+
+    par.clear_result_caches()
+    par.shutdown_pools()
+    cold, cold_s, cold_space = _enumerate_timed(system, 4)
+    cold_stats = cold_space.last_enumeration_stats
+    assert cold_stats.mode == "parallel", cold_stats.reason
+    assert not cold_stats.pool_warm
+
+    warm, warm_s, warm_space = _enumerate_timed(system, 4)
+    warm_stats = warm_space.last_enumeration_stats
+    assert warm_stats.mode == "parallel", warm_stats.reason
+    assert warm_stats.pool_warm
+    assert warm_stats.transport == "plane-cache"
+    assert cold == serial and warm == serial
+    reuse = cold_s / max(warm_s, 1e-9)
+    report(
+        f"P3 pool reuse (n={n}, workers=4)",
+        f"serial {serial_s * 1e3:.1f} ms | pool-cold {cold_s * 1e3:.1f} ms "
+        f"(spinup {cold_stats.pool_spinup_ms:.1f} ms, via "
+        f"{cold_stats.transport}) | pool-warm {warm_s * 1e3:.2f} ms "
+        f"(via {warm_stats.transport}, {reuse:.1f}x over cold)",
+        data={
+            "components": n,
+            "safe_configs": len(serial),
+            "serial_ms": round(serial_s * 1e3, 2),
+            "pool_cold_ms": round(cold_s * 1e3, 2),
+            "pool_cold_spinup_ms": round(cold_stats.pool_spinup_ms, 2),
+            "pool_cold_transport": cold_stats.transport,
+            "pool_warm_ms": round(warm_s * 1e3, 3),
+            "pool_warm_transport": warm_stats.transport,
+            "reuse_speedup": round(reuse, 1),
+            "host_cpus": os.cpu_count(),
+        },
+        json_path=SCALABILITY_JSON,
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="pool reuse gate needs >=4 physical cores",
+)
+@pytest.mark.parametrize("n", [16, 20])
+def test_pool_reuse_gate(monkeypatch, n):
+    """CI gate: re-enumerating the same spec >=5x faster than pool-cold.
+
+    The second enumeration of a digest must come from the warm plane
+    cache (no pool round-trip); measured reuse is orders of magnitude,
+    5x is the regression floor.  The 16-component universe sits below
+    the auto-parallel node floor, so the floor is lowered to force the
+    pool path for both sizes.
+    """
+    import repro.core.space as space_mod
+    import repro.parallel as par
+
+    monkeypatch.setattr(space_mod, "MIN_PARALLEL_MASK_NODES", 1)
+    system = enumeration_stress_system(n)
+    par.clear_result_caches()
+    par.shutdown_pools()
+    cold, cold_s, cold_space = _enumerate_timed(system, 4)
+    warm, warm_s, warm_space = _enumerate_timed(system, 4)
+    assert cold_space.last_enumeration_stats.mode == "parallel"
+    assert warm_space.last_enumeration_stats.transport == "plane-cache"
+    assert warm == cold
+    reuse = cold_s / max(warm_s, 1e-9)
+    report(
+        f"P3 pool reuse gate (n={n}, workers=4)",
+        f"pool-cold {cold_s * 1e3:.1f} ms vs pool-warm {warm_s * 1e3:.2f} ms "
+        f"({reuse:.1f}x, gate >=5x)",
+        data={
+            "components": n,
+            "pool_cold_ms": round(cold_s * 1e3, 2),
+            "pool_warm_ms": round(warm_s * 1e3, 3),
+            "reuse_speedup": round(reuse, 1),
+            "gate": 5.0,
+        },
+        json_path=SCALABILITY_JSON,
+    )
+    assert reuse >= 5.0, (
+        f"pool reuse regressed: warm enumeration only {reuse:.1f}x faster "
+        f"than cold ({warm_s * 1e3:.2f} ms vs {cold_s * 1e3:.1f} ms)"
+    )
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 4,
     reason="parallel speedup gate needs >=4 physical cores",

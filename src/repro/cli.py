@@ -122,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     safe = commands.add_parser("safe-configs", help="enumerate safe configurations")
     _add_manifest(safe)
+    safe.add_argument(
+        "--enum-workers", type=int, default=None, metavar="N",
+        help="enumerate the safe space on N worker processes "
+             "(persistent shared-memory pool; 1 forces serial)",
+    )
+    safe.add_argument(
+        "--enum-stats", action="store_true",
+        help="print how the enumeration ran (mode, transport, pool "
+             "state, wall-clock breakdown) after the table",
+    )
 
     plan = commands.add_parser("plan", help="compute the Minimum Adaptation Path")
     _add_manifest(plan)
@@ -397,13 +407,29 @@ def cmd_check(args, out) -> int:
 
 def cmd_safe_configs(args, out) -> int:
     manifest = load_path(args.manifest)
-    planner = manifest.planner()
+    planner = manifest.planner(workers=getattr(args, "enum_workers", None))
     print(
         format_table(
             ["bit vector", "configuration"], planner.space.to_table()
         ),
         file=out,
     )
+    if getattr(args, "enum_stats", False):
+        stats = planner.space.last_enumeration_stats
+        if stats is not None:
+            print(f"enumeration: {stats.reason}", file=out)
+            detail = (
+                f"  mode={stats.mode} workers={stats.effective_workers}"
+                f" total={stats.total_ms:.1f}ms"
+            )
+            if stats.mode == "parallel":
+                detail += (
+                    f" transport={stats.transport}"
+                    f" pool_warm={stats.pool_warm}"
+                    f" spinup={stats.pool_spinup_ms:.1f}ms"
+                    f" chunk_wait={stats.chunk_wait_ms:.1f}ms"
+                )
+            print(detail, file=out)
     return 0
 
 

@@ -665,7 +665,7 @@ class AdaptationPlanner:
         universe = self.universe
         source_mask = universe.mask_of(source)
         target_mask = universe.mask_of(target)
-        is_safe_mask = self.space.is_safe_mask
+        are_safe_masks = self.space.are_safe_masks
         pairs = tuple(zip(actions, masked))
 
         def heuristic(mask: int) -> float:
@@ -675,12 +675,21 @@ class AdaptationPlanner:
             return math.ceil(delta / max_flip) * min_cost
 
         def successors(mask: int):
+            # applicability first, then one batched safety query per
+            # expansion — verdicts and yield order match the pointwise
+            # loop exactly
+            candidates = []
             for action, m in pairs:
                 required = m.required
                 if (mask & required) == required and not (mask & m.forbidden):
                     result = (mask & ~m.clear) | m.set_bits
-                    if is_safe_mask(result):
-                        yield action.action_id, action.cost, result
+                    candidates.append((action.action_id, action.cost, result))
+            for candidate, safe in zip(
+                candidates,
+                are_safe_masks([candidate[2] for candidate in candidates]),
+            ):
+                if safe:
+                    yield candidate
 
         path = lazy_astar(source_mask, target_mask, successors, heuristic, max_expansions)
         if path is None:

@@ -41,7 +41,8 @@ class LazySAG:
     node, and repeated point queries against the same spec stay warm.
     *space* may be an eager :class:`SafeConfigurationSpace` or a
     :class:`~repro.core.space.LazySafeSpace` — anything with a
-    ``universe`` and a memoized ``is_safe_mask``.
+    ``universe`` and the memoized ``is_safe_mask`` /
+    ``are_safe_masks`` query pair.
     """
 
     def __init__(self, space, actions: ActionLibrary):
@@ -61,18 +62,30 @@ class LazySAG:
         return len(self._adjacency)
 
     def successors(self, mask: int) -> Tuple[Tuple[str, float, int], ...]:
-        """Outgoing arcs of *mask*, in SAG edge-insertion order (cached)."""
+        """Outgoing arcs of *mask*, in SAG edge-insertion order (cached).
+
+        Applicability is resolved per action, then the surviving result
+        masks are safety-checked in **one batched**
+        :meth:`~repro.core.space.SafeConfigurationSpace.are_safe_masks`
+        call — same verdicts, same arc order, one memo/closure dispatch
+        per expansion instead of one per candidate arc.
+        """
         cached = self._adjacency.get(mask)
         if cached is None:
-            is_safe_mask = self._space.is_safe_mask
-            arcs = []
+            candidates = []
             for action_id, cost, masked in self._arc_specs:
                 required = masked.required
                 if (mask & required) == required and not (mask & masked.forbidden):
                     result = (mask & ~masked.clear) | masked.set_bits
-                    if is_safe_mask(result):
-                        arcs.append((action_id, cost, result))
-            cached = tuple(arcs)
+                    candidates.append((action_id, cost, result))
+            verdicts = self._space.are_safe_masks(
+                [candidate[2] for candidate in candidates]
+            )
+            cached = tuple(
+                candidate
+                for candidate, safe in zip(candidates, verdicts)
+                if safe
+            )
             self._adjacency[mask] = cached
         return cached
 

@@ -24,13 +24,29 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.core.invariants import InvariantSet
 from repro.core.model import ComponentUniverse, Configuration
 from repro.errors import UnknownComponentError, UnsafeConfigurationError
+from repro.parallel.bitset import SafetyMemo
+
+#: either memo backing works everywhere a memo table is accepted — the
+#: hybrid :class:`SafetyMemo` is dict-compatible by construction
+MemoTable = Union[Dict[int, bool], SafetyMemo]
 
 
 #: below this many components a process pool costs more than it saves
@@ -57,7 +73,10 @@ class EnumerationStats:
     ``reason`` records why the mode was chosen — in particular why a
     parallel request fell back to serial (clamped workers, small universe,
     root-pruned partitions, pool failure) — so benches and operators can
-    tell a genuine parallel win from a silent fallback.
+    tell a genuine parallel win from a silent fallback.  The wall-time
+    fields carry the timing evidence: how much of ``total_ms`` went to
+    pool spin-up versus waiting on chunks, and whether the persistent
+    pool was already warm.
     """
 
     mode: str  # "serial" | "parallel"
@@ -67,64 +86,13 @@ class EnumerationStats:
     partitions: int = 0  # surviving prefix partitions (parallel planning)
     chunks: int = 0  # tasks submitted to the shared queue (parallel)
     safe_count: int = 0
-
-
-# Per-worker spec state, built once per process by the pool initializer.
-_WORKER_SPACE: Optional["SafeConfigurationSpace"] = None
-_WORKER_PREFIX_BITS: Tuple[int, ...] = ()
-_WORKER_FREE: Tuple[str, ...] = ()
-
-
-def _parallel_worker_init(payload: bytes) -> None:
-    """Build the worker's spec once per process from a pre-pickled blob.
-
-    The blob carries only primitives — component ``(name, process)``
-    pairs, invariant source texts, and the partition prefix width —
-    because :class:`Expr`, :class:`Invariant`, and :class:`Configuration`
-    are deliberately unpicklable (immutable slots classes).  The spec is
-    rebuilt here via the parser, which round-trips exactly, so the
-    worker's safety semantics are identical to the parent's.  Paying the
-    rebuild once per *worker* instead of once per *task* is the warm-up
-    amortization that PR 5's per-partition payloads lacked; after this,
-    each task ships a few small integers.
-    """
-    global _WORKER_SPACE, _WORKER_PREFIX_BITS, _WORKER_FREE
-    from repro.core.model import Component
-
-    component_specs, invariant_texts, k = pickle.loads(payload)
-    universe = ComponentUniverse(
-        [Component(name, process) for name, process in component_specs]
-    )
-    invariants = InvariantSet.of(*invariant_texts)
-    _WORKER_SPACE = SafeConfigurationSpace(universe, invariants)
-    order = universe.order
-    _WORKER_PREFIX_BITS = tuple(universe.bit_of(name) for name in order[:k])
-    _WORKER_FREE = order[k:]
-
-
-def _parallel_enumerate_chunk(
-    chunk: Tuple[int, Tuple[int, ...]],
-) -> Tuple[int, Tuple[int, ...]]:
-    """Enumerate one chunk of prefix partitions in a warm worker.
-
-    ``chunk`` is ``(chunk_index, prefix_values)``; each value fixes the
-    presence of the first *k* components (the high bits), and the worker
-    backtracks over the free suffix.  Returns the chunk's safe masks in
-    ascending order so the parent can concatenate chunks by index.
-    """
-    index, values = chunk
-    space = _WORKER_SPACE
-    assert space is not None, "worker initializer did not run"
-    prefix_bits = _WORKER_PREFIX_BITS
-    k = len(prefix_bits)
-    masks: List[int] = []
-    for value in values:
-        present0 = 0
-        for i in range(k):
-            if value & (1 << (k - 1 - i)):
-                present0 |= prefix_bits[i]
-        masks.extend(space._restricted_masks(present0, _WORKER_FREE))
-    return index, tuple(masks)
+    #: "" (serial) | "shm-plane" | "pickled-masks" — how results traveled
+    transport: str = ""
+    #: True when the persistent pool existed before this call
+    pool_warm: bool = False
+    pool_spinup_ms: float = 0.0
+    chunk_wait_ms: float = 0.0
+    total_ms: float = 0.0
 
 
 class SafeConfigurationSpace:
@@ -147,7 +115,7 @@ class SafeConfigurationSpace:
         self.invariants = invariants
         self.workers = workers
         self._cache: Optional[Tuple[Configuration, ...]] = None
-        self._safe_memo: Dict[int, bool] = {}
+        self._safe_memo: SafetyMemo = SafetyMemo(len(universe))
         self._compiled: Optional[Callable[[int], bool]] = None
         self._compiled_partial: Optional[Tuple[Callable, ...]] = None
         #: how the last full enumeration ran (None until one happens)
@@ -155,7 +123,7 @@ class SafeConfigurationSpace:
 
     # -- compiled fast path ------------------------------------------------------
     @property
-    def safe_memo(self) -> Dict[int, bool]:
+    def safe_memo(self) -> SafetyMemo:
         """The shared mask -> verdict memo table (exposed for reuse)."""
         return self._safe_memo
 
@@ -199,6 +167,25 @@ class SafeConfigurationSpace:
             self._safe_memo[mask] = verdict
         return verdict
 
+    def are_safe_masks(self, masks: Iterable[int]) -> List[bool]:
+        """Batched :meth:`is_safe_mask` — one verdict per mask, in order.
+
+        Hot-path callers (lazy successor generation, lint sweeps) hand
+        over a whole candidate batch so the compiled-closure and memo
+        lookups are resolved once per batch instead of once per call.
+        """
+        memo = self._safe_memo
+        memo_get = memo.get
+        compiled = self._compiled_mask_fn()
+        out: List[bool] = []
+        for mask in masks:
+            verdict = memo_get(mask)
+            if verdict is None:
+                verdict = compiled(mask)
+                memo[mask] = verdict
+            out.append(verdict)
+        return out
+
     # -- membership ------------------------------------------------------------
     def is_safe(self, config: Configuration) -> bool:
         """True iff *config* is a safe configuration (paper §3.1)."""
@@ -231,8 +218,12 @@ class SafeConfigurationSpace:
             self._cache = self._enumerate_with_stats()
         return self._cache
 
-    def _enumerate_serial(self, reason: str) -> Tuple[Configuration, ...]:
+    def _enumerate_serial(
+        self, reason: str, started: Optional[float] = None
+    ) -> Tuple[Configuration, ...]:
         """Serial enumeration, recording *reason* on the stats attribute."""
+        if started is None:
+            started = time.perf_counter()
         result = self.enumerate_backtracking()
         self.last_enumeration_stats = EnumerationStats(
             mode="serial",
@@ -240,6 +231,7 @@ class SafeConfigurationSpace:
             effective_workers=1,
             reason=reason,
             safe_count=len(result),
+            total_ms=(time.perf_counter() - started) * 1e3,
         )
         return result
 
@@ -250,16 +242,20 @@ class SafeConfigurationSpace:
         requests beyond :func:`_cpu_count` clamp with a warning — extra
         processes on a saturated host only add scheduling overhead.
         """
+        started = time.perf_counter()
         requested = self.workers
         n = len(self.universe)
         if requested is None:
-            return self._enumerate_serial("serial: no workers requested")
+            return self._enumerate_serial("serial: no workers requested", started)
         if requested <= 1:
-            return self._enumerate_serial("serial: workers=1 is serial by contract")
+            return self._enumerate_serial(
+                "serial: workers=1 is serial by contract", started
+            )
         if n < MIN_PARALLEL_COMPONENTS:
             return self._enumerate_serial(
                 f"serial: {n} components below the "
-                f"{MIN_PARALLEL_COMPONENTS}-component parallel floor"
+                f"{MIN_PARALLEL_COMPONENTS}-component parallel floor",
+                started,
             )
         cpus = _cpu_count()
         effective = min(requested, cpus)
@@ -272,9 +268,10 @@ class SafeConfigurationSpace:
             )
         if effective <= 1:
             return self._enumerate_serial(
-                f"serial: workers={requested} clamped to 1 (cpu_count={cpus})"
+                f"serial: workers={requested} clamped to 1 (cpu_count={cpus})",
+                started,
             )
-        return self._enumerate_parallel(effective)
+        return self._enumerate_parallel(effective, started)
 
     def enumerate_masks(self) -> Tuple[int, ...]:
         """Masks of :meth:`enumerate`'s result, in the same order."""
@@ -422,7 +419,9 @@ class SafeConfigurationSpace:
         recurse(0, 0, 0)
         return tuple(out)
 
-    def _enumerate_parallel(self, workers: int) -> Tuple[Configuration, ...]:
+    def _enumerate_parallel(
+        self, workers: int, started: float
+    ) -> Tuple[Configuration, ...]:
         """Full enumeration via chunked work-stealing over a process pool.
 
         The mask space is partitioned on the first *k* components of the
@@ -435,32 +434,41 @@ class SafeConfigurationSpace:
         configuration), estimates the remaining search-tree size, and
         stays serial when pool spin-up would dominate.
 
-        The pool layout fixes PR 5's 4-5x parallel *slowdown*:
+        The execution engine lives in :mod:`repro.parallel`:
 
-        * the spec ships **once per worker** as a pre-pickled bytes blob
-          via the pool initializer (warm-up amortization), not once per
-          partition;
+        * the pool is **persistent and process-wide** — acquired from
+          :func:`repro.parallel.pool.acquire_pool`, so spin-up is paid
+          once per process, not once per enumeration; repeated
+          enumerations of the same spec digest hit the workers' spec and
+          partition-result caches and skip the invariant work entirely;
         * surviving partitions are split into many small chunks on a
           shared task queue — idle workers steal the next chunk, so a
           skewed partition no longer serializes the whole sweep behind
           one static assignment;
-        * workers return bare safe masks (ints) only; the parent interns
-          :class:`Configuration` objects and records the True verdicts
-          in the shared memo, so SAG construction after a parallel
-          enumeration is exactly as warm as after a serial one.
+        * for universes within the bitset cap, workers write their safe
+          verdicts as bits into one shared-memory **result plane** (bit
+          index == mask; the prefix width is clamped so partitions own
+          disjoint bytes) and the parent bulk-ORs the plane into the
+          memo and word-scans it — no mask pickling.  Oversized
+          universes fall back to pickled mask tuples on the same pool.
 
         Any pool failure (a platform without usable multiprocessing, a
         spec that cannot round-trip) falls back to the serial enumerator
         and records why — the option is a go-faster knob, never a
         behavior change.
         """
+        from repro import parallel as par
+        from repro.parallel import pool as pool_mod
+
         universe = self.universe
         order = universe.order
         n = len(order)
         target_tasks = workers * PARALLEL_OVERSUBSCRIPTION
-        # the prefix must leave at least one free component to vary
+        # the prefix must leave a free suffix of >= 3 components so each
+        # partition's plane range is byte-aligned (and workers have work)
+        max_k = max(1, min(12, n - 3))
         k = 1
-        while (1 << k) < target_tasks and k < min(12, n - 1):
+        while (1 << k) < target_tasks and k < max_k:
             k += 1
         prefix = order[:k]
         free = order[k:]
@@ -478,13 +486,14 @@ class SafeConfigurationSpace:
             surviving.append(value)
         if not surviving:
             return self._enumerate_serial(
-                "serial: every prefix partition root-pruned"
+                "serial: every prefix partition root-pruned", started
             )
         estimated = len(surviving) << (n - k)
         if estimated < MIN_PARALLEL_MASK_NODES:
             return self._enumerate_serial(
                 f"serial: ~{estimated} estimated search nodes below the "
-                f"parallel threshold ({MIN_PARALLEL_MASK_NODES})"
+                f"parallel threshold ({MIN_PARALLEL_MASK_NODES})",
+                started,
             )
         chunk_size = max(1, len(surviving) // target_tasks)
         chunks = [
@@ -501,44 +510,116 @@ class SafeConfigurationSpace:
             (component_specs, invariant_texts, k),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+        digest = par.spec_digest(payload)
+        memo = self._safe_memo
+        from_mask = universe.from_mask
+        cached = (
+            par.cached_plane(digest)
+            if n <= par.MAX_BITSET_COMPONENTS
+            else None
+        )
+        if cached is not None:
+            # A previous enumeration of this exact spec already merged
+            # its result plane — replay it without touching the pool.
+            memo.or_safe_plane(cached)
+            out = [from_mask(mask) for mask in par.iter_plane_masks(cached)]
+            self.last_enumeration_stats = EnumerationStats(
+                mode="parallel",
+                requested_workers=self.workers,
+                effective_workers=workers,
+                reason=f"parallel: result plane for spec {digest} replayed "
+                "from the warm plane cache",
+                partitions=len(surviving),
+                chunks=0,
+                safe_count=len(out),
+                transport="plane-cache",
+                pool_warm=True,
+                total_ms=(time.perf_counter() - started) * 1e3,
+            )
+            return tuple(out)
         try:
             import concurrent.futures
 
-            results: List[Optional[Tuple[int, ...]]] = [None] * len(chunks)
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_parallel_worker_init,
-                initargs=(payload,),
-            ) as pool:
-                futures = [
-                    pool.submit(_parallel_enumerate_chunk, chunk)
-                    for chunk in chunks
-                ]
-                for future in concurrent.futures.as_completed(futures):
-                    index, masks = future.result()
-                    results[index] = masks
+            t_pool = time.perf_counter()
+            pool, spun_up = par.acquire_pool(workers)
+            if spun_up:
+                # round-trip a no-op so spin-up cost lands in this field
+                # (and the fork server / first worker is provably up)
+                pool.submit(int, 0).result()
+            pool_spinup_ms = (time.perf_counter() - t_pool) * 1e3
         except Exception as exc:
             return self._enumerate_serial(
-                f"serial: pool failure ({exc.__class__.__name__}: {exc})"
+                f"serial: pool failure ({exc.__class__.__name__}: {exc})",
+                started,
             )
-        memo = self._safe_memo
-        from_mask = universe.from_mask
+        plane = None
+        if n <= par.MAX_BITSET_COMPONENTS:
+            try:
+                from multiprocessing import shared_memory
+
+                plane = shared_memory.SharedMemory(
+                    create=True, size=par.plane_size(n)
+                )
+            except Exception:
+                plane = None  # fall back to pickled masks on the pool
+        plane_name = None if plane is None else plane.name
+        transport = "pickled-masks" if plane is None else "shm-plane"
+        results: List[Optional[Tuple[int, ...]]] = [None] * len(chunks)
+        try:
+            t_chunks = time.perf_counter()
+            futures = [
+                pool.submit(
+                    pool_mod.enumerate_chunk,
+                    (digest, payload, k, index, values, plane_name),
+                )
+                for index, values in chunks
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                index, value = future.result()
+                if plane is None:
+                    results[index] = value
+            chunk_wait_ms = (time.perf_counter() - t_chunks) * 1e3
+        except Exception as exc:
+            if plane is not None:
+                plane.close()
+                plane.unlink()
+            pool_mod.discard_pool(pool)  # it may be broken; rebuild next time
+            return self._enumerate_serial(
+                f"serial: pool failure ({exc.__class__.__name__}: {exc})",
+                started,
+            )
         out: List[Configuration] = []
-        # chunk index order == ascending prefix order == ascending masks
-        for masks in results:
-            assert masks is not None
-            for mask in masks:
-                memo[mask] = True
-                out.append(from_mask(mask))
+        if plane is not None:
+            try:
+                plane_bytes = bytes(plane.buf)
+            finally:
+                plane.close()
+                plane.unlink()
+            memo.or_safe_plane(plane_bytes)
+            par.store_plane(digest, plane_bytes)
+            # ascending bit scan == ascending mask == serial order
+            out = [from_mask(mask) for mask in par.iter_plane_masks(plane_bytes)]
+        else:
+            # chunk index order == ascending prefix order == ascending masks
+            for masks in results:
+                assert masks is not None
+                for mask in masks:
+                    memo[mask] = True
+                    out.append(from_mask(mask))
         self.last_enumeration_stats = EnumerationStats(
             mode="parallel",
             requested_workers=self.workers,
             effective_workers=workers,
             reason=f"parallel: {len(chunks)} chunks stolen from "
-            f"{len(surviving)} surviving partitions",
+            f"{len(surviving)} surviving partitions via {transport}",
             partitions=len(surviving),
             chunks=len(chunks),
             safe_count=len(out),
+            transport=transport,
+            pool_warm=not spun_up,
+            pool_spinup_ms=pool_spinup_ms,
+            chunk_wait_ms=chunk_wait_ms,
+            total_ms=(time.perf_counter() - started) * 1e3,
         )
         return tuple(out)
 
@@ -606,35 +687,64 @@ class LazySafeSpace:
         self,
         universe: ComponentUniverse,
         invariants: InvariantSet,
-        memo: Optional[Dict[int, bool]] = None,
+        memo: Optional[MemoTable] = None,
         compiled: Optional[Callable[[int], bool]] = None,
     ):
         self.universe = universe
         self.invariants = invariants
-        self._safe_memo: Dict[int, bool] = memo if memo is not None else {}
+        self._safe_memo: MemoTable = (
+            memo if memo is not None else SafetyMemo(len(universe))
+        )
         self._compiled = compiled
         self.point_queries = 0
         self.memo_hits = 0
 
     @property
-    def safe_memo(self) -> Dict[int, bool]:
+    def safe_memo(self) -> MemoTable:
         """The shared mask -> verdict memo table (exposed for reuse)."""
         return self._safe_memo
+
+    def _compiled_fn(self) -> Callable[[int], bool]:
+        if self._compiled is None:
+            self._compiled = self.invariants.compile_mask(
+                self.universe.atom_bits
+            )
+        return self._compiled
 
     def is_safe_mask(self, mask: int) -> bool:
         """Memoized safety verdict for an integer presence mask."""
         self.point_queries += 1
         verdict = self._safe_memo.get(mask)
         if verdict is None:
-            if self._compiled is None:
-                self._compiled = self.invariants.compile_mask(
-                    self.universe.atom_bits
-                )
-            verdict = self._compiled(mask)
+            verdict = self._compiled_fn()(mask)
             self._safe_memo[mask] = verdict
         else:
             self.memo_hits += 1
         return verdict
+
+    def are_safe_masks(self, masks: Iterable[int]) -> List[bool]:
+        """Batched :meth:`is_safe_mask` — one verdict per mask, in order.
+
+        Counter semantics match the pointwise path exactly: every mask
+        counts as a point query, every memo hit as a hit.
+        """
+        memo = self._safe_memo
+        memo_get = memo.get
+        compiled = self._compiled_fn()
+        out: List[bool] = []
+        queries = hits = 0
+        for mask in masks:
+            queries += 1
+            verdict = memo_get(mask)
+            if verdict is None:
+                verdict = compiled(mask)
+                memo[mask] = verdict
+            else:
+                hits += 1
+            out.append(verdict)
+        self.point_queries += queries
+        self.memo_hits += hits
+        return out
 
     def is_safe(self, config: Configuration) -> bool:
         """True iff *config* is a safe configuration (paper §3.1)."""

@@ -658,6 +658,14 @@ def _check_actions(
         return None
     space = SafeConfigurationSpace(universe, model.kept_invariants(), workers=workers)
     safe_masks = space.enumerate_masks()
+    stats = space.last_enumeration_stats
+    if workers is not None and stats is not None:
+        # verbose evidence of how the sweep actually ran (the persistent
+        # pool makes repeated sweeps over the same spec warm)
+        report.skipped.append(
+            f"SA3xx safe-space enumeration: {stats.reason} "
+            f"({stats.total_ms:.1f} ms)"
+        )
     if not safe_masks:
         report.add(
             "SA203",

@@ -209,14 +209,20 @@ def check_interference(
 
         space = LazySafeSpace(universe, model.kept_invariants())
         is_safe = space.is_safe_mask
-        named: List[int] = []
+        candidates: List[int] = []
         for cfg_item in model.configurations:
             try:
                 mask = universe.mask_of(cfg_item.configuration)
             except Exception:
                 continue
-            if mask not in named and is_safe(mask):
-                named.append(mask)
+            if mask not in candidates:
+                candidates.append(mask)
+        # one batched safety screen over the named configurations
+        named: List[int] = [
+            mask
+            for mask, safe in zip(candidates, space.are_safe_masks(candidates))
+            if safe
+        ]
         sources = named
         report.add(
             "SA605",

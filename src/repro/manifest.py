@@ -223,10 +223,10 @@ class SystemManifest:
     conflicts: Tuple[Tuple[str, str], ...] = ()
     spans: ManifestSpans = field(default_factory=ManifestSpans)
 
-    def planner(self) -> AdaptationPlanner:
+    def planner(self, workers: Optional[int] = None) -> AdaptationPlanner:
         return AdaptationPlanner(
             self.universe, self.invariants, self.actions,
-            conflicts=self.conflicts,
+            workers=workers, conflicts=self.conflicts,
         )
 
     def property_named(self, name: str) -> PFormula:

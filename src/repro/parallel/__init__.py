@@ -1,0 +1,46 @@
+"""Shared-memory parallel infrastructure.
+
+Three pieces, each usable on its own:
+
+* :mod:`repro.parallel.pool` — the process-wide persistent worker pool
+  and its digest-keyed worker caches (enumeration tasks run here).
+* :mod:`repro.parallel.bitset` — the hybrid :class:`SafetyMemo` and the
+  bitset result-plane helpers (one bit per mask, scanned by word).
+* :mod:`repro.parallel.counters` — the :class:`CounterBlock` that lets
+  forked serve workers aggregate ``/v1/stats`` fleet-wide.
+"""
+
+from repro.parallel.bitset import (
+    MAX_BITSET_COMPONENTS,
+    SafetyMemo,
+    iter_plane_masks,
+    plane_size,
+)
+from repro.parallel.counters import FIELDS, CounterBlock
+from repro.parallel.pool import (
+    acquire_pool,
+    cached_plane,
+    clear_result_caches,
+    enumerate_chunk,
+    pool_stats,
+    shutdown_pools,
+    spec_digest,
+    store_plane,
+)
+
+__all__ = [
+    "MAX_BITSET_COMPONENTS",
+    "SafetyMemo",
+    "iter_plane_masks",
+    "plane_size",
+    "FIELDS",
+    "CounterBlock",
+    "acquire_pool",
+    "cached_plane",
+    "clear_result_caches",
+    "enumerate_chunk",
+    "pool_stats",
+    "shutdown_pools",
+    "spec_digest",
+    "store_plane",
+]

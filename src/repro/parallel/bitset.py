@@ -1,0 +1,203 @@
+"""Bitset-backed safety memo and result-plane scanning.
+
+The enumeration engine's unit of exchange is a **bitset plane**: a byte
+buffer with one bit per presence mask, bit index == mask value (the
+universe's bit-vector encoding makes the mask an integer in
+``[0, 2^n)``, so the plane is dense and ascending bit order equals the
+serial enumeration order).  Workers set the bits of their partition's
+safe masks directly in a ``multiprocessing.shared_memory`` block; the
+parent ORs the plane into its memo in bulk and scans set bits with
+``int.bit_count`` instead of unpickling mask tuples.
+
+:class:`SafetyMemo` is the hybrid memo table shared by
+:class:`~repro.core.space.SafeConfigurationSpace` and
+:class:`~repro.core.space.LazySafeSpace`.  For universes of at most
+:data:`MAX_BITSET_COMPONENTS` bits it stores verdicts in two lazily
+allocated bytearrays (known / safe — 2 bits per mask, at most 2 x 2 MiB
+at the cap) so plane merges are single bulk integer ORs; above the cap
+it degrades to the plain dict the memo always was.  The interface is
+dict-compatible (``get`` / ``[]`` / ``in`` / ``len`` / ``items``) so
+every existing consumer keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+#: beyond this many components the dense bitset backing (2 bits per mask)
+#: would cross the low-megabyte line; fall back to the sparse dict
+MAX_BITSET_COMPONENTS = 24
+
+
+def plane_size(n_components: int) -> int:
+    """Bytes needed for a one-bit-per-mask plane over *n_components*."""
+    return max(1, (1 << n_components) >> 3)
+
+
+def iter_plane_masks(plane: bytes) -> Iterator[int]:
+    """Yield the set bit indexes (== masks) of *plane* in ascending order.
+
+    Scans 64-bit words and extracts set bits with ``w & -w``, so cost is
+    proportional to the number of *safe* masks plus the word count — not
+    to ``2^n`` Python-level bit tests.
+    """
+    words = len(plane) >> 3
+    if words:
+        view = memoryview(plane)[: words << 3].cast("Q")
+        for word_index in range(words):
+            w = view[word_index]
+            if not w:
+                continue
+            base = word_index << 6
+            while w:
+                lsb = w & -w
+                yield base + lsb.bit_length() - 1
+                w ^= lsb
+    for byte_index in range(words << 3, len(plane)):
+        b = plane[byte_index]
+        base = byte_index << 3
+        while b:
+            lsb = b & -b
+            yield base + lsb.bit_length() - 1
+            b ^= lsb
+
+
+def set_plane_bits(buf, masks) -> None:
+    """Set ``buf`` bit *mask* for every mask (LSB-first within a byte)."""
+    for mask in masks:
+        buf[mask >> 3] |= 1 << (mask & 7)
+
+
+class SafetyMemo:
+    """Hybrid mask -> safety-verdict table (bitset small, dict large).
+
+    Semantically a ``Dict[int, bool]`` that only ever holds masks whose
+    verdict has been computed.  The bitset backing keeps two parallel
+    bit planes — *known* (the mask has a verdict) and *safe* (the
+    verdict is True) — allocated on first write so an untouched memo
+    costs nothing.  :meth:`or_safe_plane` merges a worker's result plane
+    as two whole-buffer integer ORs, which is what makes the
+    shared-memory merge O(plane bytes / word size) instead of O(masks).
+    """
+
+    __slots__ = ("_dict", "_known", "_safe", "_size", "_count")
+
+    def __init__(self, n_components: Optional[int] = None):
+        self._dict: Optional[Dict[int, bool]] = None
+        self._known: Optional[bytearray] = None
+        self._safe: Optional[bytearray] = None
+        self._size = 0
+        self._count = 0
+        if n_components is None or n_components > MAX_BITSET_COMPONENTS:
+            self._dict = {}
+        else:
+            self._size = plane_size(n_components)
+
+    @property
+    def backing(self) -> str:
+        """``"bitset"`` or ``"dict"`` — exposed for stats and tests."""
+        return "dict" if self._dict is not None else "bitset"
+
+    def _ensure_planes(self) -> None:
+        if self._known is None:
+            self._known = bytearray(self._size)
+            self._safe = bytearray(self._size)
+
+    # -- dict-compatible interface ---------------------------------------------
+    def get(self, mask: int, default=None):
+        if self._dict is not None:
+            return self._dict.get(mask, default)
+        if self._known is None:
+            return default
+        if not (self._known[mask >> 3] >> (mask & 7)) & 1:
+            return default
+        return bool((self._safe[mask >> 3] >> (mask & 7)) & 1)  # type: ignore[index]
+
+    def __getitem__(self, mask: int) -> bool:
+        verdict = self.get(mask)
+        if verdict is None:
+            raise KeyError(mask)
+        return verdict
+
+    def __setitem__(self, mask: int, verdict: bool) -> None:
+        if self._dict is not None:
+            self._dict[mask] = verdict
+            return
+        self._ensure_planes()
+        byte, bit = mask >> 3, 1 << (mask & 7)
+        known = self._known
+        assert known is not None and self._safe is not None
+        if not known[byte] & bit:
+            known[byte] |= bit
+            self._count += 1
+        if verdict:
+            self._safe[byte] |= bit
+        else:
+            self._safe[byte] &= ~bit
+
+    def __contains__(self, mask: int) -> bool:
+        return self.get(mask) is not None
+
+    def __len__(self) -> int:
+        if self._dict is not None:
+            return len(self._dict)
+        return self._count
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[int]:
+        if self._dict is not None:
+            return iter(self._dict)
+        if self._known is None:
+            return iter(())
+        return iter_plane_masks(bytes(self._known))
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def items(self) -> Iterator[Tuple[int, bool]]:
+        if self._dict is not None:
+            yield from self._dict.items()
+            return
+        if self._known is None:
+            return
+        safe = self._safe
+        assert safe is not None
+        for mask in iter_plane_masks(bytes(self._known)):
+            yield mask, bool((safe[mask >> 3] >> (mask & 7)) & 1)
+
+    # -- bulk plane merge --------------------------------------------------------
+    def or_safe_plane(self, plane: bytes) -> int:
+        """OR a safe-verdict *plane* into the memo; returns new verdicts.
+
+        Every set bit becomes a ``True`` entry (set bits are known-safe
+        by construction — workers only write proven-safe masks).  On the
+        bitset backing this is two big-integer ORs over the whole
+        buffer; on the dict backing it falls back to a bit scan.
+        """
+        if self._dict is not None:
+            added = 0
+            memo = self._dict
+            for mask in iter_plane_masks(plane):
+                if mask not in memo:
+                    added += 1
+                memo[mask] = True
+            return added
+        if len(plane) != self._size:
+            raise ValueError(
+                f"plane is {len(plane)} bytes; memo expects {self._size}"
+            )
+        self._ensure_planes()
+        assert self._known is not None and self._safe is not None
+        incoming = int.from_bytes(plane, "little")
+        known = int.from_bytes(self._known, "little")
+        added = (incoming & ~known).bit_count()
+        if added:
+            self._known[:] = (known | incoming).to_bytes(self._size, "little")
+            self._count += added
+        # OR the safe plane unconditionally: a set bit is a True verdict
+        # even for masks already known (matching the dict fallback)
+        safe = int.from_bytes(self._safe, "little")
+        self._safe[:] = (safe | incoming).to_bytes(self._size, "little")
+        return added

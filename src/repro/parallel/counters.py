@@ -1,0 +1,122 @@
+"""Cross-worker counter aggregation over a shared-memory block.
+
+``repro serve --workers N`` forks N processes that each accept from one
+listening socket; until now ``GET /v1/stats`` reported only whichever
+worker happened to answer.  :class:`CounterBlock` fixes that with the
+smallest possible mechanism: one ``multiprocessing.shared_memory``
+segment laid out as ``workers x len(FIELDS)`` little-endian u64 slots.
+
+Each worker is the **single writer** of its own row (whole-word writes
+of monotonic counters — no locks needed; a torn read across fields can
+at worst lag by one request, never corrupt), and any worker can sum the
+column to answer a stats request for the whole fleet.  The parent
+creates the block before forking and unlinks it at shutdown.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Mapping, Optional
+
+#: one u64 slot per field per worker, in this order
+FIELDS = (
+    "served",
+    "fast_hits",
+    "rejected_overload",
+    "rejected_deadline",
+    "specs",
+    "warm_hits",
+    "cold_plans",
+    "lazy_plans",
+    "verify_hits",
+    "lint_hits",
+    "evictions",
+)
+
+_SLOT = struct.Struct("<Q")
+_ROW_BYTES = len(FIELDS) * _SLOT.size
+
+
+class CounterBlock:
+    """A ``workers x FIELDS`` grid of u64 counters in shared memory.
+
+    Create in the parent (``CounterBlock(workers)``) before forking;
+    each child publishes into its own row and aggregates by column.
+    ``close()`` detaches; ``unlink()`` (parent only) frees the segment.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        name: Optional[str] = None,
+    ):
+        from multiprocessing import shared_memory
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        if name is None:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=workers * _ROW_BYTES
+            )
+            self._owner = True
+        else:
+            # Attach-side registration lands in the tracker the parent
+            # already shares with its children (fork or preparation
+            # data), where it is idempotent; the owner's unlink() is the
+            # single cleanup point.
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def publish(self, index: int, counters: Mapping[str, int]) -> None:
+        """Write *counters* into worker row *index* (unknown keys ignored)."""
+        if not 0 <= index < self.workers:
+            raise IndexError(f"worker index {index} out of range")
+        base = index * _ROW_BYTES
+        buf = self._shm.buf
+        for field_index, field in enumerate(FIELDS):
+            value = counters.get(field)
+            if value is not None:
+                _SLOT.pack_into(buf, base + field_index * _SLOT.size, value)
+
+    def row(self, index: int) -> Dict[str, int]:
+        """One worker's published row (mainly for tests)."""
+        base = index * _ROW_BYTES
+        buf = self._shm.buf
+        return {
+            field: _SLOT.unpack_from(buf, base + i * _SLOT.size)[0]
+            for i, field in enumerate(FIELDS)
+        }
+
+    def aggregate(self) -> Dict[str, int]:
+        """Column sums across every worker row, plus the worker count."""
+        totals = {field: 0 for field in FIELDS}
+        buf = self._shm.buf
+        for index in range(self.workers):
+            base = index * _ROW_BYTES
+            for i, field in enumerate(FIELDS):
+                totals[field] += _SLOT.unpack_from(buf, base + i * _SLOT.size)[0]
+        totals["workers"] = self.workers
+        return totals
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def __enter__(self) -> "CounterBlock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()

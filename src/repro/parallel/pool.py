@@ -1,0 +1,258 @@
+"""Process-wide persistent worker pool for safe-space enumeration.
+
+PR 6's work-stealing enumeration paid a full ``ProcessPoolExecutor``
+spin-up *per call* and pickled every safe mask back to the parent.  This
+module makes the pool a process-level resource:
+
+* **Pool registry** — one executor per worker count, created lazily on
+  first use and kept until :func:`shutdown_pools` (registered with
+  ``atexit``).  The start method is ``forkserver`` where available
+  (cheap, import-clean children) with a ``spawn`` fallback; both inherit
+  ``sys.path`` through multiprocessing's preparation data, so workers
+  import :mod:`repro` without an initializer.
+* **Per-digest worker state** — each task ships the spec payload plus
+  its digest; a worker rebuilds the spec only when the digest is one it
+  has not seen (LRU of a few specs), so a warm pool re-enumerating the
+  same spec pays no parse, no compile.
+* **Partition result cache** — workers memoize the safe-mask tuple per
+  ``(digest, partition value)``.  Re-enumerating a spec on a warm pool
+  skips the invariant backtracking entirely, which is what the
+  pool-reuse benchmark gate measures.
+* **Shared-memory planes** — for universes whose plane fits the bitset
+  cap, a task writes its partition's verdicts into a
+  ``multiprocessing.shared_memory`` block (one bit per mask, bit index
+  == mask) and returns only a count; otherwise it returns the pickled
+  mask tuple exactly as before.  Partition prefixes are clamped to
+  byte-align each partition's plane range, so concurrent writers never
+  touch the same byte.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import pickle
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+#: executors kept alive at once (distinct worker counts); the registry
+#: is tiny because callers converge on one effective worker count
+MAX_POOLS = 2
+
+#: per-worker spec cache entries (distinct digests) before LRU eviction
+MAX_WORKER_SPECS = 4
+
+#: per-worker partition-result cache entries before LRU eviction
+MAX_WORKER_RESULTS = 65536
+
+_POOL_LOCK = threading.Lock()
+_POOLS: "OrderedDict[int, object]" = OrderedDict()
+_SPINUPS = 0  # executors created since process start (stats/tests)
+
+
+def _start_method() -> str:
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+def spec_digest(payload: bytes) -> str:
+    """Stable identity of a pickled spec payload (keys worker caches)."""
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def acquire_pool(workers: int):
+    """The persistent executor for *workers*, creating it if needed.
+
+    Returns ``(pool, spun_up)`` where *spun_up* is True when this call
+    created the executor (a cold pool — the caller reports the spin-up
+    in its timing stats).  Thread-safe; LRU-bounded by :data:`MAX_POOLS`.
+    """
+    global _SPINUPS
+    import concurrent.futures
+    import multiprocessing
+
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is not None:
+            _POOLS.move_to_end(workers)
+            return pool, False
+        context = multiprocessing.get_context(_start_method())
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        )
+        _POOLS[workers] = pool
+        _SPINUPS += 1
+        while len(_POOLS) > MAX_POOLS:
+            _, old = _POOLS.popitem(last=False)
+            old.shutdown(wait=False, cancel_futures=True)
+        return pool, True
+
+
+def discard_pool(pool) -> None:
+    """Drop a broken executor so the next acquire starts fresh."""
+    with _POOL_LOCK:
+        for key, value in list(_POOLS.items()):
+            if value is pool:
+                del _POOLS[key]
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def shutdown_pools() -> None:
+    """Shut every persistent executor down (tests and interpreter exit)."""
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def pool_stats() -> Dict[str, int]:
+    with _POOL_LOCK:
+        return {"alive": len(_POOLS), "spinups": _SPINUPS}
+
+
+atexit.register(shutdown_pools)
+
+
+# -- parent-side result-plane cache --------------------------------------------
+# One merged bitset plane per spec digest.  A plane is the whole safe set
+# in 2^n / 8 bytes (128 KiB at 20 components), so retaining a handful
+# costs a few MiB and turns re-enumeration of a warm spec into a word
+# scan — no task round-trips at all.  Chunk scheduling is not sticky, so
+# the per-worker partition caches alone cannot guarantee a warm hit; this
+# cache is what the pool-reuse gate actually measures.
+
+#: merged planes retained (LRU); at the 24-component cap one plane is
+#: 2 MiB, so the cache tops out at 16 MiB
+MAX_PLANE_CACHE = 8
+
+_PLANE_LOCK = threading.Lock()
+_PLANE_CACHE: "OrderedDict[str, bytes]" = OrderedDict()
+
+
+def cached_plane(digest: str) -> Optional[bytes]:
+    """The merged result plane for a spec digest, if one is retained."""
+    with _PLANE_LOCK:
+        plane = _PLANE_CACHE.get(digest)
+        if plane is not None:
+            _PLANE_CACHE.move_to_end(digest)
+        return plane
+
+
+def store_plane(digest: str, plane: bytes) -> None:
+    """Retain a merged result plane for later same-digest enumerations."""
+    with _PLANE_LOCK:
+        _PLANE_CACHE[digest] = plane
+        while len(_PLANE_CACHE) > MAX_PLANE_CACHE:
+            _PLANE_CACHE.popitem(last=False)
+
+
+def clear_result_caches() -> None:
+    """Drop retained planes (tests that must observe a cold engine)."""
+    with _PLANE_LOCK:
+        _PLANE_CACHE.clear()
+
+
+# -- worker side ---------------------------------------------------------------
+# Module-level caches living inside each pool process.  Keyed by spec
+# digest so one warm pool serves many specs (lint sweeps, serve shards).
+
+_SPEC_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
+_RESULT_CACHE: "OrderedDict[Tuple[str, int], Tuple[int, ...]]" = OrderedDict()
+
+
+def _worker_space(digest: str, payload: bytes, k: int):
+    """The worker's ``(space, prefix_bits, free)`` for a spec digest.
+
+    Rebuilds from *payload* (primitives only — component pairs and
+    invariant texts round-trip through the parser) on first sight, then
+    serves every later task for the digest from the cache.
+    """
+    cached = _SPEC_CACHE.get(digest)
+    if cached is not None:
+        _SPEC_CACHE.move_to_end(digest)
+        return cached
+    from repro.core.invariants import InvariantSet
+    from repro.core.model import Component, ComponentUniverse
+    from repro.core.space import SafeConfigurationSpace
+
+    component_specs, invariant_texts, payload_k = pickle.loads(payload)
+    assert payload_k == k, "partition width drifted from the payload"
+    universe = ComponentUniverse(
+        [Component(name, process) for name, process in component_specs]
+    )
+    invariants = InvariantSet.of(*invariant_texts)
+    space = SafeConfigurationSpace(universe, invariants)
+    order = universe.order
+    prefix_bits = tuple(universe.bit_of(name) for name in order[:k])
+    entry = (space, prefix_bits, order[k:])
+    _SPEC_CACHE[digest] = entry
+    while len(_SPEC_CACHE) > MAX_WORKER_SPECS:
+        _SPEC_CACHE.popitem(last=False)
+    return entry
+
+
+def _partition_masks(
+    digest: str, payload: bytes, k: int, value: int
+) -> Tuple[int, ...]:
+    """Safe masks of one prefix partition, memoized per (digest, value)."""
+    key = (digest, value)
+    cached = _RESULT_CACHE.get(key)
+    if cached is not None:
+        _RESULT_CACHE.move_to_end(key)
+        return cached
+    space, prefix_bits, free = _worker_space(digest, payload, k)
+    present0 = 0
+    for i in range(k):
+        if value & (1 << (k - 1 - i)):
+            present0 |= prefix_bits[i]
+    masks = tuple(space._restricted_masks(present0, free))
+    _RESULT_CACHE[key] = masks
+    while len(_RESULT_CACHE) > MAX_WORKER_RESULTS:
+        _RESULT_CACHE.popitem(last=False)
+    return masks
+
+
+def enumerate_chunk(task: tuple):
+    """Pool task: enumerate one chunk of prefix partitions.
+
+    ``task`` is ``(digest, payload, k, chunk_index, values, plane_name)``.
+    With a *plane_name*, the chunk's safe masks are written as bits into
+    the attached shared-memory plane (mask == absolute bit index; the
+    clamped prefix width guarantees byte-disjoint partition ranges) and
+    only ``(chunk_index, count)`` returns.  Without one, the masks come
+    back pickled, ascending — the fallback transport for oversized
+    universes.
+    """
+    digest, payload, k, index, values, plane_name = task
+    if plane_name is None:
+        masks: List[int] = []
+        for value in values:
+            masks.extend(_partition_masks(digest, payload, k, value))
+        return index, tuple(masks)
+
+    from multiprocessing import shared_memory
+
+    # Attaching re-registers the name with the resource tracker, but the
+    # tracker process is shared with the parent (its fd travels in the
+    # preparation data), so the registration set stays idempotent and the
+    # parent's unlink() is the single cleanup point.
+    shm = shared_memory.SharedMemory(name=plane_name)
+    try:
+        buf = shm.buf
+        count = 0
+        for value in values:
+            masks_t = _partition_masks(digest, payload, k, value)
+            for mask in masks_t:
+                buf[mask >> 3] |= 1 << (mask & 7)
+            count += len(masks_t)
+        del buf
+    finally:
+        shm.close()
+    return index, count

@@ -482,6 +482,10 @@ class StatsResult:
     specs: Tuple[Dict[str, Any], ...] = ()
     #: filled in by the HTTP layer (in-flight, served, rejections, shard)
     server: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    #: fleet-wide counter sums across every forked worker (filled in by
+    #: the HTTP layer from the shared-memory counter block; absent when
+    #: the server runs a single process with no block)
+    cluster: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def payload(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
@@ -490,6 +494,8 @@ class StatsResult:
         }
         if self.server is not None:
             doc["server"] = dict(self.server)
+        if self.cluster is not None:
+            doc["cluster"] = dict(self.cluster)
         return doc
 
 

@@ -202,6 +202,11 @@ class ControlPlane:
             StatsRequest: self._handle_stats,
         }
 
+    @property
+    def lint_hits(self) -> int:
+        """Lint wire-cache hits (published into the cluster counters)."""
+        return self._lint_hits
+
     # -- dispatch ----------------------------------------------------------------
     def dispatch(self, request: Request) -> Response:
         """Answer any control-plane request; never raises.

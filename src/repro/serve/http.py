@@ -126,6 +126,11 @@ class ControlPlaneHTTPServer:
         deadline_ms: default per-request deadline (None: no deadline).
         drain_timeout: seconds :meth:`shutdown` waits for in-flight
             requests before closing connections.
+        counters: shared :class:`~repro.parallel.counters.CounterBlock`
+            for fleet-wide ``/v1/stats`` aggregation; this server
+            publishes into row *worker_index* after every request and
+            sums the columns on the stats route.
+        worker_index: this process's row in *counters*.
     """
 
     def __init__(
@@ -139,6 +144,8 @@ class ControlPlaneHTTPServer:
         queue_limit: Optional[int] = None,
         deadline_ms: Optional[float] = None,
         drain_timeout: float = 5.0,
+        counters: Optional[Any] = None,
+        worker_index: int = 0,
     ):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -167,6 +174,8 @@ class ControlPlaneHTTPServer:
         self._fast_hits = 0
         self._rejected_overload = 0
         self._rejected_deadline = 0
+        self._counters = counters
+        self._worker_index = worker_index
 
     # -- lifecycle ---------------------------------------------------------------
     async def start(self) -> None:
@@ -204,6 +213,29 @@ class ControlPlaneHTTPServer:
         for writer in list(self._connections):
             writer.close()
         self._executor.shutdown(wait=False)
+
+    def publish_counters(self) -> None:
+        """Write this worker's row into the shared counter block.
+
+        Called after every handled request (and before aggregating on
+        the stats route), so any worker can answer ``/v1/stats`` with
+        column sums that are at most one in-flight request stale per
+        peer.  Single writer per row, whole-word counters — no locking.
+        """
+        if self._counters is None:
+            return
+        try:
+            row = self.control.service.stats().counters()
+            row.update(
+                served=self._served,
+                fast_hits=self._fast_hits,
+                rejected_overload=self._rejected_overload,
+                rejected_deadline=self._rejected_deadline,
+                lint_hits=self.control.lint_hits,
+            )
+            self._counters.publish(self._worker_index, row)
+        except Exception:  # pragma: no cover - stats must never kill serving
+            pass
 
     def server_stats(self) -> Dict[str, Any]:
         return {
@@ -290,6 +322,8 @@ class ControlPlaneHTTPServer:
             self._write(writer, 500, to_wire(ErrorEnvelope(
                 "internal", f"{type(exc).__name__}: {exc}")))
             return False
+        finally:
+            self.publish_counters()
 
     # -- routing -----------------------------------------------------------------
     async def _route(
@@ -301,8 +335,14 @@ class ControlPlaneHTTPServer:
         if path == "/v1/stats" and method == "GET":
             response = self.control.dispatch(StatsRequest())
             if isinstance(response, StatsResult):
+                cluster = None
+                if self._counters is not None:
+                    # publish our own row first so the sums include the
+                    # answering worker's latest counters
+                    self.publish_counters()
+                    cluster = self._counters.aggregate()
                 response = dataclasses.replace(
-                    response, server=self.server_stats()
+                    response, server=self.server_stats(), cluster=cluster
                 )
             self._respond(writer, response, keep_alive)
             return keep_alive
@@ -598,6 +638,8 @@ async def _serve_on(
     queue_limit: Optional[int],
     deadline_ms: Optional[float],
     install_signals: bool = True,
+    counters: Optional[Any] = None,
+    worker_index: int = 0,
 ) -> None:
     server = ControlPlaneHTTPServer(
         control,
@@ -605,6 +647,8 @@ async def _serve_on(
         max_inflight=max_inflight,
         queue_limit=queue_limit,
         deadline_ms=deadline_ms,
+        counters=counters,
+        worker_index=worker_index,
     )
     await server.start()
     if install_signals:
@@ -660,6 +704,8 @@ def _worker_main(
             max_inflight=options["max_inflight"],
             queue_limit=options["queue_limit"],
             deadline_ms=options["deadline_ms"],
+            counters=options.get("counters"),
+            worker_index=index,
         )
     )
 
@@ -714,6 +760,13 @@ def run_server(
     import multiprocessing
     import signal as _signal
 
+    from repro.parallel.counters import CounterBlock
+
+    # One shared counter block, created before forking so every child
+    # inherits the attached segment; each worker publishes its own row and
+    # /v1/stats on any worker sums the columns into the "cluster" payload.
+    counters = CounterBlock(workers)
+    options["counters"] = counters
     context = multiprocessing.get_context("fork")
     children = [
         context.Process(
@@ -747,6 +800,8 @@ def run_server(
         for signum, handler in previous.items():
             _signal.signal(signum, handler)
         sock.close()
+        counters.close()
+        counters.unlink()
     return 0
 
 

@@ -107,6 +107,18 @@ class ServiceStats:
     #: spec entries dropped via :meth:`PlanningService.evict`
     evictions: int = 0
 
+    def counters(self) -> Dict[str, int]:
+        """The snapshot as a plain counter dict (shared-memory publishing
+        and the ``/v1/stats`` service document use the same keys)."""
+        return {
+            "specs": self.specs,
+            "warm_hits": self.warm_hits,
+            "cold_plans": self.cold_plans,
+            "lazy_plans": self.lazy_plans,
+            "verify_hits": self.verify_hits,
+            "evictions": self.evictions,
+        }
+
 
 #: methods :meth:`PlanningService.plan_digest` understands; ``auto`` routes
 #: by universe size exactly as the in-process service always has

@@ -71,7 +71,9 @@ def test_workers_one_is_exactly_serial(monkeypatch):
     def boom(*args, **kwargs):  # pragma: no cover - must never run
         raise AssertionError("workers=1 must not touch the process pool")
 
-    monkeypatch.setattr(space_mod, "_parallel_worker_init", boom)
+    import repro.parallel as parallel_mod
+
+    monkeypatch.setattr(parallel_mod, "acquire_pool", boom)
     system = replicated_video_system(2)
     space = SafeConfigurationSpace(system.universe, system.invariants, workers=1)
     reference = SafeConfigurationSpace(system.universe, system.invariants)
@@ -107,7 +109,10 @@ def test_auto_serial_below_node_threshold(monkeypatch):
 
 def test_forced_pool_equals_serial_with_stats(monkeypatch):
     """Real pool run (clamp disabled): identical output, parallel stats."""
+    import repro.parallel as par
+
     _force_pool(monkeypatch)
+    par.clear_result_caches()  # a warm plane would short-circuit the pool
     system = enumeration_stress_system(14)
     serial = SafeConfigurationSpace(system.universe, system.invariants)
     parallel = SafeConfigurationSpace(
@@ -120,16 +125,102 @@ def test_forced_pool_equals_serial_with_stats(monkeypatch):
     assert stats.partitions >= stats.chunks
     assert stats.safe_count == len(serial.enumerate())
     assert "chunks stolen" in stats.reason
+    assert stats.transport in ("shm-plane", "pickled-masks")
+    assert stats.total_ms > 0
+    assert stats.total_ms >= stats.chunk_wait_ms
     # merged worker memo marks every safe mask
     for mask in parallel.enumerate_masks():
         assert parallel.safe_memo[mask] is True
+
+
+def test_pool_warm_replay_from_plane_cache(monkeypatch):
+    """Second enumeration of the same spec replays the cached plane."""
+    import repro.parallel as par
+
+    _force_pool(monkeypatch)
+    par.clear_result_caches()
+    system = enumeration_stress_system(14)
+    cold = SafeConfigurationSpace(system.universe, system.invariants, workers=4)
+    warm = SafeConfigurationSpace(system.universe, system.invariants, workers=4)
+    cold_out = cold.enumerate()
+    assert warm.enumerate() == cold_out
+    cold_stats = cold.last_enumeration_stats
+    warm_stats = warm.last_enumeration_stats
+    # the *plane* was cold (real pool round-trip), even if the pool
+    # itself survived from an earlier test in this process
+    assert cold_stats.transport in ("shm-plane", "pickled-masks")
+    assert warm_stats.mode == "parallel"
+    assert warm_stats.pool_warm
+    assert warm_stats.transport == "plane-cache"
+    assert warm_stats.chunks == 0  # never touched the pool
+    assert "plane cache" in warm_stats.reason
+    # the replayed memo is as complete as the cold one
+    assert dict(warm.safe_memo.items()) == dict(cold.safe_memo.items())
 
 
 def test_serial_fallback_reason_recorded_without_workers():
     system = replicated_video_system(2)
     space = SafeConfigurationSpace(system.universe, system.invariants)
     space.enumerate()
-    assert space.last_enumeration_stats.reason == "serial: no workers requested"
+    stats = space.last_enumeration_stats
+    assert stats.reason == "serial: no workers requested"
+    assert stats.total_ms > 0
+    assert stats.transport == ""
+    assert stats.pool_spinup_ms == 0.0 and stats.chunk_wait_ms == 0.0
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=8, deadline=None)
+def test_forced_pool_equals_serial_on_random_systems(seed):
+    """Property: the shm pool path is byte-identical to serial.
+
+    Forces the real pool (clamp and node floor off) on random systems;
+    the persistent pool makes repeated examples cheap — only the first
+    example pays the spin-up.  Pins masks, configuration order, and the
+    merged memo contents against the serial enumerator.
+    """
+    saved = (space_mod._cpu_count, space_mod.MIN_PARALLEL_MASK_NODES)
+    space_mod._cpu_count = lambda: 4
+    space_mod.MIN_PARALLEL_MASK_NODES = 1
+    try:
+        import repro.parallel as par
+
+        par.clear_result_caches()
+        system = random_system(
+            seed, n_components=MIN_PARALLEL_COMPONENTS, n_invariants=4,
+            n_actions=8,
+        )
+        serial = SafeConfigurationSpace(system.universe, system.invariants)
+        parallel = SafeConfigurationSpace(
+            system.universe, system.invariants, workers=2
+        )
+        assert parallel.enumerate() == serial.enumerate()
+        assert parallel.enumerate_masks() == serial.enumerate_masks()
+        stats = parallel.last_enumeration_stats
+        # a system can legitimately prune every prefix partition at the
+        # root (nothing to fan out) — any other serial fallback is a bug
+        if stats.mode != "parallel":
+            assert stats.reason == (
+                "serial: every prefix partition root-pruned"
+            ), stats.reason
+        for mask in parallel.enumerate_masks():
+            assert parallel.safe_memo[mask] is True
+    finally:
+        space_mod._cpu_count, space_mod.MIN_PARALLEL_MASK_NODES = saved
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_are_safe_masks_matches_pointwise(seed):
+    """Batched verdicts == mapped is_safe_mask, on both space classes."""
+    system = random_system(seed, n_components=8, n_invariants=4, n_actions=8)
+    masks = [(seed * 2654435761 + i * 40503) % 256 for i in range(32)]
+    space = SafeConfigurationSpace(system.universe, system.invariants)
+    assert space.are_safe_masks(masks) == [space.is_safe_mask(m) for m in masks]
+    lazy = space.lazy_view()
+    assert lazy.are_safe_masks(masks) == [lazy.is_safe_mask(m) for m in masks]
+    # repeat: second batch is answered from the memo, same verdicts
+    assert space.are_safe_masks(masks) == [space.is_safe_mask(m) for m in masks]
 
 
 def test_small_universe_fallback_reason(universe, invariants):

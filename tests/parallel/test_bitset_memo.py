@@ -1,0 +1,127 @@
+"""SafetyMemo: the hybrid bitset/dict memo must behave as a dict."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    MAX_BITSET_COMPONENTS,
+    SafetyMemo,
+    iter_plane_masks,
+    plane_size,
+)
+from repro.parallel.bitset import set_plane_bits
+
+
+def test_backing_selection():
+    assert SafetyMemo(4).backing == "bitset"
+    assert SafetyMemo(MAX_BITSET_COMPONENTS).backing == "bitset"
+    assert SafetyMemo(MAX_BITSET_COMPONENTS + 1).backing == "dict"
+    assert SafetyMemo(None).backing == "dict"
+
+
+def test_plane_size():
+    assert plane_size(0) == 1
+    assert plane_size(3) == 1
+    assert plane_size(4) == 2
+    assert plane_size(20) == 1 << 17
+
+
+@pytest.mark.parametrize("n", [4, None])
+def test_dict_interface_basics(n):
+    memo = SafetyMemo(n)
+    assert not memo
+    assert len(memo) == 0
+    assert memo.get(3) is None
+    assert 3 not in memo
+    with pytest.raises(KeyError):
+        memo[3]
+    memo[3] = True
+    memo[5] = False
+    assert memo
+    assert len(memo) == 2
+    assert memo[3] is True
+    assert memo[5] is False
+    assert memo.get(5) is False
+    assert 5 in memo and 4 not in memo
+    # overwrite flips the verdict without double-counting
+    memo[3] = False
+    assert len(memo) == 2
+    assert memo[3] is False
+    memo[3] = True
+    assert memo[3] is True
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+        max_size=60,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_bitset_memo_matches_dict_model(ops):
+    memo = SafetyMemo(8)
+    model = {}
+    for mask, verdict in ops:
+        memo[mask] = verdict
+        model[mask] = verdict
+    assert len(memo) == len(model)
+    assert dict(memo.items()) == model
+    assert sorted(memo) == sorted(model)
+    assert set(memo.keys()) == set(model.keys())
+    for mask in range(256):
+        assert (mask in memo) == (mask in model)
+        assert memo.get(mask, "absent") == model.get(mask, "absent")
+
+
+@given(masks=st.sets(st.integers(min_value=0, max_value=255), max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_iter_plane_masks_round_trip(masks):
+    plane = bytearray(plane_size(8))
+    set_plane_bits(plane, masks)
+    assert list(iter_plane_masks(bytes(plane))) == sorted(masks)
+
+
+def test_iter_plane_masks_tail_bytes():
+    # a 3-byte plane exercises the non-word tail path
+    plane = bytearray(3)
+    set_plane_bits(plane, [0, 7, 8, 17, 23])
+    assert list(iter_plane_masks(bytes(plane))) == [0, 7, 8, 17, 23]
+
+
+@given(
+    known=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+        max_size=30,
+    ),
+    incoming=st.sets(st.integers(min_value=0, max_value=255), max_size=40),
+)
+@settings(max_examples=200, deadline=None)
+def test_or_safe_plane_matches_dict_model(known, incoming):
+    for n in (8, None):  # bitset backing and dict fallback
+        memo = SafetyMemo(n)
+        model = {}
+        for mask, verdict in known:
+            memo[mask] = verdict
+            model[mask] = verdict
+        plane = bytearray(plane_size(8))
+        set_plane_bits(plane, incoming)
+        added = memo.or_safe_plane(bytes(plane))
+        assert added == sum(1 for m in incoming if m not in model)
+        for mask in incoming:
+            model[mask] = True
+        assert dict(memo.items()) == model
+        assert len(memo) == len(model)
+
+
+def test_or_safe_plane_rejects_size_mismatch():
+    memo = SafetyMemo(8)
+    with pytest.raises(ValueError, match="plane is"):
+        memo.or_safe_plane(b"\x00" * 3)
+
+
+def test_memo_values_are_real_bools():
+    memo = SafetyMemo(8)
+    memo[9] = True
+    memo[10] = False
+    assert memo[9] is True and memo[10] is False
+    assert all(isinstance(v, bool) for _, v in memo.items())

@@ -1,0 +1,112 @@
+"""Persistent pool registry, plane cache, and the counter block."""
+
+import pytest
+
+import repro.parallel as par
+from repro.parallel.counters import FIELDS, CounterBlock
+
+
+# -- pool registry -------------------------------------------------------------
+
+
+def test_acquire_pool_is_persistent_and_reused():
+    par.shutdown_pools()
+    pool, spun_up = par.acquire_pool(2)
+    try:
+        assert spun_up
+        again, spun_up_again = par.acquire_pool(2)
+        assert again is pool
+        assert not spun_up_again
+        assert par.pool_stats()["alive"] == 1
+        # the pool actually works
+        assert pool.submit(int, 7).result() == 7
+    finally:
+        par.shutdown_pools()
+    assert par.pool_stats()["alive"] == 0
+
+
+def test_shutdown_then_acquire_spins_up_fresh():
+    par.shutdown_pools()
+    _, first = par.acquire_pool(2)
+    par.shutdown_pools()
+    _, second = par.acquire_pool(2)
+    assert first and second
+    par.shutdown_pools()
+
+
+def test_spec_digest_is_stable_and_short():
+    a = par.spec_digest(b"payload")
+    assert a == par.spec_digest(b"payload")
+    assert a != par.spec_digest(b"other")
+    assert len(a) == 16
+
+
+# -- plane cache ---------------------------------------------------------------
+
+
+def test_plane_cache_store_and_clear():
+    par.clear_result_caches()
+    assert par.cached_plane("deadbeef") is None
+    par.store_plane("deadbeef", b"\x01\x02")
+    assert par.cached_plane("deadbeef") == b"\x01\x02"
+    par.clear_result_caches()
+    assert par.cached_plane("deadbeef") is None
+
+
+def test_plane_cache_is_lru_bounded():
+    from repro.parallel import pool as pool_mod
+
+    par.clear_result_caches()
+    for i in range(pool_mod.MAX_PLANE_CACHE + 3):
+        par.store_plane(f"digest-{i}", bytes([i]))
+    assert par.cached_plane("digest-0") is None  # evicted
+    assert par.cached_plane(f"digest-{pool_mod.MAX_PLANE_CACHE + 2}") is not None
+    par.clear_result_caches()
+
+
+# -- shared-memory counter block ----------------------------------------------
+
+
+def test_counter_block_publish_row_aggregate():
+    with CounterBlock(3) as block:
+        block.publish(0, {"served": 5, "specs": 2})
+        block.publish(2, {"served": 7, "lint_hits": 1})
+        assert block.row(0)["served"] == 5
+        assert block.row(1)["served"] == 0
+        totals = block.aggregate()
+        assert totals["served"] == 12
+        assert totals["specs"] == 2
+        assert totals["lint_hits"] == 1
+        assert totals["workers"] == 3
+        assert set(FIELDS) <= set(totals)
+
+
+def test_counter_block_republish_overwrites_row():
+    with CounterBlock(1) as block:
+        block.publish(0, {"served": 5})
+        block.publish(0, {"served": 6})
+        assert block.aggregate()["served"] == 6
+
+
+def test_counter_block_attach_by_name_sees_owner_writes():
+    with CounterBlock(2) as owner:
+        peer = CounterBlock(2, name=owner.name)
+        try:
+            owner.publish(0, {"served": 3})
+            peer.publish(1, {"served": 4})
+            assert peer.aggregate()["served"] == 7
+            assert owner.aggregate()["served"] == 7
+        finally:
+            peer.close()
+
+
+def test_counter_block_rejects_bad_row_index():
+    with CounterBlock(1) as block:
+        with pytest.raises(IndexError):
+            block.publish(1, {"served": 1})
+
+
+def test_counter_block_ignores_unknown_fields():
+    with CounterBlock(1) as block:
+        block.publish(0, {"served": 1, "not_a_field": 99})
+        assert "not_a_field" not in block.aggregate()
